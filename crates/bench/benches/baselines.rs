@@ -1,0 +1,34 @@
+//! Criterion bench for experiment B1: the Theorem-1 construction against
+//! the naïve baselines, at equal guest sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use xtree_core::{baseline, theorem1};
+use xtree_trees::generate::{theorem1_size, TreeFamily};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embedding_construction");
+    group.sample_size(10);
+    let n = theorem1_size(7);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let tree = TreeFamily::RandomBst.generate(n, &mut rng);
+    group.bench_with_input(BenchmarkId::new("theorem1", n), &tree, |b, t| {
+        b.iter(|| black_box(theorem1::embed(t)))
+    });
+    group.bench_with_input(BenchmarkId::new("level_order", n), &tree, |b, t| {
+        b.iter(|| black_box(baseline::level_order(t)))
+    });
+    group.bench_with_input(BenchmarkId::new("dfs_order", n), &tree, |b, t| {
+        b.iter(|| black_box(baseline::dfs_order(t)))
+    });
+    group.bench_with_input(BenchmarkId::new("random", n), &tree, |b, t| {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        b.iter(|| black_box(baseline::random_assignment(t, &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

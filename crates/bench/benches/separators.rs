@@ -1,0 +1,43 @@
+//! Criterion bench for experiments L1/L2: the separator lemmas on large
+//! pieces — the inner loop of algorithm X-TREE.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use xtree_trees::{generate, lemma1, lemma2, NodeId};
+
+fn bench_separators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("separator_lemmas");
+    for n in [1024usize, 16384, 131072] {
+        group.throughput(Throughput::Elements(n as u64));
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let tree = generate::random_bst(n, &mut rng);
+        let placed = vec![false; n];
+        let leaf = tree.nodes().find(|&v| tree.degree(v) == 1).unwrap();
+        let delta = (n / 3) as u32;
+        group.bench_with_input(BenchmarkId::new("lemma1", n), &n, |b, _| {
+            b.iter(|| black_box(lemma1(&tree, &placed, leaf, leaf, delta)))
+        });
+        group.bench_with_input(BenchmarkId::new("lemma2", n), &n, |b, _| {
+            b.iter(|| black_box(lemma2(&tree, &placed, leaf, leaf, delta)))
+        });
+        // Path guests stress the walk length.
+        let path = generate::path(n);
+        group.bench_with_input(BenchmarkId::new("lemma2_path", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(lemma2(
+                    &path,
+                    &placed,
+                    NodeId(0),
+                    NodeId(n as u32 - 1),
+                    delta,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_separators);
+criterion_main!(benches);

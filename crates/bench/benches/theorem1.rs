@@ -1,0 +1,36 @@
+//! Criterion bench for experiment T1: algorithm X-TREE across guest sizes
+//! and families. Regenerates the Theorem-1 rows (dilation/load measured in
+//! the harness; here we time the construction itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use xtree_core::theorem1;
+use xtree_trees::generate::{theorem1_size, TreeFamily};
+
+fn bench_theorem1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem1_embed");
+    group.sample_size(10);
+    for r in [3u8, 5, 7, 9] {
+        let n = theorem1_size(r);
+        group.throughput(Throughput::Elements(n as u64));
+        for family in [
+            TreeFamily::Path,
+            TreeFamily::RandomBst,
+            TreeFamily::Caterpillar,
+        ] {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let tree = family.generate(n, &mut rng);
+            group.bench_with_input(
+                BenchmarkId::new(family.name(), format!("r{r}_n{n}")),
+                &tree,
+                |b, t| b.iter(|| black_box(theorem1::embed(t))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_theorem1);
+criterion_main!(benches);

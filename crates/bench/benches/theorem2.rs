@@ -1,0 +1,30 @@
+//! Criterion bench for experiment T2: the injectivisation blow-up and the
+//! full tree → injective-X(r+4) pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use xtree_core::{theorem1, theorem2};
+use xtree_trees::generate::{theorem1_size, TreeFamily};
+
+fn bench_theorem2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem2_injectivize");
+    group.sample_size(10);
+    for r in [4u8, 6, 8] {
+        let n = theorem1_size(r);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let tree = TreeFamily::RandomAttach.generate(n, &mut rng);
+        let base = theorem1::embed(&tree).emb;
+        group.bench_with_input(BenchmarkId::new("blowup_only", n), &base, |b, e| {
+            b.iter(|| black_box(theorem2::injectivize(e)))
+        });
+        group.bench_with_input(BenchmarkId::new("full_pipeline", n), &tree, |b, t| {
+            b.iter(|| black_box(theorem2::injectivize(&theorem1::embed(t).emb)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_theorem2);
+criterion_main!(benches);

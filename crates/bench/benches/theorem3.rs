@@ -1,0 +1,33 @@
+//! Criterion bench for experiment T3: the hypercube route (Theorem-1 +
+//! Lemma-3 composition) and the dilation-8 injective corollary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use xtree_core::hypercube;
+use xtree_trees::generate::{theorem3_size, TreeFamily};
+
+fn bench_theorem3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem3_hypercube");
+    group.sample_size(10);
+    for r in [4u8, 6, 8] {
+        let n = theorem3_size(r);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let tree = TreeFamily::RandomSplit.generate(n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("load16_dil4", n), &tree, |b, t| {
+            b.iter(|| black_box(hypercube::embed_theorem3(t)))
+        });
+        group.bench_with_input(BenchmarkId::new("injective_dil8", n), &tree, |b, t| {
+            b.iter(|| black_box(hypercube::embed_corollary8(t)))
+        });
+    }
+    // The Lemma-3 label map itself.
+    group.bench_function("lemma3_labels_r10", |b| {
+        b.iter(|| black_box(hypercube::lemma3_embedding(10)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_theorem3);
+criterion_main!(benches);

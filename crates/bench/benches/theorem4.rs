@@ -1,0 +1,32 @@
+//! Criterion bench for experiment T4: building the degree-415 universal
+//! graph and checking the spanning-subgraph property.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use xtree_core::{theorem1, universal::UniversalGraph};
+use xtree_trees::generate::{theorem1_size, TreeFamily};
+
+fn bench_theorem4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem4_universal");
+    group.sample_size(10);
+    for r in [3u8, 5] {
+        group.bench_with_input(BenchmarkId::new("build", r), &r, |b, &r| {
+            b.iter(|| black_box(UniversalGraph::new(r)))
+        });
+        let g = UniversalGraph::new(r);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let tree = TreeFamily::RandomBst.generate(theorem1_size(r), &mut rng);
+        let assignment = g.slot_assignment(&theorem1::embed(&tree).emb);
+        group.bench_with_input(
+            BenchmarkId::new("subgraph_check", r),
+            &(&g, &tree, &assignment),
+            |b, (g, t, a)| b.iter(|| black_box(g.subgraph_violations(t, a).len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_theorem4);
+criterion_main!(benches);

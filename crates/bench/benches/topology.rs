@@ -1,0 +1,41 @@
+//! Criterion bench for experiments F1/F2/B2: host-network construction,
+//! distance oracles, and the N(a) neighbourhood computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xtree_topology::{neighborhood, Address, Butterfly, CubeConnectedCycles, Hypercube, XTree};
+
+fn bench_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology");
+    for r in [8u8, 12] {
+        group.bench_with_input(BenchmarkId::new("xtree_build", r), &r, |b, &r| {
+            b.iter(|| black_box(XTree::new(r)))
+        });
+    }
+    group.bench_function("hypercube_build_d14", |b| {
+        b.iter(|| black_box(Hypercube::new(14)))
+    });
+    group.bench_function("ccc_build_d10", |b| {
+        b.iter(|| black_box(CubeConnectedCycles::new(10)))
+    });
+    group.bench_function("butterfly_build_d10", |b| {
+        b.iter(|| black_box(Butterfly::new(10)))
+    });
+
+    let x = XTree::new(12);
+    let a = Address::parse("010101010101").unwrap();
+    let bb = Address::parse("101010101010").unwrap();
+    group.bench_function("xtree_distance_r12", |b| {
+        b.iter(|| black_box(x.distance(a, bb)))
+    });
+    group.bench_function("neighborhood_r12", |b| {
+        b.iter(|| black_box(neighborhood::neighborhood(a, 12)))
+    });
+    group.bench_function("figure2_verify_r8", |b| {
+        b.iter(|| black_box(neighborhood::verify_figure2(8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_topology);
+criterion_main!(benches);

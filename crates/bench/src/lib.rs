@@ -1,0 +1,93 @@
+//! Experiment harness: one function per experiment in DESIGN.md's index,
+//! each returning a printable [`Table`] whose rows are what EXPERIMENTS.md
+//! records. The `tables` binary dispatches on experiment ids.
+
+pub mod experiments;
+
+use serde::Serialize;
+
+/// A formatted experiment result.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table {
+    /// Experiment id (`T1`, `L2`, `F1`, …).
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// What the paper claims, for the paper-vs-measured comparison.
+    pub claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// One-line verdict after measuring.
+    pub verdict: String,
+}
+
+impl Table {
+    /// Renders the table as aligned monospace text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                } else {
+                    widths.push(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {}\n", self.id, self.title));
+        out.push_str(&format!("   paper: {}\n", self.claim));
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&format!("   {}\n", fmt_row(&self.headers)));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&format!("   {}\n", "-".repeat(total.min(120))));
+        for row in &self.rows {
+            out.push_str(&format!("   {}\n", fmt_row(row)));
+        }
+        out.push_str(&format!("   => {}\n", self.verdict));
+        out
+    }
+}
+
+/// The deterministic seeds used by every experiment sweep.
+pub fn seeds(count: u64) -> impl Iterator<Item = u64> {
+    (0..count).map(|i| 0x5EED_0000 + i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = Table {
+            id: "X",
+            title: "demo".into(),
+            claim: "none".into(),
+            headers: vec!["a".into(), "bb".into()],
+            rows: vec![vec!["1".into(), "2".into()], vec!["10".into(), "20".into()]],
+            verdict: "ok".into(),
+        };
+        let s = t.render();
+        assert!(s.contains("== X — demo"));
+        assert!(s.contains("=> ok"));
+        assert_eq!(s.lines().count(), 7);
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        let a: Vec<u64> = seeds(5).collect();
+        let b: Vec<u64> = seeds(5).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+    }
+}

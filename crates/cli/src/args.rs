@@ -1,0 +1,110 @@
+//! A small, dependency-free argument parser: `--key value` pairs and bare
+//! flags after a subcommand.
+
+use std::collections::HashMap;
+
+/// Parsed command line: subcommand, key-value options, and bare flags.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    pub command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    ///
+    /// # Errors
+    /// Returns a message when an option is missing its value or an argument
+    /// is not of the form `--name [value]`.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Args, String> {
+        let mut it = argv.into_iter().peekable();
+        let command = it.next().unwrap_or_default();
+        let mut args = Args {
+            command,
+            ..Default::default()
+        };
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{a}` (options start with --)"));
+            };
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    args.options.insert(name.to_string(), it.next().unwrap());
+                }
+                _ => args.flags.push(name.to_string()),
+            }
+        }
+        Ok(args)
+    }
+
+    /// String option with a default.
+    pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.options
+            .get(name)
+            .map(String::as_str)
+            .unwrap_or(default)
+    }
+
+    /// Parsed numeric option with a default.
+    ///
+    /// # Errors
+    /// Returns a message when the value does not parse.
+    pub fn num_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse `{v}`")),
+        }
+    }
+
+    /// True if the bare flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_options_flags() {
+        let a = parse("embed --family path --nodes 240 --json").unwrap();
+        assert_eq!(a.command, "embed");
+        assert_eq!(a.get_or("family", "x"), "path");
+        assert_eq!(a.num_or("nodes", 0usize).unwrap(), 240);
+        assert!(a.flag("json"));
+        assert!(!a.flag("map"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("simulate").unwrap();
+        assert_eq!(a.get_or("family", "random-bst"), "random-bst");
+        assert_eq!(a.num_or("seed", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_bad_number() {
+        let a = parse("embed --nodes many").unwrap();
+        assert!(a.num_or("nodes", 0usize).is_err());
+    }
+
+    #[test]
+    fn rejects_positional() {
+        assert!(parse("embed stray").is_err());
+    }
+
+    #[test]
+    fn flag_followed_by_option() {
+        let a = parse("embed --json --nodes 48").unwrap();
+        assert!(a.flag("json"));
+        assert_eq!(a.num_or("nodes", 0usize).unwrap(), 48);
+    }
+}

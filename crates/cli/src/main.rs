@@ -1,0 +1,423 @@
+//! `xtree-cli` — embed and simulate binary trees on X-tree and hypercube
+//! hosts from the command line.
+//!
+//! ```text
+//! xtree-cli embed    --family random-bst --nodes 1008 [--target xtree|xtree-injective|hypercube|hypercube-injective] [--seed N] [--json] [--map]
+//! xtree-cli simulate --family caterpillar --nodes 496 [--host xtree|hypercube] [--workload broadcast|reduce|exchange|dnc|all] [--seed N] [--json]
+//! xtree-cli info     --height 3 [--network xtree|hypercube|ccc|butterfly|mesh]
+//! xtree-cli sizes    --max-r 10
+//! ```
+
+mod args;
+
+use args::Args;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::json;
+use xtree_core::{evaluate, hypercube, metrics, theorem1, theorem2};
+use xtree_sim::{simulate_all, Network};
+use xtree_topology::{Butterfly, CubeConnectedCycles, Graph, Hypercube, Mesh2D, XTree};
+use xtree_trees::{generate, BinaryTree, TreeFamily};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    match run(argv) {
+        Ok(out) => {
+            // Tolerate a closed pipe (e.g. `xtree-cli … | head`): the
+            // reader leaving early is not an error.
+            use std::io::Write;
+            let mut stdout = std::io::stdout().lock();
+            if writeln!(stdout, "{out}").is_err() {
+                std::process::exit(0);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  xtree-cli embed    --family F --nodes N [--target xtree|xtree-injective|hypercube|hypercube-injective] [--seed S] [--json] [--map]
+  xtree-cli simulate --family F --nodes N [--host xtree|hypercube] [--workload W|all] [--seed S] [--json]
+  xtree-cli info     --height R [--network xtree|hypercube|ccc|butterfly|mesh]
+  xtree-cli sizes    [--max-r R]
+  xtree-cli trace    --family F --nodes N [--seed S]
+families: path complete caterpillar broom random-bst random-attach random-split leaning";
+
+fn run(argv: Vec<String>) -> Result<String, String> {
+    let a = Args::parse(argv)?;
+    match a.command.as_str() {
+        "embed" => cmd_embed(&a),
+        "simulate" => cmd_simulate(&a),
+        "info" => cmd_info(&a),
+        "sizes" => cmd_sizes(&a),
+        "trace" => cmd_trace(&a),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn make_tree(a: &Args) -> Result<(BinaryTree, &'static str), String> {
+    let name = a.get_or("family", "random-bst");
+    let family = TreeFamily::ALL
+        .into_iter()
+        .find(|f| f.name() == name)
+        .ok_or_else(|| format!("unknown family `{name}`"))?;
+    let n: usize = a.num_or("nodes", 1008usize)?;
+    if n == 0 {
+        return Err("--nodes must be ≥ 1".into());
+    }
+    let seed: u64 = a.num_or("seed", 7u64)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Ok((family.generate(n, &mut rng), family.name()))
+}
+
+fn cmd_embed(a: &Args) -> Result<String, String> {
+    let (tree, family) = make_tree(a)?;
+    let target = a.get_or("target", "xtree");
+    let n = tree.len();
+    match target {
+        "xtree" | "xtree-injective" => {
+            let res = theorem1::embed(&tree);
+            let emb = if target == "xtree" {
+                res.emb
+            } else {
+                theorem2::injectivize(&res.emb)
+            };
+            let stats = evaluate(&tree, &emb);
+            let host = XTree::new(emb.height);
+            let congestion = metrics::edge_congestion(&tree, &emb, &host);
+            if a.flag("json") {
+                let mut obj = json!({
+                    "guest": {"family": family, "nodes": n},
+                    "host": format!("X({})", emb.height),
+                    "dilation": stats.dilation,
+                    "max_load": stats.max_load,
+                    "expansion": stats.expansion,
+                    "injective": stats.injective,
+                    "congestion": congestion,
+                    "condition3_violations": stats.condition3_violations,
+                });
+                if a.flag("map") {
+                    obj["map"] = json!(emb
+                        .map
+                        .iter()
+                        .map(|addr| format!("{addr}"))
+                        .collect::<Vec<_>>());
+                }
+                Ok(serde_json::to_string_pretty(&obj).unwrap())
+            } else {
+                Ok(format!(
+                    "guest: {family} ({n} nodes)\nhost: X({})\ndilation: {}\nload: {}\nexpansion: {:.4}\ninjective: {}\ncongestion: {}",
+                    emb.height, stats.dilation, stats.max_load, stats.expansion,
+                    stats.injective, congestion
+                ))
+            }
+        }
+        "hypercube" | "hypercube-injective" => {
+            let q = if target == "hypercube" {
+                hypercube::embed_theorem3(&tree)
+            } else {
+                hypercube::embed_corollary8(&tree)
+            };
+            if a.flag("json") {
+                let mut obj = json!({
+                    "guest": {"family": family, "nodes": n},
+                    "host": format!("Q_{}", q.dim),
+                    "dilation": q.dilation(&tree),
+                    "max_load": q.max_load(),
+                    "expansion": q.expansion(),
+                    "injective": q.is_injective(),
+                });
+                if a.flag("map") {
+                    obj["map"] = json!(q.map);
+                }
+                Ok(serde_json::to_string_pretty(&obj).unwrap())
+            } else {
+                Ok(format!(
+                    "guest: {family} ({n} nodes)\nhost: Q_{}\ndilation: {}\nload: {}\nexpansion: {:.4}\ninjective: {}",
+                    q.dim, q.dilation(&tree), q.max_load(), q.expansion(), q.is_injective()
+                ))
+            }
+        }
+        other => Err(format!("unknown target `{other}`")),
+    }
+}
+
+fn cmd_simulate(a: &Args) -> Result<String, String> {
+    let (tree, family) = make_tree(a)?;
+    let host = a.get_or("host", "xtree");
+    let workload = a.get_or("workload", "all");
+    if !["all", "broadcast", "reduce", "exchange", "dnc"].contains(&workload) {
+        return Err(format!("unknown workload `{workload}`"));
+    }
+    // The simulator precomputes all-pairs routing tables; cap the host size
+    // before paying for the embedding.
+    if tree.len() > 16 * ((1 << 13) - 1) {
+        return Err(format!(
+            "--nodes {} needs a host beyond the simulator's routing-table cap (max {})",
+            tree.len(),
+            16 * ((1 << 13) - 1)
+        ));
+    }
+    let reports = match host {
+        "xtree" => {
+            let emb = theorem1::embed(&tree).emb;
+            let net = Network::new(XTree::new(emb.height).graph().clone());
+            simulate_all(&net, &tree, &emb)
+        }
+        "hypercube" => {
+            let q = hypercube::embed_theorem3(&tree);
+            let net = Network::new(Hypercube::new(q.dim).graph().clone());
+            simulate_all(&net, &tree, &q)
+        }
+        other => return Err(format!("unknown host `{other}`")),
+    };
+    let reports: Vec<_> = reports
+        .into_iter()
+        .filter(|r| workload == "all" || r.workload == workload)
+        .collect();
+    if reports.is_empty() {
+        return Err(format!("unknown workload `{workload}`"));
+    }
+    if a.flag("json") {
+        let rows: Vec<_> = reports
+            .iter()
+            .map(|r| {
+                json!({
+                    "workload": r.workload,
+                    "cycles": r.cycles,
+                    "ideal_cycles": r.ideal_cycles,
+                    "worst_round_slowdown": r.worst_round_slowdown,
+                    "max_link_traffic": r.max_link_traffic,
+                })
+            })
+            .collect();
+        Ok(serde_json::to_string_pretty(&json!({
+            "guest": {"family": family, "nodes": tree.len()},
+            "host": host,
+            "reports": rows,
+        }))
+        .unwrap())
+    } else {
+        let mut out = format!("guest: {family} ({} nodes) on {host}\n", tree.len());
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>8} {:>9} {:>13}\n",
+            "workload", "cycles", "ideal", "slowdown", "link traffic"
+        ));
+        for r in reports {
+            out.push_str(&format!(
+                "{:<10} {:>8} {:>8} {:>8.2}x {:>13}\n",
+                r.workload,
+                r.cycles,
+                r.ideal_cycles,
+                r.cycles as f64 / r.ideal_cycles.max(1) as f64,
+                r.max_link_traffic
+            ));
+        }
+        Ok(out.trim_end().to_string())
+    }
+}
+
+fn cmd_info(a: &Args) -> Result<String, String> {
+    let r: u8 = a.num_or("height", 3u8)?;
+    if r > 16 {
+        return Err("--height must be ≤ 16".into());
+    }
+    let network = a.get_or("network", "xtree");
+    let (name, nodes, edges, degree, diameter) = match network {
+        "xtree" => {
+            let x = XTree::new(r);
+            // Diameter of X(r) is 2r − 1 for r ≥ 1 (closed form, verified
+            // against BFS in the topology tests) — no placeholder needed.
+            let d = if r == 0 { 0 } else { 2 * u32::from(r) - 1 };
+            (
+                format!("X({r})"),
+                x.node_count(),
+                x.edge_count(),
+                x.max_degree(),
+                d,
+            )
+        }
+        "hypercube" => {
+            let q = Hypercube::new(r);
+            (
+                format!("Q_{r}"),
+                q.node_count(),
+                q.edge_count(),
+                q.max_degree(),
+                u32::from(r),
+            )
+        }
+        "ccc" => {
+            let r = r.clamp(3, 10); // keep the exact BFS diameter affordable
+            let c = CubeConnectedCycles::new(r);
+            (
+                format!("CCC({r})"),
+                c.node_count(),
+                c.edge_count(),
+                c.max_degree(),
+                c.graph().diameter(),
+            )
+        }
+        "butterfly" => {
+            let r = r.clamp(1, 10);
+            let b = Butterfly::new(r);
+            (
+                format!("BF({r})"),
+                b.node_count(),
+                b.edge_count(),
+                b.max_degree(),
+                b.graph().diameter(),
+            )
+        }
+        "mesh" => {
+            let k = 1usize << r.min(6);
+            let m = Mesh2D::new(k, k);
+            (
+                format!("mesh {k}x{k}"),
+                m.node_count(),
+                m.edge_count(),
+                m.max_degree(),
+                2 * (k as u32 - 1),
+            )
+        }
+        other => return Err(format!("unknown network `{other}`")),
+    };
+    let mut out = format!(
+        "{name}: {nodes} vertices, {edges} edges, max degree {degree}, diameter {diameter}"
+    );
+    if network == "xtree" && r <= 5 {
+        out.push('\n');
+        out.push_str(&XTree::new(r).render_ascii());
+    }
+    Ok(out.trim_end().to_string())
+}
+
+fn cmd_trace(a: &Args) -> Result<String, String> {
+    let (tree, family) = make_tree(a)?;
+    let res = theorem1::embed(&tree);
+    let r = res.emb.height;
+    let mut out = format!(
+        "guest: {family} ({} nodes), host X({r}) — Δ(j, i) measured/bound\n",
+        tree.len()
+    );
+    out.push_str(&format!("{:>6}", ""));
+    for j in 0..=r {
+        out.push_str(&format!("{:>12}", format!("j={j}")));
+    }
+    out.push('\n');
+    for (idx, row) in res.trace.iter().enumerate() {
+        let i = idx as u8 + 1;
+        out.push_str(&format!("{:>6}", format!("i={i}")));
+        for (j, &m) in row.iter().enumerate() {
+            let cell = match theorem1::paper_bound(r, j as u8, i) {
+                Some(b) => format!("{m}/{b}"),
+                None => format!("{m}/-"),
+            };
+            out.push_str(&format!("{cell:>12}"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("log: {:?}", res.log));
+    Ok(out)
+}
+
+fn cmd_sizes(a: &Args) -> Result<String, String> {
+    let max_r: u8 = a.num_or("max-r", 10u8)?;
+    let mut out =
+        String::from("r  X-tree size  Theorem-1 guest n = 16(2^{r+1}-1)  Theorem-4 form\n");
+    for r in 0..=max_r.min(20) {
+        out.push_str(&format!(
+            "{r:<2} {:>11}  {:>33}  2^{} - 16\n",
+            (1u64 << (r + 1)) - 1,
+            generate::theorem1_size(r),
+            r + 5
+        ));
+    }
+    Ok(out.trim_end().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(s: &str) -> Result<String, String> {
+        run(s.split_whitespace().map(String::from).collect())
+    }
+
+    #[test]
+    fn embed_text_output() {
+        let out = run_str("embed --family path --nodes 240").unwrap();
+        assert!(out.contains("host: X(3)"));
+        assert!(out.contains("load: 16"));
+    }
+
+    #[test]
+    fn embed_json_output_parses() {
+        let out = run_str("embed --family caterpillar --nodes 112 --json --map").unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["guest"]["nodes"], 112);
+        assert!(v["dilation"].as_u64().unwrap() <= 3);
+        assert_eq!(v["map"].as_array().unwrap().len(), 112);
+    }
+
+    #[test]
+    fn embed_injective_targets() {
+        let out = run_str("embed --family broom --nodes 48 --target xtree-injective").unwrap();
+        assert!(out.contains("injective: true"));
+        let out =
+            run_str("embed --family broom --nodes 48 --target hypercube-injective --json").unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["injective"], true);
+    }
+
+    #[test]
+    fn simulate_filters_workloads() {
+        let out = run_str("simulate --family path --nodes 112 --workload broadcast").unwrap();
+        assert!(out.contains("broadcast"));
+        assert!(!out.contains("exchange"));
+    }
+
+    #[test]
+    fn simulate_json() {
+        let out = run_str("simulate --family random-bst --nodes 112 --json").unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["reports"].as_array().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn info_renders_small_xtree() {
+        let out = run_str("info --height 3").unwrap();
+        assert!(out.contains("X(3): 15 vertices"));
+        assert!(out.contains('o'));
+    }
+
+    #[test]
+    fn sizes_table() {
+        let out = run_str("sizes --max-r 4").unwrap();
+        assert!(out.contains("496"));
+        assert!(out.lines().count() >= 5);
+    }
+
+    #[test]
+    fn trace_prints_matrix() {
+        let out = run_str("trace --family path --nodes 240").unwrap();
+        assert!(out.contains("host X(3)"));
+        assert!(out.contains("j=3"));
+        assert!(out.contains("log:"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run_str("embed --family nosuch").is_err());
+        assert!(run_str("embed --target nosuch").is_err());
+        assert!(run_str("frobnicate").is_err());
+        assert!(run_str("simulate --workload nosuch --nodes 48").is_err());
+    }
+}

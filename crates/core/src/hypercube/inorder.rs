@@ -1,0 +1,89 @@
+//! The "inorder embedding" of the complete binary tree into its optimal
+//! hypercube (paper §3): `δ_io(α) = α · 1 · 0^{r−|α|}`, mapping the
+//! vertices of `B_r` (binary strings of length ≤ r) injectively onto the
+//! non-zero labels of `Q_{r+1}`.
+//!
+//! Properties proved in the paper and verified by the tests below:
+//! * dilation 2 — the image of edge `{α, α0}` has Hamming distance 2 and
+//!   that of `{α, α1}` distance 1;
+//! * distance distortion +1 — nodes at tree distance `Λ` map to labels at
+//!   Hamming distance at most `Λ + 1`.
+
+use xtree_topology::Address;
+
+/// `δ_io(α)` for the complete binary tree of height `r`: the string
+/// `α · 1 · 0^{r−|α|}` read as an `r+1`-bit label.
+///
+/// # Panics
+/// Panics if `α` is deeper than `r`.
+pub fn inorder_label(alpha: Address, r: u8) -> u64 {
+    assert!(alpha.level() <= r, "address {alpha} deeper than height {r}");
+    let tail = r - alpha.level();
+    (alpha.index() << (tail + 1)) | (1u64 << tail)
+}
+
+/// The full inorder embedding: heap-id-indexed labels of all `2^{r+1} − 1`
+/// vertices of `B_r` into `Q_{r+1}`.
+pub fn inorder_embedding(r: u8) -> Vec<u64> {
+    Address::all_up_to(r).map(|a| inorder_label(a, r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ham(a: u64, b: u64) -> u32 {
+        (a ^ b).count_ones()
+    }
+
+    #[test]
+    fn labels_match_paper_formula() {
+        // Root of B_3 → 1000, leaves → x···x1.
+        assert_eq!(inorder_label(Address::ROOT, 3), 0b1000);
+        assert_eq!(inorder_label(Address::parse("101").unwrap(), 3), 0b1011);
+        assert_eq!(inorder_label(Address::parse("0").unwrap(), 3), 0b0100);
+        assert_eq!(inorder_label(Address::parse("11").unwrap(), 3), 0b1110);
+    }
+
+    #[test]
+    fn injective_onto_nonzero_labels() {
+        for r in 0..=8u8 {
+            let labels = inorder_embedding(r);
+            let mut sorted = labels.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), labels.len(), "collision at r={r}");
+            assert!(labels.iter().all(|&x| x > 0 && x < (1 << (r + 1))));
+            // Exactly the non-zero labels are hit: 2^{r+1} − 1 of them.
+            assert_eq!(labels.len(), (1 << (r + 1)) - 1);
+        }
+    }
+
+    #[test]
+    fn dilation_is_two() {
+        for r in 1..=8u8 {
+            let mut worst = 0;
+            for a in Address::all_up_to(r - 1) {
+                let la = inorder_label(a, r);
+                // Left child: distance exactly 2; right child: exactly 1.
+                assert_eq!(ham(la, inorder_label(a.child(0), r)), 2);
+                assert_eq!(ham(la, inorder_label(a.child(1), r)), 1);
+                worst = worst.max(2);
+            }
+            assert_eq!(worst, 2);
+        }
+    }
+
+    #[test]
+    fn distance_distortion_plus_one() {
+        // For any pair, Hamming distance ≤ tree distance + 1.
+        let r = 6;
+        for a in Address::all_up_to(r) {
+            for b in Address::all_up_to(r) {
+                let td = a.tree_distance(b);
+                let hd = ham(inorder_label(a, r), inorder_label(b, r));
+                assert!(hd <= td + 1, "{a} vs {b}: tree {td}, hamming {hd}");
+            }
+        }
+    }
+}

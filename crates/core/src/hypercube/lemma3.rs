@@ -1,0 +1,125 @@
+//! Lemma 3 of the paper: an injective embedding `δ` of the X-tree `X(r)`
+//! into the hypercube `Q_{r+1}` such that vertices at X-tree distance `Λ`
+//! map to labels at Hamming distance at most `Λ + 1`.
+//!
+//! Construction: `δ(α) = χ(α) · 1 · 0^{r−|α|}` where `χ` flips each bit
+//! that follows a 1 — `b_1 = a_1` and `b_v = a_v ⊕ a_{v−1}` for `v ≥ 2`.
+//! In machine terms `χ(α) = bits ⊕ (bits >> 1)`: the binary-reflected Gray
+//! code of the level index, which is exactly why the *horizontal* X-tree
+//! edges (`successor`, i.e. index +1) become single-bit flips.
+
+use xtree_topology::Address;
+
+/// The bit-transform `χ` from the paper applied to `α`'s index
+/// (MSB-first): `χ(a)_v = a_v ⊕ a_{v−1}`.
+#[inline]
+pub fn chi(alpha: Address) -> u64 {
+    alpha.index() ^ (alpha.index() >> 1)
+}
+
+/// `δ(α) = χ(α) · 1 · 0^{r−|α|}`: the Lemma-3 label of `α` in `Q_{r+1}`.
+///
+/// # Panics
+/// Panics if `α` is deeper than `r`.
+pub fn lemma3_label(alpha: Address, r: u8) -> u64 {
+    assert!(alpha.level() <= r, "address {alpha} deeper than height {r}");
+    let tail = r - alpha.level();
+    (chi(alpha) << (tail + 1)) | (1u64 << tail)
+}
+
+/// The full Lemma-3 embedding of `X(r)` into `Q_{r+1}`, heap-id indexed.
+pub fn lemma3_embedding(r: u8) -> Vec<u64> {
+    Address::all_up_to(r).map(|a| lemma3_label(a, r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtree_topology::{Graph, XTree};
+
+    fn ham(a: u64, b: u64) -> u32 {
+        (a ^ b).count_ones()
+    }
+
+    #[test]
+    fn chi_is_gray_code() {
+        assert_eq!(chi(Address::new(4, 0b0000)), 0b0000);
+        assert_eq!(chi(Address::new(4, 0b0001)), 0b0001);
+        assert_eq!(chi(Address::new(4, 0b0111)), 0b0100);
+        assert_eq!(chi(Address::new(4, 0b1000)), 0b1100);
+    }
+
+    #[test]
+    fn siblings_become_neighbors() {
+        // The paper's key claim: if β = successor(α), then χ(α) and χ(β)
+        // differ in exactly one bit, so δ(α), δ(β) are Q-neighbours.
+        for len in 1..=10u8 {
+            for a in Address::level_iter(len) {
+                if let Some(b) = a.successor() {
+                    assert_eq!(
+                        ham(chi(a), chi(b)),
+                        1,
+                        "χ({a}) vs χ(successor) not adjacent"
+                    );
+                    assert_eq!(ham(lemma3_label(a, 10), lemma3_label(b, 10)), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_edges_have_distance_at_most_two() {
+        let r = 7;
+        for a in Address::all_up_to(r - 1) {
+            for c in a.children() {
+                let d = ham(lemma3_label(a, r), lemma3_label(c, r));
+                assert!(d <= 2, "edge {a} – {c}: distance {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn injective() {
+        for r in 0..=10u8 {
+            let mut labels = lemma3_embedding(r);
+            let n = labels.len();
+            labels.sort_unstable();
+            labels.dedup();
+            assert_eq!(labels.len(), n, "collision at r={r}");
+        }
+    }
+
+    #[test]
+    fn distortion_at_most_distance_plus_one() {
+        // Exhaustive check of the lemma on X(5): Hamming ≤ X-tree distance + 1.
+        let r = 5;
+        let x = XTree::new(r);
+        let labels = lemma3_embedding(r);
+        for u in 0..x.node_count() {
+            let du = x.graph().bfs(u);
+            for v in 0..x.node_count() {
+                let hd = ham(labels[u], labels[v]);
+                assert!(
+                    hd <= du[v] + 1,
+                    "{} vs {}: X-dist {}, hamming {hd}",
+                    x.address(u),
+                    x.address(v),
+                    du[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distortion_bound_is_tight() {
+        // Some adjacent pair realises Hamming distance 2 = Λ + 1.
+        let r = 4;
+        let x = XTree::new(r);
+        let labels = lemma3_embedding(r);
+        let tight = x
+            .graph()
+            .edges()
+            .any(|(u, v)| ham(labels[u as usize], labels[v as usize]) == 2);
+        assert!(tight);
+    }
+}

@@ -1,0 +1,13 @@
+//! Hypercube embeddings (paper §3): the classic inorder embedding of the
+//! complete binary tree, the Lemma-3 map of the X-tree into its optimal
+//! hypercube, and the Theorem-3 composition that carries arbitrary binary
+//! trees into hypercubes with load 16 and dilation 4 (dilation 8
+//! injectively).
+
+pub mod inorder;
+pub mod lemma3;
+pub mod theorem3;
+
+pub use inorder::{inorder_embedding, inorder_label};
+pub use lemma3::{chi, lemma3_embedding, lemma3_label};
+pub use theorem3::{compose_with_lemma3, embed_corollary8, embed_theorem3, injectivize_by_suffix};

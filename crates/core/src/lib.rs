@@ -1,0 +1,27 @@
+//! The paper's contribution: embeddings of arbitrary binary trees into
+//! X-trees (Theorems 1 and 2), hypercubes (Theorem 3 and the inorder /
+//! Lemma-3 machinery), and the Theorem-4 universal graph.
+//!
+//! Quick map:
+//! * [`theorem1::embed`] — algorithm X-TREE: load 16, dilation ≤ 3 into the
+//!   optimal X-tree;
+//! * [`theorem2::injectivize`] — blow-up to an injective embedding into
+//!   `X(r+4)` with dilation ≤ 11;
+//! * [`hypercube::embed_theorem3`] / [`hypercube::embed_corollary8`] — the
+//!   hypercube routes (load 16 / dilation 4, and injective / dilation 8);
+//! * [`universal::UniversalGraph`] — the degree-415 universal graph;
+//! * [`baseline`] — naïve embeddings for the comparison benchmarks;
+//! * [`metrics::evaluate`] — dilation / load / expansion / condition-(3′)
+//!   measurement of any embedding.
+
+pub mod baseline;
+pub mod embedding;
+pub mod hypercube;
+pub mod metrics;
+pub mod theorem1;
+pub mod theorem2;
+pub mod universal;
+
+pub use embedding::{QEmbedding, XEmbedding};
+pub use metrics::{evaluate, EmbeddingStats};
+pub use theorem1::{embed as embed_theorem1, BuildLog, Theorem1Embedding};

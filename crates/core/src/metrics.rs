@@ -1,0 +1,227 @@
+//! Embedding quality metrics against a concrete host.
+//!
+//! Everything the paper's theorems promise is a number this module can
+//! measure: dilation (with a full per-edge histogram), load factor,
+//! expansion, and — for condition (3′) — the fraction of guest edges whose
+//! deeper image lies in the `N(a)` neighbourhood of the shallower one.
+
+use crate::embedding::XEmbedding;
+use xtree_topology::{neighborhood, Address, XTree};
+use xtree_trees::BinaryTree;
+
+/// Summary statistics of an X-tree embedding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EmbeddingStats {
+    /// Maximum host distance over guest edges.
+    pub dilation: u32,
+    /// Histogram of guest-edge host distances (`histogram[d]` edges at
+    /// distance `d`).
+    pub dilation_histogram: Vec<usize>,
+    /// Maximum guest nodes on one host vertex.
+    pub max_load: u32,
+    /// `|host| / |guest|`.
+    pub expansion: f64,
+    /// True if the embedding is one-to-one.
+    pub injective: bool,
+    /// Guest edges `{u, v}` (with `|δ(u)| ≤ |δ(v)|`) whose deeper image is
+    /// *not* in `N(δ(u))` — condition (3′) violations. 0 for a construction
+    /// that fully honours the paper's invariant.
+    pub condition3_violations: usize,
+    /// Guest edges whose images' levels differ by more than 2 — condition
+    /// (4) violations.
+    pub condition4_violations: usize,
+}
+
+/// Computes all statistics of `emb` on the X-tree host it names.
+///
+/// Distances use the exact closed form (`xtree_topology::analytic_distance`),
+/// so evaluation is linear in the number of guest edges.
+pub fn evaluate(tree: &BinaryTree, emb: &XEmbedding) -> EmbeddingStats {
+    assert_eq!(
+        tree.len(),
+        emb.map.len(),
+        "embedding does not cover the tree"
+    );
+    emb.validate();
+    let host = XTree::new(emb.height);
+    evaluate_on(tree, emb, &host)
+}
+
+/// Like [`evaluate`] but reuses an already-built host (for sweeps).
+pub fn evaluate_on(tree: &BinaryTree, emb: &XEmbedding, host: &XTree) -> EmbeddingStats {
+    assert_eq!(host.height(), emb.height);
+    let mut histogram = Vec::new();
+    let mut dilation = 0u32;
+    let mut c3 = 0usize;
+    let mut c4 = 0usize;
+    for (u, v) in tree.edges() {
+        let (a, b) = (emb.image(u), emb.image(v));
+        let d = host.distance(a, b);
+        dilation = dilation.max(d);
+        if histogram.len() <= d as usize {
+            histogram.resize(d as usize + 1, 0);
+        }
+        histogram[d as usize] += 1;
+        let (hi, lo) = if a.level() <= b.level() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        if !neighborhood::in_neighborhood(hi, lo, emb.height) {
+            c3 += 1;
+        }
+        if u8::abs_diff(a.level(), b.level()) > 2 {
+            c4 += 1;
+        }
+    }
+    EmbeddingStats {
+        dilation,
+        dilation_histogram: histogram,
+        max_load: emb.max_load(),
+        expansion: emb.expansion(),
+        injective: emb.is_injective(),
+        condition3_violations: c3,
+        condition4_violations: c4,
+    }
+}
+
+/// Average host distance across guest edges (mean dilation) — not a bound
+/// the paper states, but a useful shape metric in the comparison tables.
+pub fn mean_dilation(stats: &EmbeddingStats) -> f64 {
+    let total: usize = stats.dilation_histogram.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let weighted: usize = stats
+        .dilation_histogram
+        .iter()
+        .enumerate()
+        .map(|(d, &c)| d * c)
+        .sum();
+    weighted as f64 / total as f64
+}
+
+/// Edge congestion of an embedding: route every guest edge along one
+/// shortest host path and count how many such routes cross each host edge;
+/// return the maximum. Together with dilation this bounds the slowdown of
+/// a one-step simulation of the guest on the host.
+pub fn edge_congestion(tree: &BinaryTree, emb: &XEmbedding, host: &XTree) -> u32 {
+    use std::collections::HashMap;
+    assert_eq!(host.height(), emb.height);
+    let mut usage: HashMap<(u32, u32), u32> = HashMap::new();
+    for (u, v) in tree.edges() {
+        let (a, b) = (emb.image(u).heap_id(), emb.image(v).heap_id());
+        if a == b {
+            continue;
+        }
+        let path = host.graph().shortest_path(a, b).expect("host is connected");
+        for w in path.windows(2) {
+            let key = (w[0].min(w[1]), w[0].max(w[1]));
+            *usage.entry(key).or_insert(0) += 1;
+        }
+    }
+    usage.into_values().max().unwrap_or(0)
+}
+
+/// Verifies that a map covers every guest node exactly once and nothing
+/// else (a total function), returning the map's image multiset size.
+pub fn assert_total(tree: &BinaryTree, emb: &XEmbedding) {
+    assert_eq!(
+        tree.len(),
+        emb.map.len(),
+        "embedding must assign every guest node exactly once"
+    );
+}
+
+/// The identity-style embedding used in tests: guest node `i` to the host
+/// vertex with heap id `i` (requires guest ≤ host).
+pub fn heap_order_embedding(tree: &BinaryTree, height: u8) -> XEmbedding {
+    let host_len = (1usize << (height + 1)) - 1;
+    assert!(tree.len() <= host_len, "guest does not fit");
+    XEmbedding {
+        height,
+        map: (0..tree.len()).map(Address::from_heap_id).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtree_trees::generate;
+
+    #[test]
+    fn complete_tree_identity_has_dilation_one() {
+        // A left-complete guest in heap order lands exactly on the X-tree's
+        // own tree edges.
+        let t = generate::left_complete(15);
+        let e = heap_order_embedding(&t, 3);
+        let s = evaluate(&t, &e);
+        assert_eq!(s.dilation, 1);
+        assert_eq!(s.max_load, 1);
+        assert!(s.injective);
+        assert_eq!(s.condition3_violations, 0);
+        assert_eq!(s.condition4_violations, 0);
+        assert_eq!(s.dilation_histogram, vec![0, 14]);
+    }
+
+    #[test]
+    fn path_heap_order_dilates() {
+        // A guest *path* in heap order jumps across levels: dilation grows.
+        let t = generate::path(15);
+        let e = heap_order_embedding(&t, 3);
+        let s = evaluate(&t, &e);
+        assert!(s.dilation >= 2, "dilation {}", s.dilation);
+        assert!(mean_dilation(&s) > 1.0);
+    }
+
+    #[test]
+    fn histogram_sums_to_edges() {
+        let t = generate::caterpillar(31);
+        let e = heap_order_embedding(&t, 4);
+        let s = evaluate(&t, &e);
+        assert_eq!(s.dilation_histogram.iter().sum::<usize>(), 30);
+    }
+
+    #[test]
+    fn congestion_of_identity_embedding_is_one() {
+        let t = generate::left_complete(15);
+        let e = heap_order_embedding(&t, 3);
+        let host = XTree::new(3);
+        assert_eq!(edge_congestion(&t, &e, &host), 1);
+    }
+
+    #[test]
+    fn congestion_counts_shared_links() {
+        // A star-ish guest all mapped around the root: children edges all
+        // cross the two root links.
+        let t = generate::left_complete(7);
+        let map = vec![
+            Address::ROOT,
+            Address::parse("0").unwrap(),
+            Address::parse("1").unwrap(),
+            Address::parse("0").unwrap(),
+            Address::parse("0").unwrap(),
+            Address::parse("1").unwrap(),
+            Address::parse("1").unwrap(),
+        ];
+        let e = XEmbedding { height: 1, map };
+        let host = XTree::new(1);
+        // Edges 1-3, 1-4 stay on vertex "0" (no links); 0-1 and 0-2 use the
+        // two distinct root links once each.
+        assert_eq!(edge_congestion(&t, &e, &host), 1);
+    }
+
+    #[test]
+    fn all_on_root_is_degenerate_but_valid() {
+        let t = generate::path(5);
+        let e = XEmbedding {
+            height: 2,
+            map: vec![Address::ROOT; 5],
+        };
+        let s = evaluate(&t, &e);
+        assert_eq!(s.dilation, 0);
+        assert_eq!(s.max_load, 5);
+        assert!(!s.injective);
+        assert_eq!(s.condition3_violations, 0);
+    }
+}

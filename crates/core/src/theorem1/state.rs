@@ -1,0 +1,448 @@
+//! Mutable construction state of the Theorem-1 embedding.
+//!
+//! The builder tracks, at every moment of algorithm X-TREE:
+//!
+//! * which guest nodes are *placed* (`δ_i` is defined on them) and where;
+//! * how many guest nodes each host vertex carries (capacity 16, strict);
+//! * the live **intervals** — the connected fragments of un-placed guest
+//!   nodes. Each interval knows its *designated nodes* (fragment nodes with
+//!   an already-placed neighbour) together with each designated node's
+//!   **anchor**: the host vertex carrying that placed neighbour. The paper
+//!   keeps one *characteristic address* per interval (condition (6)); we
+//!   generalise to one anchor per designated node, which stays meaningful
+//!   when the capacity-driven fill of SPLIT splits fragments unevenly.
+//! * the **attachment** of every interval to a host vertex (the paper's
+//!   `p_i` maps).
+
+use smallvec::SmallVec;
+use std::collections::HashMap;
+use xtree_topology::Address;
+use xtree_trees::{BinaryTree, NodeId, Separation};
+
+/// Handle of a live interval in the builder's slab.
+pub(crate) type IntId = u32;
+
+/// A connected fragment of un-placed guest nodes.
+#[derive(Clone, Debug)]
+pub(crate) struct Interval {
+    /// Any node of the fragment (used to re-enter it for lemma calls).
+    pub entry: NodeId,
+    /// Designated nodes with their anchors. Almost always 1 or 2; the
+    /// capacity-driven fill can transiently create more (logged).
+    pub designated: SmallVec<[(NodeId, Address); 2]>,
+    /// Number of nodes in the fragment.
+    pub size: u32,
+}
+
+impl Interval {
+    /// The two designated nodes handed to the separator lemmas (duplicated
+    /// if the fragment has only one).
+    pub fn lemma_designated(&self) -> (NodeId, NodeId) {
+        let r1 = self.designated[0].0;
+        let r2 = self
+            .designated
+            .last()
+            .expect("intervals have ≥ 1 designated")
+            .0;
+        (r1, r2)
+    }
+
+    /// The shallowest anchor level — placement of the designated nodes is
+    /// due two levels below it (condition (4)).
+    pub fn min_anchor_level(&self) -> u8 {
+        self.designated
+            .iter()
+            .map(|&(_, a)| a.level())
+            .min()
+            .unwrap()
+    }
+}
+
+/// Tunable switches of the construction, used by the ablation experiments
+/// to quantify how much each mechanism of algorithm X-TREE contributes.
+/// The default enables everything (the paper's algorithm).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EmbedOptions {
+    /// Run the ADJUST phase (horizontal rebalancing across boundaries).
+    pub adjust: bool,
+    /// Allow ADJUST to move whole intervals before splitting.
+    pub whole_moves: bool,
+    /// Run SPLIT's Lemma-2 fine balance between sibling leaves.
+    pub fine_balance: bool,
+    /// Guest nodes per host vertex. The paper fixes 16 (4 ADJUST slots +
+    /// 4 SPLIT slots + 8 forced children); the capacity ablation (A2)
+    /// sweeps it to show where the slack stops mattering.
+    pub capacity: u16,
+}
+
+impl Default for EmbedOptions {
+    fn default() -> Self {
+        EmbedOptions {
+            adjust: true,
+            whole_moves: true,
+            fine_balance: true,
+            capacity: 16,
+        }
+    }
+}
+
+/// Counters describing how the construction went; all the deviations from
+/// the paper's idealised accounting are measurable here.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BuildLog {
+    /// ADJUST invocations that found an imbalance to fix.
+    pub adjust_calls: usize,
+    /// Whole intervals shifted across a boundary without splitting.
+    pub adjust_whole_moves: usize,
+    /// Lemma-2 splits performed by ADJUST.
+    pub adjust_splits: usize,
+    /// Lemma-2 fine-balance splits performed by SPLIT.
+    pub split_balances: usize,
+    /// Designated nodes placed because their deadline (condition 4) came up.
+    pub forced_placements: usize,
+    /// Nodes placed by the capacity fill.
+    pub fills: usize,
+    /// Fill operations that had to borrow mass from another leaf.
+    pub borrows: usize,
+    /// Longest horizontal distance a borrow reached over.
+    pub max_borrow_hops: u32,
+    /// Forced placements that exceeded their leaf and moved to a neighbour.
+    pub spills: usize,
+    /// Fragments observed with more than two designated nodes.
+    pub multi_designated_components: usize,
+}
+
+pub(crate) struct Builder<'t> {
+    pub tree: &'t BinaryTree,
+    pub opts: EmbedOptions,
+    pub placed: Vec<bool>,
+    pub assign: Vec<Address>,
+    /// Guest nodes per host vertex, heap-id indexed; capacity 16 strict.
+    pub count: Vec<u16>,
+    pub intervals: Vec<Option<Interval>>,
+    /// Interval handles attached to each host vertex.
+    pub att: HashMap<Address, Vec<IntId>>,
+    mark: Vec<u32>,
+    epoch: u32,
+    pub log: BuildLog,
+    /// `trace[i][j]` = Δ(j, i) measured after round `i` (see `trace.rs`).
+    pub trace: Vec<Vec<u64>>,
+    /// `(nl, nh)` per round: min/max guest mass associated with a leaf of
+    /// the current level (placed + attached) — the paper's `nl(i, i)` and
+    /// `nh(i, i)`.
+    pub mass_trace: Vec<(u64, u64)>,
+}
+
+impl<'t> Builder<'t> {
+    pub fn new(tree: &'t BinaryTree, r: u8, opts: EmbedOptions) -> Self {
+        let n = tree.len();
+        Builder {
+            tree,
+            opts,
+            placed: vec![false; n],
+            assign: vec![Address::ROOT; n],
+            count: vec![0; (1usize << (r + 1)) - 1],
+            intervals: Vec::new(),
+            att: HashMap::new(),
+            mark: vec![0; n],
+            epoch: 0,
+            log: BuildLog::default(),
+            trace: Vec::new(),
+            mass_trace: Vec::new(),
+        }
+    }
+
+    /// The per-vertex capacity (the paper's load factor 16).
+    pub fn cap(&self) -> u16 {
+        self.opts.capacity
+    }
+
+    /// Free capacity of a host vertex.
+    pub fn free(&self, a: Address) -> u16 {
+        self.cap() - self.count[a.heap_id()]
+    }
+
+    /// Places one guest node; panics if the vertex is full (callers check).
+    pub fn place(&mut self, v: NodeId, at: Address) {
+        debug_assert!(!self.placed[v.index()], "{v:?} placed twice");
+        assert!(
+            self.count[at.heap_id()] < self.cap(),
+            "capacity exceeded at {at}"
+        );
+        self.placed[v.index()] = true;
+        self.assign[v.index()] = at;
+        self.count[at.heap_id()] += 1;
+    }
+
+    /// Total attached interval mass at a vertex.
+    pub fn attached_mass(&self, a: Address) -> u64 {
+        self.att
+            .get(&a)
+            .map(|ids| {
+                ids.iter()
+                    .map(|&id| self.intervals[id as usize].as_ref().unwrap().size as u64)
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    pub fn attach(&mut self, id: IntId, at: Address) {
+        self.att.entry(at).or_default().push(id);
+    }
+
+    pub fn detach_all(&mut self, at: Address) -> Vec<IntId> {
+        self.att.remove(&at).unwrap_or_default()
+    }
+
+    pub fn interval(&self, id: IntId) -> &Interval {
+        self.intervals[id as usize]
+            .as_ref()
+            .expect("stale interval handle")
+    }
+
+    pub fn remove_interval(&mut self, id: IntId) -> Interval {
+        self.intervals[id as usize]
+            .take()
+            .expect("stale interval handle")
+    }
+
+    fn new_interval(&mut self, iv: Interval) -> IntId {
+        self.intervals.push(Some(iv));
+        (self.intervals.len() - 1) as IntId
+    }
+
+    /// Floods the un-placed component containing `start` (using the current
+    /// sweep epoch so components are visited once per sweep), returning its
+    /// nodes and designated nodes with anchors.
+    fn flood(&mut self, start: NodeId) -> (Vec<NodeId>, SmallVec<[(NodeId, Address); 2]>) {
+        let mut nodes = vec![start];
+        let mut designated: SmallVec<[(NodeId, Address); 2]> = SmallVec::new();
+        self.mark[start.index()] = self.epoch;
+        let mut head = 0;
+        while head < nodes.len() {
+            let v = nodes[head];
+            head += 1;
+            let mut anchor: Option<Address> = None;
+            for w in self.tree.neighbors(v) {
+                if self.placed[w.index()] {
+                    let a = self.assign[w.index()];
+                    // Prefer the shallowest anchor: its deadline is tightest.
+                    anchor = Some(match anchor {
+                        Some(b) if b.level() <= a.level() => b,
+                        _ => a,
+                    });
+                } else if self.mark[w.index()] != self.epoch {
+                    self.mark[w.index()] = self.epoch;
+                    nodes.push(w);
+                }
+            }
+            if let Some(a) = anchor {
+                designated.push((v, a));
+            }
+        }
+        if designated.len() > 2 {
+            self.log.multi_designated_components += 1;
+        }
+        (nodes, designated)
+    }
+
+    /// Begins a flood sweep: components found by subsequent [`flood`] calls
+    /// within this sweep are not revisited.
+    fn begin_sweep(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// After placing `newly`, discovers all adjacent un-placed fragments and
+    /// registers each as a new interval attached to `attach_for(component)`.
+    pub fn rebuild_components<F>(&mut self, newly: &[NodeId], mut attach_for: F)
+    where
+        F: FnMut(&[NodeId]) -> Address,
+    {
+        self.begin_sweep();
+        for &p in newly {
+            for u in self.tree.neighbors(p) {
+                if self.placed[u.index()] || self.mark[u.index()] == self.epoch {
+                    continue;
+                }
+                let (nodes, designated) = self.flood(u);
+                debug_assert!(!designated.is_empty());
+                let at = attach_for(&nodes);
+                let iv = Interval {
+                    entry: nodes[0],
+                    designated,
+                    size: nodes.len() as u32,
+                };
+                let id = self.new_interval(iv);
+                self.attach(id, at);
+            }
+        }
+    }
+
+    /// Applies a separator-lemma result to the interval `id`: the boundary
+    /// sets are placed (`s1` at `v1`, `s2` at `v2`), and the remaining
+    /// fragments become new intervals, attached to `att1` (part-1 side) or
+    /// `att2` (part-2 side).
+    pub fn apply_separation(
+        &mut self,
+        id: IntId,
+        sep: &Separation,
+        v1: Address,
+        v2: Address,
+        att1: Address,
+        att2: Address,
+    ) {
+        let _ = self.remove_interval(id);
+        for &v in &sep.s1 {
+            self.place(v, v1);
+        }
+        for &v in &sep.s2 {
+            self.place(v, v2);
+        }
+        let part2: std::collections::HashSet<NodeId> = sep.part2.iter().copied().collect();
+        let mut newly: Vec<NodeId> = sep.s1.clone();
+        newly.extend_from_slice(&sep.s2);
+        self.rebuild_components(&newly, |nodes| {
+            if part2.contains(&nodes[0]) {
+                att2
+            } else {
+                att1
+            }
+        });
+    }
+
+    /// Places every node of interval `id` at `at` (capacity must suffice).
+    pub fn absorb_interval(&mut self, id: IntId, at: Address) {
+        let iv = self.remove_interval(id);
+        self.begin_sweep();
+        let (nodes, _) = self.flood(iv.entry);
+        debug_assert_eq!(nodes.len() as u32, iv.size);
+        for &v in &nodes {
+            self.place(v, at);
+        }
+    }
+
+    /// Places a connected "crown" of `k` nodes of interval `id` at
+    /// `place_at`, growing breadth-first from the designated nodes; the
+    /// remaining fragments become new intervals attached to
+    /// `attach_rest_to` (the crown's own leaf for local fills, the source
+    /// leaf for borrows).
+    ///
+    /// # Panics
+    /// Panics if `k` is not smaller than the interval size (use
+    /// [`Self::absorb_interval`] for a full take).
+    pub fn take_crown(&mut self, id: IntId, k: u32, place_at: Address, attach_rest_to: Address) {
+        let at = place_at;
+        let iv = self.remove_interval(id);
+        assert!(
+            k >= 1 && k < iv.size,
+            "crown of {k} from interval of {}",
+            iv.size
+        );
+        // BFS from the designated nodes through un-placed nodes.
+        self.begin_sweep();
+        let mut order: Vec<NodeId> = Vec::with_capacity(k as usize);
+        for &(d, _) in &iv.designated {
+            if order.len() == k as usize {
+                break; // a designated node left out stays designated of the rest
+            }
+            if self.mark[d.index()] != self.epoch {
+                self.mark[d.index()] = self.epoch;
+                order.push(d);
+            }
+        }
+        let mut head = 0;
+        while order.len() < k as usize {
+            debug_assert!(head < order.len(), "crown BFS starved");
+            let v = order[head];
+            head += 1;
+            for w in self.tree.neighbors(v) {
+                if order.len() == k as usize {
+                    break;
+                }
+                if !self.placed[w.index()] && self.mark[w.index()] != self.epoch {
+                    self.mark[w.index()] = self.epoch;
+                    order.push(w);
+                }
+            }
+        }
+        for &v in &order {
+            self.place(v, at);
+        }
+        self.rebuild_components(&order.clone(), |_| attach_rest_to);
+    }
+
+    /// Sum over all live attachments — used by invariant checks.
+    pub fn total_unplaced(&self) -> u64 {
+        self.placed.iter().filter(|&&p| !p).count() as u64
+    }
+
+    /// Exhaustive mid-build invariant check, run after every round in
+    /// debug builds (tests): the attachment map must live entirely on the
+    /// current leaf level, the live intervals must partition the un-placed
+    /// nodes exactly, every designated node's anchor must actually hold a
+    /// placed neighbour no more than two levels up, and every vertex of
+    /// levels `≤ i` must be filled (for exact-size guests).
+    pub fn check_round_invariants(&self, i: u8, exact: bool) {
+        // 1. Attachment addresses sit on level i.
+        for (&addr, ids) in &self.att {
+            if ids.is_empty() {
+                continue;
+            }
+            assert_eq!(addr.level(), i, "attachment at {addr} after round {i}");
+        }
+        // 2. Intervals partition the un-placed nodes.
+        let mut covered = vec![false; self.tree.len()];
+        let mut total = 0u64;
+        for ids in self.att.values() {
+            for &id in ids {
+                let iv = self.interval(id);
+                // Walk the fragment from its entry.
+                let mut stack = vec![iv.entry];
+                let mut seen = std::collections::HashSet::new();
+                seen.insert(iv.entry);
+                while let Some(v) = stack.pop() {
+                    assert!(!self.placed[v.index()], "placed node inside an interval");
+                    assert!(!covered[v.index()], "node in two intervals");
+                    covered[v.index()] = true;
+                    total += 1;
+                    for w in self.tree.neighbors(v) {
+                        if !self.placed[w.index()] && seen.insert(w) {
+                            stack.push(w);
+                        }
+                    }
+                }
+                assert_eq!(seen.len() as u32, iv.size, "stale interval size");
+                // 3. Designated anchors are honest and fresh enough.
+                for &(d, anchor) in &iv.designated {
+                    assert!(!self.placed[d.index()]);
+                    assert!(
+                        self.tree
+                            .neighbors(d)
+                            .iter()
+                            .any(|w| self.placed[w.index()] && self.assign[w.index()] == anchor),
+                        "anchor {anchor} of {d:?} has no placed neighbour"
+                    );
+                    assert!(
+                        anchor.level() + 2 > i,
+                        "designated {d:?} missed its deadline (anchor {anchor}, round {i})"
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            total,
+            self.total_unplaced(),
+            "intervals do not cover all un-placed nodes"
+        );
+        // 4. Levels ≤ i are full for exact-size guests.
+        if exact {
+            for a in Address::all_up_to(i) {
+                assert_eq!(
+                    self.count[a.heap_id()],
+                    self.cap(),
+                    "vertex {a} not full after round {i}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Measurement of the paper's convergence quantity `Δ(j, i)`.
+//!
+//! After round `i`, `A_i(α)` is the number of guest nodes *associated* with
+//! the subtree of `α` — placed in it or attached below it. Since every
+//! vertex of levels `≤ i` carries exactly 16 placed nodes, sibling
+//! differences come entirely from the attached interval mass, and
+//!
+//! `Δ(j, i) = max_{|α| = j−1} ½ · | A_i(α0) − A_i(α1) |`.
+//!
+//! The paper proves `Δ(j, i) ≤ 2^{r+j+3−2i}` (for `j < i`,
+//! `2i ≤ r+j+1`) and `Δ(j, i) = 0` once `2i ≥ r+j+2`; the experiment
+//! harness compares this measured trace with that bound.
+
+use super::state::Builder;
+use xtree_topology::Address;
+
+/// Records the paper's `nl(i, i)` / `nh(i, i)` — the extreme *associated*
+/// masses (placed + attached) over the new leaves — at the moment SPLIT
+/// has assigned and forced but not yet filled. The paper's estimate
+/// `nl(i, i) ≥ n_{r−i} − a(i, i) ≥ 16` is exactly what guarantees the
+/// fill can reach 16 from local mass; the measured trace verifies it.
+pub(crate) fn record_mass(b: &mut Builder<'_>, i: u8) {
+    let (mut nl, mut nh) = (u64::MAX, 0u64);
+    for a in Address::level_iter(i) {
+        let associated = u64::from(b.count[a.heap_id()]) + b.attached_mass(a);
+        nl = nl.min(associated);
+        nh = nh.max(associated);
+    }
+    b.mass_trace.push((nl, nh));
+}
+
+/// Records `trace[i][j] = Δ(j, i)` for `0 ≤ j ≤ i` after round `i`.
+pub(crate) fn record_round(b: &mut Builder<'_>, i: u8) {
+    // Leaf-level attached masses.
+    let width = 1usize << i;
+    let mut level: Vec<u64> = Address::level_iter(i).map(|a| b.attached_mass(a)).collect();
+    let mut row = vec![0u64; i as usize + 1];
+    // Reduce level by level; at each step, record sibling half-differences.
+    for j in (1..=i).rev() {
+        let parents = width >> (i - j + 1);
+        let mut next = vec![0u64; parents];
+        let mut worst = 0u64;
+        for (p, slot) in next.iter_mut().enumerate() {
+            let a = level[2 * p];
+            let c = level[2 * p + 1];
+            *slot = a + c;
+            worst = worst.max(a.abs_diff(c) / 2);
+        }
+        row[j as usize] = worst;
+        level = next;
+    }
+    debug_assert_eq!(b.trace.len(), i as usize - 1, "one trace row per round");
+    b.trace.push(row);
+}
+
+/// The paper's bound on `Δ(j, i)` for the X-tree of height `r`; `None`
+/// encodes "no bound claimed" (the `j = i` row before convergence).
+pub fn paper_bound(r: u8, j: u8, i: u8) -> Option<u64> {
+    let (r, j, i) = (i64::from(r), i64::from(j), i64::from(i));
+    if 2 * i >= r + j + 2 {
+        return Some(0);
+    }
+    if j < i && 2 * i <= r + j + 1 {
+        // Δ(j, i) ≤ 2^{r+j+3−2i}
+        return Some(1u64 << (r + j + 3 - 2 * i).max(0));
+    }
+    if j == i && i <= r {
+        // Diagonal: the extended abstract's Δ(i,i) display is garbled in
+        // the only available scan; one ⌊(Δ+4)/9⌋ fine-balance split of the
+        // parent-region mass (≈ 16·2^{r+2−i} nodes) yields Δ(i,i) ≲
+        // (16/18)·2^{r+2−i}, so we take 2^{r+2−i} as the reference bound.
+        return Some(1u64 << (r + 2 - i).max(0));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_vanishes_when_converged() {
+        assert_eq!(paper_bound(8, 0, 5), Some(0)); // 2i = 10 ≥ r + j + 2 = 10
+        assert_eq!(paper_bound(8, 2, 6), Some(0));
+        assert_eq!(paper_bound(8, 6, 8), Some(0));
+    }
+
+    #[test]
+    fn bound_decays_geometrically_in_i() {
+        // For fixed j, each extra round divides the bound by 4.
+        let b1 = paper_bound(10, 2, 4).unwrap();
+        let b2 = paper_bound(10, 2, 5).unwrap();
+        assert_eq!(b1, 4 * b2);
+    }
+
+    #[test]
+    fn bound_is_monotone_in_j() {
+        for j in 0..4u8 {
+            let a = paper_bound(10, j, 5).unwrap();
+            let b = paper_bound(10, j + 1, 5).unwrap();
+            assert!(a <= b);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Synchronous message-passing simulation of tree programs on host
+//! networks — the executable version of the paper's motivation that "the
+//! dilation corresponds to the number of clock cycles needed in the X-tree
+//! network to communicate between formerly adjacent processors".
+//!
+//! * [`network::Network`] — any connected host with next-hop routing;
+//! * [`workload`] — broadcast / reduce / exchange / divide-and-conquer
+//!   message rounds derived from a guest tree and an embedding;
+//! * [`engine`] — cycle-accurate delivery with per-link contention;
+//! * [`stats`] — per-workload reports and rayon-parallel sweeps.
+
+pub mod engine;
+pub mod network;
+pub mod stats;
+pub mod workload;
+
+pub use engine::{run_batch, run_rounds, BatchStats, Message};
+pub use network::Network;
+pub use stats::{
+    compute_load, congestion, simulate_all, simulate_step, sweep, SimReport, StepReport,
+};
+pub use workload::HostMap;

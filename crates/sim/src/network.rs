@@ -1,0 +1,126 @@
+//! Host network wrapper with precomputed shortest-path routing.
+//!
+//! The simulator routes messages hop by hop along shortest paths. For the
+//! host sizes the experiments use (≤ a few thousand vertices), an all-pairs
+//! next-hop table — one BFS per vertex — is the simplest structure that
+//! makes routing O(1) per hop and fully deterministic.
+
+use xtree_topology::{Csr, Graph};
+
+/// A host network with next-hop routing tables.
+pub struct Network {
+    graph: Csr,
+    /// `next_hop[dst * n + v]` = neighbour of `v` on a shortest path to
+    /// `dst` (`v` itself when `v == dst`).
+    next_hop: Vec<u32>,
+    /// `dist[dst * n + v]` = shortest-path distance.
+    dist: Vec<u32>,
+}
+
+impl Network {
+    /// Builds routing tables for `graph` (must be connected).
+    ///
+    /// # Panics
+    /// Panics if the graph is disconnected or too large (> 2^13 vertices —
+    /// the table would be ≥ 512 MiB beyond that).
+    pub fn new(graph: Csr) -> Self {
+        let n = graph.node_count();
+        assert!(n <= (1 << 13), "routing table too large for {n} vertices");
+        assert!(graph.is_connected(), "simulator hosts must be connected");
+        let mut next_hop = vec![0u32; n * n];
+        let mut dist = vec![0u32; n * n];
+        for dst in 0..n {
+            let d = graph.bfs(dst);
+            let row_d = &mut dist[dst * n..(dst + 1) * n];
+            row_d.copy_from_slice(&d);
+            let row_h = &mut next_hop[dst * n..(dst + 1) * n];
+            for v in 0..n {
+                if v == dst {
+                    row_h[v] = v as u32;
+                    continue;
+                }
+                // Deterministic: the smallest-id neighbour that decreases
+                // the distance to dst.
+                row_h[v] = *graph
+                    .neighbors(v)
+                    .iter()
+                    .find(|&&w| d[w as usize] + 1 == d[v])
+                    .expect("connected graph has a downhill neighbour");
+            }
+        }
+        Network {
+            graph,
+            next_hop,
+            dist,
+        }
+    }
+
+    /// Number of host vertices.
+    pub fn len(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Always false (hosts are non-empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Csr {
+        &self.graph
+    }
+
+    /// Next hop from `v` toward `dst`.
+    #[inline]
+    pub fn next_hop(&self, v: u32, dst: u32) -> u32 {
+        self.next_hop[dst as usize * self.len() + v as usize]
+    }
+
+    /// Exact distance from `v` to `dst`.
+    #[inline]
+    pub fn distance(&self, v: u32, dst: u32) -> u32 {
+        self.dist[dst as usize * self.len() + v as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtree_topology::{Hypercube, XTree};
+
+    #[test]
+    fn routes_follow_shortest_paths() {
+        let x = XTree::new(4);
+        let net = Network::new(x.graph().clone());
+        for v in 0..net.len() as u32 {
+            for dst in (0..net.len() as u32).step_by(3) {
+                let mut cur = v;
+                let mut hops = 0;
+                while cur != dst {
+                    cur = net.next_hop(cur, dst);
+                    hops += 1;
+                    assert!(hops <= net.len() as u32, "routing loop");
+                }
+                assert_eq!(hops, net.distance(v, dst), "{v} -> {dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_distances_match_hamming() {
+        let q = Hypercube::new(5);
+        let net = Network::new(q.graph().clone());
+        for v in 0..32u32 {
+            for dst in 0..32u32 {
+                assert_eq!(net.distance(v, dst), (v ^ dst).count_ones());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn rejects_disconnected_hosts() {
+        let g = Csr::from_edges(4, &[(0, 1), (2, 3)]);
+        let _ = Network::new(g);
+    }
+}

@@ -1,0 +1,223 @@
+//! Aggregation of batch statistics into experiment-report rows, with a
+//! rayon-parallel sweep driver for running many (tree, embedding) pairs.
+
+use crate::engine::{run_rounds, BatchStats};
+use crate::network::Network;
+use crate::workload;
+use rayon::prelude::*;
+use xtree_trees::BinaryTree;
+
+/// Cycle summary of one simulated program on one embedding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimReport {
+    /// Workload name (`broadcast`, `reduce`, `exchange`, `dnc`).
+    pub workload: &'static str,
+    /// Total cycles across all rounds.
+    pub cycles: u32,
+    /// Total cycles if every round finished in its longest-route time
+    /// (zero congestion): the dilation-only lower bound.
+    pub ideal_cycles: u32,
+    /// Worst per-round slowdown `cycles / ideal` observed.
+    pub worst_round_slowdown: f64,
+    /// Maximum traffic over a single directed link in any round.
+    pub max_link_traffic: u32,
+}
+
+fn summarise(workload: &'static str, stats: &[BatchStats]) -> SimReport {
+    let cycles = stats.iter().map(|s| s.cycles).sum();
+    let ideal_cycles = stats.iter().map(|s| s.ideal_cycles).sum();
+    let worst_round_slowdown = stats
+        .iter()
+        .filter(|s| s.ideal_cycles > 0)
+        .map(|s| s.cycles as f64 / s.ideal_cycles as f64)
+        .fold(1.0f64, f64::max);
+    SimReport {
+        workload,
+        cycles,
+        ideal_cycles,
+        worst_round_slowdown,
+        max_link_traffic: stats.iter().map(|s| s.max_link_traffic).max().unwrap_or(0),
+    }
+}
+
+/// Edge congestion of an embedding on an arbitrary host: route every guest
+/// edge along the network's deterministic shortest path and count crossings
+/// per directed link, returning the maximum. Works for any [`Network`]
+/// (X-tree, hypercube, mesh, …), complementing the X-tree-specific
+/// `xtree_core::metrics::edge_congestion`.
+pub fn congestion<M: workload::HostMap>(net: &Network, tree: &BinaryTree, emb: &M) -> u32 {
+    let mut usage = std::collections::HashMap::new();
+    for (u, v) in tree.edges() {
+        let (mut at, dst) = (emb.host_of(u), emb.host_of(v));
+        while at != dst {
+            let next = net.next_hop(at, dst);
+            *usage.entry((at, next)).or_insert(0u32) += 1;
+            at = next;
+        }
+    }
+    usage.into_values().max().unwrap_or(0)
+}
+
+/// Maximum number of guest nodes mapped to one host processor — the
+/// paper's *load factor*, "the computation work which has to be done by a
+/// single processor of the X-tree network".
+pub fn compute_load<M: workload::HostMap>(net: &Network, tree: &BinaryTree, emb: &M) -> u32 {
+    let mut load = vec![0u32; net.len()];
+    for v in tree.nodes() {
+        load[emb.host_of(v) as usize] += 1;
+    }
+    load.into_iter().max().unwrap_or(0)
+}
+
+/// One full *simulation step* of the guest machine: every guest node does
+/// one unit of work (the busiest processor serialises its `load` nodes)
+/// and every guest edge carries one message in each direction. Real-time
+/// simulation with constant slowdown — the paper's headline property —
+/// means this number is bounded by a constant independent of `n`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepReport {
+    /// Serialised computation: the load factor.
+    pub compute_cycles: u32,
+    /// Communication: cycles for the full neighbour exchange.
+    pub exchange_cycles: u32,
+}
+
+impl StepReport {
+    /// Total cycles to simulate one synchronous guest step.
+    pub fn total(&self) -> u32 {
+        self.compute_cycles + self.exchange_cycles
+    }
+}
+
+/// Measures one guest step on `net`.
+pub fn simulate_step<M: workload::HostMap>(
+    net: &Network,
+    tree: &BinaryTree,
+    emb: &M,
+) -> StepReport {
+    let batch = crate::engine::run_batch(net, &workload::exchange_round(tree, emb));
+    StepReport {
+        compute_cycles: compute_load(net, tree, emb),
+        exchange_cycles: batch.cycles,
+    }
+}
+
+/// Runs the three canonical tree workloads of one embedding.
+pub fn simulate_all<M: workload::HostMap + Sync>(
+    net: &Network,
+    tree: &BinaryTree,
+    emb: &M,
+) -> Vec<SimReport> {
+    vec![
+        summarise(
+            "broadcast",
+            &run_rounds(net, &workload::broadcast_rounds(tree, emb)),
+        ),
+        summarise(
+            "reduce",
+            &run_rounds(net, &workload::reduce_rounds(tree, emb)),
+        ),
+        summarise(
+            "exchange",
+            &run_rounds(net, &[workload::exchange_round(tree, emb)]),
+        ),
+        summarise(
+            "dnc",
+            &run_rounds(net, &workload::divide_and_conquer_rounds(tree, emb)),
+        ),
+    ]
+}
+
+/// Rayon-parallel sweep: simulates many (tree, embedding) pairs on one
+/// shared host network. The network's routing tables are read-only, so the
+/// sweep parallelises embarrassingly.
+pub fn sweep<M: workload::HostMap + Sync>(
+    net: &Network,
+    cases: &[(BinaryTree, M)],
+) -> Vec<Vec<SimReport>> {
+    cases
+        .par_iter()
+        .map(|(tree, emb)| simulate_all(net, tree, emb))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtree_core::metrics::heap_order_embedding;
+    use xtree_topology::XTree;
+    use xtree_trees::generate;
+
+    #[test]
+    fn complete_tree_broadcast_is_congestion_light() {
+        // Heap-order embedding of the complete tree: every message is one
+        // hop on its own link, so cycles == rounds == ideal.
+        let x = XTree::new(4);
+        let net = Network::new(x.graph().clone());
+        let t = generate::left_complete(31);
+        let e = heap_order_embedding(&t, 4);
+        let reports = simulate_all(&net, &t, &e);
+        let bc = &reports[0];
+        assert_eq!(bc.workload, "broadcast");
+        assert_eq!(bc.cycles, bc.ideal_cycles);
+        assert_eq!(bc.max_link_traffic, 1);
+    }
+
+    #[test]
+    fn congestion_on_identity_is_one() {
+        let x = XTree::new(3);
+        let net = Network::new(x.graph().clone());
+        let t = generate::left_complete(15);
+        let e = heap_order_embedding(&t, 3);
+        assert_eq!(congestion(&net, &t, &e), 1);
+    }
+
+    #[test]
+    fn congestion_detects_hot_links() {
+        // A path guest embedded in heap order funnels many edges through
+        // the upper links.
+        let x = XTree::new(3);
+        let net = Network::new(x.graph().clone());
+        let t = generate::path(15);
+        let e = heap_order_embedding(&t, 3);
+        assert!(congestion(&net, &t, &e) >= 2);
+    }
+
+    #[test]
+    fn compute_load_matches_embedding_load() {
+        let x = XTree::new(2);
+        let net = Network::new(x.graph().clone());
+        let t = generate::path(7);
+        let e = heap_order_embedding(&t, 2);
+        assert_eq!(compute_load(&net, &t, &e), 1);
+    }
+
+    #[test]
+    fn step_report_totals() {
+        let x = XTree::new(3);
+        let net = Network::new(x.graph().clone());
+        let t = generate::left_complete(15);
+        let e = heap_order_embedding(&t, 3);
+        let step = simulate_step(&net, &t, &e);
+        assert_eq!(step.compute_cycles, 1);
+        assert!(step.exchange_cycles >= 1);
+        assert_eq!(step.total(), step.compute_cycles + step.exchange_cycles);
+    }
+
+    #[test]
+    fn sweep_matches_sequential() {
+        let x = XTree::new(3);
+        let net = Network::new(x.graph().clone());
+        let cases: Vec<_> = (0..4)
+            .map(|i| {
+                let t = generate::caterpillar(10 + i);
+                let e = heap_order_embedding(&t, 3);
+                (t, e)
+            })
+            .collect();
+        let par = sweep(&net, &cases);
+        for (i, (t, e)) in cases.iter().enumerate() {
+            assert_eq!(par[i], simulate_all(&net, t, e));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! The simulator against every host topology the workspace builds —
+//! routing and delivery must work unchanged on X-trees, hypercubes,
+//! meshes, cube-connected cycles, and butterflies.
+
+use xtree_sim::{run_batch, Message, Network};
+use xtree_topology::{Butterfly, CubeConnectedCycles, Graph, Hypercube, Mesh2D, XTree};
+
+fn deliver_all_pairs(net: &Network) {
+    // One message per ordered pair (sampled): every delivery must take
+    // exactly the shortest-path distance when run alone.
+    let n = net.len();
+    for src in (0..n).step_by(7) {
+        for dst in (0..n).step_by(11) {
+            let s = run_batch(
+                net,
+                &[Message {
+                    src: src as u32,
+                    dst: dst as u32,
+                }],
+            );
+            assert_eq!(s.cycles, net.distance(src as u32, dst as u32));
+        }
+    }
+}
+
+#[test]
+fn xtree_host() {
+    deliver_all_pairs(&Network::new(XTree::new(5).graph().clone()));
+}
+
+#[test]
+fn hypercube_host() {
+    deliver_all_pairs(&Network::new(Hypercube::new(6).graph().clone()));
+}
+
+#[test]
+fn mesh_host() {
+    let m = Mesh2D::new(6, 9);
+    let net = Network::new(m.graph().clone());
+    deliver_all_pairs(&net);
+    // Network distances equal the Manhattan metric.
+    for a in (0..m.node_count()).step_by(5) {
+        for b in (0..m.node_count()).step_by(3) {
+            assert_eq!(net.distance(a as u32, b as u32), m.distance(a, b));
+        }
+    }
+}
+
+#[test]
+fn ccc_host() {
+    deliver_all_pairs(&Network::new(CubeConnectedCycles::new(4).graph().clone()));
+}
+
+#[test]
+fn butterfly_host() {
+    deliver_all_pairs(&Network::new(Butterfly::new(4).graph().clone()));
+}
+
+#[test]
+fn delivery_is_deterministic() {
+    let net = Network::new(XTree::new(4).graph().clone());
+    let msgs: Vec<Message> = (0..20)
+        .map(|i| Message {
+            src: i % 31,
+            dst: (i * 7 + 3) % 31,
+        })
+        .collect();
+    let a = run_batch(&net, &msgs);
+    let b = run_batch(&net, &msgs);
+    assert_eq!(a, b, "same batch must produce identical statistics");
+}
+
+#[test]
+fn saturating_batch_terminates() {
+    // Every vertex sends to vertex 0: heavy funnel congestion, must still
+    // converge with cycles ≥ messages on the last link.
+    let net = Network::new(XTree::new(4).graph().clone());
+    let msgs: Vec<Message> = (1..31).map(|src| Message { src, dst: 0 }).collect();
+    let s = run_batch(&net, &msgs);
+    assert!(
+        s.cycles >= 15,
+        "30 messages over 2 root links need ≥ 15 cycles"
+    );
+    assert!(s.max_link_traffic >= 10);
+}

@@ -1,0 +1,454 @@
+//! Binary-string addresses for tree-structured networks.
+//!
+//! The paper (Monien, SPAA '91) addresses the vertices of the X-tree `X(r)`
+//! by *binary strings of length at most `r`*: the empty string `ε` is the
+//! root, and a string `x` of length `i` has children `x0` and `x1` on level
+//! `i + 1`. `binary(x)` is the integer the string represents, so the
+//! horizontal ("cross") edges connect `x` with `successor(x)` — the unique
+//! string of the same length with `binary(successor(x)) = binary(x) + 1`.
+//!
+//! [`Address`] packs such a string into a `(len, bits)` pair, supporting
+//! strings of up to 60 bits — far more than any host network that fits in
+//! memory.
+
+use std::fmt;
+
+/// Maximum supported string length. `4^60` leaves is unreachable in memory,
+/// so this is not a practical restriction; it keeps `bits` in a `u64` with
+/// headroom for arithmetic.
+pub const MAX_LEN: u8 = 60;
+
+/// A binary string of bounded length, i.e. a vertex address in a complete
+/// binary tree or X-tree.
+///
+/// Ordered first by length (level), then by `binary(x)` — exactly the
+/// left-to-right, top-to-bottom reading order of the tree levels.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Address {
+    len: u8,
+    bits: u64,
+}
+
+impl Address {
+    /// The empty string `ε` (the root).
+    pub const ROOT: Address = Address { len: 0, bits: 0 };
+
+    /// Builds an address from a level and the integer value of the string.
+    ///
+    /// # Panics
+    /// Panics if `bits >= 2^len` or `len > MAX_LEN`.
+    #[inline]
+    pub fn new(len: u8, bits: u64) -> Self {
+        assert!(len <= MAX_LEN, "address length {len} exceeds MAX_LEN");
+        assert!(
+            len == 64 || bits < (1u64 << len),
+            "bits {bits} do not fit in a string of length {len}"
+        );
+        Address { len, bits }
+    }
+
+    /// Parses a string of `'0'`/`'1'` characters; the empty string is the root.
+    pub fn parse(s: &str) -> Option<Self> {
+        if s == "ε" {
+            return Some(Self::ROOT);
+        }
+        if s.len() > MAX_LEN as usize {
+            return None;
+        }
+        let mut bits = 0u64;
+        for c in s.chars() {
+            match c {
+                '0' => bits <<= 1,
+                '1' => bits = (bits << 1) | 1,
+                _ => return None,
+            }
+        }
+        Some(Address {
+            len: s.len() as u8,
+            bits,
+        })
+    }
+
+    /// The string length, i.e. the level of the vertex (root = 0).
+    #[inline]
+    pub fn level(self) -> u8 {
+        self.len
+    }
+
+    /// `binary(x)`: the integer this string denotes, i.e. the position of the
+    /// vertex within its level, counted from the left starting at 0.
+    #[inline]
+    pub fn index(self) -> u64 {
+        self.bits
+    }
+
+    /// Number of vertices on this address's level (`2^len`).
+    #[inline]
+    pub fn level_width(self) -> u64 {
+        1u64 << self.len
+    }
+
+    /// True for the root `ε`.
+    #[inline]
+    pub fn is_root(self) -> bool {
+        self.len == 0
+    }
+
+    /// The parent string (drops the last symbol); `None` for the root.
+    #[inline]
+    pub fn parent(self) -> Option<Address> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(Address {
+                len: self.len - 1,
+                bits: self.bits >> 1,
+            })
+        }
+    }
+
+    /// The child `x·b` for `b ∈ {0, 1}`.
+    ///
+    /// # Panics
+    /// Panics if the result would exceed [`MAX_LEN`] or `b > 1`.
+    #[inline]
+    pub fn child(self, b: u8) -> Address {
+        assert!(b <= 1, "child bit must be 0 or 1");
+        assert!(self.len < MAX_LEN, "address too long");
+        Address {
+            len: self.len + 1,
+            bits: (self.bits << 1) | u64::from(b),
+        }
+    }
+
+    /// Both children, left then right.
+    #[inline]
+    pub fn children(self) -> [Address; 2] {
+        [self.child(0), self.child(1)]
+    }
+
+    /// `successor(x)`: the next string of the same length in left-to-right
+    /// order, if any. This is the other endpoint of the horizontal X-tree
+    /// edge leaving `x` to the right.
+    #[inline]
+    pub fn successor(self) -> Option<Address> {
+        if self.len > 0 && self.bits + 1 < (1u64 << self.len) {
+            Some(Address {
+                len: self.len,
+                bits: self.bits + 1,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The previous string of the same length, if any.
+    #[inline]
+    pub fn predecessor(self) -> Option<Address> {
+        if self.bits > 0 {
+            Some(Address {
+                len: self.len,
+                bits: self.bits - 1,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Moves `delta` positions within the level, staying in bounds.
+    #[inline]
+    pub fn offset(self, delta: i64) -> Option<Address> {
+        let idx = self.bits as i64 + delta;
+        if idx < 0 || idx as u64 >= self.level_width() {
+            None
+        } else {
+            Some(Address {
+                len: self.len,
+                bits: idx as u64,
+            })
+        }
+    }
+
+    /// True if this is the all-zeros string `0^len` (leftmost on its level).
+    #[inline]
+    pub fn is_leftmost(self) -> bool {
+        self.bits == 0
+    }
+
+    /// True if this is the all-ones string `1^len` (rightmost on its level).
+    #[inline]
+    pub fn is_rightmost(self) -> bool {
+        self.len == 0 || self.bits == (1u64 << self.len) - 1
+    }
+
+    /// Appends `count` copies of bit `b`: `x · b^count`.
+    pub fn extend(self, b: u8, count: u8) -> Address {
+        let mut a = self;
+        for _ in 0..count {
+            a = a.child(b);
+        }
+        a
+    }
+
+    /// Concatenates another string onto this one: `x · y`.
+    pub fn concat(self, suffix: Address) -> Address {
+        assert!(
+            self.len + suffix.len <= MAX_LEN,
+            "concatenated address too long"
+        );
+        Address {
+            len: self.len + suffix.len,
+            bits: (self.bits << suffix.len) | suffix.bits,
+        }
+    }
+
+    /// The ancestor at `level`; `None` if `level > self.level()`.
+    #[inline]
+    pub fn ancestor_at(self, level: u8) -> Option<Address> {
+        if level > self.len {
+            None
+        } else {
+            Some(Address {
+                len: level,
+                bits: self.bits >> (self.len - level),
+            })
+        }
+    }
+
+    /// True if `self` is an ancestor of (or equal to) `other`.
+    #[inline]
+    pub fn is_ancestor_of(self, other: Address) -> bool {
+        other.ancestor_at(self.len) == Some(self)
+    }
+
+    /// The leftmost descendant of `self` on `level` (appends `0`s).
+    #[inline]
+    pub fn leftmost_descendant(self, level: u8) -> Address {
+        assert!(level >= self.len);
+        self.extend(0, level - self.len)
+    }
+
+    /// The rightmost descendant of `self` on `level` (appends `1`s).
+    #[inline]
+    pub fn rightmost_descendant(self, level: u8) -> Address {
+        assert!(level >= self.len);
+        self.extend(1, level - self.len)
+    }
+
+    /// Heap-order id: addresses enumerated level by level, left to right.
+    /// The root is 0; level `l` occupies ids `2^l − 1 .. 2^{l+1} − 1`.
+    #[inline]
+    pub fn heap_id(self) -> usize {
+        ((1u64 << self.len) - 1 + self.bits) as usize
+    }
+
+    /// Inverse of [`heap_id`](Self::heap_id).
+    #[inline]
+    pub fn from_heap_id(id: usize) -> Address {
+        let id = id as u64;
+        let len = u64::BITS - (id + 1).leading_zeros() - 1;
+        Address {
+            len: len as u8,
+            bits: id + 1 - (1u64 << len),
+        }
+    }
+
+    /// Iterates over all addresses of length exactly `len`, left to right.
+    pub fn level_iter(len: u8) -> impl Iterator<Item = Address> {
+        (0..(1u64 << len)).map(move |bits| Address { len, bits })
+    }
+
+    /// Iterates over all addresses of length at most `max_len`, in heap order.
+    pub fn all_up_to(max_len: u8) -> impl Iterator<Item = Address> {
+        (0..=max_len).flat_map(Address::level_iter)
+    }
+
+    /// The individual bits, most significant (first symbol) first.
+    pub fn bits_msb_first(self) -> impl Iterator<Item = u8> {
+        let (len, bits) = (self.len, self.bits);
+        (0..len).map(move |i| ((bits >> (len - 1 - i)) & 1) as u8)
+    }
+
+    /// Distance in the *complete binary tree* (no horizontal edges): up to
+    /// the lowest common ancestor and back down.
+    pub fn tree_distance(self, other: Address) -> u32 {
+        let common = self.lca(other);
+        u32::from(self.len - common.len) + u32::from(other.len - common.len)
+    }
+
+    /// Lowest common ancestor in the complete binary tree.
+    pub fn lca(self, other: Address) -> Address {
+        let mut a = self;
+        let mut b = other;
+        while a.len > b.len {
+            a = a.parent().unwrap();
+        }
+        while b.len > a.len {
+            b = b.parent().unwrap();
+        }
+        while a != b {
+            a = a.parent().unwrap();
+            b = b.parent().unwrap();
+        }
+        a
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len == 0 {
+            return write!(f, "ε");
+        }
+        for b in self.bits_msb_first() {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_properties() {
+        let r = Address::ROOT;
+        assert_eq!(r.level(), 0);
+        assert_eq!(r.index(), 0);
+        assert!(r.is_root());
+        assert!(r.is_leftmost());
+        assert!(r.is_rightmost());
+        assert_eq!(r.parent(), None);
+        assert_eq!(r.successor(), None);
+        assert_eq!(r.predecessor(), None);
+        assert_eq!(r.heap_id(), 0);
+        assert_eq!(format!("{r}"), "ε");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for s in ["0", "1", "01", "10", "1101", "000", "111111"] {
+            let a = Address::parse(s).unwrap();
+            assert_eq!(format!("{a}"), s);
+        }
+        assert_eq!(Address::parse("ε"), Some(Address::ROOT));
+        assert_eq!(Address::parse(""), Some(Address::ROOT));
+        assert_eq!(Address::parse("012"), None);
+    }
+
+    #[test]
+    fn children_and_parent() {
+        let a = Address::parse("10").unwrap();
+        assert_eq!(a.child(0), Address::parse("100").unwrap());
+        assert_eq!(a.child(1), Address::parse("101").unwrap());
+        assert_eq!(a.child(1).parent(), Some(a));
+        assert_eq!(a.children()[0].index(), 4);
+    }
+
+    #[test]
+    fn successor_matches_binary_plus_one() {
+        // successor(x) is defined only when binary(x) < 2^|x| − 1.
+        for len in 1..=6u8 {
+            for a in Address::level_iter(len) {
+                match a.successor() {
+                    Some(s) => {
+                        assert_eq!(s.level(), len);
+                        assert_eq!(s.index(), a.index() + 1);
+                        assert_eq!(s.predecessor(), Some(a));
+                    }
+                    None => assert!(a.is_rightmost()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heap_id_round_trips() {
+        for id in 0..1023usize {
+            assert_eq!(Address::from_heap_id(id).heap_id(), id);
+        }
+        // Heap order equals (level, index) lexicographic order.
+        let mut prev = None;
+        for a in Address::all_up_to(6) {
+            if let Some(p) = prev {
+                assert!(a > p);
+                assert_eq!(a.heap_id(), Address::heap_id(p) + 1);
+            }
+            prev = Some(a);
+        }
+    }
+
+    #[test]
+    fn level_iter_counts() {
+        for len in 0..=10u8 {
+            assert_eq!(Address::level_iter(len).count() as u64, 1 << len);
+        }
+        assert_eq!(Address::all_up_to(4).count(), 31);
+    }
+
+    #[test]
+    fn extend_and_descendants() {
+        let a = Address::parse("01").unwrap();
+        assert_eq!(a.extend(1, 3), Address::parse("01111").unwrap());
+        assert_eq!(a.leftmost_descendant(4), Address::parse("0100").unwrap());
+        assert_eq!(a.rightmost_descendant(4), Address::parse("0111").unwrap());
+        assert_eq!(a.leftmost_descendant(2), a);
+    }
+
+    #[test]
+    fn concat_appends() {
+        let a = Address::parse("01").unwrap();
+        let b = Address::parse("110").unwrap();
+        assert_eq!(a.concat(b), Address::parse("01110").unwrap());
+        assert_eq!(a.concat(Address::ROOT), a);
+        assert_eq!(Address::ROOT.concat(b), b);
+    }
+
+    #[test]
+    fn ancestors() {
+        let a = Address::parse("10110").unwrap();
+        assert_eq!(a.ancestor_at(0), Some(Address::ROOT));
+        assert_eq!(a.ancestor_at(2), Address::parse("10"));
+        assert_eq!(a.ancestor_at(5), Some(a));
+        assert_eq!(a.ancestor_at(6), None);
+        assert!(Address::parse("10").unwrap().is_ancestor_of(a));
+        assert!(!Address::parse("11").unwrap().is_ancestor_of(a));
+        assert!(a.is_ancestor_of(a));
+    }
+
+    #[test]
+    fn lca_and_tree_distance() {
+        let a = Address::parse("000").unwrap();
+        let b = Address::parse("001").unwrap();
+        assert_eq!(a.lca(b), Address::parse("00").unwrap());
+        assert_eq!(a.tree_distance(b), 2);
+        let c = Address::parse("111").unwrap();
+        assert_eq!(a.lca(c), Address::ROOT);
+        assert_eq!(a.tree_distance(c), 6);
+        assert_eq!(a.tree_distance(a), 0);
+        assert_eq!(Address::ROOT.tree_distance(c), 3);
+    }
+
+    #[test]
+    fn offset_moves_within_level() {
+        let a = Address::parse("010").unwrap(); // index 2 of 8
+        assert_eq!(a.offset(3), Address::parse("101"));
+        assert_eq!(a.offset(-2), Address::parse("000"));
+        assert_eq!(a.offset(-3), None);
+        assert_eq!(a.offset(6), None);
+        assert_eq!(a.offset(0), Some(a));
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_rejects_oversized_bits() {
+        let _ = Address::new(2, 4);
+    }
+}

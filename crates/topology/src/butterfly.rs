@@ -1,0 +1,120 @@
+//! The butterfly network `BF(d)` (with distinct levels, no wraparound).
+//!
+//! Vertices are pairs `(w, l)` with `w ∈ {0,1}^d` and level `l ∈ 0..=d`;
+//! `(w, l)` is joined to `(w, l+1)` (straight edge) and `(w ⊕ 2^l, l+1)`
+//! (cross edge). Like [`crate::ccc::CubeConnectedCycles`], this is one of
+//! the constant-degree hypercube derivatives the paper's introduction
+//! contrasts with X-trees: X-trees need dilation `Ω(log log n)` on it.
+
+use crate::graph::{Csr, Graph};
+
+/// The (ordinary, non-wrapped) butterfly of dimension `d`.
+#[derive(Clone, Debug)]
+pub struct Butterfly {
+    dim: u8,
+    graph: Csr,
+}
+
+impl Butterfly {
+    /// Builds `BF(d)` with `(d + 1) · 2^d` vertices.
+    pub fn new(dim: u8) -> Self {
+        assert!(
+            (1..=20).contains(&dim),
+            "butterfly dimension must be in 1..=20"
+        );
+        let d = dim as usize;
+        let rows = 1usize << dim;
+        let n = (d + 1) * rows;
+        let id = |w: usize, l: usize| (l * rows + w) as u32;
+        let mut edges = Vec::with_capacity(2 * d * rows);
+        for l in 0..d {
+            for w in 0..rows {
+                edges.push((id(w, l), id(w, l + 1)));
+                edges.push((id(w, l), id(w ^ (1 << l), l + 1)));
+            }
+        }
+        Butterfly {
+            dim,
+            graph: Csr::from_edges(n, &edges),
+        }
+    }
+
+    /// The dimension `d`.
+    pub fn dim(&self) -> u8 {
+        self.dim
+    }
+
+    /// Vertex id of `(w, l)`.
+    pub fn id(&self, w: u64, level: u8) -> usize {
+        assert!(w < (1 << self.dim) && level <= self.dim);
+        level as usize * (1usize << self.dim) + w as usize
+    }
+
+    /// Underlying CSR graph.
+    pub fn graph(&self) -> &Csr {
+        &self.graph
+    }
+}
+
+impl Graph for Butterfly {
+    fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    fn neighbors(&self, v: usize) -> &[u32] {
+        self.graph.neighbors(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        for d in 1..=7u8 {
+            let b = Butterfly::new(d);
+            assert_eq!(b.node_count(), ((d as usize) + 1) << d);
+            assert_eq!(b.edge_count(), (d as usize) << (d + 1));
+            assert!(b.graph().is_connected());
+        }
+    }
+
+    #[test]
+    fn degrees() {
+        // End levels have degree 2, middle levels degree 4.
+        let b = Butterfly::new(4);
+        for w in 0..16u64 {
+            assert_eq!(b.degree(b.id(w, 0)), 2);
+            assert_eq!(b.degree(b.id(w, 4)), 2);
+            for l in 1..4u8 {
+                assert_eq!(b.degree(b.id(w, l)), 4);
+            }
+        }
+        assert_eq!(b.max_degree(), 4);
+    }
+
+    #[test]
+    fn cross_edges_flip_level_bit() {
+        let b = Butterfly::new(3);
+        assert!(b.has_edge(b.id(0b000, 0), b.id(0b001, 1)));
+        assert!(b.has_edge(b.id(0b000, 1), b.id(0b010, 2)));
+        assert!(b.has_edge(b.id(0b000, 2), b.id(0b100, 3)));
+        assert!(!b.has_edge(b.id(0b000, 0), b.id(0b010, 1)));
+    }
+
+    #[test]
+    fn butterfly_routes_any_row_pair() {
+        // From (w, 0) one can reach (w', d) in exactly d steps: diameter ≤ 2d.
+        let b = Butterfly::new(4);
+        let d = b.graph().bfs(b.id(0b0000, 0));
+        for w in 0..16u64 {
+            assert!(d[b.id(w, 4)] == 4);
+        }
+        assert!(b.graph().diameter() <= 8);
+    }
+}

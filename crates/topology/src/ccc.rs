@@ -1,0 +1,120 @@
+//! Cube-connected cycles `CCC(d)`.
+//!
+//! The paper's introduction contrasts X-trees with constant-degree hypercube
+//! derivatives: Bhatt, Chung, Hong, Leighton and Rosenberg showed X-trees
+//! *cannot* be embedded into cube-connected cycles or butterflies with
+//! constant dilation and expansion (dilation `Ω(log log n)` is required).
+//! We build `CCC(d)` to reproduce the degree/diameter context table (B2).
+//!
+//! `CCC(d)` replaces every vertex `w` of `Q_d` by a cycle of `d` vertices
+//! `(w, 0) … (w, d−1)`; `(w, i)` is joined to its cycle neighbours and to
+//! `(w ⊕ 2^i, i)` across dimension `i`.
+
+use crate::graph::{Csr, Graph};
+
+/// The cube-connected cycles network of dimension `d ≥ 3`.
+#[derive(Clone, Debug)]
+pub struct CubeConnectedCycles {
+    dim: u8,
+    graph: Csr,
+}
+
+impl CubeConnectedCycles {
+    /// Builds `CCC(d)` with `d · 2^d` vertices.
+    ///
+    /// # Panics
+    /// Panics for `d < 3` (smaller instances degenerate: cycles of length
+    /// < 3 create parallel edges).
+    pub fn new(dim: u8) -> Self {
+        assert!((3..=20).contains(&dim), "CCC dimension must be in 3..=20");
+        let d = dim as usize;
+        let n = d << dim;
+        let id = |w: usize, i: usize| (w * d + i) as u32;
+        let mut edges = Vec::with_capacity(3 * n / 2);
+        for w in 0..(1usize << dim) {
+            for i in 0..d {
+                // cycle edge to (w, i+1 mod d); indexing by the source slot i
+                // emits each of the d cycle edges exactly once (d ≥ 3, so the
+                // wrap edge (d−1, 0) is distinct from (0, 1))
+                edges.push((id(w, i), id(w, (i + 1) % d)));
+                // hypercube edge across dimension i
+                let w2 = w ^ (1 << i);
+                if w < w2 {
+                    edges.push((id(w, i), id(w2, i)));
+                }
+            }
+        }
+        CubeConnectedCycles {
+            dim,
+            graph: Csr::from_edges(n, &edges),
+        }
+    }
+
+    /// The dimension `d`.
+    pub fn dim(&self) -> u8 {
+        self.dim
+    }
+
+    /// Vertex id of `(w, i)`.
+    pub fn id(&self, w: u64, i: u8) -> usize {
+        assert!(w < (1 << self.dim) && i < self.dim);
+        w as usize * self.dim as usize + i as usize
+    }
+
+    /// Underlying CSR graph.
+    pub fn graph(&self) -> &Csr {
+        &self.graph
+    }
+}
+
+impl Graph for CubeConnectedCycles {
+    fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    fn neighbors(&self, v: usize) -> &[u32] {
+        self.graph.neighbors(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        for d in 3..=7u8 {
+            let c = CubeConnectedCycles::new(d);
+            assert_eq!(c.node_count(), (d as usize) << d);
+            // Every vertex has degree exactly 3: two cycle + one cube edge.
+            assert_eq!(c.edge_count(), c.node_count() * 3 / 2);
+            assert!(c.graph().is_connected());
+        }
+    }
+
+    #[test]
+    fn three_regular() {
+        let c = CubeConnectedCycles::new(4);
+        for v in 0..c.node_count() {
+            assert_eq!(c.degree(v), 3, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn cube_edges_cross_correct_dimension() {
+        let c = CubeConnectedCycles::new(3);
+        assert!(c.has_edge(c.id(0b000, 1), c.id(0b010, 1)));
+        assert!(!c.has_edge(c.id(0b000, 1), c.id(0b001, 1)));
+        assert!(c.has_edge(c.id(0b101, 0), c.id(0b100, 0)));
+    }
+
+    #[test]
+    fn ccc3_diameter() {
+        // CCC(3) has 24 vertices; its diameter is 6.
+        assert_eq!(CubeConnectedCycles::new(3).graph().diameter(), 6);
+    }
+}

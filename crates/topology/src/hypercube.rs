@@ -1,0 +1,109 @@
+//! The hypercube `Q_d`: vertices are the `2^d` bit strings of length `d`,
+//! edges connect strings differing in exactly one bit.
+//!
+//! The paper's Theorem 3 routes the Theorem-1 X-tree embedding through the
+//! Lemma-3 map into the optimal hypercube; this module provides the host.
+
+use crate::graph::{Csr, Graph};
+
+/// The hypercube of dimension `d` (vertex ids are the labels themselves).
+#[derive(Clone, Debug)]
+pub struct Hypercube {
+    dim: u8,
+    graph: Csr,
+}
+
+impl Hypercube {
+    /// Builds `Q_d`.
+    pub fn new(dim: u8) -> Self {
+        assert!(
+            dim <= 24,
+            "hypercube of dimension {dim} would not fit in memory"
+        );
+        let n = 1usize << dim;
+        let mut edges = Vec::with_capacity(n * dim as usize / 2);
+        for v in 0..n as u32 {
+            for b in 0..dim {
+                let w = v ^ (1 << b);
+                if v < w {
+                    edges.push((v, w));
+                }
+            }
+        }
+        Hypercube {
+            dim,
+            graph: Csr::from_edges(n, &edges),
+        }
+    }
+
+    /// The dimension `d`.
+    pub fn dim(&self) -> u8 {
+        self.dim
+    }
+
+    /// Hamming distance — the exact hypercube distance, no BFS needed.
+    pub fn distance(&self, u: u64, v: u64) -> u32 {
+        debug_assert!(u < (1 << self.dim) && v < (1 << self.dim));
+        (u ^ v).count_ones()
+    }
+
+    /// Underlying CSR graph.
+    pub fn graph(&self) -> &Csr {
+        &self.graph
+    }
+}
+
+impl Graph for Hypercube {
+    fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    fn neighbors(&self, v: usize) -> &[u32] {
+        self.graph.neighbors(v)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mirror the math
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        for d in 0..=10u8 {
+            let q = Hypercube::new(d);
+            assert_eq!(q.node_count(), 1 << d);
+            assert_eq!(q.edge_count(), (1usize << d) * d as usize / 2);
+            assert!(q.graph().is_connected());
+        }
+    }
+
+    #[test]
+    fn regular_of_degree_d() {
+        let q = Hypercube::new(6);
+        for v in 0..q.node_count() {
+            assert_eq!(q.degree(v), 6);
+        }
+    }
+
+    #[test]
+    fn hamming_distance_matches_bfs() {
+        let q = Hypercube::new(5);
+        let d0 = q.graph().bfs(0);
+        for v in 0..q.node_count() {
+            assert_eq!(d0[v], q.distance(0, v as u64));
+        }
+        assert_eq!(q.distance(0b10110, 0b01101), 4);
+    }
+
+    #[test]
+    fn diameter_is_dimension() {
+        for d in 1..=7u8 {
+            assert_eq!(Hypercube::new(d).graph().diameter(), u32::from(d));
+        }
+    }
+}

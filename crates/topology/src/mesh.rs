@@ -1,0 +1,123 @@
+//! The 2-D mesh (grid) network.
+//!
+//! Grids appear in the paper's introduction alongside trees as "common
+//! program structures" a universal network should simulate, and in the
+//! negative results of BCHLR'88: grids need dilation `Ω(log n)` on
+//! cube-connected cycles and butterflies even though they embed
+//! efficiently into hypercubes. We build the mesh as a context host for
+//! the B2 comparison table and as an extra simulator target.
+
+use crate::graph::{Csr, Graph};
+
+/// The `rows × cols` grid graph with 4-neighbour connectivity.
+#[derive(Clone, Debug)]
+pub struct Mesh2D {
+    rows: usize,
+    cols: usize,
+    graph: Csr,
+}
+
+impl Mesh2D {
+    /// Builds the grid; vertex `(r, c)` has id `r · cols + c`.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 1 && cols >= 1, "mesh must be non-empty");
+        assert!(rows * cols <= 1 << 22, "mesh too large");
+        let id = |r: usize, c: usize| (r * cols + c) as u32;
+        let mut edges = Vec::with_capacity(2 * rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    edges.push((id(r, c), id(r, c + 1)));
+                }
+                if r + 1 < rows {
+                    edges.push((id(r, c), id(r + 1, c)));
+                }
+            }
+        }
+        Mesh2D {
+            rows,
+            cols,
+            graph: Csr::from_edges(rows * cols, &edges),
+        }
+    }
+
+    /// Grid dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Vertex id of `(r, c)`.
+    pub fn id(&self, r: usize, c: usize) -> usize {
+        assert!(r < self.rows && c < self.cols);
+        r * self.cols + c
+    }
+
+    /// Exact distance — the Manhattan metric.
+    pub fn distance(&self, a: usize, b: usize) -> u32 {
+        let (ra, ca) = (a / self.cols, a % self.cols);
+        let (rb, cb) = (b / self.cols, b % self.cols);
+        (ra.abs_diff(rb) + ca.abs_diff(cb)) as u32
+    }
+
+    /// Underlying CSR graph.
+    pub fn graph(&self) -> &Csr {
+        &self.graph
+    }
+}
+
+impl Graph for Mesh2D {
+    fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    fn neighbors(&self, v: usize) -> &[u32] {
+        self.graph.neighbors(v)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mirror the math
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let m = Mesh2D::new(4, 5);
+        assert_eq!(m.node_count(), 20);
+        assert_eq!(m.edge_count(), 4 * 4 + 3 * 5); // horizontal + vertical
+        assert!(m.graph().is_connected());
+    }
+
+    #[test]
+    fn manhattan_distance_matches_bfs() {
+        let m = Mesh2D::new(5, 7);
+        let d = m.graph().bfs(m.id(2, 3));
+        for v in 0..m.node_count() {
+            assert_eq!(d[v], m.distance(m.id(2, 3), v));
+        }
+    }
+
+    #[test]
+    fn degrees() {
+        let m = Mesh2D::new(3, 3);
+        assert_eq!(m.degree(m.id(1, 1)), 4); // interior
+        assert_eq!(m.degree(m.id(0, 0)), 2); // corner
+        assert_eq!(m.degree(m.id(0, 1)), 3); // edge
+    }
+
+    #[test]
+    fn degenerate_line() {
+        let m = Mesh2D::new(1, 6);
+        assert_eq!(m.edge_count(), 5);
+        assert_eq!(m.graph().diameter(), 5);
+    }
+
+    #[test]
+    fn diameter_is_perimeter_sum() {
+        assert_eq!(Mesh2D::new(4, 6).graph().diameter(), 3 + 5);
+    }
+}

@@ -1,0 +1,305 @@
+//! The X-tree network `X(r)`.
+//!
+//! Definition (paper, §2): the X-tree of height `r` is the graph whose nodes
+//! are all binary strings of length at most `r`. Each string `x` of length
+//! `i < r` is connected to its children `x0` and `x1`, and — when
+//! `binary(x) < 2^i − 1` — to `successor(x)`, the next string of the same
+//! length. In other words: a complete binary tree plus horizontal edges
+//! stringing each level together left to right (Figure 1 shows `X(3)`).
+
+use crate::address::Address;
+use crate::graph::{Csr, Graph};
+
+/// The X-tree of height `r`, with vertices identified by [`Address`]es and
+/// numbered in heap order (root = 0).
+#[derive(Clone, Debug)]
+pub struct XTree {
+    height: u8,
+    graph: Csr,
+}
+
+/// Number of vertices of `X(r)`: `2^{r+1} − 1`.
+pub const fn xtree_node_count(r: u8) -> usize {
+    (1usize << (r + 1)) - 1
+}
+
+/// Exact X-tree distance between two addresses, in closed form.
+///
+/// Every shortest path can be normalised to *ascend, walk horizontally,
+/// descend*: horizontal progress per step doubles with every level climbed
+/// (one step at level `m` spans `2^{ℓ−m}` positions of level `ℓ`), so
+/// interleaving horizontal moves below the peak never beats doing them at
+/// the peak, and dipping below the endpoints' levels only shrinks the
+/// span a step covers. For a peak level `m ≤ min(|a|, |b|)` the cost is
+/// therefore the two vertical legs plus the index gap of the ancestors at
+/// `m`; minimising over `m` gives the distance. Validated against BFS on
+/// every vertex pair of `X(0)..X(7)` in the tests.
+pub fn analytic_distance(a: Address, b: Address) -> u32 {
+    let top = a.level().min(b.level());
+    (0..=top)
+        .map(|m| {
+            let ja = a.index() >> (a.level() - m);
+            let jb = b.index() >> (b.level() - m);
+            u64::from(a.level() - m) + u64::from(b.level() - m) + ja.abs_diff(jb)
+        })
+        .min()
+        .expect("at least the root level is a candidate peak") as u32
+}
+
+/// Number of edges of `X(r)`: `2^{r+1} − 2` tree edges plus
+/// `∑_{j=1..r} (2^j − 1) = 2^{r+1} − 2 − r` horizontal edges.
+pub const fn xtree_edge_count(r: u8) -> usize {
+    if r == 0 {
+        0
+    } else {
+        2 * ((1usize << (r + 1)) - 2) - r as usize
+    }
+}
+
+impl XTree {
+    /// Builds `X(r)`.
+    pub fn new(height: u8) -> Self {
+        assert!(
+            height <= 24,
+            "X-tree of height {height} would not fit in memory"
+        );
+        let n = xtree_node_count(height);
+        let mut edges = Vec::with_capacity(xtree_edge_count(height));
+        for a in Address::all_up_to(height) {
+            let id = a.heap_id() as u32;
+            if a.level() < height {
+                edges.push((id, a.child(0).heap_id() as u32));
+                edges.push((id, a.child(1).heap_id() as u32));
+            }
+            if let Some(s) = a.successor() {
+                edges.push((id, s.heap_id() as u32));
+            }
+        }
+        XTree {
+            height,
+            graph: Csr::from_edges(n, &edges),
+        }
+    }
+
+    /// The height `r`.
+    pub fn height(&self) -> u8 {
+        self.height
+    }
+
+    /// The address of vertex id `v`.
+    pub fn address(&self, v: usize) -> Address {
+        assert!(v < self.node_count());
+        Address::from_heap_id(v)
+    }
+
+    /// The vertex id of `a`.
+    ///
+    /// # Panics
+    /// Panics if `a` is deeper than the height.
+    pub fn id(&self, a: Address) -> usize {
+        assert!(
+            a.level() <= self.height,
+            "address {a} below X({})",
+            self.height
+        );
+        a.heap_id()
+    }
+
+    /// Underlying CSR graph.
+    pub fn graph(&self) -> &Csr {
+        &self.graph
+    }
+
+    /// Exact distance between two addresses, via the closed form
+    /// [`analytic_distance`] (validated exhaustively against BFS in the
+    /// tests); `O(min level)` per query.
+    pub fn distance(&self, a: Address, b: Address) -> u32 {
+        debug_assert!(a.level() <= self.height && b.level() <= self.height);
+        analytic_distance(a, b)
+    }
+
+    /// BFS-based distance — the oracle the closed form is checked against.
+    pub fn distance_bfs(&self, a: Address, b: Address) -> u32 {
+        self.graph
+            .bounded_distance(self.id(a), self.id(b), 4 * u32::from(self.height) + 4)
+            .expect("X-tree is connected")
+    }
+
+    /// ASCII rendering of the X-tree (small heights), used by the Figure-1
+    /// reproduction to show the structure of `X(3)`.
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        for l in 0..=self.height {
+            let pad = (1usize << (self.height - l)) - 1;
+            let gap = (1usize << (self.height - l + 1)) - 1;
+            out.push_str(&" ".repeat(2 * pad));
+            let mut first = true;
+            for _a in Address::level_iter(l) {
+                if !first {
+                    out.push_str(&"--".repeat(gap.min(6)).to_string());
+                }
+                out.push('o');
+                first = false;
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Graph for XTree {
+    fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    fn neighbors(&self, v: usize) -> &[u32] {
+        self.graph.neighbors(v)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mirror the math
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_formulas() {
+        for r in 0..=8u8 {
+            let x = XTree::new(r);
+            assert_eq!(x.node_count(), xtree_node_count(r), "nodes of X({r})");
+            assert_eq!(x.edge_count(), xtree_edge_count(r), "edges of X({r})");
+            assert!(x.graph().is_connected());
+        }
+    }
+
+    #[test]
+    fn figure_1_xtree_of_height_3() {
+        // Figure 1 of the paper: X(3) has 15 vertices; 14 tree edges and
+        // (1 + 3 + 7) = 11 horizontal edges.
+        let x = XTree::new(3);
+        assert_eq!(x.node_count(), 15);
+        assert_eq!(x.edge_count(), 14 + 11);
+    }
+
+    #[test]
+    fn adjacency_of_x2() {
+        let x = XTree::new(2);
+        let v = |s: &str| x.id(Address::parse(s).unwrap());
+        // Root connects only to its two children.
+        assert_eq!(x.degree(v("ε")), 2);
+        // "0" – children 00, 01, parent ε, successor 1.
+        assert!(x.has_edge(v("0"), v("00")));
+        assert!(x.has_edge(v("0"), v("01")));
+        assert!(x.has_edge(v("0"), v("ε")));
+        assert!(x.has_edge(v("0"), v("1")));
+        assert_eq!(x.degree(v("0")), 4);
+        // Horizontal chain on the leaf level.
+        assert!(x.has_edge(v("00"), v("01")));
+        assert!(x.has_edge(v("01"), v("10")));
+        assert!(x.has_edge(v("10"), v("11")));
+        assert!(!x.has_edge(v("00"), v("10")));
+        // 01 and 10 are not tree siblings but are X-tree neighbors.
+        assert_eq!(
+            Address::parse("01").unwrap().successor(),
+            Address::parse("10")
+        );
+    }
+
+    #[test]
+    fn max_degree_is_six() {
+        // Interior vertices: parent + 2 children + 2 horizontal = 5; plus
+        // nothing else. Leaves: parent + 2 horizontal = 3. Degree ≤ 5 overall
+        // (6 never occurs; check the true bound).
+        for r in 2..=7u8 {
+            let x = XTree::new(r);
+            assert!(x.max_degree() <= 5, "X({r}) max degree {}", x.max_degree());
+        }
+        assert_eq!(XTree::new(5).max_degree(), 5);
+    }
+
+    #[test]
+    fn distance_examples() {
+        let x = XTree::new(3);
+        let a = |s: &str| Address::parse(s).unwrap();
+        assert_eq!(x.distance(a("000"), a("001")), 1);
+        // Corner to corner: cross once at level 1 or 2 (e.g. 000-00-01, then
+        // the horizontal 01-10 edge, then 10-11-111): 5 hops, far better than
+        // the 7 horizontal leaf hops.
+        assert_eq!(x.distance(a("000"), a("111")), 5);
+        assert_eq!(x.distance(a("01"), a("10")), 1); // horizontal, non-sibling
+        assert_eq!(x.distance(a("ε"), a("111")), 3);
+        assert_eq!(x.distance(a("00"), a("00")), 0);
+    }
+
+    #[test]
+    fn horizontal_shortcut_beats_tree_path() {
+        // In the plain complete binary tree 011 and 100 are at distance 6;
+        // X-tree horizontal edge makes them adjacent.
+        let x = XTree::new(3);
+        let u = Address::parse("011").unwrap();
+        let v = Address::parse("100").unwrap();
+        assert_eq!(u.tree_distance(v), 6);
+        assert_eq!(x.distance(u, v), 1);
+    }
+
+    #[test]
+    fn diameter_growth() {
+        // The diameter of X(r) grows linearly in r (Θ(r)): 2r − 1 for the
+        // heights checked here (corner-to-corner, crossing near the top).
+        let expected = [0u32, 1, 3, 5, 7];
+        for (r, &d) in expected.iter().enumerate() {
+            assert_eq!(
+                XTree::new(r as u8).graph().diameter(),
+                d,
+                "diameter of X({r})"
+            );
+        }
+    }
+
+    #[test]
+    fn analytic_distance_matches_bfs_exhaustively() {
+        // The load-bearing check: the closed form equals BFS on every
+        // vertex pair of X(0) .. X(7) (up to 255² pairs).
+        for r in 0..=7u8 {
+            let x = XTree::new(r);
+            for src in 0..x.node_count() {
+                let d = x.graph().bfs(src);
+                let a = Address::from_heap_id(src);
+                for dst in 0..x.node_count() {
+                    let b = Address::from_heap_id(dst);
+                    assert_eq!(analytic_distance(a, b), d[dst], "X({r}): {a} – {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_distance_is_symmetric_and_reflexive() {
+        for a in Address::all_up_to(9) {
+            assert_eq!(analytic_distance(a, a), 0);
+        }
+        let p = Address::parse("010110").unwrap();
+        let q = Address::parse("11").unwrap();
+        assert_eq!(analytic_distance(p, q), analytic_distance(q, p));
+    }
+
+    #[test]
+    fn analytic_distance_works_beyond_bfs_scale() {
+        // Deep addresses where building the graph would be infeasible.
+        let a = Address::new(50, 0);
+        let b = Address::new(50, (1u64 << 50) - 1);
+        // Corner to corner: up to level 1, one horizontal, down: 2·49 + 1.
+        assert_eq!(analytic_distance(a, b), 99);
+        assert_eq!(analytic_distance(Address::ROOT, a), 50);
+    }
+
+    #[test]
+    fn render_has_height_plus_one_rows() {
+        let x = XTree::new(3);
+        assert_eq!(x.render_ascii().lines().count(), 4);
+    }
+}

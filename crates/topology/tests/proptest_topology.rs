@@ -1,0 +1,107 @@
+//! Property-based tests of the address algebra and the host networks'
+//! metric structure.
+
+use proptest::prelude::*;
+use xtree_topology::{neighborhood, Address, Graph, Hypercube, XTree};
+
+fn arb_address(max_len: u8) -> impl Strategy<Value = Address> {
+    (0..=max_len, any::<u64>()).prop_map(|(len, bits)| {
+        let mask = if len == 0 { 0 } else { (1u64 << len) - 1 };
+        Address::new(len, bits & mask)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn heap_id_round_trip(a in arb_address(24)) {
+        prop_assert_eq!(Address::from_heap_id(a.heap_id()), a);
+    }
+
+    #[test]
+    fn parse_display_round_trip(a in arb_address(24)) {
+        prop_assert_eq!(Address::parse(&format!("{a}")), Some(a));
+    }
+
+    #[test]
+    fn parent_child_inverse(a in arb_address(23), b in 0u8..2) {
+        prop_assert_eq!(a.child(b).parent(), Some(a));
+        prop_assert_eq!(a.child(b).level(), a.level() + 1);
+    }
+
+    #[test]
+    fn successor_predecessor_inverse(a in arb_address(24)) {
+        if let Some(s) = a.successor() {
+            prop_assert_eq!(s.predecessor(), Some(a));
+            prop_assert_eq!(s.index(), a.index() + 1);
+        } else {
+            prop_assert!(a.is_rightmost());
+        }
+    }
+
+    #[test]
+    fn lca_is_common_ancestor(a in arb_address(16), b in arb_address(16)) {
+        let l = a.lca(b);
+        prop_assert!(l.is_ancestor_of(a));
+        prop_assert!(l.is_ancestor_of(b));
+        // Deepest: one level further down fails for at least one of them.
+        if a.level() > l.level() && b.level() > l.level() {
+            let da = a.ancestor_at(l.level() + 1).unwrap();
+            let db = b.ancestor_at(l.level() + 1).unwrap();
+            prop_assert_ne!(da, db);
+        }
+    }
+
+    #[test]
+    fn tree_distance_is_a_metric(a in arb_address(12), b in arb_address(12), c in arb_address(12)) {
+        prop_assert_eq!(a.tree_distance(b), b.tree_distance(a));
+        prop_assert_eq!(a.tree_distance(a), 0);
+        prop_assert!(a.tree_distance(c) <= a.tree_distance(b) + b.tree_distance(c));
+    }
+
+    #[test]
+    fn xtree_distance_at_most_tree_distance(a in arb_address(7), b in arb_address(7)) {
+        // Horizontal edges only ever shorten paths.
+        let x = XTree::new(7);
+        let d = x.distance(a, b);
+        prop_assert!(d <= a.tree_distance(b));
+        prop_assert_eq!(d == 0, a == b);
+    }
+
+    #[test]
+    fn neighborhood_is_within_window(a in arb_address(8)) {
+        for b in neighborhood::neighborhood(a, 8) {
+            // N(a) never looks upward and never deeper than 2 levels.
+            prop_assert!(b.level() >= a.level());
+            prop_assert!(b.level() <= a.level() + 2);
+            // Horizontal displacement is bounded by the construction.
+            let scale = 1i64 << (b.level() - a.level());
+            let base = a.index() as i64 * scale;
+            let off = b.index() as i64 - base;
+            prop_assert!((-3 * scale..=3 * scale + scale - 1).contains(&off));
+        }
+    }
+
+    #[test]
+    fn hypercube_distance_is_hamming(u in any::<u16>(), v in any::<u16>()) {
+        let q = Hypercube::new(10);
+        let (u, v) = (u64::from(u) & 0x3ff, u64::from(v) & 0x3ff);
+        prop_assert_eq!(q.distance(u, v), (u ^ v).count_ones());
+    }
+}
+
+#[test]
+fn xtree_distance_matches_full_bfs() {
+    // Deterministic exhaustive cross-check at a fixed size.
+    let x = XTree::new(5);
+    for src in 0..x.node_count() {
+        let d = x.graph().bfs(src);
+        for dst in (0..x.node_count()).step_by(7) {
+            assert_eq!(
+                x.distance(Address::from_heap_id(src), Address::from_heap_id(dst)),
+                d[dst]
+            );
+        }
+    }
+}

@@ -1,0 +1,489 @@
+//! Binary-tree workload generators.
+//!
+//! Theorem 1 holds for *arbitrary* binary trees of the right size, so the
+//! experiment harness sweeps several structurally extreme families plus two
+//! random models, all parameterised by an exact node count `n` (the
+//! theorems need `n = 16·(2^{r+1} − 1)` exactly).
+
+use crate::tree::{BinaryTree, NodeId};
+use rand::seq::IndexedRandom;
+use rand::Rng;
+
+/// The tree families used across the experiment sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TreeFamily {
+    /// Degenerate path: every node has one child.
+    Path,
+    /// Left-complete binary tree (complete levels, last level filled left
+    /// to right) — the best case for any level-order host.
+    LeftComplete,
+    /// A path ("spine") with a leaf hanging off every other spine node.
+    Caterpillar,
+    /// A long path ending in a complete binary tree — sweeps from the
+    /// path extreme to the bushy extreme inside one tree.
+    Broom,
+    /// Random binary search tree shape: insert a uniformly random
+    /// permutation into a BST.
+    RandomBst,
+    /// Random attachment: repeatedly attach a new leaf to a uniformly
+    /// chosen node that still has a free child slot.
+    RandomAttach,
+    /// Skewed random split: recursively divide the remaining node budget
+    /// with a split point biased toward unbalanced divisions (minimum of two
+    /// uniform draws) — deeper and lopsided compared to [`Self::RandomBst`].
+    RandomSplit,
+    /// Biased attachment leaning hard toward the most recent slot
+    /// (lean 224/256): long vine-like runs with occasional branching.
+    Leaning,
+}
+
+impl TreeFamily {
+    /// All families, for sweep loops.
+    pub const ALL: [TreeFamily; 8] = [
+        TreeFamily::Path,
+        TreeFamily::LeftComplete,
+        TreeFamily::Caterpillar,
+        TreeFamily::Broom,
+        TreeFamily::RandomBst,
+        TreeFamily::RandomAttach,
+        TreeFamily::RandomSplit,
+        TreeFamily::Leaning,
+    ];
+
+    /// Short machine-readable name for report rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            TreeFamily::Path => "path",
+            TreeFamily::LeftComplete => "complete",
+            TreeFamily::Caterpillar => "caterpillar",
+            TreeFamily::Broom => "broom",
+            TreeFamily::RandomBst => "random-bst",
+            TreeFamily::RandomAttach => "random-attach",
+            TreeFamily::RandomSplit => "random-split",
+            TreeFamily::Leaning => "leaning",
+        }
+    }
+
+    /// Generates a tree of this family with exactly `n ≥ 1` nodes.
+    pub fn generate<R: Rng + ?Sized>(self, n: usize, rng: &mut R) -> BinaryTree {
+        match self {
+            TreeFamily::Path => path(n),
+            TreeFamily::LeftComplete => left_complete(n),
+            TreeFamily::Caterpillar => caterpillar(n),
+            TreeFamily::Broom => broom(n),
+            TreeFamily::RandomBst => random_bst(n, rng),
+            TreeFamily::RandomAttach => random_attach(n, rng),
+            TreeFamily::RandomSplit => random_split(n, rng),
+            TreeFamily::Leaning => random_leaning(n, 224, rng),
+        }
+    }
+}
+
+/// A path of `n` nodes.
+pub fn path(n: usize) -> BinaryTree {
+    assert!(n >= 1);
+    let mut t = BinaryTree::singleton();
+    let mut tip = t.root();
+    for _ in 1..n {
+        tip = t.add_child(tip);
+    }
+    t
+}
+
+/// Left-complete binary tree with exactly `n` nodes (heap shape).
+pub fn left_complete(n: usize) -> BinaryTree {
+    assert!(n >= 1);
+    let parents: Vec<Option<usize>> = (0..n)
+        .map(|v| if v == 0 { None } else { Some((v - 1) / 2) })
+        .collect();
+    BinaryTree::from_parents(&parents)
+}
+
+/// Caterpillar: a spine path with one extra leaf on alternating spine nodes.
+pub fn caterpillar(n: usize) -> BinaryTree {
+    assert!(n >= 1);
+    let mut t = BinaryTree::singleton();
+    let mut tip = t.root();
+    let mut made = 1;
+    let mut hang = true;
+    while made < n {
+        if hang && made + 1 < n {
+            t.add_child(tip); // leaf off the spine
+            made += 1;
+        }
+        hang = !hang;
+        if made < n {
+            tip = t.add_child(tip);
+            made += 1;
+        }
+    }
+    t
+}
+
+/// Broom: a path of `n/2` nodes whose tip carries a left-complete tree with
+/// the remaining budget.
+pub fn broom(n: usize) -> BinaryTree {
+    assert!(n >= 1);
+    let handle = (n / 2).max(1);
+    let mut t = path(handle);
+    let mut frontier = vec![last_path_node(&t)];
+    let mut made = handle;
+    // Grow the head breadth-first so it forms a complete-ish tree.
+    while made < n {
+        let mut new_frontier = Vec::new();
+        for &v in &frontier {
+            for _ in 0..2 {
+                if made == n {
+                    break;
+                }
+                new_frontier.push(t.add_child(v));
+                made += 1;
+            }
+        }
+        frontier = new_frontier;
+    }
+    t
+}
+
+fn last_path_node(t: &BinaryTree) -> NodeId {
+    let mut v = t.root();
+    while let Some(c) = t.children(v).first().copied() {
+        v = c;
+    }
+    v
+}
+
+/// Random BST shape: the shape of inserting a uniform random permutation of
+/// `0..n` into a binary search tree. Expected height `Θ(log n)`, but with
+/// long unary stretches — a good "typical divide and conquer" model.
+pub fn random_bst<R: Rng + ?Sized>(n: usize, rng: &mut R) -> BinaryTree {
+    assert!(n >= 1);
+    // Random-permutation BST shape is equivalent to recursive uniform
+    // splitting of the node budget (the root's rank is uniform).
+    random_split_rec(n, rng, true)
+}
+
+/// Random attachment model: new leaves attach to uniform random nodes with
+/// spare capacity. Produces bushier trees than the BST model.
+pub fn random_attach<R: Rng + ?Sized>(n: usize, rng: &mut R) -> BinaryTree {
+    assert!(n >= 1);
+    let mut t = BinaryTree::singleton();
+    // `open` holds nodes with < 2 children, each listed once per free slot.
+    let mut open = vec![t.root(), t.root()];
+    for _ in 1..n {
+        let i = rng.random_range(0..open.len());
+        let p = open.swap_remove(i);
+        // Drop the *other* listing of p lazily: add_child panics only when
+        // both slots are used, and each listing corresponds to one slot.
+        let c = t.add_child(p);
+        open.push(c);
+        open.push(c);
+    }
+    t
+}
+
+/// Skewed split model: like the BST model but the split point is the
+/// *minimum* of two uniform draws, biasing every division toward lopsided
+/// subtrees (deeper trees, heavier separator work).
+pub fn random_split<R: Rng + ?Sized>(n: usize, rng: &mut R) -> BinaryTree {
+    assert!(n >= 1);
+    random_split_rec(n, rng, false)
+}
+
+fn random_split_rec<R: Rng + ?Sized>(n: usize, rng: &mut R, uniform: bool) -> BinaryTree {
+    let mut t = BinaryTree::singleton();
+    // Explicit work stack of (node, subtree budget excluding the node).
+    let mut stack = vec![(t.root(), n - 1)];
+    while let Some((v, budget)) = stack.pop() {
+        if budget == 0 {
+            continue;
+        }
+        let left = if uniform {
+            // BST shape: the root key's rank is uniform among budget+1
+            // positions, giving a uniform split of the remaining budget.
+            rng.random_range(0..=budget)
+        } else {
+            // Skewed: min of two uniforms concentrates mass near the edges.
+            rng.random_range(0..=budget)
+                .min(rng.random_range(0..=budget))
+        };
+        let right = budget - left;
+        if left > 0 {
+            let c = t.add_child(v);
+            stack.push((c, left - 1));
+        }
+        if right > 0 {
+            let c = t.add_child(v);
+            stack.push((c, right - 1));
+        }
+    }
+    t
+}
+
+/// Fibonacci tree of order `k`: `F_0` and `F_1` are single nodes, `F_k`
+/// has subtrees `F_{k−1}` and `F_{k−2}` — the classic minimal AVL tree and
+/// the canonical "maximally unbalanced yet logarithmic" shape. Its size is
+/// `fib(k+2) − 1` nodes, so it does not hit the exact theorem sizes; the
+/// embedding's padding extension covers it.
+pub fn fibonacci(order: u32) -> BinaryTree {
+    assert!(order <= 30, "fibonacci tree of order {order} too large");
+    let mut t = BinaryTree::singleton();
+    // Iterative expansion with an explicit stack of (node, order).
+    let mut stack = vec![(t.root(), order)];
+    while let Some((v, k)) = stack.pop() {
+        if k < 2 {
+            continue;
+        }
+        let a = t.add_child(v);
+        let b = t.add_child(v);
+        stack.push((a, k - 1));
+        stack.push((b, k - 2));
+    }
+    t
+}
+
+/// Number of nodes of the Fibonacci tree of order `k`.
+pub fn fibonacci_size(order: u32) -> usize {
+    // size(k) = 1 + size(k−1) + size(k−2), size(0) = size(1) = 1.
+    let (mut a, mut b) = (1usize, 1usize);
+    for _ in 2..=order {
+        let c = 1 + a + b;
+        a = b;
+        b = c;
+    }
+    b
+}
+
+/// Biased attachment: new leaves attach to the *most recently added* open
+/// slot with probability `lean`/256, otherwise to a uniform one — sweeping
+/// from [`random_attach`] (lean = 0) toward [`path`] (lean = 255).
+pub fn random_leaning<R: Rng + ?Sized>(n: usize, lean: u8, rng: &mut R) -> BinaryTree {
+    assert!(n >= 1);
+    let mut t = BinaryTree::singleton();
+    let mut open = vec![t.root(), t.root()];
+    for _ in 1..n {
+        let i = if rng.random_range(0..256) < u32::from(lean) {
+            open.len() - 1
+        } else {
+            rng.random_range(0..open.len())
+        };
+        let p = open.swap_remove(i);
+        let c = t.add_child(p);
+        open.push(c);
+        open.push(c);
+    }
+    t
+}
+
+/// Uniformly random *full* binary tree (every node has 0 or 2 children)
+/// with `leaves` leaves — `2·leaves − 1` nodes — via **Rémy's algorithm**:
+/// repeatedly pick a uniform node (or the root position), splice a new
+/// internal node above it, and hang a fresh leaf on a uniform side. Each
+/// of the `Catalan(leaves−1)` shapes is produced with equal probability.
+pub fn remy_full<R: Rng + ?Sized>(leaves: usize, rng: &mut R) -> BinaryTree {
+    assert!(leaves >= 1);
+    // Work on a parent/child scratch representation that allows splicing,
+    // then convert to the arena form.
+    let n = 2 * leaves - 1;
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut used = 1usize; // node 0 is the initial single leaf / root
+    let mut root = 0usize;
+    let mut children: Vec<[Option<usize>; 2]> = vec![[None, None]; n];
+    for _ in 1..leaves {
+        // Pick a uniform existing node to graft above.
+        let target = rng.random_range(0..used);
+        let internal = used;
+        let leaf = used + 1;
+        used += 2;
+        let side = rng.random_range(0..2usize);
+        // Splice `internal` into target's parent slot.
+        match parent[target] {
+            None => root = internal,
+            Some(p) => {
+                let slot = children[p]
+                    .iter()
+                    .position(|&c| c == Some(target))
+                    .expect("consistent links");
+                children[p][slot] = Some(internal);
+                parent[internal] = Some(p);
+            }
+        }
+        children[internal][side] = Some(target);
+        children[internal][1 - side] = Some(leaf);
+        parent[target] = Some(internal);
+        parent[leaf] = Some(internal);
+    }
+    debug_assert_eq!(used, n);
+    let _ = root;
+    BinaryTree::from_parents(&parent)
+}
+
+/// Picks a uniformly random node of `t`.
+pub fn random_node<R: Rng + ?Sized>(t: &BinaryTree, rng: &mut R) -> NodeId {
+    let ids: Vec<NodeId> = t.nodes().collect();
+    *ids.choose(rng).expect("tree is non-empty")
+}
+
+/// The exact guest size Theorem 1 needs for the X-tree of height `r`:
+/// `n = 16 · (2^{r+1} − 1)`.
+pub const fn theorem1_size(r: u8) -> usize {
+    16 * ((1usize << (r + 1)) - 1)
+}
+
+/// The exact guest size Theorem 3 needs for the hypercube `Q_r`:
+/// `n = 16 · (2^r − 1)`.
+pub const fn theorem3_size(r: u8) -> usize {
+    16 * ((1usize << r) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn exact_sizes_for_all_families() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for family in TreeFamily::ALL {
+            for n in [1usize, 2, 3, 7, 16, 48, 113, 240, theorem1_size(3)] {
+                let t = family.generate(n, &mut rng);
+                assert_eq!(t.len(), n, "{family:?} n={n}");
+                t.validate();
+            }
+        }
+    }
+
+    #[test]
+    fn path_is_a_path() {
+        let t = path(10);
+        assert_eq!(t.height(), 9);
+        assert_eq!(t.leaf_count(), 1);
+    }
+
+    #[test]
+    fn left_complete_shape() {
+        let t = left_complete(15);
+        assert_eq!(t.height(), 3);
+        assert_eq!(t.leaf_count(), 8);
+        let t = left_complete(10);
+        assert_eq!(t.height(), 3);
+    }
+
+    #[test]
+    fn caterpillar_has_long_spine() {
+        let t = caterpillar(20);
+        assert!(t.height() >= 12, "height {}", t.height());
+        assert!(t.leaf_count() >= 5);
+    }
+
+    #[test]
+    fn broom_mixes_path_and_bush() {
+        let t = broom(64);
+        assert!(t.height() >= 32);
+        assert!(t.leaf_count() >= 8);
+    }
+
+    #[test]
+    fn random_models_are_reproducible() {
+        let t1 = random_bst(100, &mut ChaCha8Rng::seed_from_u64(1));
+        let t2 = random_bst(100, &mut ChaCha8Rng::seed_from_u64(1));
+        for v in t1.nodes() {
+            assert_eq!(t1.parent(v), t2.parent(v));
+        }
+    }
+
+    #[test]
+    fn random_models_vary_by_seed() {
+        let t1 = random_attach(200, &mut ChaCha8Rng::seed_from_u64(1));
+        let t2 = random_attach(200, &mut ChaCha8Rng::seed_from_u64(2));
+        let differs = t1.nodes().any(|v| t1.parent(v) != t2.parent(v));
+        assert!(differs);
+    }
+
+    #[test]
+    fn random_attach_respects_arity() {
+        let t = random_attach(500, &mut ChaCha8Rng::seed_from_u64(3));
+        for v in t.nodes() {
+            assert!(t.children(v).len() <= 2);
+        }
+    }
+
+    #[test]
+    fn fibonacci_shapes() {
+        assert_eq!(fibonacci(0).len(), 1);
+        assert_eq!(fibonacci(1).len(), 1);
+        assert_eq!(fibonacci(2).len(), 3);
+        for k in 0..=12u32 {
+            let t = fibonacci(k);
+            assert_eq!(t.len(), fibonacci_size(k), "order {k}");
+            t.validate();
+            // Height of F_k is k−1 for k ≥ 1 (the minimal AVL profile).
+            if k >= 1 {
+                assert_eq!(t.height(), (k - 1) as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn leaning_sweeps_toward_a_path() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let bushy = random_leaning(300, 0, &mut rng);
+        let liney = random_leaning(300, 255, &mut rng);
+        assert!(
+            liney.height() > 2 * bushy.height(),
+            "{} vs {}",
+            liney.height(),
+            bushy.height()
+        );
+        assert_eq!(liney.height(), 299); // lean = 255 is deterministic: a path
+        bushy.validate();
+        liney.validate();
+    }
+
+    #[test]
+    fn remy_produces_full_binary_trees() {
+        let mut rng = ChaCha8Rng::seed_from_u64(29);
+        for leaves in [1usize, 2, 3, 10, 100, 500] {
+            let t = remy_full(leaves, &mut rng);
+            assert_eq!(t.len(), 2 * leaves - 1);
+            assert_eq!(t.leaf_count(), leaves);
+            t.validate();
+            for v in t.nodes() {
+                let c = t.children(v).len();
+                assert!(c == 0 || c == 2, "node with one child in a full tree");
+            }
+        }
+    }
+
+    #[test]
+    fn remy_growth_statistics() {
+        // For 3 leaves: the root was grafted over (rather than a leaf) with
+        // probability exactly 1/3 in Rémy's algorithm; that event is
+        // visible as "the smaller-id child of the root is internal".
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let mut over_root = 0;
+        let trials = 3000;
+        for _ in 0..trials {
+            let t = remy_full(3, &mut rng);
+            let kids = t.children(t.root());
+            if !t.children(kids[0]).is_empty() {
+                over_root += 1;
+            }
+        }
+        let expect = trials / 3;
+        assert!(
+            (expect * 8 / 10..=expect * 12 / 10).contains(&over_root),
+            "graft-over-root count {over_root}, expected ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn theorem_sizes() {
+        assert_eq!(theorem1_size(0), 16);
+        assert_eq!(theorem1_size(3), 240);
+        assert_eq!(theorem3_size(3), 112);
+        // n = 16(2^{r+1} − 1) = 2^{r+5} − 16, Theorem 4's 2^t − 16 form.
+        assert_eq!(theorem1_size(3), (1 << 8) - 16);
+    }
+}

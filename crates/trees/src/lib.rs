@@ -1,0 +1,16 @@
+//! Guest binary trees for the SPAA'91 X-tree reproduction: the tree arena,
+//! workload generators, and the paper's separator lemmas.
+//!
+//! The separator lemmas ([`separator::lemma1`], [`separator::lemma2`]) are
+//! the combinatorial engine behind Theorem 1: they peel off sub-forests of
+//! near-prescribed size while only ever exposing boundary sets of ≤ 4–5
+//! nodes, each remaining fragment again having at most two *designated*
+//! nodes (an "interval").
+
+pub mod generate;
+pub mod separator;
+pub mod tree;
+
+pub use generate::{theorem1_size, theorem3_size, TreeFamily};
+pub use separator::{check_separation, find1, lemma1, lemma2, Orientation, Separation};
+pub use tree::{BinaryTree, NodeId};

@@ -1,0 +1,210 @@
+//! Lemma 1 of the paper.
+//!
+//! Given a piece `T` with `n` nodes, designated nodes `r1, r2`, and a target
+//! `Δ` with `n > 4Δ/3`, split `T` into `T1, T2` with
+//! `| |T2| − Δ | ≤ ⌊(Δ+1)/3⌋`, cutting a single edge, with boundary sets
+//! `|S1| ≤ 4` and `|S2| ≤ 2`.
+//!
+//! Construction (following the paper's proof): run `find1` from `r1` to
+//! locate a node `u` whose subtree has cardinality close to `Δ`; let `z` be
+//! the father of `u`. If `T(u)` contains `r2`, take `S1 = {r1, z}`,
+//! `S2 = {u, r2}`. Otherwise let `y` be the node where the path from `r1`
+//! to `u` and the path from `r1` to `r2` part, and take
+//! `S1 = {r1, r2, z, y}`, `S2 = {u}`.
+
+use super::orient::{find1, Orientation};
+use super::Separation;
+use crate::tree::{BinaryTree, NodeId};
+
+/// Applies Lemma 1 to the piece containing `r1` (the component of nodes not
+/// marked in `placed`).
+///
+/// # Preconditions (asserted)
+/// * `r1` and `r2` are un-placed and in the same component;
+/// * `Δ ≥ 1` and the piece has more than `4Δ/3` nodes;
+/// * `r1` has at most two un-placed neighbours (true for designated nodes).
+pub fn lemma1(
+    tree: &BinaryTree,
+    placed: &[bool],
+    r1: NodeId,
+    r2: NodeId,
+    delta: u32,
+) -> Separation {
+    lemma1_ex(tree, placed, &[], r1, r2, delta)
+}
+
+/// Lemma 1 restricted to the piece that remains after additionally treating
+/// `excluded` as placed. Used by Lemma 2's case 3, which applies Lemma 1
+/// inside the subtree `T(v)` by excluding `v`'s father.
+pub(crate) fn lemma1_ex(
+    tree: &BinaryTree,
+    placed: &[bool],
+    excluded: &[NodeId],
+    r1: NodeId,
+    r2: NodeId,
+    delta: u32,
+) -> Separation {
+    let mut o = Orientation::new(tree.len());
+    o.orient(tree, placed, excluded, r1);
+    let n = o.piece_len() as u32;
+    assert!(o.contains(r2), "r2 must lie in the piece of r1");
+    assert!(delta >= 1, "lemma 1 needs Δ ≥ 1");
+    assert!(
+        3 * n > 4 * delta,
+        "lemma 1 needs n > 4Δ/3 (n = {n}, Δ = {delta})"
+    );
+
+    let u = find1(&o, tree, r1, delta);
+    let z = o
+        .parent(u)
+        .expect("find1 never returns the orientation root");
+    let part2 = o.subtree_nodes(tree, u);
+
+    let mut s1: Vec<NodeId>;
+    let s2: Vec<NodeId>;
+    if part2.contains(&r2) {
+        // Case 1: T(u) contains r2.
+        s1 = vec![r1, z];
+        s2 = dedup(vec![u, r2]);
+    } else {
+        // Case 2: r2 stays on r1's side; y is where the paths to u and to
+        // r2 part (possibly r1, r2 or z themselves).
+        let y = o.junction(u, r2);
+        debug_assert_ne!(y, u, "junction in T(u) would imply r2 ∈ T(u)");
+        s1 = vec![r1, r2, z, y];
+        s2 = vec![u];
+    }
+    s1 = dedup(s1);
+    debug_assert!(u32::abs_diff(part2.len() as u32, delta) <= Separation::lemma1_bound(delta));
+    Separation {
+        s1,
+        s2,
+        part2,
+        cut: vec![(z, u)],
+    }
+}
+
+pub(crate) fn dedup(mut v: Vec<NodeId>) -> Vec<NodeId> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{self, TreeFamily};
+    use crate::separator::check_separation;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn check(tree: &BinaryTree, r1: NodeId, r2: NodeId, delta: u32) {
+        let placed = vec![false; tree.len()];
+        let sep = lemma1(tree, &placed, r1, r2, delta);
+        check_separation(
+            tree,
+            &placed,
+            &[],
+            r1,
+            r2,
+            delta,
+            &sep,
+            Separation::lemma1_bound(delta),
+            4,
+            2,
+        );
+    }
+
+    #[test]
+    fn splits_a_path() {
+        let t = generate::path(100);
+        check(&t, NodeId(0), NodeId(99), 30);
+        check(&t, NodeId(0), NodeId(0), 30);
+        check(&t, NodeId(50), NodeId(10), 20);
+    }
+
+    #[test]
+    fn splits_complete_trees() {
+        let t = generate::left_complete(255);
+        // Designated nodes must have degree ≤ 2 (root or leaves here), as in
+        // the embedding where every designated node has a placed neighbour.
+        check(&t, NodeId(0), NodeId(254), 60);
+        check(&t, NodeId(130), NodeId(130), 40);
+        check(&t, NodeId(254), NodeId(0), 100);
+    }
+
+    #[test]
+    fn splits_all_families_many_deltas() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for family in TreeFamily::ALL {
+            for n in [20usize, 97, 256] {
+                let t = family.generate(n, &mut rng);
+                // Pick designated nodes with degree ≤ 2 (the usage pattern:
+                // designated nodes always have a placed neighbour).
+                let candidates: Vec<NodeId> = t.nodes().filter(|&v| t.degree(v) <= 2).collect();
+                for _ in 0..8 {
+                    let r1 = candidates[rng.random_range(0..candidates.len())];
+                    let r2 = candidates[rng.random_range(0..candidates.len())];
+                    let max_delta = (3 * n as u32 - 1) / 4; // largest Δ with 3n > 4Δ
+                    let delta = rng.random_range(1..=max_delta.max(1));
+                    check(&t, r1, r2, delta);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn respects_designated_on_both_sides() {
+        // r2 deep inside the carved subtree lands in S2.
+        let t = generate::path(60);
+        let placed = vec![false; 60];
+        let sep = lemma1(&t, &placed, NodeId(0), NodeId(59), 10);
+        // part2 is the far end of the path; r2 = 59 must be laid out.
+        assert!(sep.s1.contains(&NodeId(0)));
+        assert!(sep.s2.contains(&NodeId(59)) || sep.s1.contains(&NodeId(59)));
+    }
+
+    #[test]
+    fn single_cut_edge() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let t = generate::random_bst(500, &mut rng);
+        let placed = vec![false; 500];
+        let leaf = t.nodes().find(|&v| t.degree(v) == 1).unwrap();
+        let sep = lemma1(&t, &placed, leaf, leaf, 100);
+        assert_eq!(sep.cut.len(), 1, "lemma 1 cuts exactly one edge");
+    }
+
+    #[test]
+    fn works_on_pieces_with_placed_nodes() {
+        // Place a block in the middle of a path; the lemma must stay on one
+        // side of it.
+        let t = generate::path(100);
+        let mut placed = vec![false; 100];
+        placed[40] = true;
+        let sep = lemma1(&t, &placed, NodeId(0), NodeId(39), 12);
+        check_separation(
+            &t,
+            &placed,
+            &[],
+            NodeId(0),
+            NodeId(39),
+            12,
+            &sep,
+            Separation::lemma1_bound(12),
+            4,
+            2,
+        );
+        for &v in &sep.part2 {
+            assert!(v.index() < 40);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 4Δ/3")]
+    fn rejects_oversized_delta() {
+        let t = generate::path(10);
+        let placed = vec![false; 10];
+        let _ = lemma1(&t, &placed, NodeId(0), NodeId(9), 9);
+    }
+}

@@ -1,0 +1,457 @@
+//! Lemma 2 of the paper.
+//!
+//! Same interface as Lemma 1, but with tighter balance: for any `1 ≤ Δ ≤ n`
+//! the piece splits into `T1, T2` with `| |T2| − Δ | ≤ ⌊(Δ+4)/9⌋` and
+//! `|S1|, |S2| ≤ 4`. The construction first walks the path from `r1`
+//! toward `r2` (procedure `find2`) and then distinguishes the paper's three
+//! cases; the `find1` carvings are applied twice (a main carve plus a
+//! correction carve) which is what squeezes the error from `Δ/3` to `Δ/9`.
+//!
+//! Documented deviation (see DESIGN.md): when the correction carve must be
+//! a second *disjoint* subtree on the same side, preserving collinearity
+//! requires also laying out the junction vertex of the two carving paths —
+//! a detail the extended abstract leaves to the full version. This can push
+//! `|S1|` to 5.
+
+use super::lemma1::{dedup, lemma1_ex};
+use super::orient::{find1, Orientation};
+use super::Separation;
+use crate::tree::{BinaryTree, NodeId};
+use std::collections::HashSet;
+
+/// Applies Lemma 2 to the piece containing `r1`.
+///
+/// # Preconditions (asserted)
+/// * `r1`, `r2` un-placed, same component; `1 ≤ Δ ≤ n`;
+/// * designated nodes have at most two un-placed neighbours.
+pub fn lemma2(
+    tree: &BinaryTree,
+    placed: &[bool],
+    r1: NodeId,
+    r2: NodeId,
+    delta: u32,
+) -> Separation {
+    let mut o = Orientation::new(tree.len());
+    o.orient(tree, placed, &[], r1);
+    assert!(o.contains(r2), "r2 must lie in the piece of r1");
+    let n = o.piece_len() as u32;
+    assert!(
+        delta >= 1 && delta <= n,
+        "lemma 2 needs 1 ≤ Δ ≤ n (Δ = {delta}, n = {n})"
+    );
+
+    if delta == n {
+        // Take the whole piece: lay out the designated nodes, cut nothing.
+        return Separation {
+            s1: Vec::new(),
+            s2: dedup(vec![r1, r2]),
+            part2: o.piece_nodes().collect(),
+            cut: Vec::new(),
+        };
+    }
+    if 3 * n > 4 * delta {
+        main_split(tree, placed, &o, r1, r2, delta)
+    } else {
+        // Δ < n ≤ 4Δ/3: solve for Δ' = n − Δ < Δ/3 and swap the roles of
+        // the two sides (paper's closing remark in the proof).
+        let piece: Vec<NodeId> = o.piece_nodes().collect();
+        let inner = main_split(tree, placed, &o, r1, r2, n - delta);
+        invert(piece, inner)
+    }
+}
+
+/// Swaps part1 and part2 of a separation.
+fn invert(piece: Vec<NodeId>, sep: Separation) -> Separation {
+    let old2: HashSet<NodeId> = sep.part2.iter().copied().collect();
+    let part2 = piece.into_iter().filter(|v| !old2.contains(v)).collect();
+    Separation {
+        s1: sep.s2,
+        s2: sep.s1,
+        part2,
+        cut: sep.cut.into_iter().map(|(a, b)| (b, a)).collect(),
+    }
+}
+
+/// The main construction, assuming `3n > 4Δ` and `Δ ≥ 1`.
+/// `o` is oriented from `r1` over the full piece.
+fn main_split(
+    tree: &BinaryTree,
+    placed: &[bool],
+    o: &Orientation,
+    r1: NodeId,
+    r2: NodeId,
+    delta: u32,
+) -> Separation {
+    // Procedure find2: walk from r1 along the path toward r2 while the
+    // subtree stays larger than 4Δ/3.
+    let path_down: Vec<NodeId> = {
+        let mut p = o.path_up(r2, r1);
+        p.reverse(); // r1 … r2
+        p
+    };
+    let mut v = r1;
+    let mut it = path_down.iter().skip(1);
+    while 3 * o.size(v) > 4 * delta && v != r2 {
+        match it.next() {
+            Some(&next) => v = next,
+            None => break, // v == r2 with a large subtree
+        }
+    }
+
+    if v == r2 && 3 * o.size(r2) > 4 * delta {
+        case_both_in_s1(tree, placed, o, r1, r2, delta)
+    } else if o.size(v) < delta {
+        case_small_subtree(tree, placed, o, r1, r2, delta, v)
+    } else {
+        case_medium_subtree(tree, placed, o, r1, r2, delta, v)
+    }
+}
+
+/// Case 1: the walk reached `r2` and `|T(r2)| > 4Δ/3`. Both designated
+/// nodes go to `S1`; the mass for `T2` is carved out of `T(r2)` by find1,
+/// applied twice.
+fn case_both_in_s1(
+    tree: &BinaryTree,
+    placed: &[bool],
+    o: &Orientation,
+    r1: NodeId,
+    r2: NodeId,
+    delta: u32,
+) -> Separation {
+    let u1 = find1(o, tree, r2, delta);
+    let s_u1 = o.size(u1);
+    let pu1 = o.parent(u1).expect("find1 result has a father");
+
+    if s_u1 == delta {
+        return Separation {
+            s1: dedup(vec![r1, r2, pu1]),
+            s2: vec![u1],
+            part2: o.subtree_nodes(tree, u1),
+            cut: vec![(pu1, u1)],
+        };
+    }
+    if s_u1 > delta {
+        // Overshoot: carve a correction subtree T(w) back out of T(u1).
+        let e = s_u1 - delta;
+        let w = find1(o, tree, u1, e);
+        let pw = o.parent(w).expect("find1 result has a father");
+        let wset: HashSet<NodeId> = o.subtree_nodes(tree, w).into_iter().collect();
+        let part2 = o
+            .subtree_nodes(tree, u1)
+            .into_iter()
+            .filter(|x| !wset.contains(x))
+            .collect();
+        return Separation {
+            s1: dedup(vec![r1, r2, pu1, w]),
+            s2: dedup(vec![u1, pw]),
+            part2,
+            cut: vec![(pu1, u1), (w, pw)],
+        };
+    }
+    // Undershoot: carve a second subtree, disjoint from T(u1), out of the
+    // remainder of T(r2).
+    let e = delta - s_u1;
+    let part2a = o.subtree_nodes(tree, u1);
+    let mut o2 = Orientation::new(tree.len());
+    o2.orient(tree, placed, &[u1], r1);
+    assert!(
+        3 * o2.size(r2) > 4 * e,
+        "case-1 second carve precondition (guaranteed by |T(r2)| > 4Δ/3)"
+    );
+    let w = find1(&o2, tree, r2, e);
+    if o.junction(w, u1) == w {
+        // w is an ancestor of u1: the two carvings merge into T(w).
+        let pw = o.parent(w).expect("w is below r2");
+        return Separation {
+            s1: dedup(vec![r1, r2, pw]),
+            s2: vec![w],
+            part2: o.subtree_nodes(tree, w),
+            cut: vec![(pw, w)],
+        };
+    }
+    let pw = o2.parent(w).expect("w is below r2");
+    let mut part2 = part2a;
+    part2.extend(o2.subtree_nodes(tree, w));
+    // The junction of the two carving paths must be laid out too, or the
+    // component between r2, pu1 and pw would have three edges into S1.
+    let j = o.junction(u1, w);
+    Separation {
+        s1: dedup(vec![r1, r2, pu1, pw, j]),
+        s2: dedup(vec![u1, w]),
+        part2,
+        cut: vec![(pu1, u1), (pw, w)],
+    }
+}
+
+/// Case 2: the walk stopped at `v` with `|T(v)| < Δ` (and `r2 ∈ T(v)`).
+/// `T2 = T(v)` plus `Δ − |T(v)|` nodes carved out of `T(x, v)`, the part of
+/// the father's subtree avoiding `v`.
+fn case_small_subtree(
+    tree: &BinaryTree,
+    placed: &[bool],
+    o: &Orientation,
+    r1: NodeId,
+    r2: NodeId,
+    delta: u32,
+    v: NodeId,
+) -> Separation {
+    let x = o.parent(v).expect("the walk moved at least one step");
+    let delta1 = delta - o.size(v);
+    debug_assert!(delta1 >= 1);
+    let base = o.subtree_nodes(tree, v);
+    debug_assert!(base.contains(&r2), "the walk follows the path to r2");
+
+    let mut o2 = Orientation::new(tree.len());
+    o2.orient(tree, placed, &[v], r1);
+    assert!(
+        3 * o2.size(x) > 4 * delta1,
+        "case-2 carve precondition (guaranteed by |T(x)| > 4Δ/3)"
+    );
+    let u1 = find1(&o2, tree, x, delta1);
+    let pu1 = o2.parent(u1).expect("find1 result has a father");
+    let s_u1 = o2.size(u1);
+
+    if s_u1 == delta1 {
+        let mut part2 = base;
+        part2.extend(o2.subtree_nodes(tree, u1));
+        return Separation {
+            s1: dedup(vec![r1, x, pu1]),
+            s2: dedup(vec![r2, v, u1]),
+            part2,
+            cut: vec![(x, v), (pu1, u1)],
+        };
+    }
+    if s_u1 > delta1 {
+        let e = s_u1 - delta1;
+        let w = find1(&o2, tree, u1, e);
+        let pw = o2.parent(w).expect("find1 result has a father");
+        let wset: HashSet<NodeId> = o2.subtree_nodes(tree, w).into_iter().collect();
+        let mut part2 = base;
+        part2.extend(
+            o2.subtree_nodes(tree, u1)
+                .into_iter()
+                .filter(|y| !wset.contains(y)),
+        );
+        return Separation {
+            s1: dedup(vec![r1, x, pu1, w]),
+            s2: dedup(vec![r2, v, u1, pw]),
+            part2,
+            cut: vec![(x, v), (pu1, u1), (w, pw)],
+        };
+    }
+    // Undershoot: second disjoint carve from T(x, v) − T(u1).
+    let e = delta1 - s_u1;
+    let mut o3 = Orientation::new(tree.len());
+    o3.orient(tree, placed, &[v, u1], r1);
+    assert!(3 * o3.size(x) > 4 * e, "case-2 second carve precondition");
+    let u2 = find1(&o3, tree, x, e);
+    if o2.junction(u2, u1) == u2 {
+        // u2 is an ancestor of u1: the carvings merge into T(u2) − T(v).
+        let pu2 = o2
+            .parent(u2)
+            .expect("u2 is below x or equals a child of it");
+        let mut part2 = base;
+        part2.extend(o2.subtree_nodes(tree, u2));
+        return Separation {
+            s1: dedup(vec![r1, x, pu2]),
+            s2: dedup(vec![r2, v, u2]),
+            part2,
+            cut: vec![(x, v), (pu2, u2)],
+        };
+    }
+    let pu2 = o3.parent(u2).expect("find1 result has a father");
+    let mut part2 = base;
+    part2.extend(o2.subtree_nodes(tree, u1));
+    part2.extend(o3.subtree_nodes(tree, u2));
+    let j = o2.junction(u1, u2);
+    Separation {
+        s1: dedup(vec![r1, x, pu1, pu2, j]),
+        s2: dedup(vec![r2, v, u1, u2]),
+        part2,
+        cut: vec![(x, v), (pu1, u1), (pu2, u2)],
+    }
+}
+
+/// Case 3: the walk stopped at `v` with `Δ ≤ |T(v)| ≤ 4Δ/3`. Apply Lemma 1
+/// *inside* `T(v)` with `Δ' = |T(v)| − Δ` and designated nodes `v, r2`; the
+/// piece Lemma 1 carves off returns to `T1`.
+fn case_medium_subtree(
+    tree: &BinaryTree,
+    placed: &[bool],
+    o: &Orientation,
+    r1: NodeId,
+    r2: NodeId,
+    delta: u32,
+    v: NodeId,
+) -> Separation {
+    let x = o.parent(v).expect("the walk moved at least one step");
+    let dp = o.size(v) - delta;
+    if dp == 0 {
+        return Separation {
+            s1: dedup(vec![r1, x]),
+            s2: dedup(vec![v, r2]),
+            part2: o.subtree_nodes(tree, v),
+            cut: vec![(x, v)],
+        };
+    }
+    let inner = lemma1_ex(tree, placed, &[x], v, r2, dp);
+    let removed: HashSet<NodeId> = inner.part2.iter().copied().collect();
+    let part2 = o
+        .subtree_nodes(tree, v)
+        .into_iter()
+        .filter(|y| !removed.contains(y))
+        .collect();
+    let mut s1 = vec![r1, x];
+    s1.extend(inner.s2);
+    let mut cut = vec![(x, v)];
+    cut.extend(inner.cut.into_iter().map(|(a, b)| (b, a)));
+    Separation {
+        s1: dedup(s1),
+        s2: inner.s1,
+        part2,
+        cut,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index loops mirror the math
+mod tests {
+    use super::*;
+    use crate::generate::{self, TreeFamily};
+    use crate::separator::check_separation;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn check(tree: &BinaryTree, r1: NodeId, r2: NodeId, delta: u32) -> Separation {
+        let placed = vec![false; tree.len()];
+        let sep = lemma2(tree, &placed, r1, r2, delta);
+        check_separation(
+            tree,
+            &placed,
+            &[],
+            r1,
+            r2,
+            delta,
+            &sep,
+            Separation::lemma2_bound(delta),
+            5, // 4 + the documented junction-vertex deviation
+            5,
+        );
+        sep
+    }
+
+    #[test]
+    fn whole_piece_when_delta_is_n() {
+        let t = generate::path(20);
+        let sep = check(&t, NodeId(0), NodeId(19), 20);
+        assert_eq!(sep.part2.len(), 20);
+        assert!(sep.cut.is_empty());
+    }
+
+    #[test]
+    fn splits_paths_tightly() {
+        let t = generate::path(1000);
+        for delta in [1u32, 10, 100, 333, 500, 750, 900, 999] {
+            let sep = check(&t, NodeId(0), NodeId(999), delta);
+            // On a path, every target is achievable exactly.
+            assert!(
+                u32::abs_diff(sep.part2.len() as u32, delta) <= Separation::lemma2_bound(delta)
+            );
+        }
+    }
+
+    #[test]
+    fn splits_complete_trees() {
+        let t = generate::left_complete(511);
+        for delta in [1u32, 16, 100, 170, 256, 400, 511] {
+            check(&t, NodeId(0), NodeId(300), delta);
+            check(&t, NodeId(510), NodeId(255), delta);
+        }
+    }
+
+    #[test]
+    fn sweeps_all_families_and_deltas() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2024);
+        for family in TreeFamily::ALL {
+            for n in [16usize, 97, 400] {
+                let t = family.generate(n, &mut rng);
+                let candidates: Vec<NodeId> = t.nodes().filter(|&v| t.degree(v) <= 2).collect();
+                for _ in 0..10 {
+                    let r1 = candidates[rng.random_range(0..candidates.len())];
+                    let r2 = candidates[rng.random_range(0..candidates.len())];
+                    let delta = rng.random_range(1..=n as u32);
+                    check(&t, r1, r2, delta);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_designated_node_twice() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let t = generate::random_attach(300, &mut rng);
+        let leaf = t.nodes().find(|&v| t.degree(v) == 1).unwrap();
+        for delta in [1u32, 50, 150, 299, 300] {
+            check(&t, leaf, leaf, delta);
+        }
+    }
+
+    #[test]
+    fn respects_placed_blocks() {
+        let t = generate::path(200);
+        let mut placed = vec![false; 200];
+        for i in 100..110 {
+            placed[i] = true;
+        }
+        let sep = lemma2(&t, &placed, NodeId(0), NodeId(99), 40);
+        check_separation(
+            &t,
+            &placed,
+            &[],
+            NodeId(0),
+            NodeId(99),
+            40,
+            &sep,
+            Separation::lemma2_bound(40),
+            5,
+            5,
+        );
+        for &v in &sep.part2 {
+            assert!(v.index() < 100);
+        }
+    }
+
+    #[test]
+    fn nine_fold_improvement_over_lemma1() {
+        // The point of Lemma 2: error ⌊(Δ+4)/9⌋ instead of ⌊(Δ+1)/3⌋.
+        assert_eq!(Separation::lemma2_bound(90), 10);
+        assert_eq!(Separation::lemma1_bound(90), 30);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let t = generate::random_bst(5000, &mut rng);
+        let leaf = t.nodes().find(|&v| t.degree(v) == 1).unwrap();
+        let placed = vec![false; 5000];
+        for delta in [900u32, 1800, 2500] {
+            let sep = lemma2(&t, &placed, leaf, leaf, delta);
+            assert!(
+                u32::abs_diff(sep.part2.len() as u32, delta) <= (delta + 4) / 9,
+                "Δ={delta}, |T2|={}",
+                sep.part2.len()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 ≤ Δ ≤ n")]
+    fn rejects_delta_zero() {
+        let t = generate::path(10);
+        let _ = lemma2(&t, &[false; 10], NodeId(0), NodeId(9), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 ≤ Δ ≤ n")]
+    fn rejects_delta_above_n() {
+        let t = generate::path(10);
+        let _ = lemma2(&t, &[false; 10], NodeId(0), NodeId(9), 11);
+    }
+}

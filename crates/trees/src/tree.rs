@@ -1,0 +1,356 @@
+//! Arbitrary binary trees — the *guest* graphs of the paper.
+//!
+//! A binary tree here is a rooted tree in which every node has at most two
+//! children (so every vertex has degree ≤ 3, the root degree ≤ 2). This is
+//! the class the paper embeds: "binary trees reflect common data structures
+//! and the type of program structure found in common divide-and-conquer
+//! algorithms".
+
+use smallvec::SmallVec;
+use std::fmt;
+
+/// Index of a node within a [`BinaryTree`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// A rooted binary tree stored as an arena of parent / child links.
+#[derive(Clone)]
+pub struct BinaryTree {
+    parent: Vec<u32>,
+    children: Vec<[u32; 2]>,
+    root: u32,
+}
+
+impl BinaryTree {
+    /// A tree with a single root node.
+    pub fn singleton() -> Self {
+        BinaryTree {
+            parent: vec![NONE],
+            children: vec![[NONE, NONE]],
+            root: 0,
+        }
+    }
+
+    /// Builds a tree from a parent array (`None` exactly at the root).
+    ///
+    /// # Panics
+    /// Panics if the array does not describe a binary tree: no or several
+    /// roots, a node with three children, cycles, or out-of-range parents.
+    pub fn from_parents(parents: &[Option<usize>]) -> Self {
+        let n = parents.len();
+        assert!(n > 0, "tree must have at least one node");
+        assert!(n < NONE as usize, "tree too large");
+        let mut tree = BinaryTree {
+            parent: vec![NONE; n],
+            children: vec![[NONE, NONE]; n],
+            root: NONE,
+        };
+        for (v, &p) in parents.iter().enumerate() {
+            match p {
+                None => {
+                    assert_eq!(tree.root, NONE, "multiple roots");
+                    tree.root = v as u32;
+                }
+                Some(p) => {
+                    assert!(p < n && p != v, "invalid parent {p} of {v}");
+                    tree.parent[v] = p as u32;
+                    let slot = tree.children[p]
+                        .iter()
+                        .position(|&c| c == NONE)
+                        .unwrap_or_else(|| panic!("node {p} has more than two children"));
+                    tree.children[p][slot] = v as u32;
+                }
+            }
+        }
+        assert_ne!(tree.root, NONE, "no root");
+        // Reject cycles / forests: everything must be reachable from the root.
+        let mut seen = 0usize;
+        let mut stack = vec![tree.root];
+        let mut visited = vec![false; n];
+        while let Some(v) = stack.pop() {
+            assert!(!visited[v as usize], "cycle at node {v}");
+            visited[v as usize] = true;
+            seen += 1;
+            for c in tree.children[v as usize] {
+                if c != NONE {
+                    stack.push(c);
+                }
+            }
+        }
+        assert_eq!(seen, n, "parent array describes a forest, not a tree");
+        tree
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Always false: trees have at least one node.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The root node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId(self.root)
+    }
+
+    /// The parent, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        let p = self.parent[v.index()];
+        (p != NONE).then_some(NodeId(p))
+    }
+
+    /// The (up to two) children.
+    #[inline]
+    pub fn children(&self, v: NodeId) -> SmallVec<[NodeId; 2]> {
+        self.children[v.index()]
+            .iter()
+            .filter(|&&c| c != NONE)
+            .map(|&c| NodeId(c))
+            .collect()
+    }
+
+    /// All tree neighbours (parent + children): at most 3.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> SmallVec<[NodeId; 3]> {
+        let mut out = SmallVec::new();
+        if let Some(p) = self.parent(v) {
+            out.push(p);
+        }
+        for c in self.children[v.index()] {
+            if c != NONE {
+                out.push(NodeId(c));
+            }
+        }
+        out
+    }
+
+    /// Degree of `v` in the (undirected) tree.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// True if `{u, v}` is a tree edge.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.parent[u.index()] == v.0 || self.parent[v.index()] == u.0
+    }
+
+    /// Adds a child to `p`, returning the new node's id.
+    ///
+    /// # Panics
+    /// Panics if `p` already has two children.
+    pub fn add_child(&mut self, p: NodeId) -> NodeId {
+        let slot = self.children[p.index()]
+            .iter()
+            .position(|&c| c == NONE)
+            .expect("node already has two children");
+        let v = self.parent.len() as u32;
+        assert!(v != NONE, "tree too large");
+        self.parent.push(p.0);
+        self.children.push([NONE, NONE]);
+        self.children[p.index()][slot] = v;
+        NodeId(v)
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.parent.len() as u32).map(NodeId)
+    }
+
+    /// Iterates over all undirected edges as `(parent, child)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().filter_map(|v| self.parent(v).map(|p| (p, v)))
+    }
+
+    /// Nodes in preorder from the root.
+    pub fn preorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut stack = vec![self.root];
+        while let Some(v) = stack.pop() {
+            out.push(NodeId(v));
+            for c in self.children[v as usize].iter().rev() {
+                if *c != NONE {
+                    stack.push(*c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Subtree sizes (number of descendants including self), indexed by node.
+    pub fn subtree_sizes(&self) -> Vec<u32> {
+        let mut size = vec![1u32; self.len()];
+        let order = self.preorder();
+        for &v in order.iter().rev() {
+            if let Some(p) = self.parent(v) {
+                size[p.index()] += size[v.index()];
+            }
+        }
+        size
+    }
+
+    /// Height of the tree (edges on the longest root-to-leaf path).
+    pub fn height(&self) -> usize {
+        let mut depth = vec![0usize; self.len()];
+        let mut best = 0;
+        for v in self.preorder() {
+            if let Some(p) = self.parent(v) {
+                depth[v.index()] = depth[p.index()] + 1;
+                best = best.max(depth[v.index()]);
+            }
+        }
+        best
+    }
+
+    /// Number of leaves (nodes without children).
+    pub fn leaf_count(&self) -> usize {
+        self.nodes()
+            .filter(|&v| self.children(v).is_empty())
+            .count()
+    }
+
+    /// Checks the structural invariants; used by generator tests.
+    pub fn validate(&self) {
+        assert!(self.root != NONE);
+        assert_eq!(self.parent[self.root as usize], NONE);
+        let mut count = 0;
+        for v in self.preorder() {
+            count += 1;
+            for c in self.children(v) {
+                assert_eq!(self.parent(c), Some(v));
+            }
+            assert!(self.degree(v) <= 3);
+        }
+        assert_eq!(count, self.len(), "unreachable nodes");
+    }
+}
+
+impl fmt::Debug for BinaryTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BinaryTree(n={}, root={:?})", self.len(), self.root())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BinaryTree {
+        //        0
+        //       / \
+        //      1   2
+        //     / \   \
+        //    3   4   5
+        BinaryTree::from_parents(&[None, Some(0), Some(0), Some(1), Some(1), Some(2)])
+    }
+
+    #[test]
+    fn from_parents_builds_links() {
+        let t = sample();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.root(), NodeId(0));
+        assert_eq!(t.parent(NodeId(3)), Some(NodeId(1)));
+        assert_eq!(t.children(NodeId(1)).as_slice(), &[NodeId(3), NodeId(4)]);
+        assert_eq!(t.children(NodeId(5)).len(), 0);
+        assert_eq!(t.degree(NodeId(0)), 2);
+        assert_eq!(t.degree(NodeId(1)), 3);
+        assert_eq!(t.degree(NodeId(3)), 1);
+        t.validate();
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let t = sample();
+        for v in t.nodes() {
+            for w in t.neighbors(v) {
+                assert!(t.neighbors(w).contains(&v));
+                assert!(t.has_edge(v, w));
+            }
+        }
+        assert!(!t.has_edge(NodeId(3), NodeId(4)));
+    }
+
+    #[test]
+    fn preorder_and_sizes() {
+        let t = sample();
+        let order = t.preorder();
+        assert_eq!(order.len(), 6);
+        assert_eq!(order[0], NodeId(0));
+        let sizes = t.subtree_sizes();
+        assert_eq!(sizes[0], 6);
+        assert_eq!(sizes[1], 3);
+        assert_eq!(sizes[2], 2);
+        assert_eq!(sizes[3], 1);
+    }
+
+    #[test]
+    fn height_and_leaves() {
+        let t = sample();
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.leaf_count(), 3);
+        assert_eq!(BinaryTree::singleton().height(), 0);
+        assert_eq!(BinaryTree::singleton().leaf_count(), 1);
+    }
+
+    #[test]
+    fn add_child_grows() {
+        let mut t = BinaryTree::singleton();
+        let a = t.add_child(t.root());
+        let b = t.add_child(t.root());
+        let c = t.add_child(a);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.parent(c), Some(a));
+        assert_eq!(t.children(t.root()).as_slice(), &[a, b]);
+        t.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "more than two children")]
+    fn rejects_ternary_node() {
+        let _ = BinaryTree::from_parents(&[None, Some(0), Some(0), Some(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple roots")]
+    fn rejects_two_roots() {
+        let _ = BinaryTree::from_parents(&[None, None]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_cycle() {
+        let _ = BinaryTree::from_parents(&[Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn edges_count() {
+        let t = sample();
+        assert_eq!(t.edges().count(), 5);
+        for (p, c) in t.edges() {
+            assert_eq!(t.parent(c), Some(p));
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Failure injection: `check_separation` is itself load-bearing (every
+//! lemma test and property test trusts it), so verify that it *rejects*
+//! deliberately corrupted separations — a checker that accepts anything
+//! would make the whole suite vacuous.
+
+use xtree_trees::{check_separation, generate, lemma2, NodeId, Separation};
+
+fn valid_setup() -> (
+    xtree_trees::BinaryTree,
+    Vec<bool>,
+    NodeId,
+    NodeId,
+    u32,
+    Separation,
+) {
+    let t = generate::path(100);
+    let placed = vec![false; 100];
+    let (r1, r2) = (NodeId(0), NodeId(99));
+    let delta = 30;
+    let sep = lemma2(&t, &placed, r1, r2, delta);
+    (t, placed, r1, r2, delta, sep)
+}
+
+fn check(
+    t: &xtree_trees::BinaryTree,
+    placed: &[bool],
+    r1: NodeId,
+    r2: NodeId,
+    delta: u32,
+    sep: &Separation,
+) {
+    check_separation(
+        t,
+        placed,
+        &[],
+        r1,
+        r2,
+        delta,
+        sep,
+        Separation::lemma2_bound(delta),
+        5,
+        5,
+    );
+}
+
+#[test]
+fn accepts_the_genuine_article() {
+    let (t, placed, r1, r2, delta, sep) = valid_setup();
+    check(&t, &placed, r1, r2, delta, &sep);
+}
+
+#[test]
+#[should_panic(expected = "off by more than")]
+fn rejects_wrong_part2_size() {
+    let (t, placed, r1, r2, _, sep) = valid_setup();
+    // Lie about the target: the same split must fail a far-away Δ.
+    check(&t, &placed, r1, r2, 90, &sep);
+}
+
+#[test]
+#[should_panic]
+fn rejects_missing_designated() {
+    let (t, placed, _, _, delta, mut sep) = valid_setup();
+    // Drop r1 from whichever boundary set holds it.
+    sep.s1.retain(|&v| v != NodeId(0));
+    sep.s2.retain(|&v| v != NodeId(0));
+    check(&t, &placed, NodeId(0), NodeId(99), delta, &sep);
+}
+
+#[test]
+#[should_panic(expected = "cut list does not match")]
+fn rejects_missing_cut_edge() {
+    let (t, placed, r1, r2, delta, mut sep) = valid_setup();
+    sep.cut.pop();
+    check(&t, &placed, r1, r2, delta, &sep);
+}
+
+#[test]
+#[should_panic]
+fn rejects_part2_with_foreign_node() {
+    let (t, placed, r1, r2, delta, mut sep) = valid_setup();
+    // Move one node from part1 into part2 without adjusting anything
+    // else: either the boundary-edge structure or collinearity breaks.
+    let part2: std::collections::HashSet<NodeId> = sep.part2.iter().copied().collect();
+    let foreign = t.nodes().find(|v| !part2.contains(v)).unwrap();
+    sep.part2.push(foreign);
+    check(&t, &placed, r1, r2, delta, &sep);
+}
+
+#[test]
+#[should_panic(expected = "duplicates")]
+fn rejects_duplicate_boundary_nodes() {
+    let (t, placed, r1, r2, delta, mut sep) = valid_setup();
+    let v = sep.s1[0];
+    sep.s1.push(v);
+    check(&t, &placed, r1, r2, delta, &sep);
+}
+
+#[test]
+#[should_panic(expected = "not collinear")]
+fn rejects_non_collinear_boundary() {
+    // Construct a separation by hand on a star-of-paths tree where one
+    // component touches S1 three times.
+    //        0
+    //      / |
+    //     1  2        (0 has children 1, 2; 1 has children 3, 4)
+    //    / \
+    //   3   4
+    let t = xtree_trees::BinaryTree::from_parents(&[None, Some(0), Some(0), Some(1), Some(1)]);
+    let placed = vec![false; 5];
+    // part2 = {2}; cut edge (0, 2); declare S1 = {0, 3, 4}: the component
+    // {1} of part1 − S1 touches 0, 3 and 4 → three edges into S1.
+    let sep = Separation {
+        s1: vec![NodeId(0), NodeId(3), NodeId(4)],
+        s2: vec![NodeId(2)],
+        part2: vec![NodeId(2)],
+        cut: vec![(NodeId(0), NodeId(2))],
+    };
+    check_separation(&t, &placed, &[], NodeId(3), NodeId(2), 1, &sep, 0, 5, 5);
+}

@@ -1,0 +1,118 @@
+//! Property-based verification of the separator lemmas: for *arbitrary*
+//! binary trees, designated nodes, targets, and pre-placed regions, every
+//! post-condition of Lemmas 1 and 2 must hold. `check_separation` verifies
+//! designated coverage, the size bound, the cut structure (every boundary
+//! edge runs S1–S2) and collinearity of both boundary sets.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xtree_trees::{
+    check_separation, generate, lemma1, lemma2, BinaryTree, NodeId, Separation, TreeFamily,
+};
+
+/// An arbitrary tree plus two valid designated nodes (degree ≤ 2, as in
+/// the embedding where designated nodes always have a placed neighbour).
+fn tree_with_designated() -> impl Strategy<Value = (BinaryTree, NodeId, NodeId)> {
+    (
+        4usize..800,
+        any::<u64>(),
+        0..8usize,
+        any::<u16>(),
+        any::<u16>(),
+    )
+        .prop_map(|(n, seed, f, i1, i2)| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let t = if f < 7 {
+                TreeFamily::ALL[f].generate(n, &mut rng)
+            } else {
+                generate::random_leaning(n, (seed % 256) as u8, &mut rng)
+            };
+            let cands: Vec<NodeId> = t.nodes().filter(|&v| t.degree(v) <= 2).collect();
+            let r1 = cands[i1 as usize % cands.len()];
+            let r2 = cands[i2 as usize % cands.len()];
+            (t, r1, r2)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lemma1_always_within_bound((t, r1, r2) in tree_with_designated(), frac in 1u32..100) {
+        let n = t.len() as u32;
+        // Any Δ with 3n > 4Δ, Δ ≥ 1.
+        let max_delta = (3 * n - 1) / 4;
+        prop_assume!(max_delta >= 1);
+        let delta = 1 + (frac * 7919) % max_delta;
+        let placed = vec![false; t.len()];
+        let sep = lemma1(&t, &placed, r1, r2, delta);
+        check_separation(
+            &t, &placed, &[], r1, r2, delta, &sep,
+            Separation::lemma1_bound(delta), 4, 2,
+        );
+        // Lemma 1 cuts exactly one edge.
+        prop_assert_eq!(sep.cut.len(), 1);
+    }
+
+    #[test]
+    fn lemma2_always_within_bound((t, r1, r2) in tree_with_designated(), frac in 1u32..100) {
+        let n = t.len() as u32;
+        let delta = 1 + (frac * 104729) % n;
+        let placed = vec![false; t.len()];
+        let sep = lemma2(&t, &placed, r1, r2, delta);
+        check_separation(
+            &t, &placed, &[], r1, r2, delta, &sep,
+            Separation::lemma2_bound(delta), 5, 5,
+        );
+        // Lemma 2 cuts at most three edges (base cut + two carvings).
+        prop_assert!(sep.cut.len() <= 3, "cut {:?}", sep.cut.len());
+    }
+
+    #[test]
+    fn lemma2_respects_placed_regions((t, r1, r2) in tree_with_designated(), block in any::<u16>()) {
+        // Pre-place a random subtree and split what remains around r1.
+        let mut placed = vec![false; t.len()];
+        let victim = NodeId(u32::from(block) % t.len() as u32);
+        // Mark victim's subtree (in the rooted orientation) as placed,
+        // unless that would swallow r1 or r2.
+        let mut stack = vec![victim];
+        let mut marked = Vec::new();
+        while let Some(v) = stack.pop() {
+            marked.push(v);
+            stack.extend(t.children(v));
+        }
+        if marked.contains(&r1) || marked.contains(&r2) {
+            return Ok(());
+        }
+        for &v in &marked {
+            placed[v.index()] = true;
+        }
+        // The piece of r1 after blocking; r2 must still be reachable.
+        let reach = {
+            use std::collections::HashSet;
+            let mut seen = HashSet::from([r1]);
+            let mut q = vec![r1];
+            while let Some(v) = q.pop() {
+                for w in t.neighbors(v) {
+                    if !placed[w.index()] && seen.insert(w) {
+                        q.push(w);
+                    }
+                }
+            }
+            seen
+        };
+        prop_assume!(reach.contains(&r2));
+        prop_assume!(reach.len() >= 2);
+        let delta = 1 + (u32::from(block) % reach.len() as u32);
+        let sep = lemma2(&t, &placed, r1, r2, delta);
+        check_separation(
+            &t, &placed, &[], r1, r2, delta, &sep,
+            Separation::lemma2_bound(delta), 5, 5,
+        );
+        // Nothing placed may appear in the output.
+        for &v in sep.part2.iter().chain(&sep.s1).chain(&sep.s2) {
+            prop_assert!(!placed[v.index()]);
+        }
+    }
+}

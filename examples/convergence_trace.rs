@@ -1,0 +1,76 @@
+//! Watching algorithm X-TREE converge.
+//!
+//! Prints the Δ(j, i) matrix — the maximum half-difference of "associated"
+//! guest mass between sibling X-tree regions after each round — next to
+//! the paper's bound `2^{r+j+3−2i}`, together with the construction log.
+//! The geometric collapse of the matrix (by a factor 4 per round, to an
+//! exact 0 once `2i ≥ r + j + 2`) is the heart of the Theorem-1 proof.
+//!
+//! Run with: `cargo run --release --example convergence_trace [family]`
+//! where family is one of: path complete caterpillar broom random-bst
+//! random-attach random-split leaning (default: path).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xtree::core::theorem1;
+use xtree::trees::{theorem1_size, TreeFamily};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "path".into());
+    let family = TreeFamily::ALL
+        .into_iter()
+        .find(|f| f.name() == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown family {name}, using path");
+            TreeFamily::Path
+        });
+    let r = 7u8;
+    let n = theorem1_size(r);
+    let mut rng = ChaCha8Rng::seed_from_u64(1991);
+    let tree = family.generate(n, &mut rng);
+    println!(
+        "guest: {} with {n} nodes (height {}), host X({r})\n",
+        family.name(),
+        tree.height()
+    );
+
+    let res = theorem1::embed_with(&tree, theorem1::EmbedOptions::default());
+
+    println!("Δ(j, i) after each round (measured / paper bound):");
+    print!("{:>8}", "");
+    for j in 0..=r {
+        print!("{:>12}", format!("j={j}"));
+    }
+    println!();
+    for (idx, row) in res.trace.iter().enumerate() {
+        let i = idx as u8 + 1;
+        print!("{:>8}", format!("i={i}"));
+        for (j, &m) in row.iter().enumerate() {
+            let cell = match theorem1::paper_bound(r, j as u8, i) {
+                Some(b) => format!("{m}/{b}"),
+                None => format!("{m}/-"),
+            };
+            print!("{cell:>12}");
+        }
+        println!();
+    }
+
+    // Verify against the bound.
+    let mut violations = 0;
+    for (idx, row) in res.trace.iter().enumerate() {
+        for (j, &m) in row.iter().enumerate() {
+            if let Some(b) = theorem1::paper_bound(r, j as u8, idx as u8 + 1) {
+                if m > b {
+                    violations += 1;
+                }
+            }
+        }
+    }
+    println!("\nconstruction log: {:#?}", res.log);
+    println!(
+        "bound check: {} violations across {} matrix entries {}",
+        violations,
+        res.trace.iter().map(Vec::len).sum::<usize>(),
+        if violations == 0 { "✓" } else { "✗" }
+    );
+}

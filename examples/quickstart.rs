@@ -1,0 +1,73 @@
+//! Quickstart: embed a random binary tree into its optimal X-tree and
+//! verify every guarantee of Theorem 1 — then upgrade to the injective
+//! embedding of Theorem 2 and the hypercube embedding of Theorem 3.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xtree::core::{evaluate, hypercube, theorem1, theorem2};
+use xtree::trees::{theorem1_size, TreeFamily};
+
+fn main() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2024);
+    let r = 5;
+    let n = theorem1_size(r); // 16 · (2^{r+1} − 1) = 1008
+    let tree = TreeFamily::RandomBst.generate(n, &mut rng);
+    println!(
+        "guest: random BST shape with {n} nodes (height {})",
+        tree.height()
+    );
+
+    // ---- Theorem 1: load 16, dilation ≤ 3, optimal expansion -----------
+    let t1 = theorem1::embed(&tree);
+    let stats = evaluate(&tree, &t1.emb);
+    println!("\nTheorem 1 — X({r}) with {} vertices:", t1.emb.host_len());
+    println!("  dilation        = {} (paper bound: 3)", stats.dilation);
+    println!("  load factor     = {} (paper: exactly 16)", stats.max_load);
+    println!(
+        "  expansion       = {:.4} (optimal: {:.4})",
+        stats.expansion,
+        t1.emb.host_len() as f64 / n as f64
+    );
+    println!(
+        "  condition (3')  = {} violations",
+        stats.condition3_violations
+    );
+    println!("  dilation histogram: {:?}", stats.dilation_histogram);
+    assert!(stats.dilation <= 3);
+    assert_eq!(stats.max_load, 16);
+
+    // ---- Theorem 2: injective into X(r+4), dilation ≤ 11 ---------------
+    let inj = theorem2::injectivize(&t1.emb);
+    let inj_stats = evaluate(&tree, &inj);
+    println!("\nTheorem 2 — injective into X({}):", inj.height);
+    println!("  injective       = {}", inj_stats.injective);
+    println!(
+        "  dilation        = {} (paper bound: 11)",
+        inj_stats.dilation
+    );
+    assert!(inj_stats.injective && inj_stats.dilation <= 11);
+
+    // ---- Theorem 3: optimal hypercube, load 16, dilation ≤ 4 -----------
+    let n3 = xtree::trees::theorem3_size(r);
+    let tree3 = TreeFamily::RandomAttach.generate(n3, &mut rng);
+    let q = hypercube::embed_theorem3(&tree3);
+    println!("\nTheorem 3 — {} nodes into Q_{}:", n3, q.dim);
+    println!(
+        "  dilation        = {} (paper bound: 4)",
+        q.dilation(&tree3)
+    );
+    println!("  load factor     = {} (paper: 16)", q.max_load());
+    assert!(q.dilation(&tree3) <= 4);
+
+    let q8 = hypercube::embed_corollary8(&tree3);
+    println!(
+        "  corollary: injective into Q_{} with dilation {} (bound: 8)",
+        q8.dim,
+        q8.dilation(&tree3)
+    );
+    assert!(q8.is_injective() && q8.dilation(&tree3) <= 8);
+
+    println!("\nall theorem bounds hold ✓");
+}

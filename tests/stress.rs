@@ -1,0 +1,33 @@
+//! Large-scale stress runs (not part of the default test pass — run with
+//! `cargo test --release --test stress -- --ignored`).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xtree::core::{evaluate, theorem1, theorem2};
+use xtree::trees::{theorem1_size, TreeFamily};
+
+#[test]
+#[ignore = "large: ~130k-node guests"]
+fn theorem1_at_r12() {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    for family in [TreeFamily::Path, TreeFamily::RandomBst, TreeFamily::Leaning] {
+        let n = theorem1_size(12); // 131 056 nodes
+        let tree = family.generate(n, &mut rng);
+        let res = theorem1::embed(&tree);
+        let s = evaluate(&tree, &res.emb);
+        assert!(s.dilation <= 3, "{family:?}: {}", s.dilation);
+        assert_eq!(s.max_load, 16);
+        assert_eq!(s.condition3_violations, 0);
+    }
+}
+
+#[test]
+#[ignore = "large: injective pipeline at 32k nodes"]
+fn theorem2_at_r10() {
+    let mut rng = ChaCha8Rng::seed_from_u64(100);
+    let tree = TreeFamily::Caterpillar.generate(theorem1_size(10), &mut rng);
+    let inj = theorem2::injectivize(&theorem1::embed(&tree).emb);
+    let s = evaluate(&tree, &inj);
+    assert!(s.injective);
+    assert!(s.dilation <= 11);
+}
