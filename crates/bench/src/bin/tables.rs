@@ -37,7 +37,8 @@ fn main() {
         }
     }
     if json {
-        println!("{}", serde_json::to_string_pretty(&tables).unwrap());
+        let doc: xtree_json::Value = tables.iter().map(|t| t.to_json()).collect();
+        println!("{}", xtree_json::to_string_pretty(&doc));
     } else {
         for t in &tables {
             println!("{}", t.render());

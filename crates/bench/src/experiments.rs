@@ -660,47 +660,59 @@ pub fn b2() -> Table {
 
 /// S1 — the "dilation = clock cycles" simulation.
 pub fn s1() -> Table {
-    let mut rows = Vec::new();
     let r = 5u8;
     let n = generate::theorem3_size(r);
     let mut rng = ChaCha8Rng::seed_from_u64(0x5EED_0003);
-    for f in [
+    // Trees are generated sequentially (the rng state threads through the
+    // families); the simulations — the expensive part — fan out per family.
+    let cases: Vec<(TreeFamily, BinaryTree)> = [
         TreeFamily::RandomBst,
         TreeFamily::Caterpillar,
         TreeFamily::Path,
-    ] {
-        let t = f.generate(n, &mut rng);
-        let x = theorem1::embed(&t).emb;
-        let xnet = Network::new(XTree::new(x.height).graph().clone());
-        let xdil = evaluate(&t, &x).dilation;
-        for rep in simulate_all(&xnet, &t, &x) {
-            rows.push(vec![
-                f.name().into(),
-                format!("X({})", x.height),
-                format!("{xdil}"),
-                rep.workload.into(),
-                format!("{}", rep.cycles),
-                format!("{}", rep.ideal_cycles),
-                format!("{:.2}", rep.cycles as f64 / rep.ideal_cycles.max(1) as f64),
-                format!("{}", rep.max_link_traffic),
-            ]);
-        }
-        let q = hypercube::embed_theorem3(&t);
-        let qnet = Network::new(Hypercube::new(q.dim).graph().clone());
-        let qdil = q.dilation(&t);
-        for rep in simulate_all(&qnet, &t, &q) {
-            rows.push(vec![
-                f.name().into(),
-                format!("Q_{}", q.dim),
-                format!("{qdil}"),
-                rep.workload.into(),
-                format!("{}", rep.cycles),
-                format!("{}", rep.ideal_cycles),
-                format!("{:.2}", rep.cycles as f64 / rep.ideal_cycles.max(1) as f64),
-                format!("{}", rep.max_link_traffic),
-            ]);
-        }
-    }
+    ]
+    .into_iter()
+    .map(|f| (f, f.generate(n, &mut rng)))
+    .collect();
+    let rows: Vec<Vec<String>> = cases
+        .par_iter()
+        .map(|(f, t)| {
+            let mut rows = Vec::new();
+            let x = theorem1::embed(t).emb;
+            let xnet = Network::xtree(&XTree::new(x.height));
+            let xdil = evaluate(t, &x).dilation;
+            for rep in simulate_all(&xnet, t, &x) {
+                rows.push(vec![
+                    f.name().into(),
+                    format!("X({})", x.height),
+                    format!("{xdil}"),
+                    rep.workload.into(),
+                    format!("{}", rep.cycles),
+                    format!("{}", rep.ideal_cycles),
+                    format!("{:.2}", rep.cycles as f64 / rep.ideal_cycles.max(1) as f64),
+                    format!("{}", rep.max_link_traffic),
+                ]);
+            }
+            let q = hypercube::embed_theorem3(t);
+            let qnet = Network::hypercube(&Hypercube::new(q.dim));
+            let qdil = q.dilation(t);
+            for rep in simulate_all(&qnet, t, &q) {
+                rows.push(vec![
+                    f.name().into(),
+                    format!("Q_{}", q.dim),
+                    format!("{qdil}"),
+                    rep.workload.into(),
+                    format!("{}", rep.cycles),
+                    format!("{}", rep.ideal_cycles),
+                    format!("{:.2}", rep.cycles as f64 / rep.ideal_cycles.max(1) as f64),
+                    format!("{}", rep.max_link_traffic),
+                ]);
+            }
+            rows
+        })
+        .collect::<Vec<Vec<Vec<String>>>>()
+        .into_iter()
+        .flatten()
+        .collect();
     Table {
         id: "S1",
         title: format!("simulated tree programs on embedded guests (n = {n})"),
@@ -787,27 +799,37 @@ pub fn a1() -> Table {
 /// cycles regardless of n (the universality property of the abstract:
 /// "every computation ... can be simulated by U in real time").
 pub fn s2() -> Table {
-    let mut rows = Vec::new();
-    let mut worst_total = 0u32;
-    for r in 1..=7u8 {
-        let n = generate::theorem1_size(r);
-        let mut rng = ChaCha8Rng::seed_from_u64(0x5EED_0005);
-        for f in [TreeFamily::Path, TreeFamily::RandomBst] {
-            let t = f.generate(n, &mut rng);
-            let emb = theorem1::embed(&t).emb;
-            let net = Network::new(XTree::new(emb.height).graph().clone());
-            let step = simulate_step(&net, &t, &emb);
-            worst_total = worst_total.max(step.total());
-            rows.push(vec![
-                format!("{r}"),
-                format!("{n}"),
-                f.name().into(),
-                format!("{}", step.compute_cycles),
-                format!("{}", step.exchange_cycles),
-                format!("{}", step.total()),
-            ]);
-        }
-    }
+    let cases: Vec<(u8, usize, TreeFamily, BinaryTree)> = (1..=7u8)
+        .flat_map(|r| {
+            let n = generate::theorem1_size(r);
+            let mut rng = ChaCha8Rng::seed_from_u64(0x5EED_0005);
+            [TreeFamily::Path, TreeFamily::RandomBst]
+                .into_iter()
+                .map(move |f| (r, n, f, f.generate(n, &mut rng)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let per: Vec<(Vec<String>, u32)> = cases
+        .par_iter()
+        .map(|(r, n, f, t)| {
+            let emb = theorem1::embed(t).emb;
+            let net = Network::xtree(&XTree::new(emb.height));
+            let step = simulate_step(&net, t, &emb);
+            (
+                vec![
+                    format!("{r}"),
+                    format!("{n}"),
+                    f.name().into(),
+                    format!("{}", step.compute_cycles),
+                    format!("{}", step.exchange_cycles),
+                    format!("{}", step.total()),
+                ],
+                step.total(),
+            )
+        })
+        .collect();
+    let worst_total = per.iter().map(|(_, t)| *t).max().unwrap_or(0);
+    let rows: Vec<Vec<String>> = per.into_iter().map(|(row, _)| row).collect();
     Table {
         id: "S2",
         title: "cost of one synchronous guest step as n grows".into(),

@@ -4,10 +4,10 @@
 
 pub mod experiments;
 
-use serde::Serialize;
+use xtree_json::Value;
 
 /// A formatted experiment result.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table {
     /// Experiment id (`T1`, `L2`, `F1`, …).
     pub id: &'static str,
@@ -55,6 +55,26 @@ impl Table {
         }
         out.push_str(&format!("   => {}\n", self.verdict));
         out
+    }
+
+    /// The table as a JSON object (same field names `--json` always used).
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .with("id", self.id)
+            .with("title", self.title.as_str())
+            .with("claim", self.claim.as_str())
+            .with(
+                "headers",
+                self.headers.iter().map(String::as_str).collect::<Value>(),
+            )
+            .with(
+                "rows",
+                self.rows
+                    .iter()
+                    .map(|row| row.iter().map(String::as_str).collect::<Value>())
+                    .collect::<Value>(),
+            )
+            .with("verdict", self.verdict.as_str())
     }
 }
 

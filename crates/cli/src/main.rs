@@ -13,8 +13,8 @@ mod args;
 use args::Args;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use serde_json::json;
 use xtree_core::{evaluate, hypercube, metrics, theorem1, theorem2};
+use xtree_json::Value;
 use xtree_sim::{simulate_all, Network};
 use xtree_topology::{Butterfly, CubeConnectedCycles, Graph, Hypercube, Mesh2D, XTree};
 use xtree_trees::{generate, BinaryTree, TreeFamily};
@@ -93,24 +93,28 @@ fn cmd_embed(a: &Args) -> Result<String, String> {
             let host = XTree::new(emb.height);
             let congestion = metrics::edge_congestion(&tree, &emb, &host);
             if a.flag("json") {
-                let mut obj = json!({
-                    "guest": {"family": family, "nodes": n},
-                    "host": format!("X({})", emb.height),
-                    "dilation": stats.dilation,
-                    "max_load": stats.max_load,
-                    "expansion": stats.expansion,
-                    "injective": stats.injective,
-                    "congestion": congestion,
-                    "condition3_violations": stats.condition3_violations,
-                });
+                let mut obj = Value::object()
+                    .with(
+                        "guest",
+                        Value::object().with("family", family).with("nodes", n),
+                    )
+                    .with("host", format!("X({})", emb.height))
+                    .with("dilation", stats.dilation)
+                    .with("max_load", stats.max_load)
+                    .with("expansion", stats.expansion)
+                    .with("injective", stats.injective)
+                    .with("congestion", congestion)
+                    .with("condition3_violations", stats.condition3_violations);
                 if a.flag("map") {
-                    obj["map"] = json!(emb
-                        .map
-                        .iter()
-                        .map(|addr| format!("{addr}"))
-                        .collect::<Vec<_>>());
+                    obj.set(
+                        "map",
+                        emb.map
+                            .iter()
+                            .map(|addr| format!("{addr}"))
+                            .collect::<Value>(),
+                    );
                 }
-                Ok(serde_json::to_string_pretty(&obj).unwrap())
+                Ok(xtree_json::to_string_pretty(&obj))
             } else {
                 Ok(format!(
                     "guest: {family} ({n} nodes)\nhost: X({})\ndilation: {}\nload: {}\nexpansion: {:.4}\ninjective: {}\ncongestion: {}",
@@ -126,18 +130,20 @@ fn cmd_embed(a: &Args) -> Result<String, String> {
                 hypercube::embed_corollary8(&tree)
             };
             if a.flag("json") {
-                let mut obj = json!({
-                    "guest": {"family": family, "nodes": n},
-                    "host": format!("Q_{}", q.dim),
-                    "dilation": q.dilation(&tree),
-                    "max_load": q.max_load(),
-                    "expansion": q.expansion(),
-                    "injective": q.is_injective(),
-                });
+                let mut obj = Value::object()
+                    .with(
+                        "guest",
+                        Value::object().with("family", family).with("nodes", n),
+                    )
+                    .with("host", format!("Q_{}", q.dim))
+                    .with("dilation", q.dilation(&tree))
+                    .with("max_load", q.max_load())
+                    .with("expansion", q.expansion())
+                    .with("injective", q.is_injective());
                 if a.flag("map") {
-                    obj["map"] = json!(q.map);
+                    obj.set("map", q.map.iter().copied().collect::<Value>());
                 }
-                Ok(serde_json::to_string_pretty(&obj).unwrap())
+                Ok(xtree_json::to_string_pretty(&obj))
             } else {
                 Ok(format!(
                     "guest: {family} ({n} nodes)\nhost: Q_{}\ndilation: {}\nload: {}\nexpansion: {:.4}\ninjective: {}",
@@ -156,24 +162,17 @@ fn cmd_simulate(a: &Args) -> Result<String, String> {
     if !["all", "broadcast", "reduce", "exchange", "dnc"].contains(&workload) {
         return Err(format!("unknown workload `{workload}`"));
     }
-    // The simulator precomputes all-pairs routing tables; cap the host size
-    // before paying for the embedding.
-    if tree.len() > 16 * ((1 << 13) - 1) {
-        return Err(format!(
-            "--nodes {} needs a host beyond the simulator's routing-table cap (max {})",
-            tree.len(),
-            16 * ((1 << 13) - 1)
-        ));
-    }
+    // Both hosts route in closed form (no routing tables), so there is no
+    // host-size cap here: the guest size is limited only by memory.
     let reports = match host {
         "xtree" => {
             let emb = theorem1::embed(&tree).emb;
-            let net = Network::new(XTree::new(emb.height).graph().clone());
+            let net = Network::xtree(&XTree::new(emb.height));
             simulate_all(&net, &tree, &emb)
         }
         "hypercube" => {
             let q = hypercube::embed_theorem3(&tree);
-            let net = Network::new(Hypercube::new(q.dim).graph().clone());
+            let net = Network::hypercube(&Hypercube::new(q.dim));
             simulate_all(&net, &tree, &q)
         }
         other => return Err(format!("unknown host `{other}`")),
@@ -186,24 +185,27 @@ fn cmd_simulate(a: &Args) -> Result<String, String> {
         return Err(format!("unknown workload `{workload}`"));
     }
     if a.flag("json") {
-        let rows: Vec<_> = reports
+        let rows: Value = reports
             .iter()
             .map(|r| {
-                json!({
-                    "workload": r.workload,
-                    "cycles": r.cycles,
-                    "ideal_cycles": r.ideal_cycles,
-                    "worst_round_slowdown": r.worst_round_slowdown,
-                    "max_link_traffic": r.max_link_traffic,
-                })
+                Value::object()
+                    .with("workload", r.workload)
+                    .with("cycles", r.cycles)
+                    .with("ideal_cycles", r.ideal_cycles)
+                    .with("worst_round_slowdown", r.worst_round_slowdown)
+                    .with("max_link_traffic", r.max_link_traffic)
             })
             .collect();
-        Ok(serde_json::to_string_pretty(&json!({
-            "guest": {"family": family, "nodes": tree.len()},
-            "host": host,
-            "reports": rows,
-        }))
-        .unwrap())
+        let doc = Value::object()
+            .with(
+                "guest",
+                Value::object()
+                    .with("family", family)
+                    .with("nodes", tree.len()),
+            )
+            .with("host", host)
+            .with("reports", rows);
+        Ok(xtree_json::to_string_pretty(&doc))
     } else {
         let mut out = format!("guest: {family} ({} nodes) on {host}\n", tree.len());
         out.push_str(&format!(
@@ -226,31 +228,39 @@ fn cmd_simulate(a: &Args) -> Result<String, String> {
 
 fn cmd_info(a: &Args) -> Result<String, String> {
     let r: u8 = a.num_or("height", 3u8)?;
-    if r > 16 {
-        return Err("--height must be ≤ 16".into());
+    // X-tree and hypercube stats are closed-form; 30 keeps the vertex
+    // counts inside u64 arithmetic and graph construction affordable.
+    if r > 30 {
+        return Err("--height must be ≤ 30".into());
     }
     let network = a.get_or("network", "xtree");
     let (name, nodes, edges, degree, diameter) = match network {
         "xtree" => {
-            let x = XTree::new(r);
-            // Diameter of X(r) is 2r − 1 for r ≥ 1 (closed form, verified
-            // against BFS in the topology tests) — no placeholder needed.
+            // Everything here is closed-form (verified against the built
+            // graph in the tests below), so heights past the construction
+            // limit still answer instantly.
             let d = if r == 0 { 0 } else { 2 * u32::from(r) - 1 };
+            let degree = match r {
+                0 => 0,
+                1 => 2,
+                2 => 4,
+                _ => 5,
+            };
             (
                 format!("X({r})"),
-                x.node_count(),
-                x.edge_count(),
-                x.max_degree(),
+                xtree_topology::xtree::xtree_node_count(r),
+                xtree_topology::xtree::xtree_edge_count(r),
+                degree,
                 d,
             )
         }
         "hypercube" => {
-            let q = Hypercube::new(r);
+            let n = 1usize << r;
             (
                 format!("Q_{r}"),
-                q.node_count(),
-                q.edge_count(),
-                q.max_degree(),
+                n,
+                usize::from(r) * (n >> 1),
+                usize::from(r),
                 u32::from(r),
             )
         }
@@ -361,7 +371,7 @@ mod tests {
     #[test]
     fn embed_json_output_parses() {
         let out = run_str("embed --family caterpillar --nodes 112 --json --map").unwrap();
-        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let v: Value = xtree_json::from_str(&out).unwrap();
         assert_eq!(v["guest"]["nodes"], 112);
         assert!(v["dilation"].as_u64().unwrap() <= 3);
         assert_eq!(v["map"].as_array().unwrap().len(), 112);
@@ -373,7 +383,7 @@ mod tests {
         assert!(out.contains("injective: true"));
         let out =
             run_str("embed --family broom --nodes 48 --target hypercube-injective --json").unwrap();
-        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let v: Value = xtree_json::from_str(&out).unwrap();
         assert_eq!(v["injective"], true);
     }
 
@@ -387,8 +397,39 @@ mod tests {
     #[test]
     fn simulate_json() {
         let out = run_str("simulate --family random-bst --nodes 112 --json").unwrap();
-        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let v: Value = xtree_json::from_str(&out).unwrap();
         assert_eq!(v["reports"].as_array().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn info_closed_forms_match_constructed_graphs() {
+        for r in 0..=8u8 {
+            let x = XTree::new(r);
+            let out = run_str(&format!("info --height {r}")).unwrap();
+            let expect = format!(
+                "X({r}): {} vertices, {} edges, max degree {}",
+                x.node_count(),
+                x.edge_count(),
+                x.max_degree()
+            );
+            assert!(out.contains(&expect), "{out}");
+            let q = Hypercube::new(r);
+            let out = run_str(&format!("info --height {r} --network hypercube")).unwrap();
+            let expect = format!(
+                "Q_{r}: {} vertices, {} edges, max degree {}",
+                q.node_count(),
+                q.edge_count(),
+                q.max_degree()
+            );
+            assert!(out.contains(&expect), "{out}");
+        }
+    }
+
+    #[test]
+    fn info_heights_past_the_old_cap() {
+        let out = run_str("info --height 20").unwrap();
+        assert!(out.contains("X(20): 2097151 vertices"), "{out}");
+        assert!(run_str("info --height 31").is_err());
     }
 
     #[test]

@@ -101,26 +101,38 @@ pub fn mean_dilation(stats: &EmbeddingStats) -> f64 {
     weighted as f64 / total as f64
 }
 
-/// Edge congestion of an embedding: route every guest edge along one
-/// shortest host path and count how many such routes cross each host edge;
-/// return the maximum. Together with dilation this bounds the slowdown of
-/// a one-step simulation of the guest on the host.
+/// Edge congestion of an embedding: route every guest edge along the
+/// deterministic shortest host path (the same smallest-id-downhill rule
+/// the simulator's routers use) and count how many such routes cross each
+/// undirected host edge; return the maximum. Together with dilation this
+/// bounds the slowdown of a one-step simulation of the guest on the host.
+///
+/// Routes are computed hop by hop from the closed-form X-tree distance —
+/// no per-edge BFS — and counters live in a flat `Vec` indexed by
+/// [`xtree_topology::Csr::directed_edge_index`] of the edge's `(min, max)`
+/// orientation, so the walk does no hashing and scales to hosts far past
+/// the BFS-friendly sizes.
 pub fn edge_congestion(tree: &BinaryTree, emb: &XEmbedding, host: &XTree) -> u32 {
-    use std::collections::HashMap;
     assert_eq!(host.height(), emb.height);
-    let mut usage: HashMap<(u32, u32), u32> = HashMap::new();
+    let graph = host.graph();
+    let mut usage = vec![0u32; graph.directed_edge_count()];
     for (u, v) in tree.edges() {
-        let (a, b) = (emb.image(u).heap_id(), emb.image(v).heap_id());
-        if a == b {
-            continue;
-        }
-        let path = host.graph().shortest_path(a, b).expect("host is connected");
-        for w in path.windows(2) {
-            let key = (w[0].min(w[1]), w[0].max(w[1]));
-            *usage.entry(key).or_insert(0) += 1;
+        let (mut at, b) = (emb.image(u), emb.image(v));
+        while at != b {
+            let next = xtree_topology::xtree::next_hop_towards(at, b, emb.height);
+            let (lo, hi) = if at.heap_id() < next.heap_id() {
+                (at, next)
+            } else {
+                (next, at)
+            };
+            let e = graph
+                .directed_edge_index(lo.heap_id() as u32, hi.heap_id() as u32)
+                .expect("next hop is a host neighbour");
+            usage[e as usize] += 1;
+            at = next;
         }
     }
-    usage.into_values().max().unwrap_or(0)
+    usage.into_iter().max().unwrap_or(0)
 }
 
 /// Verifies that a map covers every guest node exactly once and nothing

@@ -2,7 +2,7 @@
 //!
 //! Model: time advances in clock cycles; in each cycle every *directed*
 //! link of the host network can carry at most one message. Messages follow
-//! shortest-path routes (deterministic next-hop tables); when several
+//! shortest-path routes (deterministic next-hop routing); when several
 //! messages want the same link in the same cycle, the lowest id wins and
 //! the rest wait (FIFO by id — deterministic and starvation-free since
 //! ids are fixed).
@@ -11,9 +11,17 @@
 //! dilation `d` lets formerly adjacent tree processors communicate within
 //! `d` cycles — plus whatever congestion the embedding causes, which the
 //! engine measures rather than assumes away.
+//!
+//! The cycle loop is allocation-free: per-message and per-link state live
+//! in flat scratch buffers inside [`Engine`] (links are addressed by
+//! [`Csr::directed_edge_index`], link claims are epoch-stamped so they
+//! never need clearing, and finished messages are compacted out of the
+//! active list in id order). [`run_batch`] is a convenience wrapper that
+//! spins up a fresh engine; sweeps should hold one `Engine` and reuse it
+//! across batches so the buffers warm up once.
 
 use crate::network::Network;
-use std::collections::HashMap;
+use xtree_topology::Csr;
 
 /// A message to deliver: from host vertex `src` to host vertex `dst`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,66 +46,152 @@ pub struct BatchStats {
     pub total_hops: u64,
 }
 
-/// Delivers `messages` on `net`, one hop per free link per cycle.
-pub fn run_batch(net: &Network, messages: &[Message]) -> BatchStats {
-    let mut at: Vec<u32> = messages.iter().map(|m| m.src).collect();
-    let mut done: Vec<bool> = messages.iter().map(|m| m.src == m.dst).collect();
-    let ideal_cycles = messages
-        .iter()
-        .map(|m| net.distance(m.src, m.dst))
-        .max()
-        .unwrap_or(0);
-    let mut remaining = done.iter().filter(|&&d| !d).count();
-    let mut cycles = 0u32;
-    let mut total_hops = 0u64;
-    let mut link_traffic: HashMap<(u32, u32), u32> = HashMap::new();
-    let mut claimed: HashMap<(u32, u32), usize> = HashMap::new();
-    while remaining > 0 {
-        cycles += 1;
-        assert!(
-            cycles <= 4 * (ideal_cycles + 1) * (messages.len() as u32 + 1),
-            "engine failed to converge — routing bug"
-        );
-        claimed.clear();
-        // Lowest message id claims each link first (iteration order).
-        for (i, m) in messages.iter().enumerate() {
-            if done[i] {
-                continue;
-            }
-            let from = at[i];
-            let to = net.next_hop(from, m.dst);
-            claimed.entry((from, to)).or_insert(i);
+/// Reusable scratch state for [`Engine::run_batch`].
+///
+/// All buffers are sized on first use (and re-sized only when a batch or
+/// host outgrows them), so repeated batches on the same network do no
+/// heap allocation at all.
+#[derive(Default)]
+pub struct Engine {
+    /// Current host vertex of message `i`.
+    at: Vec<u32>,
+    /// Destination of message `i`.
+    dst: Vec<u32>,
+    /// Ids of undelivered messages, always in ascending order.
+    active: Vec<u32>,
+    /// Next hop of message `i` from its current vertex. Routing is
+    /// deterministic and blocked messages do not move, so this is computed
+    /// once per *advance* rather than once per cycle — under congestion
+    /// most of a cycle's messages reuse it unchanged.
+    hop_to: Vec<u32>,
+    /// Directed-edge index of that hop.
+    hop_edge: Vec<u32>,
+    /// Lowest message id that claimed each directed link this cycle …
+    claim_msg: Vec<u32>,
+    /// … valid only when the link's stamp equals the current epoch, which
+    /// removes the per-cycle `O(links)` clear.
+    claim_epoch: Vec<u64>,
+    /// Monotone cycle counter across all batches run on this engine.
+    epoch: u64,
+    /// Messages that crossed each directed link in the current batch.
+    traffic: Vec<u32>,
+    /// Links with non-zero traffic, for `O(touched)` reset.
+    touched: Vec<u32>,
+}
+
+impl Engine {
+    /// A fresh engine; buffers grow on first use.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    fn reserve(&mut self, links: usize, messages: usize) {
+        if self.claim_epoch.len() < links {
+            self.claim_msg.resize(links, 0);
+            self.claim_epoch.resize(links, 0);
+            self.traffic.resize(links, 0);
         }
-        for (i, m) in messages.iter().enumerate() {
-            if done[i] {
-                continue;
-            }
-            let from = at[i];
-            let to = net.next_hop(from, m.dst);
-            if claimed.get(&(from, to)) != Some(&i) {
-                continue; // link busy this cycle
-            }
-            at[i] = to;
-            total_hops += 1;
-            *link_traffic.entry((from, to)).or_insert(0) += 1;
-            if to == m.dst {
-                done[i] = true;
-                remaining -= 1;
-            }
+        self.at.clear();
+        self.dst.clear();
+        self.active.clear();
+        if self.hop_to.len() < messages {
+            self.hop_to.resize(messages, 0);
+            self.hop_edge.resize(messages, 0);
         }
     }
-    BatchStats {
-        cycles,
-        ideal_cycles,
-        messages: messages.len(),
-        max_link_traffic: link_traffic.values().copied().max().unwrap_or(0),
-        total_hops,
+
+    /// Delivers `messages` on `net`, one hop per free link per cycle.
+    pub fn run_batch(&mut self, net: &Network, messages: &[Message]) -> BatchStats {
+        let graph: &Csr = net.graph();
+        self.reserve(graph.directed_edge_count(), messages.len());
+        let mut ideal_cycles = 0u32;
+        for (i, m) in messages.iter().enumerate() {
+            self.at.push(m.src);
+            self.dst.push(m.dst);
+            if m.src != m.dst {
+                self.active.push(i as u32);
+                let to = net.next_hop(m.src, m.dst);
+                self.hop_to[i] = to;
+                self.hop_edge[i] = graph
+                    .directed_edge_index(m.src, to)
+                    .expect("router returned a non-neighbour");
+            }
+            ideal_cycles = ideal_cycles.max(net.distance(m.src, m.dst));
+        }
+        let mut cycles = 0u32;
+        let mut total_hops = 0u64;
+        while !self.active.is_empty() {
+            cycles += 1;
+            assert!(
+                cycles <= 4 * (ideal_cycles + 1) * (messages.len() as u32 + 1),
+                "engine failed to converge — routing bug"
+            );
+            self.epoch += 1;
+            // Pass 1: the lowest id claims each link (active ids are
+            // ascending, so first writer wins). Hops were routed when the
+            // message last moved.
+            for &i in &self.active {
+                let e = self.hop_edge[i as usize] as usize;
+                if self.claim_epoch[e] != self.epoch {
+                    self.claim_epoch[e] = self.epoch;
+                    self.claim_msg[e] = i;
+                }
+            }
+            // Pass 2: advance claim winners and route their next hop;
+            // compact survivors in place, preserving ascending id order.
+            let mut w = 0usize;
+            for k in 0..self.active.len() {
+                let i = self.active[k];
+                let e = self.hop_edge[i as usize] as usize;
+                if self.claim_msg[e] == i {
+                    let to = self.hop_to[i as usize];
+                    self.at[i as usize] = to;
+                    total_hops += 1;
+                    if self.traffic[e] == 0 {
+                        self.touched.push(e as u32);
+                    }
+                    self.traffic[e] += 1;
+                    let dst = self.dst[i as usize];
+                    if to == dst {
+                        continue; // delivered — drop from the active list
+                    }
+                    let next = net.next_hop(to, dst);
+                    self.hop_to[i as usize] = next;
+                    self.hop_edge[i as usize] = graph
+                        .directed_edge_index(to, next)
+                        .expect("router returned a non-neighbour");
+                }
+                self.active[w] = i;
+                w += 1;
+            }
+            self.active.truncate(w);
+        }
+        let mut max_link_traffic = 0u32;
+        for &e in &self.touched {
+            max_link_traffic = max_link_traffic.max(self.traffic[e as usize]);
+            self.traffic[e as usize] = 0;
+        }
+        self.touched.clear();
+        BatchStats {
+            cycles,
+            ideal_cycles,
+            messages: messages.len(),
+            max_link_traffic,
+            total_hops,
+        }
     }
 }
 
-/// Runs a sequence of batches (e.g. one per tree level), summing cycles.
+/// Delivers one batch on a throwaway [`Engine`].
+pub fn run_batch(net: &Network, messages: &[Message]) -> BatchStats {
+    Engine::new().run_batch(net, messages)
+}
+
+/// Runs a sequence of batches (e.g. one per tree level) on one shared
+/// engine, so scratch buffers are allocated once for the whole sequence.
 pub fn run_rounds(net: &Network, rounds: &[Vec<Message>]) -> Vec<BatchStats> {
-    rounds.iter().map(|r| run_batch(net, r)).collect()
+    let mut engine = Engine::new();
+    rounds.iter().map(|r| engine.run_batch(net, r)).collect()
 }
 
 /// Total cycles across a batch sequence.
@@ -108,11 +202,65 @@ pub fn total_cycles(stats: &[BatchStats]) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use xtree_topology::{Csr, XTree};
+    use xtree_topology::{Csr, Graph, XTree};
 
     fn path_net(n: usize) -> Network {
         let edges: Vec<_> = (1..n as u32).map(|v| (v - 1, v)).collect();
         Network::new(Csr::from_edges(n, &edges))
+    }
+
+    /// The pre-optimisation engine, verbatim: hash maps keyed by vertex
+    /// pairs, rebuilt every batch. The oracle for determinism tests.
+    fn run_batch_reference(net: &Network, messages: &[Message]) -> BatchStats {
+        use std::collections::HashMap;
+        let mut at: Vec<u32> = messages.iter().map(|m| m.src).collect();
+        let mut done: Vec<bool> = messages.iter().map(|m| m.src == m.dst).collect();
+        let ideal_cycles = messages
+            .iter()
+            .map(|m| net.distance(m.src, m.dst))
+            .max()
+            .unwrap_or(0);
+        let mut remaining = done.iter().filter(|&&d| !d).count();
+        let mut cycles = 0u32;
+        let mut total_hops = 0u64;
+        let mut link_traffic: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut claimed: HashMap<(u32, u32), usize> = HashMap::new();
+        while remaining > 0 {
+            cycles += 1;
+            claimed.clear();
+            for (i, m) in messages.iter().enumerate() {
+                if done[i] {
+                    continue;
+                }
+                let from = at[i];
+                let to = net.next_hop(from, m.dst);
+                claimed.entry((from, to)).or_insert(i);
+            }
+            for (i, m) in messages.iter().enumerate() {
+                if done[i] {
+                    continue;
+                }
+                let from = at[i];
+                let to = net.next_hop(from, m.dst);
+                if claimed.get(&(from, to)) != Some(&i) {
+                    continue;
+                }
+                at[i] = to;
+                total_hops += 1;
+                *link_traffic.entry((from, to)).or_insert(0) += 1;
+                if to == m.dst {
+                    done[i] = true;
+                    remaining -= 1;
+                }
+            }
+        }
+        BatchStats {
+            cycles,
+            ideal_cycles,
+            messages: messages.len(),
+            max_link_traffic: link_traffic.values().copied().max().unwrap_or(0),
+            total_hops,
+        }
     }
 
     #[test]
@@ -177,7 +325,7 @@ mod tests {
     #[test]
     fn xtree_horizontal_shortcut_used() {
         let x = XTree::new(3);
-        let net = Network::new(x.graph().clone());
+        let net = Network::xtree(&x);
         // 011 -> 100 are X-tree neighbours (horizontal edge): 1 cycle.
         let u = xtree_topology::Address::parse("011").unwrap().heap_id() as u32;
         let v = xtree_topology::Address::parse("100").unwrap().heap_id() as u32;
@@ -194,5 +342,53 @@ mod tests {
         ];
         let stats = run_rounds(&net, &rounds);
         assert_eq!(total_cycles(&stats), 4);
+    }
+
+    #[test]
+    fn matches_reference_engine_on_seeded_workloads() {
+        // Deterministic pseudo-random batches on an X-tree host: the
+        // rewritten engine must reproduce the reference engine's stats
+        // bit for bit, with the engine reused across batches.
+        let x = XTree::new(5);
+        let nets = [Network::xtree(&x), Network::new(x.graph().clone())];
+        let n = x.graph().node_count() as u64;
+        let mut engine = Engine::new();
+        for net in &nets {
+            let mut state = 0x5EED_CAFE_u64;
+            let mut rand = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state >> 33
+            };
+            for batch in 0..24 {
+                let msgs: Vec<Message> = (0..(batch * 7) % 97)
+                    .map(|_| Message {
+                        src: (rand() % n) as u32,
+                        dst: (rand() % n) as u32,
+                    })
+                    .collect();
+                assert_eq!(
+                    engine.run_batch(net, &msgs),
+                    run_batch_reference(net, &msgs),
+                    "batch {batch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_reuse_is_stateless_between_batches() {
+        // Same batch, fresh engine vs warmed engine: identical stats.
+        let net = path_net(16);
+        let msgs: Vec<Message> = (0..16)
+            .flat_map(|s| (0..16).map(move |d| Message { src: s, dst: d }))
+            .collect();
+        let mut warmed = Engine::new();
+        let first = warmed.run_batch(&net, &msgs);
+        for _ in 0..3 {
+            assert_eq!(warmed.run_batch(&net, &msgs), first);
+        }
+        assert_eq!(Engine::new().run_batch(&net, &msgs), first);
     }
 }

@@ -4,18 +4,23 @@
 //! network to communicate between formerly adjacent processors".
 //!
 //! * [`network::Network`] — any connected host with next-hop routing;
+//! * [`router`] — per-topology `O(1)`-memory routing strategies (X-tree,
+//!   hypercube, complete binary tree) plus the dense BFS-table fallback;
 //! * [`workload`] — broadcast / reduce / exchange / divide-and-conquer
 //!   message rounds derived from a guest tree and an embedding;
-//! * [`engine`] — cycle-accurate delivery with per-link contention;
+//! * [`engine`] — cycle-accurate delivery with per-link contention, with
+//!   reusable allocation-free scratch state in [`engine::Engine`];
 //! * [`stats`] — per-workload reports and rayon-parallel sweeps.
 
 pub mod engine;
 pub mod network;
+pub mod router;
 pub mod stats;
 pub mod workload;
 
-pub use engine::{run_batch, run_rounds, BatchStats, Message};
+pub use engine::{run_batch, run_rounds, BatchStats, Engine, Message};
 pub use network::Network;
+pub use router::Router;
 pub use stats::{
     compute_load, congestion, simulate_all, simulate_step, sweep, SimReport, StepReport,
 };

@@ -1,57 +1,57 @@
-//! Host network wrapper with precomputed shortest-path routing.
+//! Host network wrapper: a graph plus a deterministic routing strategy.
 //!
-//! The simulator routes messages hop by hop along shortest paths. For the
-//! host sizes the experiments use (≤ a few thousand vertices), an all-pairs
-//! next-hop table — one BFS per vertex — is the simplest structure that
-//! makes routing O(1) per hop and fully deterministic.
+//! The simulator routes messages hop by hop along shortest paths. Regular
+//! hosts (X-tree, hypercube, complete binary tree) route in closed form
+//! with `O(1)` memory — [`Network::xtree`], [`Network::hypercube`],
+//! [`Network::cbt`] — which removes the old all-pairs-table size cap:
+//! `X(20)` hosts route as cheaply as `X(5)`. Irregular hosts fall back to
+//! dense BFS next-hop tables via [`Network::new`]. Every strategy picks
+//! the same next hop (the smallest-id neighbour that decreases the
+//! distance), so results never depend on the constructor used.
 
-use xtree_topology::{Csr, Graph};
+use crate::router::{AnyRouter, CbtRouter, HypercubeRouter, Router, TableRouter, XTreeRouter};
+use xtree_topology::{CompleteBinaryTree, Csr, Graph, Hypercube, XTree};
 
-/// A host network with next-hop routing tables.
+/// A host network with deterministic next-hop routing.
 pub struct Network {
     graph: Csr,
-    /// `next_hop[dst * n + v]` = neighbour of `v` on a shortest path to
-    /// `dst` (`v` itself when `v == dst`).
-    next_hop: Vec<u32>,
-    /// `dist[dst * n + v]` = shortest-path distance.
-    dist: Vec<u32>,
+    router: AnyRouter,
 }
 
 impl Network {
-    /// Builds routing tables for `graph` (must be connected).
+    /// Wraps an arbitrary connected host with BFS next-hop tables.
     ///
     /// # Panics
     /// Panics if the graph is disconnected or too large (> 2^13 vertices —
-    /// the table would be ≥ 512 MiB beyond that).
+    /// the table would be ≥ 512 MiB beyond that). Structured hosts should
+    /// use [`Network::xtree`] / [`Network::hypercube`] / [`Network::cbt`],
+    /// which have no size cap.
     pub fn new(graph: Csr) -> Self {
-        let n = graph.node_count();
-        assert!(n <= (1 << 13), "routing table too large for {n} vertices");
-        assert!(graph.is_connected(), "simulator hosts must be connected");
-        let mut next_hop = vec![0u32; n * n];
-        let mut dist = vec![0u32; n * n];
-        for dst in 0..n {
-            let d = graph.bfs(dst);
-            let row_d = &mut dist[dst * n..(dst + 1) * n];
-            row_d.copy_from_slice(&d);
-            let row_h = &mut next_hop[dst * n..(dst + 1) * n];
-            for v in 0..n {
-                if v == dst {
-                    row_h[v] = v as u32;
-                    continue;
-                }
-                // Deterministic: the smallest-id neighbour that decreases
-                // the distance to dst.
-                row_h[v] = *graph
-                    .neighbors(v)
-                    .iter()
-                    .find(|&&w| d[w as usize] + 1 == d[v])
-                    .expect("connected graph has a downhill neighbour");
-            }
-        }
+        let router = AnyRouter::Table(TableRouter::new(&graph));
+        Network { graph, router }
+    }
+
+    /// An `X(r)` host with closed-form routing (no size cap, no tables).
+    pub fn xtree(host: &XTree) -> Self {
         Network {
-            graph,
-            next_hop,
-            dist,
+            graph: host.graph().clone(),
+            router: AnyRouter::XTree(XTreeRouter::new(host.height())),
+        }
+    }
+
+    /// A hypercube host with bit-fixing routing (no size cap, no tables).
+    pub fn hypercube(host: &Hypercube) -> Self {
+        Network {
+            graph: host.graph().clone(),
+            router: AnyRouter::Hypercube(HypercubeRouter),
+        }
+    }
+
+    /// A complete-binary-tree host with LCA routing (no size cap).
+    pub fn cbt(host: &CompleteBinaryTree) -> Self {
+        Network {
+            graph: host.graph().clone(),
+            router: AnyRouter::Cbt(CbtRouter),
         }
     }
 
@@ -60,9 +60,9 @@ impl Network {
         self.graph.node_count()
     }
 
-    /// Always false (hosts are non-empty).
+    /// True when the host has no vertices.
     pub fn is_empty(&self) -> bool {
-        false
+        self.graph.node_count() == 0
     }
 
     /// The underlying graph.
@@ -73,13 +73,13 @@ impl Network {
     /// Next hop from `v` toward `dst`.
     #[inline]
     pub fn next_hop(&self, v: u32, dst: u32) -> u32 {
-        self.next_hop[dst as usize * self.len() + v as usize]
+        self.router.next_hop(v, dst)
     }
 
     /// Exact distance from `v` to `dst`.
     #[inline]
     pub fn distance(&self, v: u32, dst: u32) -> u32 {
-        self.dist[dst as usize * self.len() + v as usize]
+        self.router.distance(v, dst)
     }
 }
 
@@ -91,17 +91,30 @@ mod tests {
     #[test]
     fn routes_follow_shortest_paths() {
         let x = XTree::new(4);
-        let net = Network::new(x.graph().clone());
-        for v in 0..net.len() as u32 {
-            for dst in (0..net.len() as u32).step_by(3) {
-                let mut cur = v;
-                let mut hops = 0;
-                while cur != dst {
-                    cur = net.next_hop(cur, dst);
-                    hops += 1;
-                    assert!(hops <= net.len() as u32, "routing loop");
+        for net in [Network::new(x.graph().clone()), Network::xtree(&x)] {
+            for v in 0..net.len() as u32 {
+                for dst in (0..net.len() as u32).step_by(3) {
+                    let mut cur = v;
+                    let mut hops = 0;
+                    while cur != dst {
+                        cur = net.next_hop(cur, dst);
+                        hops += 1;
+                        assert!(hops <= net.len() as u32, "routing loop");
+                    }
+                    assert_eq!(hops, net.distance(v, dst), "{v} -> {dst}");
                 }
-                assert_eq!(hops, net.distance(v, dst), "{v} -> {dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn structured_constructors_agree_with_tables() {
+        let x = XTree::new(4);
+        let (table, fast) = (Network::new(x.graph().clone()), Network::xtree(&x));
+        for v in 0..table.len() as u32 {
+            for dst in 0..table.len() as u32 {
+                assert_eq!(table.next_hop(v, dst), fast.next_hop(v, dst));
+                assert_eq!(table.distance(v, dst), fast.distance(v, dst));
             }
         }
     }
@@ -109,12 +122,31 @@ mod tests {
     #[test]
     fn hypercube_distances_match_hamming() {
         let q = Hypercube::new(5);
-        let net = Network::new(q.graph().clone());
-        for v in 0..32u32 {
-            for dst in 0..32u32 {
-                assert_eq!(net.distance(v, dst), (v ^ dst).count_ones());
+        for net in [Network::new(q.graph().clone()), Network::hypercube(&q)] {
+            for v in 0..32u32 {
+                for dst in 0..32u32 {
+                    assert_eq!(net.distance(v, dst), (v ^ dst).count_ones());
+                }
             }
         }
+    }
+
+    #[test]
+    fn xtree_host_beyond_the_old_table_cap() {
+        // X(14) has 32767 vertices — Network::new would refuse it.
+        let net = Network::xtree(&XTree::new(14));
+        assert!(net.len() > (1 << 13));
+        assert!(!net.is_empty());
+        let far = net.len() as u32 - 1;
+        assert_eq!(net.distance(far, far), 0);
+        let hop = net.next_hop(far, 0);
+        assert_eq!(net.distance(hop, 0) + 1, net.distance(far, 0));
+    }
+
+    #[test]
+    fn is_empty_reflects_vertex_count() {
+        assert!(Network::new(Csr::from_edges(0, &[])).is_empty());
+        assert!(!Network::new(Csr::from_edges(2, &[(0, 1)])).is_empty());
     }
 
     #[test]

@@ -1,0 +1,253 @@
+//! Per-topology routing strategies.
+//!
+//! The original simulator built a dense all-pairs next-hop table (one BFS
+//! per vertex, `O(n²)` memory) for every host, which capped it at `2^13`
+//! vertices. The regular hosts the experiments actually use — X-trees,
+//! hypercubes, complete binary trees — admit closed-form routing, so each
+//! gets an `O(1)`-memory [`Router`] that computes the *same* deterministic
+//! next hop the table held: the smallest-id neighbour that decreases the
+//! distance to the destination. [`TableRouter`] remains as the fallback
+//! for irregular hosts (meshes, CCC, butterflies) at table-friendly sizes.
+
+use xtree_topology::{analytic_distance, routing, Address, Csr, Graph};
+
+/// A deterministic shortest-path routing strategy for one host graph.
+///
+/// Implementations must be *downhill* (`distance(next_hop(v, dst), dst)
+/// == distance(v, dst) - 1` whenever `v != dst`) and must pick the
+/// smallest-id downhill neighbour, so every router is interchangeable
+/// with the BFS table and simulation results do not depend on which one a
+/// `Network` was built with.
+pub trait Router {
+    /// Neighbour of `v` on the chosen shortest path to `dst` (`v` itself
+    /// when `v == dst`).
+    fn next_hop(&self, v: u32, dst: u32) -> u32;
+
+    /// Exact shortest-path distance from `v` to `dst`.
+    fn distance(&self, v: u32, dst: u32) -> u32;
+}
+
+/// Closed-form X-tree routing over heap-ordered vertex ids.
+#[derive(Clone, Copy, Debug)]
+pub struct XTreeRouter {
+    height: u8,
+}
+
+impl XTreeRouter {
+    /// Router for `X(height)`.
+    pub fn new(height: u8) -> Self {
+        XTreeRouter { height }
+    }
+}
+
+impl Router for XTreeRouter {
+    #[inline]
+    fn next_hop(&self, v: u32, dst: u32) -> u32 {
+        routing::xtree_next_hop(
+            Address::from_heap_id(v as usize),
+            Address::from_heap_id(dst as usize),
+            self.height,
+        )
+        .heap_id() as u32
+    }
+
+    #[inline]
+    fn distance(&self, v: u32, dst: u32) -> u32 {
+        analytic_distance(
+            Address::from_heap_id(v as usize),
+            Address::from_heap_id(dst as usize),
+        )
+    }
+}
+
+/// Bit-fixing hypercube routing (vertex ids are the labels).
+#[derive(Clone, Copy, Debug)]
+pub struct HypercubeRouter;
+
+impl Router for HypercubeRouter {
+    #[inline]
+    fn next_hop(&self, v: u32, dst: u32) -> u32 {
+        routing::hypercube_next_hop(u64::from(v), u64::from(dst)) as u32
+    }
+
+    #[inline]
+    fn distance(&self, v: u32, dst: u32) -> u32 {
+        (v ^ dst).count_ones()
+    }
+}
+
+/// LCA routing on the complete binary tree, heap-ordered ids.
+#[derive(Clone, Copy, Debug)]
+pub struct CbtRouter;
+
+impl Router for CbtRouter {
+    #[inline]
+    fn next_hop(&self, v: u32, dst: u32) -> u32 {
+        routing::cbt_next_hop(
+            Address::from_heap_id(v as usize),
+            Address::from_heap_id(dst as usize),
+        )
+        .heap_id() as u32
+    }
+
+    #[inline]
+    fn distance(&self, v: u32, dst: u32) -> u32 {
+        Address::from_heap_id(v as usize).tree_distance(Address::from_heap_id(dst as usize))
+    }
+}
+
+/// Dense all-pairs next-hop tables — one BFS per vertex at construction.
+///
+/// `O(n²)` memory, so only viable for hosts up to `2^13` vertices; kept
+/// for hosts without structured routing.
+pub struct TableRouter {
+    n: usize,
+    /// `next_hop[dst * n + v]` = neighbour of `v` on a shortest path to
+    /// `dst` (`v` itself when `v == dst`).
+    next_hop: Vec<u32>,
+    /// `dist[dst * n + v]` = shortest-path distance.
+    dist: Vec<u32>,
+}
+
+impl TableRouter {
+    /// Builds the tables for `graph` (must be connected).
+    ///
+    /// # Panics
+    /// Panics if the graph is disconnected or too large (> 2^13 vertices —
+    /// the table would be ≥ 512 MiB beyond that).
+    pub fn new(graph: &Csr) -> Self {
+        let n = graph.node_count();
+        assert!(n <= (1 << 13), "routing table too large for {n} vertices");
+        assert!(graph.is_connected(), "simulator hosts must be connected");
+        let mut next_hop = vec![0u32; n * n];
+        let mut dist = vec![0u32; n * n];
+        for dst in 0..n {
+            let d = graph.bfs(dst);
+            dist[dst * n..(dst + 1) * n].copy_from_slice(&d);
+            let row_h = &mut next_hop[dst * n..(dst + 1) * n];
+            for v in 0..n {
+                if v == dst {
+                    row_h[v] = v as u32;
+                    continue;
+                }
+                // Deterministic: the smallest-id neighbour that decreases
+                // the distance to dst (neighbor lists are sorted).
+                row_h[v] = *graph
+                    .neighbors(v)
+                    .iter()
+                    .find(|&&w| d[w as usize] + 1 == d[v])
+                    .expect("connected graph has a downhill neighbour");
+            }
+        }
+        TableRouter { n, next_hop, dist }
+    }
+}
+
+impl Router for TableRouter {
+    #[inline]
+    fn next_hop(&self, v: u32, dst: u32) -> u32 {
+        self.next_hop[dst as usize * self.n + v as usize]
+    }
+
+    #[inline]
+    fn distance(&self, v: u32, dst: u32) -> u32 {
+        self.dist[dst as usize * self.n + v as usize]
+    }
+}
+
+/// Static dispatch over the router strategies a [`crate::Network`] can
+/// hold, keeping the per-hop call in the engine's inner loop monomorphic.
+pub enum AnyRouter {
+    /// Closed-form X-tree routing.
+    XTree(XTreeRouter),
+    /// Bit-fixing hypercube routing.
+    Hypercube(HypercubeRouter),
+    /// Complete-binary-tree LCA routing.
+    Cbt(CbtRouter),
+    /// BFS-table fallback.
+    Table(TableRouter),
+}
+
+impl Router for AnyRouter {
+    #[inline]
+    fn next_hop(&self, v: u32, dst: u32) -> u32 {
+        match self {
+            AnyRouter::XTree(r) => r.next_hop(v, dst),
+            AnyRouter::Hypercube(r) => r.next_hop(v, dst),
+            AnyRouter::Cbt(r) => r.next_hop(v, dst),
+            AnyRouter::Table(r) => r.next_hop(v, dst),
+        }
+    }
+
+    #[inline]
+    fn distance(&self, v: u32, dst: u32) -> u32 {
+        match self {
+            AnyRouter::XTree(r) => r.distance(v, dst),
+            AnyRouter::Hypercube(r) => r.distance(v, dst),
+            AnyRouter::Cbt(r) => r.distance(v, dst),
+            AnyRouter::Table(r) => r.distance(v, dst),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtree_topology::{CompleteBinaryTree, Hypercube, XTree};
+
+    fn assert_router_matches_table(router: &dyn Router, graph: &Csr) {
+        let table = TableRouter::new(graph);
+        let n = graph.node_count() as u32;
+        for v in 0..n {
+            for dst in 0..n {
+                assert_eq!(
+                    router.distance(v, dst),
+                    table.distance(v, dst),
+                    "distance {v} -> {dst}"
+                );
+                assert_eq!(
+                    router.next_hop(v, dst),
+                    table.next_hop(v, dst),
+                    "next hop {v} -> {dst}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xtree_router_equals_table() {
+        for r in 0..=5u8 {
+            assert_router_matches_table(&XTreeRouter::new(r), XTree::new(r).graph());
+        }
+    }
+
+    #[test]
+    fn hypercube_router_equals_table() {
+        for d in 0..=6u8 {
+            assert_router_matches_table(&HypercubeRouter, Hypercube::new(d).graph());
+        }
+    }
+
+    #[test]
+    fn cbt_router_equals_table() {
+        for r in 0..=5u8 {
+            assert_router_matches_table(&CbtRouter, CompleteBinaryTree::new(r).graph());
+        }
+    }
+
+    #[test]
+    fn xtree_router_scales_past_the_table_cap() {
+        // Heights > 13 are exactly what the dense table could not hold.
+        let router = XTreeRouter::new(20);
+        let n = (1u32 << 21) - 1;
+        let (mut at, dst) = (n - 1, n / 2);
+        let mut hops = 0;
+        while at != dst {
+            let next = router.next_hop(at, dst);
+            assert_eq!(router.distance(next, dst) + 1, router.distance(at, dst));
+            at = next;
+            hops += 1;
+        }
+        assert_eq!(hops, router.distance(n - 1, dst));
+    }
+}

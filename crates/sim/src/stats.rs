@@ -46,16 +46,22 @@ fn summarise(workload: &'static str, stats: &[BatchStats]) -> SimReport {
 /// (X-tree, hypercube, mesh, …), complementing the X-tree-specific
 /// `xtree_core::metrics::edge_congestion`.
 pub fn congestion<M: workload::HostMap>(net: &Network, tree: &BinaryTree, emb: &M) -> u32 {
-    let mut usage = std::collections::HashMap::new();
+    // Flat per-directed-link counters: links are dense indices (see
+    // `Csr::directed_edge_index`), so no hashing in the walk.
+    let mut usage = vec![0u32; net.graph().directed_edge_count()];
     for (u, v) in tree.edges() {
         let (mut at, dst) = (emb.host_of(u), emb.host_of(v));
         while at != dst {
             let next = net.next_hop(at, dst);
-            *usage.entry((at, next)).or_insert(0u32) += 1;
+            let e = net
+                .graph()
+                .directed_edge_index(at, next)
+                .expect("router returned a non-neighbour");
+            usage[e as usize] += 1;
             at = next;
         }
     }
-    usage.into_values().max().unwrap_or(0)
+    usage.into_iter().max().unwrap_or(0)
 }
 
 /// Maximum number of guest nodes mapped to one host processor — the

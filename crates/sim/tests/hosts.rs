@@ -3,7 +3,9 @@
 //! meshes, cube-connected cycles, and butterflies.
 
 use xtree_sim::{run_batch, Message, Network};
-use xtree_topology::{Butterfly, CubeConnectedCycles, Graph, Hypercube, Mesh2D, XTree};
+use xtree_topology::{
+    Butterfly, CompleteBinaryTree, CubeConnectedCycles, Graph, Hypercube, Mesh2D, XTree,
+};
 
 fn deliver_all_pairs(net: &Network) {
     // One message per ordered pair (sampled): every delivery must take
@@ -25,12 +27,25 @@ fn deliver_all_pairs(net: &Network) {
 
 #[test]
 fn xtree_host() {
-    deliver_all_pairs(&Network::new(XTree::new(5).graph().clone()));
+    // Both the BFS-table fallback and the closed-form router must deliver
+    // every message in exactly the shortest-path time.
+    let x = XTree::new(5);
+    deliver_all_pairs(&Network::new(x.graph().clone()));
+    deliver_all_pairs(&Network::xtree(&x));
 }
 
 #[test]
 fn hypercube_host() {
-    deliver_all_pairs(&Network::new(Hypercube::new(6).graph().clone()));
+    let q = Hypercube::new(6);
+    deliver_all_pairs(&Network::new(q.graph().clone()));
+    deliver_all_pairs(&Network::hypercube(&q));
+}
+
+#[test]
+fn cbt_host() {
+    let b = CompleteBinaryTree::new(5);
+    deliver_all_pairs(&Network::new(b.graph().clone()));
+    deliver_all_pairs(&Network::cbt(&b));
 }
 
 #[test]
@@ -58,16 +73,24 @@ fn butterfly_host() {
 
 #[test]
 fn delivery_is_deterministic() {
-    let net = Network::new(XTree::new(4).graph().clone());
+    let x = XTree::new(4);
     let msgs: Vec<Message> = (0..20)
         .map(|i| Message {
             src: i % 31,
             dst: (i * 7 + 3) % 31,
         })
         .collect();
-    let a = run_batch(&net, &msgs);
-    let b = run_batch(&net, &msgs);
-    assert_eq!(a, b, "same batch must produce identical statistics");
+    let table = run_batch(&Network::new(x.graph().clone()), &msgs);
+    let fast = run_batch(&Network::xtree(&x), &msgs);
+    assert_eq!(
+        table,
+        run_batch(&Network::new(x.graph().clone()), &msgs),
+        "same batch must produce identical statistics"
+    );
+    assert_eq!(
+        table, fast,
+        "structured routing must not change delivery statistics"
+    );
 }
 
 #[test]

@@ -1,0 +1,127 @@
+//! Property tests: the structured O(1)-memory routers are observationally
+//! identical to the dense BFS next-hop tables they replaced — exact
+//! distances, the same smallest-id downhill next hop, and the downhill
+//! invariant (each hop decreases the distance by exactly one) — across
+//! X(1..=8), Q(1..=8) and CBT(1..=8), plus the downhill invariant alone on
+//! X-trees far past the old 2^13-vertex table cap.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use xtree_sim::router::{CbtRouter, HypercubeRouter, Router, TableRouter, XTreeRouter};
+use xtree_sim::Network;
+use xtree_topology::{CompleteBinaryTree, Graph, Hypercube, XTree};
+
+/// One BFS table per height, built once: the oracle the fast routers must
+/// reproduce bit for bit.
+fn xtree_oracles() -> &'static Vec<(usize, TableRouter)> {
+    static T: OnceLock<Vec<(usize, TableRouter)>> = OnceLock::new();
+    T.get_or_init(|| {
+        (1..=8u8)
+            .map(|r| {
+                let x = XTree::new(r);
+                (x.node_count(), TableRouter::new(x.graph()))
+            })
+            .collect()
+    })
+}
+
+fn hypercube_oracles() -> &'static Vec<(usize, TableRouter)> {
+    static T: OnceLock<Vec<(usize, TableRouter)>> = OnceLock::new();
+    T.get_or_init(|| {
+        (1..=8u8)
+            .map(|d| {
+                let q = Hypercube::new(d);
+                (q.node_count(), TableRouter::new(q.graph()))
+            })
+            .collect()
+    })
+}
+
+fn cbt_oracles() -> &'static Vec<(usize, TableRouter)> {
+    static T: OnceLock<Vec<(usize, TableRouter)>> = OnceLock::new();
+    T.get_or_init(|| {
+        (1..=8u8)
+            .map(|r| {
+                let b = CompleteBinaryTree::new(r);
+                (b.node_count(), TableRouter::new(b.graph()))
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn xtree_router_agrees_with_bfs_table(r in 1u8..=8, a in any::<u32>(), b in any::<u32>()) {
+        let (n, table) = &xtree_oracles()[usize::from(r) - 1];
+        let (v, dst) = (a % *n as u32, b % *n as u32);
+        let fast = XTreeRouter::new(r);
+        prop_assert_eq!(fast.distance(v, dst), table.distance(v, dst));
+        prop_assert_eq!(fast.next_hop(v, dst), table.next_hop(v, dst));
+        if v != dst {
+            let hop = fast.next_hop(v, dst);
+            prop_assert_eq!(fast.distance(hop, dst) + 1, fast.distance(v, dst));
+        }
+    }
+
+    #[test]
+    fn hypercube_router_agrees_with_bfs_table(d in 1u8..=8, a in any::<u32>(), b in any::<u32>()) {
+        let (n, table) = &hypercube_oracles()[usize::from(d) - 1];
+        let (v, dst) = (a % *n as u32, b % *n as u32);
+        let fast = HypercubeRouter;
+        prop_assert_eq!(fast.distance(v, dst), table.distance(v, dst));
+        prop_assert_eq!(fast.next_hop(v, dst), table.next_hop(v, dst));
+        if v != dst {
+            let hop = fast.next_hop(v, dst);
+            prop_assert_eq!(fast.distance(hop, dst) + 1, fast.distance(v, dst));
+        }
+    }
+
+    #[test]
+    fn cbt_router_agrees_with_bfs_table(r in 1u8..=8, a in any::<u32>(), b in any::<u32>()) {
+        let (n, table) = &cbt_oracles()[usize::from(r) - 1];
+        let (v, dst) = (a % *n as u32, b % *n as u32);
+        let fast = CbtRouter;
+        prop_assert_eq!(fast.distance(v, dst), table.distance(v, dst));
+        prop_assert_eq!(fast.next_hop(v, dst), table.next_hop(v, dst));
+        if v != dst {
+            let hop = fast.next_hop(v, dst);
+            prop_assert_eq!(fast.distance(hop, dst) + 1, fast.distance(v, dst));
+        }
+    }
+
+    #[test]
+    fn xtree_downhill_invariant_past_the_table_cap(
+        r in 14u8..=20,
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        // No oracle exists at these sizes — that is the point. The hop-by-
+        // hop walk must still descend monotonically and reach `dst` in
+        // exactly `distance` steps.
+        let n = (1u64 << (r + 1)) - 1;
+        let (mut at, dst) = ((a % n) as u32, (b % n) as u32);
+        let fast = XTreeRouter::new(r);
+        let mut hops = 0;
+        let total = fast.distance(at, dst);
+        while at != dst {
+            let next = fast.next_hop(at, dst);
+            prop_assert_eq!(fast.distance(next, dst) + 1, fast.distance(at, dst));
+            at = next;
+            hops += 1;
+        }
+        prop_assert_eq!(hops, total);
+    }
+
+    #[test]
+    fn network_constructors_are_interchangeable(r in 1u8..=6, a in any::<u32>(), b in any::<u32>()) {
+        // End to end through `Network`: the public constructors expose the
+        // same routing function regardless of strategy.
+        let x = XTree::new(r);
+        let n = x.node_count() as u32;
+        let (v, dst) = (a % n, b % n);
+        let fast = Network::xtree(&x);
+        let table = Network::new(x.graph().clone());
+        prop_assert_eq!(fast.next_hop(v, dst), table.next_hop(v, dst));
+        prop_assert_eq!(fast.distance(v, dst), table.distance(v, dst));
+    }
+}

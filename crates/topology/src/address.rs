@@ -24,7 +24,6 @@ pub const MAX_LEN: u8 = 60;
 /// Ordered first by length (level), then by `binary(x)` — exactly the
 /// left-to-right, top-to-bottom reading order of the tree levels.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Address {
     len: u8,
     bits: u64,

@@ -203,6 +203,31 @@ impl Csr {
         None
     }
 
+    /// Dense index of the directed edge `u -> v` in
+    /// `0..directed_edge_count()`, or `None` when `{u, v}` is not an edge.
+    ///
+    /// The indices enumerate each vertex's out-edges contiguously in
+    /// neighbor order, so flat per-edge state (claim tables, traffic
+    /// counters) can live in a `Vec` instead of a hash map keyed by
+    /// `(u, v)`. Degrees are tiny on every host we simulate (≤ 5 on
+    /// X-trees), so a branch-light linear scan of the sorted neighbor
+    /// list beats a binary search here.
+    #[inline]
+    pub fn directed_edge_index(&self, u: u32, v: u32) -> Option<u32> {
+        let s = self.offsets[u as usize] as usize;
+        let e = self.offsets[u as usize + 1] as usize;
+        self.targets[s..e]
+            .iter()
+            .position(|&t| t == v)
+            .map(|i| (s + i) as u32)
+    }
+
+    /// Number of directed edge slots (`2 * edge_count()`).
+    #[inline]
+    pub fn directed_edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
     /// Iterates over each undirected edge once, as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         (0..self.node_count()).flat_map(move |u| {
@@ -305,6 +330,23 @@ mod tests {
         for (u, v) in es {
             assert!(u < v);
         }
+    }
+
+    #[test]
+    fn directed_edge_indices_are_dense_and_unique() {
+        let g = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (0, 2)]);
+        assert_eq!(g.directed_edge_count(), 2 * g.edge_count());
+        let mut seen = vec![false; g.directed_edge_count()];
+        for u in 0..g.node_count() as u32 {
+            for &v in g.neighbors(u as usize) {
+                let idx = g.directed_edge_index(u, v).unwrap() as usize;
+                assert!(!seen[idx], "index {idx} reused");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(g.directed_edge_index(1, 4), None);
+        assert_ne!(g.directed_edge_index(0, 1), g.directed_edge_index(1, 0));
     }
 
     #[test]

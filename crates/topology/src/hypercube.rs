@@ -13,6 +13,28 @@ pub struct Hypercube {
     graph: Csr,
 }
 
+/// Deterministic next hop from `v` toward `dst` in any hypercube
+/// containing both.
+///
+/// Picks the smallest-id neighbour of `v` that is one bit closer to
+/// `dst` — the vertex a BFS next-hop table built with the
+/// smallest-id-downhill rule selects. Clearing any differing bit yields an
+/// id below `v` while setting one yields an id above, so: clear the
+/// *highest* differing set bit when one exists (smallest result), else set
+/// the *lowest* differing bit. Returns `v` when `v == dst`.
+pub fn next_hop_towards(v: u64, dst: u64) -> u64 {
+    let diff = v ^ dst;
+    if diff == 0 {
+        return v;
+    }
+    let clearable = diff & v;
+    if clearable != 0 {
+        v ^ (1u64 << (63 - clearable.leading_zeros()))
+    } else {
+        v ^ (diff & diff.wrapping_neg())
+    }
+}
+
 impl Hypercube {
     /// Builds `Q_d`.
     pub fn new(dim: u8) -> Self {
@@ -98,6 +120,28 @@ mod tests {
             assert_eq!(d0[v], q.distance(0, v as u64));
         }
         assert_eq!(q.distance(0b10110, 0b01101), 4);
+    }
+
+    #[test]
+    fn next_hop_matches_smallest_id_downhill_table() {
+        let q = Hypercube::new(5);
+        for dst in 0..q.node_count() {
+            let d = q.graph().bfs(dst);
+            for v in 0..q.node_count() {
+                let hop = next_hop_towards(v as u64, dst as u64);
+                if v == dst {
+                    assert_eq!(hop, v as u64);
+                    continue;
+                }
+                let table = *q
+                    .graph()
+                    .neighbors(v)
+                    .iter()
+                    .find(|&&w| d[w as usize] + 1 == d[v])
+                    .unwrap();
+                assert_eq!(hop, u64::from(table), "{v} -> {dst}");
+            }
+        }
     }
 
     #[test]

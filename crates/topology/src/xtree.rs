@@ -35,15 +35,96 @@ pub const fn xtree_node_count(r: u8) -> usize {
 /// `m`; minimising over `m` gives the distance. Validated against BFS on
 /// every vertex pair of `X(0)..X(7)` in the tests.
 pub fn analytic_distance(a: Address, b: Address) -> u32 {
-    let top = a.level().min(b.level());
-    (0..=top)
-        .map(|m| {
-            let ja = a.index() >> (a.level() - m);
-            let jb = b.index() >> (b.level() - m);
-            u64::from(a.level() - m) + u64::from(b.level() - m) + ja.abs_diff(jb)
-        })
-        .min()
-        .expect("at least the root level is a candidate peak") as u32
+    let (la, lb) = (a.level(), b.level());
+    let top = la.min(lb);
+    // Scan peaks from the deepest (m = top) upward with running ancestor
+    // indices — each step up shifts both once and costs two more vertical
+    // hops. Stop when the vertical legs alone exceed the best cost (they
+    // only grow) or when the ancestors coincide (the gap stays 0 above, so
+    // higher peaks only add vertical); the latter also ends m = 0.
+    let mut ja = a.index() >> (la - top);
+    let mut jb = b.index() >> (lb - top);
+    let mut vertical = u64::from(la - top) + u64::from(lb - top);
+    let mut d = u64::MAX;
+    loop {
+        if vertical > d {
+            break;
+        }
+        d = d.min(vertical + ja.abs_diff(jb));
+        if ja == jb {
+            break;
+        }
+        ja >>= 1;
+        jb >>= 1;
+        vertical += 2;
+    }
+    d as u32
+}
+
+/// Deterministic next hop from `a` toward `b` in `X(height)`.
+///
+/// Among the X-tree neighbours of `a`, returns the one with the smallest
+/// heap id whose [`analytic_distance`] to `b` is one hop shorter — the
+/// same vertex a BFS next-hop table built with the smallest-id-downhill
+/// rule selects, but computed in `O(height)` with no table. Returns `a`
+/// itself when `a == b`.
+pub fn next_hop_towards(a: Address, b: Address, height: u8) -> Address {
+    debug_assert!(a.level() <= height && b.level() <= height);
+    if a == b {
+        return a;
+    }
+    let (la, lb) = (a.level(), b.level());
+    // The parent shares every ancestor of `a` strictly above `a`'s level,
+    // so `d(parent, b) = best_above − 1` where `best_above` is the best
+    // cost over peaks above `a`. The parent — always the smallest-id
+    // neighbour — is therefore downhill exactly when `best_above` attains
+    // the distance, which replicates the BFS table's smallest-id-downhill
+    // tie-break without probing any neighbour.
+    if la > lb {
+        // Every candidate peak (m ≤ lb < la) lies above `a`:
+        // `best_above == d` unconditionally.
+        return a.parent().expect("a is deeper than b, so not the root");
+    }
+    // Peak m = la, the only one not above `a`.
+    let jb_la = b.index() >> (lb - la);
+    let cost_la = u64::from(lb - la) + a.index().abs_diff(jb_la);
+    // Peaks m < la, with running ancestor indices (same early exits as
+    // `analytic_distance`: costs past the breaks exceed the running best,
+    // so they can change neither the distance nor whether it is attained
+    // above `a`).
+    let mut best_above = u64::MAX;
+    if la > 0 {
+        let mut ja = a.index() >> 1;
+        let mut jb = jb_la >> 1;
+        let mut vertical = u64::from(lb - la) + 2;
+        loop {
+            if vertical > best_above.min(cost_la) {
+                break;
+            }
+            best_above = best_above.min(vertical + ja.abs_diff(jb));
+            if ja == jb {
+                break;
+            }
+            ja >>= 1;
+            jb >>= 1;
+            vertical += 2;
+        }
+    }
+    if best_above <= cost_la {
+        return a.parent().expect("la > 0 whenever a peak above a exists");
+    }
+    // The only optimal peak is `a`'s own level: step horizontally toward
+    // `b`'s ancestor at this level, or — when `a` *is* that ancestor —
+    // descend onto `b`'s ancestor one level down.
+    if jb_la < a.index() {
+        a.predecessor()
+            .expect("a gap to the left implies a predecessor")
+    } else if jb_la > a.index() {
+        a.successor()
+            .expect("a gap to the right implies a successor")
+    } else {
+        a.child((b.index() >> (lb - la - 1) & 1) as u8)
+    }
 }
 
 /// Number of edges of `X(r)`: `2^{r+1} − 2` tree edges plus
@@ -295,6 +376,34 @@ mod tests {
         // Corner to corner: up to level 1, one horizontal, down: 2·49 + 1.
         assert_eq!(analytic_distance(a, b), 99);
         assert_eq!(analytic_distance(Address::ROOT, a), 50);
+    }
+
+    #[test]
+    fn next_hop_matches_smallest_id_downhill_table() {
+        // The structured router rule must be bit-identical to what a BFS
+        // next-hop table with the smallest-id tie-break would contain.
+        for r in 0..=4u8 {
+            let x = XTree::new(r);
+            for dst in 0..x.node_count() {
+                let d = x.graph().bfs(dst);
+                let b = Address::from_heap_id(dst);
+                for v in 0..x.node_count() {
+                    let a = Address::from_heap_id(v);
+                    let hop = next_hop_towards(a, b, r);
+                    if v == dst {
+                        assert_eq!(hop, a);
+                        continue;
+                    }
+                    let table = *x
+                        .graph()
+                        .neighbors(v)
+                        .iter()
+                        .find(|&&w| d[w as usize] + 1 == d[v])
+                        .unwrap();
+                    assert_eq!(hop.heap_id(), table as usize, "X({r}): {a} -> {b}");
+                }
+            }
+        }
     }
 
     #[test]

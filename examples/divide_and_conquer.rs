@@ -25,7 +25,7 @@ fn main() {
     println!("recursion tree: {n} nodes, height {}", tree.height());
 
     let host = XTree::new(r);
-    let net = Network::new(host.graph().clone());
+    let net = Network::xtree(&host);
     println!("host: X({r}) with {} processors\n", net.len());
 
     let candidates = [

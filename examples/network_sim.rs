@@ -65,14 +65,14 @@ fn main() {
     // X-tree route (Theorem 1).
     let t1 = theorem1::embed(&tree);
     let xh = XTree::new(t1.emb.height);
-    let xnet = Network::new(xh.graph().clone());
+    let xnet = Network::xtree(&xh);
     println!("on X({}) [{} processors]:", t1.emb.height, xnet.len());
     print_reports(&simulate_all(&xnet, &tree, &t1.emb));
 
     // Hypercube route (Theorem 3).
     let qemb = hypercube::embed_theorem3(&tree);
     let qh = Hypercube::new(qemb.dim);
-    let qnet = Network::new(qh.graph().clone());
+    let qnet = Network::hypercube(&qh);
     println!("\non Q_{} [{} processors]:", qemb.dim, qnet.len());
     print_reports(&simulate_all(&qnet, &tree, &qemb));
 

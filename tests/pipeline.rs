@@ -58,11 +58,11 @@ fn same_guest_runs_on_both_hosts() {
     let tree = TreeFamily::Broom.generate(theorem3_size(5), &mut rng);
 
     let x = theorem1::embed(&tree).emb;
-    let xnet = Network::new(XTree::new(x.height).graph().clone());
+    let xnet = Network::xtree(&XTree::new(x.height));
     let xr = simulate_all(&xnet, &tree, &x);
 
     let q = hypercube::embed_theorem3(&tree);
-    let qnet = Network::new(Hypercube::new(q.dim).graph().clone());
+    let qnet = Network::hypercube(&Hypercube::new(q.dim));
     let qr = simulate_all(&qnet, &tree, &q);
 
     for (a, b) in xr.iter().zip(qr.iter()) {
@@ -86,7 +86,7 @@ fn non_exact_guest_still_runs() {
     let mut rng = ChaCha8Rng::seed_from_u64(13);
     let tree = TreeFamily::RandomSplit.generate(500, &mut rng);
     let emb = theorem1::embed(&tree).emb;
-    let net = Network::new(XTree::new(emb.height).graph().clone());
+    let net = Network::xtree(&XTree::new(emb.height));
     let reports = simulate_all(&net, &tree, &emb);
     assert_eq!(reports.len(), 4);
     for r in reports {

@@ -1,0 +1,268 @@
+//! Offline subset of `criterion`.
+//!
+//! Covers the surface this workspace's benches use: `benchmark_group`,
+//! `sample_size`, `throughput`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` entry points. Statistics are deliberately simple —
+//! per-benchmark mean over timed batches — and `--test` runs every
+//! benchmark body exactly once, which is what the CI smoke job relies on.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver; one per process.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo-bench forwards that we accept and ignore.
+                "--bench" | "--nocapture" | "--quiet" | "--verbose" => {}
+                other if other.starts_with('-') => {}
+                other => filter = Some(other.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let test_mode = self.test_mode;
+        if self.matches(name) {
+            run_one(name, test_mode, 100, f);
+        }
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// Throughput annotation; recorded per benchmark and echoed in output.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A named group sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to gather per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        if self.criterion.matches(&full) {
+            run_one(&full, self.criterion.test_mode, self.sample_size, |b| {
+                f(b, input)
+            });
+        }
+        self
+    }
+
+    /// Benchmarks `f` with no explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        if self.criterion.matches(&full) {
+            run_one(&full, self.criterion.test_mode, self.sample_size, f);
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark identifier: function name plus parameter rendering.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+/// Passed to each benchmark body; call [`Bencher::iter`] with the routine.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, or runs it once in `--test` mode.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.iters = 1;
+            return;
+        }
+        // Warm-up: discover an iteration count worth ~10ms per sample.
+        let mut per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let t = start.elapsed();
+            if t >= Duration::from_millis(10) || per_sample >= 1 << 20 {
+                break;
+            }
+            per_sample *= 2;
+        }
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iters = per_sample * self.samples as u64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, test_mode: bool, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        test_mode,
+        samples,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test {id} ... ok");
+    } else if b.iters > 0 {
+        let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        println!(
+            "{id:<55} {:>12} / iter ({} iters)",
+            fmt_ns(per_iter),
+            b.iters
+        );
+    } else {
+        println!("{id:<55} (no measurement: Bencher::iter never called)");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_bodies() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut hits = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.throughput(Throughput::Elements(4));
+            g.bench_with_input(BenchmarkId::new("a", 1), &3u32, |b, &x| {
+                b.iter(|| x + 1);
+                hits += 1;
+            });
+            g.bench_function("b", |b| b.iter(|| 2 + 2));
+            g.finish();
+        }
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("match_me".into()),
+        };
+        let mut hits = 0;
+        c.bench_function("other", |b| {
+            b.iter(|| 1);
+            hits += 1;
+        });
+        c.bench_function("match_me_exactly", |b| {
+            b.iter(|| 1);
+            hits += 1;
+        });
+        assert_eq!(hits, 1);
+    }
+}

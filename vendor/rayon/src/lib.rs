@@ -1,0 +1,187 @@
+//! Offline subset of `rayon`: `par_iter()` over slices with `map`,
+//! `collect`, `sum`, and `for_each`, executed on `std::thread::scope`
+//! with one chunk per available core.
+//!
+//! The scheduling model is simpler than rayon's work stealing — the input
+//! is split into `available_parallelism()` contiguous chunks up front —
+//! which is the right shape for this workspace's sweeps: many
+//! similarly-sized, independent (tree, embedding) cases. Output order
+//! always matches input order.
+
+use std::thread;
+
+/// Number of worker threads to fan out to (respects `RAYON_NUM_THREADS`).
+fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// Order-preserving parallel map over a slice.
+fn parallel_map<'a, T, R, F>(slice: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let n = slice.len();
+    let threads = thread_count().min(n);
+    if threads <= 1 {
+        return slice.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    let mut out = Vec::with_capacity(n);
+    thread::scope(|s| {
+        let handles: Vec<_> = slice
+            .chunks(chunk)
+            .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out
+}
+
+/// A pending parallel iteration over `&[T]`.
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        parallel_map(self.slice, |t| f(t));
+    }
+}
+
+/// A mapped parallel iteration, ready to collect or reduce.
+pub struct ParMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Runs the map and gathers results in input order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        C::from_ordered_vec(parallel_map(self.slice, self.f))
+    }
+
+    /// Runs the map and sums the results.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        parallel_map(self.slice, self.f).into_iter().sum()
+    }
+
+    /// Runs the map and returns the maximum result.
+    pub fn max(self) -> Option<R>
+    where
+        R: Ord,
+    {
+        parallel_map(self.slice, self.f).into_iter().max()
+    }
+}
+
+/// Collection types a parallel map can gather into.
+pub trait FromParallelIterator<R> {
+    /// Builds the collection from results already in input order.
+    fn from_ordered_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_ordered_vec(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+/// Types offering `par_iter()`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: 'a;
+
+    /// A parallel iterator over `&self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+pub mod prelude {
+    //! The customary glob import.
+    pub use crate::{FromParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, input.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let input: Vec<usize> = (0..1000).collect();
+        let s: usize = input.par_iter().map(|&x| x + 1).sum();
+        assert_eq!(s, (1..=1000).sum::<usize>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let input: Vec<u32> = Vec::new();
+        let out: Vec<u32> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn for_each_runs_everywhere() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = AtomicUsize::new(0);
+        let input: Vec<u32> = (0..257).collect();
+        input.par_iter().for_each(|_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 257);
+    }
+}

@@ -1,0 +1,210 @@
+//! Offline stand-in for `smallvec`: same `SmallVec<[T; N]>` type syntax
+//! and API subset, backed by a plain `Vec`. The inline-storage
+//! optimisation is dropped — call sites keep their semantics, and the
+//! collections involved are tiny enough that the allocation difference is
+//! noise next to the workloads this workspace benchmarks.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Marker trait letting `SmallVec<[T; N]>` spell an item type.
+pub trait Array {
+    /// Element type of the backing array.
+    type Item;
+}
+
+impl<T, const N: usize> Array for [T; N] {
+    type Item = T;
+}
+
+/// A growable vector with the `smallvec` API shape.
+pub struct SmallVec<A: Array> {
+    inner: Vec<A::Item>,
+}
+
+impl<A: Array> SmallVec<A> {
+    /// An empty vector.
+    #[inline]
+    pub fn new() -> Self {
+        SmallVec { inner: Vec::new() }
+    }
+
+    /// An empty vector with reserved capacity.
+    #[inline]
+    pub fn with_capacity(cap: usize) -> Self {
+        SmallVec {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends an element.
+    #[inline]
+    pub fn push(&mut self, value: A::Item) {
+        self.inner.push(value);
+    }
+
+    /// Removes and returns the last element.
+    #[inline]
+    pub fn pop(&mut self) -> Option<A::Item> {
+        self.inner.pop()
+    }
+
+    /// Converts into a plain `Vec`.
+    #[inline]
+    pub fn into_vec(self) -> Vec<A::Item> {
+        self.inner
+    }
+
+    /// The elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[A::Item] {
+        &self.inner
+    }
+
+    /// The elements as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [A::Item] {
+        &mut self.inner
+    }
+
+    /// Keeps only elements satisfying the predicate.
+    pub fn retain<F: FnMut(&mut A::Item) -> bool>(&mut self, f: F) {
+        self.inner.retain_mut(f);
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Array> Deref for SmallVec<A> {
+    type Target = [A::Item];
+
+    #[inline]
+    fn deref(&self) -> &[A::Item] {
+        &self.inner
+    }
+}
+
+impl<A: Array> DerefMut for SmallVec<A> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [A::Item] {
+        &mut self.inner
+    }
+}
+
+impl<A: Array> Clone for SmallVec<A>
+where
+    A::Item: Clone,
+{
+    fn clone(&self) -> Self {
+        SmallVec {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<A: Array> PartialEq for SmallVec<A>
+where
+    A::Item: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.inner == other.inner
+    }
+}
+
+impl<A: Array> Eq for SmallVec<A> where A::Item: Eq {}
+
+impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
+    fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
+        SmallVec {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<A: Array> Extend<A::Item> for SmallVec<A> {
+    fn extend<I: IntoIterator<Item = A::Item>>(&mut self, iter: I) {
+        self.inner.extend(iter);
+    }
+}
+
+impl<A: Array> IntoIterator for SmallVec<A> {
+    type Item = A::Item;
+    type IntoIter = std::vec::IntoIter<A::Item>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
+    type Item = &'a A::Item;
+    type IntoIter = std::slice::Iter<'a, A::Item>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a mut SmallVec<A> {
+    type Item = &'a mut A::Item;
+    type IntoIter = std::slice::IterMut<'a, A::Item>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter_mut()
+    }
+}
+
+/// `smallvec![a, b, c]` and `smallvec![x; n]` construction.
+#[macro_export]
+macro_rules! smallvec {
+    ($($x:expr),* $(,)?) => {{
+        let mut v = $crate::SmallVec::new();
+        $(v.push($x);)*
+        v
+    }};
+    ($x:expr; $n:expr) => {{
+        let mut v = $crate::SmallVec::with_capacity($n);
+        for _ in 0..$n { v.push($x.clone()); }
+        v
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let mut v: SmallVec<[u32; 2]> = SmallVec::new();
+        v.push(1);
+        v.push(2);
+        v.push(3);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[1], 2);
+        assert_eq!(v.iter().sum::<u32>(), 6);
+        assert_eq!(v.pop(), Some(3));
+        let w: SmallVec<[u32; 2]> = [1, 2].into_iter().collect();
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn macro_forms() {
+        let v: SmallVec<[u8; 4]> = smallvec![1, 2, 3];
+        assert_eq!(&*v, &[1, 2, 3]);
+        let w: SmallVec<[u8; 4]> = smallvec![7; 3];
+        assert_eq!(&*w, &[7, 7, 7]);
+    }
+}
