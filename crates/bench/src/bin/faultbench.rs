@@ -1,0 +1,169 @@
+//! `faultbench` — graceful-degradation record for the fault-injection
+//! subsystem, written to `results/BENCH_faults.json`.
+//!
+//! For each X-tree host it delivers the same seeded random batches under
+//! increasing link-failure rates and reports the slowdown against the
+//! fault-free engine, twice per rate:
+//!
+//! * **repaired** — every failed link comes back a fixed number of cycles
+//!   later, so the survivor graph eventually heals and everything is
+//!   delivered: the slowdown curve isolates the cost of detours and
+//!   repair-waiting;
+//! * **cut** — the same failures with no repairs: the delivery rate shows
+//!   how much traffic strands permanently as the host partitions.
+//!
+//! Run with: `cargo run --release -p xtree-bench --bin faultbench`
+//! (`--smoke` sweeps two tiny hosts and skips the results file — the CI
+//! guard that the degraded engine terminates with sane numbers.)
+
+use xtree_json::Value;
+use xtree_sim::{Engine, FaultPlan, FaultState, Message, Network};
+use xtree_topology::{Graph, XTree};
+
+/// Failure cycles are drawn from this window, so damage lands while the
+/// batches are in flight.
+const FAULT_WINDOW: u32 = 32;
+/// Cycles from a link's failure to its repair in the repaired sweep.
+const REPAIR_AFTER: u32 = 16;
+
+/// Seeded batches: `count` messages with a cheap LCG so every run and
+/// every fault rate sees the identical workload.
+fn seeded_batches(n: u64, batches: usize, count: usize) -> Vec<Vec<Message>> {
+    let mut state = 0x5EED_FA17_u64;
+    let mut rand = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    (0..batches)
+        .map(|_| {
+            (0..count)
+                .map(|_| Message {
+                    src: (rand() % n) as u32,
+                    dst: (rand() % n) as u32,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+struct Degraded {
+    cycles: u64,
+    messages: usize,
+    delivered: usize,
+}
+
+/// Runs every batch from a fresh [`FaultState`], so each one replays the
+/// damage schedule from cycle 0.
+fn run_degraded(
+    engine: &mut Engine,
+    net: &Network,
+    rounds: &[Vec<Message>],
+    plan: &FaultPlan,
+) -> Degraded {
+    let mut d = Degraded {
+        cycles: 0,
+        messages: 0,
+        delivered: 0,
+    };
+    for batch in rounds {
+        let mut faults = FaultState::new(net.graph(), plan.clone()).expect("plan fits its host");
+        let out = engine
+            .run_batch_faulted(net, batch, &mut faults)
+            .expect("faulted batch");
+        assert!(
+            !out.is_stalled(),
+            "horizon {FAULT_WINDOW}+{REPAIR_AFTER} is far inside the idle-wait budget"
+        );
+        d.cycles += u64::from(out.stats().cycles);
+        d.messages += out.stats().messages;
+        d.delivered += out.stats().messages - out.undelivered().len();
+    }
+    d
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let heights: &[u8] = if smoke { &[5, 6] } else { &[8, 9, 10, 11, 12] };
+    let rates = [0.0, 0.01, 0.02, 0.05, 0.1];
+    let mut hosts = Vec::new();
+    for &r in heights {
+        let x = XTree::new(r);
+        let n = x.node_count();
+        let net = Network::xtree(&x);
+        let batches = if smoke { 2 } else { 4 };
+        let per_batch = (n / 2).min(512);
+        let rounds = seeded_batches(n as u64, batches, per_batch);
+        let mut engine = Engine::new();
+        let clean: u64 = rounds
+            .iter()
+            .map(|b| u64::from(engine.run_batch(&net, b).expect("fault-free batch").cycles))
+            .sum();
+
+        let mut curve = Vec::new();
+        for &rate in &rates {
+            let seed = 0xFA17 + u64::from(r);
+            let repaired = run_degraded(
+                &mut engine,
+                &net,
+                &rounds,
+                &FaultPlan::random_links(net.graph(), rate, seed, FAULT_WINDOW, Some(REPAIR_AFTER)),
+            );
+            assert_eq!(
+                repaired.delivered, repaired.messages,
+                "repaired links leave nothing stranded"
+            );
+            let cut = run_degraded(
+                &mut engine,
+                &net,
+                &rounds,
+                &FaultPlan::random_links(net.graph(), rate, seed, FAULT_WINDOW, None),
+            );
+            let slowdown = repaired.cycles as f64 / clean.max(1) as f64;
+            let delivery = cut.delivered as f64 / cut.messages.max(1) as f64;
+            eprintln!(
+                "X({r}): rate {rate:.2} — slowdown {slowdown:.2}x (repaired), \
+                 delivery {:.3} (no repairs, {} of {} stranded)",
+                delivery,
+                cut.messages - cut.delivered,
+                cut.messages,
+            );
+            curve.push(
+                Value::object()
+                    .with("fault_rate", rate)
+                    .with("cycles_faulted", repaired.cycles)
+                    .with("slowdown_repaired", slowdown)
+                    .with("delivered_no_repair", cut.delivered)
+                    .with("stranded_no_repair", cut.messages - cut.delivered)
+                    .with("delivery_rate_no_repair", delivery),
+            );
+        }
+        hosts.push(
+            Value::object()
+                .with("host", format!("X({r})"))
+                .with("vertices", n)
+                .with("batches", batches)
+                .with("messages_per_batch", per_batch)
+                .with("cycles_clean", clean)
+                .with("curve", Value::from(curve)),
+        );
+    }
+    let doc = Value::object()
+        .with("bench", "fault-degradation")
+        .with(
+            "workload",
+            "seeded uniform-random batches under random link failures; repaired runs \
+             measure detour slowdown, unrepaired runs measure permanent stranding",
+        )
+        .with("fault_window", FAULT_WINDOW)
+        .with("repair_after", REPAIR_AFTER)
+        .with("hosts", Value::from(hosts));
+    let out = xtree_json::to_string_pretty(&doc);
+    if !smoke {
+        std::fs::create_dir_all("results").expect("create results/");
+        std::fs::write("results/BENCH_faults.json", format!("{out}\n"))
+            .expect("write BENCH_faults.json");
+    }
+    println!("{out}");
+}

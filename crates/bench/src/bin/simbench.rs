@@ -135,12 +135,16 @@ fn main() {
         let net = Network::xtree(&x);
         let mut engine = Engine::new();
         // Warm the scratch buffers so the measurement sees the steady state.
-        engine.run_batch(&net, &rounds[0]);
-        let new = measure(&rounds, |b| engine.run_batch(&net, b));
+        engine
+            .run_batch(&net, &rounds[0])
+            .expect("warmup batch failed");
+        let new = measure(&rounds, |b| {
+            engine.run_batch(&net, b).expect("batch failed")
+        });
 
         // The legacy pipeline only exists below the old table cap.
         let legacy = (n <= 1 << 13).then(|| {
-            let table_net = Network::new(x.graph().clone());
+            let table_net = Network::new(x.graph().clone()).expect("connected host");
             measure(&rounds, |b| run_batch_legacy(&table_net, b))
         });
 

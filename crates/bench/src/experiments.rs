@@ -680,7 +680,7 @@ pub fn s1() -> Table {
             let x = theorem1::embed(t).emb;
             let xnet = Network::xtree(&XTree::new(x.height));
             let xdil = evaluate(t, &x).dilation;
-            for rep in simulate_all(&xnet, t, &x) {
+            for rep in simulate_all(&xnet, t, &x).expect("simulation failed") {
                 rows.push(vec![
                     f.name().into(),
                     format!("X({})", x.height),
@@ -695,7 +695,7 @@ pub fn s1() -> Table {
             let q = hypercube::embed_theorem3(t);
             let qnet = Network::hypercube(&Hypercube::new(q.dim));
             let qdil = q.dilation(t);
-            for rep in simulate_all(&qnet, t, &q) {
+            for rep in simulate_all(&qnet, t, &q).expect("simulation failed") {
                 rows.push(vec![
                     f.name().into(),
                     format!("Q_{}", q.dim),
@@ -814,7 +814,7 @@ pub fn s2() -> Table {
         .map(|(r, n, f, t)| {
             let emb = theorem1::embed(t).emb;
             let net = Network::xtree(&XTree::new(emb.height));
-            let step = simulate_step(&net, t, &emb);
+            let step = simulate_step(&net, t, &emb).expect("simulation failed");
             (
                 vec![
                     format!("{r}"),

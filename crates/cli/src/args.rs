@@ -30,7 +30,10 @@ impl Args {
             };
             match it.peek() {
                 Some(v) if !v.starts_with("--") => {
-                    args.options.insert(name.to_string(), it.next().unwrap());
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("--{name} is missing its value"))?;
+                    args.options.insert(name.to_string(), v);
                 }
                 _ => args.flags.push(name.to_string()),
             }
@@ -55,6 +58,20 @@ impl Args {
             None => Ok(default),
             Some(v) => v
                 .parse()
+                .map_err(|_| format!("--{name}: cannot parse `{v}`")),
+        }
+    }
+
+    /// Parsed numeric option, `None` when absent.
+    ///
+    /// # Errors
+    /// Returns a message naming the flag when the value does not parse.
+    pub fn num_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.options.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
                 .map_err(|_| format!("--{name}: cannot parse `{v}`")),
         }
     }
@@ -94,6 +111,22 @@ mod tests {
     fn rejects_bad_number() {
         let a = parse("embed --nodes many").unwrap();
         assert!(a.num_or("nodes", 0usize).is_err());
+    }
+
+    #[test]
+    fn parse_errors_name_the_flag() {
+        let a = parse("simulate --fault-rate lots").unwrap();
+        let err = a.num_or("fault-rate", 0.0f64).unwrap_err();
+        assert!(err.contains("--fault-rate"), "{err}");
+        let err = a.num_opt::<f64>("fault-rate").unwrap_err();
+        assert!(err.contains("--fault-rate"), "{err}");
+    }
+
+    #[test]
+    fn num_opt_distinguishes_absent_from_present() {
+        let a = parse("simulate --repair-after 12").unwrap();
+        assert_eq!(a.num_opt::<u32>("repair-after").unwrap(), Some(12));
+        assert_eq!(a.num_opt::<u32>("fault-seed").unwrap(), None);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! xtree-cli embed    --family random-bst --nodes 1008 [--target xtree|xtree-injective|hypercube|hypercube-injective] [--seed N] [--json] [--map]
-//! xtree-cli simulate --family caterpillar --nodes 496 [--host xtree|hypercube] [--workload broadcast|reduce|exchange|dnc|all] [--seed N] [--json]
+//! xtree-cli simulate --family caterpillar --nodes 496 [--host xtree|hypercube] [--workload broadcast|reduce|exchange|dnc|all] [--seed N] [--fault-rate P --fault-seed S --repair-after K] [--json]
 //! xtree-cli info     --height 3 [--network xtree|hypercube|ccc|butterfly|mesh]
 //! xtree-cli sizes    --max-r 10
 //! ```
@@ -15,7 +15,9 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use xtree_core::{evaluate, hypercube, metrics, theorem1, theorem2};
 use xtree_json::Value;
-use xtree_sim::{simulate_all, Network};
+use xtree_sim::{
+    simulate_all, simulate_all_faulted, FaultPlan, FaultSimReport, HostMap, Network, SimReport,
+};
 use xtree_topology::{Butterfly, CubeConnectedCycles, Graph, Hypercube, Mesh2D, XTree};
 use xtree_trees::{generate, BinaryTree, TreeFamily};
 
@@ -44,7 +46,7 @@ fn main() {
 
 const USAGE: &str = "usage:
   xtree-cli embed    --family F --nodes N [--target xtree|xtree-injective|hypercube|hypercube-injective] [--seed S] [--json] [--map]
-  xtree-cli simulate --family F --nodes N [--host xtree|hypercube] [--workload W|all] [--seed S] [--json]
+  xtree-cli simulate --family F --nodes N [--host xtree|hypercube] [--workload W|all] [--seed S] [--fault-rate P] [--fault-seed S] [--repair-after K] [--json]
   xtree-cli info     --height R [--network xtree|hypercube|ccc|butterfly|mesh]
   xtree-cli sizes    [--max-r R]
   xtree-cli trace    --family F --nodes N [--seed S]
@@ -155,6 +157,63 @@ fn cmd_embed(a: &Args) -> Result<String, String> {
     }
 }
 
+/// Failure cycles for `simulate --fault-rate` are drawn from the first
+/// `FAULT_WINDOW` cycles, so damage lands while the workloads are running.
+const FAULT_WINDOW: u32 = 16;
+
+/// Random link-failure parameters of `simulate`, `None` when fault
+/// injection is off.
+struct FaultArgs {
+    rate: f64,
+    seed: u64,
+    repair_after: Option<u32>,
+}
+
+impl FaultArgs {
+    fn parse(a: &Args) -> Result<Option<Self>, String> {
+        let rate: f64 = a.num_or("fault-rate", 0.0)?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("--fault-rate: `{rate}` is not within [0, 1]"));
+        }
+        if rate == 0.0 {
+            return Ok(None);
+        }
+        Ok(Some(FaultArgs {
+            rate,
+            seed: a.num_or("fault-seed", 0xFA17)?,
+            repair_after: a.num_opt("repair-after")?,
+        }))
+    }
+}
+
+/// `simulate` output rows: fault-free or degraded-delivery reports.
+enum Reports {
+    Plain(Vec<SimReport>),
+    Faulted(Vec<FaultSimReport>),
+}
+
+fn simulate_reports<M: HostMap + Sync>(
+    net: &Network,
+    tree: &BinaryTree,
+    emb: &M,
+    faults: &Option<FaultArgs>,
+) -> Result<Reports, String> {
+    match faults {
+        // No faults requested: the plan-free path, bit-identical to the
+        // pre-fault simulator.
+        None => Ok(Reports::Plain(
+            simulate_all(net, tree, emb).map_err(|e| e.to_string())?,
+        )),
+        Some(f) => {
+            let plan =
+                FaultPlan::random_links(net.graph(), f.rate, f.seed, FAULT_WINDOW, f.repair_after);
+            Ok(Reports::Faulted(
+                simulate_all_faulted(net, tree, emb, &plan).map_err(|e| e.to_string())?,
+            ))
+        }
+    }
+}
+
 fn cmd_simulate(a: &Args) -> Result<String, String> {
     let (tree, family) = make_tree(a)?;
     let host = a.get_or("host", "xtree");
@@ -162,67 +221,141 @@ fn cmd_simulate(a: &Args) -> Result<String, String> {
     if !["all", "broadcast", "reduce", "exchange", "dnc"].contains(&workload) {
         return Err(format!("unknown workload `{workload}`"));
     }
+    let faults = FaultArgs::parse(a)?;
     // Both hosts route in closed form (no routing tables), so there is no
     // host-size cap here: the guest size is limited only by memory.
     let reports = match host {
         "xtree" => {
             let emb = theorem1::embed(&tree).emb;
             let net = Network::xtree(&XTree::new(emb.height));
-            simulate_all(&net, &tree, &emb)
+            simulate_reports(&net, &tree, &emb, &faults)?
         }
         "hypercube" => {
             let q = hypercube::embed_theorem3(&tree);
             let net = Network::hypercube(&Hypercube::new(q.dim));
-            simulate_all(&net, &tree, &q)
+            simulate_reports(&net, &tree, &q, &faults)?
         }
         other => return Err(format!("unknown host `{other}`")),
     };
-    let reports: Vec<_> = reports
-        .into_iter()
-        .filter(|r| workload == "all" || r.workload == workload)
-        .collect();
-    if reports.is_empty() {
-        return Err(format!("unknown workload `{workload}`"));
-    }
-    if a.flag("json") {
-        let rows: Value = reports
-            .iter()
-            .map(|r| {
-                Value::object()
-                    .with("workload", r.workload)
-                    .with("cycles", r.cycles)
-                    .with("ideal_cycles", r.ideal_cycles)
-                    .with("worst_round_slowdown", r.worst_round_slowdown)
-                    .with("max_link_traffic", r.max_link_traffic)
-            })
-            .collect();
-        let doc = Value::object()
-            .with(
-                "guest",
-                Value::object()
-                    .with("family", family)
-                    .with("nodes", tree.len()),
-            )
-            .with("host", host)
-            .with("reports", rows);
-        Ok(xtree_json::to_string_pretty(&doc))
-    } else {
-        let mut out = format!("guest: {family} ({} nodes) on {host}\n", tree.len());
-        out.push_str(&format!(
-            "{:<10} {:>8} {:>8} {:>9} {:>13}\n",
-            "workload", "cycles", "ideal", "slowdown", "link traffic"
-        ));
-        for r in reports {
-            out.push_str(&format!(
-                "{:<10} {:>8} {:>8} {:>8.2}x {:>13}\n",
-                r.workload,
-                r.cycles,
-                r.ideal_cycles,
-                r.cycles as f64 / r.ideal_cycles.max(1) as f64,
-                r.max_link_traffic
-            ));
+    let keep = |w: &str| workload == "all" || w == workload;
+    match reports {
+        Reports::Plain(reports) => {
+            let reports: Vec<_> = reports.into_iter().filter(|r| keep(r.workload)).collect();
+            if reports.is_empty() {
+                return Err(format!("unknown workload `{workload}`"));
+            }
+            if a.flag("json") {
+                let rows: Value = reports
+                    .iter()
+                    .map(|r| {
+                        Value::object()
+                            .with("workload", r.workload)
+                            .with("cycles", r.cycles)
+                            .with("ideal_cycles", r.ideal_cycles)
+                            .with("worst_round_slowdown", r.worst_round_slowdown)
+                            .with("max_link_traffic", r.max_link_traffic)
+                    })
+                    .collect();
+                let doc = Value::object()
+                    .with(
+                        "guest",
+                        Value::object()
+                            .with("family", family)
+                            .with("nodes", tree.len()),
+                    )
+                    .with("host", host)
+                    .with("reports", rows);
+                Ok(xtree_json::to_string_pretty(&doc))
+            } else {
+                let mut out = format!("guest: {family} ({} nodes) on {host}\n", tree.len());
+                out.push_str(&format!(
+                    "{:<10} {:>8} {:>8} {:>9} {:>13}\n",
+                    "workload", "cycles", "ideal", "slowdown", "link traffic"
+                ));
+                for r in reports {
+                    out.push_str(&format!(
+                        "{:<10} {:>8} {:>8} {:>8.2}x {:>13}\n",
+                        r.workload,
+                        r.cycles,
+                        r.ideal_cycles,
+                        r.cycles as f64 / r.ideal_cycles.max(1) as f64,
+                        r.max_link_traffic
+                    ));
+                }
+                Ok(out.trim_end().to_string())
+            }
         }
-        Ok(out.trim_end().to_string())
+        Reports::Faulted(reports) => {
+            let f = faults.as_ref().expect("faulted reports imply fault args");
+            let reports: Vec<_> = reports.into_iter().filter(|r| keep(r.workload)).collect();
+            if reports.is_empty() {
+                return Err(format!("unknown workload `{workload}`"));
+            }
+            if a.flag("json") {
+                let rows: Value = reports
+                    .iter()
+                    .map(|r| {
+                        Value::object()
+                            .with("workload", r.workload)
+                            .with("cycles", r.cycles)
+                            .with("ideal_cycles", r.ideal_cycles)
+                            .with("messages", r.messages)
+                            .with("delivered", r.delivered)
+                            .with("stranded", r.stranded)
+                            .with("delivery_rate", r.delivery_rate())
+                            .with("stalled", r.stalled)
+                    })
+                    .collect();
+                let fault = Value::object()
+                    .with("rate", f.rate)
+                    .with("seed", f.seed)
+                    .with("window", FAULT_WINDOW)
+                    .with(
+                        "repair_after",
+                        f.repair_after.map_or(Value::Null, Value::from),
+                    );
+                let doc = Value::object()
+                    .with(
+                        "guest",
+                        Value::object()
+                            .with("family", family)
+                            .with("nodes", tree.len()),
+                    )
+                    .with("host", host)
+                    .with("fault", fault)
+                    .with("reports", rows);
+                Ok(xtree_json::to_string_pretty(&doc))
+            } else {
+                let mut out = format!(
+                    "guest: {family} ({} nodes) on {host}, link fault rate {} (seed {}, {})\n",
+                    tree.len(),
+                    f.rate,
+                    f.seed,
+                    match f.repair_after {
+                        Some(k) => format!("repair after {k}"),
+                        None => "no repairs".into(),
+                    }
+                );
+                out.push_str(&format!(
+                    "{:<10} {:>8} {:>8} {:>9} {:>11} {:>9} {:>8}\n",
+                    "workload", "cycles", "ideal", "slowdown", "delivered", "stranded", "stalled"
+                ));
+                for r in reports {
+                    out.push_str(&format!(
+                        "{:<10} {:>8} {:>8} {:>8.2}x {:>5}/{:<5} {:>9} {:>8}\n",
+                        r.workload,
+                        r.cycles,
+                        r.ideal_cycles,
+                        r.cycles as f64 / r.ideal_cycles.max(1) as f64,
+                        r.delivered,
+                        r.messages,
+                        r.stranded,
+                        if r.stalled { "yes" } else { "no" }
+                    ));
+                }
+                Ok(out.trim_end().to_string())
+            }
+        }
     }
 }
 
@@ -460,5 +593,48 @@ mod tests {
         assert!(run_str("embed --target nosuch").is_err());
         assert!(run_str("frobnicate").is_err());
         assert!(run_str("simulate --workload nosuch --nodes 48").is_err());
+    }
+
+    #[test]
+    fn simulate_fault_rate_zero_is_identical_to_no_fault_flags() {
+        let plain = run_str("simulate --family path --nodes 112 --seed 3").unwrap();
+        let zero = run_str("simulate --family path --nodes 112 --seed 3 --fault-rate 0").unwrap();
+        assert_eq!(plain, zero, "a zero fault rate must not change anything");
+    }
+
+    #[test]
+    fn simulate_with_repaired_faults_delivers_everything() {
+        let out = run_str(
+            "simulate --family caterpillar --nodes 112 --fault-rate 0.2 --fault-seed 9 \
+             --repair-after 3 --json",
+        )
+        .unwrap();
+        let v: Value = xtree_json::from_str(&out).unwrap();
+        assert_eq!(v["fault"]["rate"].as_f64(), Some(0.2));
+        assert_eq!(v["fault"]["repair_after"], 3);
+        for r in v["reports"].as_array().unwrap() {
+            assert_eq!(
+                r["delivered"], r["messages"],
+                "repaired links leave nothing stranded: {r:?}"
+            );
+            assert_eq!(r["stalled"], false);
+        }
+    }
+
+    #[test]
+    fn simulate_fault_text_output_reports_delivery() {
+        let out =
+            run_str("simulate --family path --nodes 112 --fault-rate 0.1 --fault-seed 2").unwrap();
+        assert!(out.contains("link fault rate 0.1"), "{out}");
+        assert!(out.contains("delivered"), "{out}");
+        assert!(out.contains("stranded"), "{out}");
+    }
+
+    #[test]
+    fn simulate_rejects_bad_fault_rate() {
+        let err = run_str("simulate --family path --nodes 48 --fault-rate 1.5").unwrap_err();
+        assert!(err.contains("--fault-rate"), "{err}");
+        let err = run_str("simulate --family path --nodes 48 --fault-rate lots").unwrap_err();
+        assert!(err.contains("--fault-rate"), "{err}");
     }
 }

@@ -19,9 +19,21 @@
 //! active list in id order). [`run_batch`] is a convenience wrapper that
 //! spins up a fresh engine; sweeps should hold one `Engine` and reuse it
 //! across batches so the buffers warm up once.
+//!
+//! **Faults.** [`Engine::run_batch_faulted`] delivers a batch while a
+//! [`FaultState`] kills and repairs links/nodes mid-flight. Routing then
+//! comes from cached survivor-graph BFS tables instead of the closed-form
+//! router, messages whose destination is currently unreachable wait for
+//! repairs, and the result is a [`BatchOutcome`] instead of bare stats:
+//! full delivery, partial delivery with the stranded messages, or a
+//! `Stalled` diagnosis from the progress watchdog — never a hang and
+//! never a panic. The fault-free path does not check a single fault flag,
+//! so scheduling no faults costs nothing.
 
+use crate::error::SimError;
+use crate::fault::FaultState;
 use crate::network::Network;
-use xtree_topology::Csr;
+use xtree_topology::{Csr, Graph};
 
 /// A message to deliver: from host vertex `src` to host vertex `dst`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -33,9 +45,12 @@ pub struct Message {
 /// Result of delivering one batch of messages.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BatchStats {
-    /// Cycles until every message arrived.
+    /// Cycles until every message arrived (for faulted batches: cycles
+    /// until the engine settled, idle repair-waiting included).
     pub cycles: u32,
-    /// Lower bound: the longest route in the batch (zero congestion).
+    /// Lower bound: the longest route in the batch (zero congestion, on
+    /// the *undamaged* host — so faulted slowdowns compare against the
+    /// healthy network).
     pub ideal_cycles: u32,
     /// Number of messages (those with `src == dst` deliver instantly).
     pub messages: usize,
@@ -45,6 +60,76 @@ pub struct BatchStats {
     /// Total hops travelled by all messages.
     pub total_hops: u64,
 }
+
+/// How a faulted batch ended (see [`Engine::run_batch_faulted`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// Every message arrived.
+    Delivered(BatchStats),
+    /// Every message that could arrive did; the rest are permanently cut
+    /// off (their destination sits in another survivor component and the
+    /// plan holds no further repairs).
+    Partial {
+        /// Stats up to the point the engine proved no progress was left.
+        stats: BatchStats,
+        /// Ids (indices into the batch) of the stranded messages.
+        stranded: Vec<u32>,
+    },
+    /// The progress watchdog gave up: undelivered messages remain but the
+    /// next possible topology change is beyond the engine's idle-wait
+    /// budget (or the convergence bound was exceeded — a routing bug
+    /// surfaced as data rather than a panic or an infinite loop).
+    Stalled {
+        /// Stats up to the diagnosis.
+        stats: BatchStats,
+        /// Ids of the messages still in flight.
+        undelivered: Vec<u32>,
+        /// The fault-clock cycle of the repair the engine declined to wait
+        /// for (`None` when the convergence bound tripped instead).
+        waiting_for: Option<u32>,
+    },
+}
+
+impl BatchOutcome {
+    /// The batch statistics, whatever the outcome.
+    pub fn stats(&self) -> &BatchStats {
+        match self {
+            BatchOutcome::Delivered(s) => s,
+            BatchOutcome::Partial { stats, .. } | BatchOutcome::Stalled { stats, .. } => stats,
+        }
+    }
+
+    /// True when every message arrived.
+    pub fn delivered_all(&self) -> bool {
+        matches!(self, BatchOutcome::Delivered(_))
+    }
+
+    /// Messages proven permanently unreachable (empty unless `Partial`).
+    pub fn stranded(&self) -> &[u32] {
+        match self {
+            BatchOutcome::Partial { stranded, .. } => stranded,
+            _ => &[],
+        }
+    }
+
+    /// Every message that did not arrive, for any reason.
+    pub fn undelivered(&self) -> &[u32] {
+        match self {
+            BatchOutcome::Delivered(_) => &[],
+            BatchOutcome::Partial { stranded, .. } => stranded,
+            BatchOutcome::Stalled { undelivered, .. } => undelivered,
+        }
+    }
+
+    /// True when the watchdog diagnosed a stall.
+    pub fn is_stalled(&self) -> bool {
+        matches!(self, BatchOutcome::Stalled { .. })
+    }
+}
+
+/// Sentinel in `hop_edge` for a message whose destination is currently
+/// unreachable on the survivor graph (it waits instead of claiming).
+const UNROUTABLE: u32 = u32::MAX;
 
 /// Reusable scratch state for [`Engine::run_batch`].
 ///
@@ -64,7 +149,7 @@ pub struct Engine {
     /// once per *advance* rather than once per cycle — under congestion
     /// most of a cycle's messages reuse it unchanged.
     hop_to: Vec<u32>,
-    /// Directed-edge index of that hop.
+    /// Directed-edge index of that hop ([`UNROUTABLE`] = waiting).
     hop_edge: Vec<u32>,
     /// Lowest message id that claimed each directed link this cycle …
     claim_msg: Vec<u32>,
@@ -100,8 +185,30 @@ impl Engine {
         }
     }
 
+    /// Folds the per-link traffic counters into the batch congestion and
+    /// resets them, leaving the scratch ready for the next batch.
+    fn drain_traffic(&mut self) -> u32 {
+        let mut max_link_traffic = 0u32;
+        for &e in &self.touched {
+            max_link_traffic = max_link_traffic.max(self.traffic[e as usize]);
+            self.traffic[e as usize] = 0;
+        }
+        self.touched.clear();
+        max_link_traffic
+    }
+
     /// Delivers `messages` on `net`, one hop per free link per cycle.
-    pub fn run_batch(&mut self, net: &Network, messages: &[Message]) -> BatchStats {
+    ///
+    /// # Errors
+    /// [`SimError::RouterInvariant`] if the network's router proposes a
+    /// non-neighbour, [`SimError::Diverged`] if the convergence bound is
+    /// exceeded — both indicate a routing bug, reported instead of
+    /// panicking.
+    pub fn run_batch(
+        &mut self,
+        net: &Network,
+        messages: &[Message],
+    ) -> Result<BatchStats, SimError> {
         let graph: &Csr = net.graph();
         self.reserve(graph.directed_edge_count(), messages.len());
         let mut ideal_cycles = 0u32;
@@ -114,7 +221,7 @@ impl Engine {
                 self.hop_to[i] = to;
                 self.hop_edge[i] = graph
                     .directed_edge_index(m.src, to)
-                    .expect("router returned a non-neighbour");
+                    .ok_or(SimError::RouterInvariant { at: m.src, to })?;
             }
             ideal_cycles = ideal_cycles.max(net.distance(m.src, m.dst));
         }
@@ -122,10 +229,15 @@ impl Engine {
         let mut total_hops = 0u64;
         while !self.active.is_empty() {
             cycles += 1;
-            assert!(
-                cycles <= 4 * (ideal_cycles + 1) * (messages.len() as u32 + 1),
-                "engine failed to converge — routing bug"
-            );
+            if cycles > 4 * (ideal_cycles + 1) * (messages.len() as u32 + 1) {
+                let undelivered = self.active.len();
+                self.active.clear();
+                self.drain_traffic();
+                return Err(SimError::Diverged {
+                    cycle: cycles,
+                    undelivered,
+                });
+            }
             self.epoch += 1;
             // Pass 1: the lowest id claims each link (active ids are
             // ascending, so first writer wins). Hops were routed when the
@@ -159,39 +271,251 @@ impl Engine {
                     self.hop_to[i as usize] = next;
                     self.hop_edge[i as usize] = graph
                         .directed_edge_index(to, next)
-                        .expect("router returned a non-neighbour");
+                        .ok_or(SimError::RouterInvariant { at: to, to: next })?;
                 }
                 self.active[w] = i;
                 w += 1;
             }
             self.active.truncate(w);
         }
-        let mut max_link_traffic = 0u32;
-        for &e in &self.touched {
-            max_link_traffic = max_link_traffic.max(self.traffic[e as usize]);
-            self.traffic[e as usize] = 0;
-        }
-        self.touched.clear();
-        BatchStats {
+        Ok(BatchStats {
             cycles,
             ideal_cycles,
             messages: messages.len(),
-            max_link_traffic,
+            max_link_traffic: self.drain_traffic(),
             total_hops,
+        })
+    }
+
+    /// Routes message `i` on the survivor graph, parking it as
+    /// [`UNROUTABLE`] when its destination is currently cut off.
+    fn route_survivor(
+        &mut self,
+        graph: &Csr,
+        faults: &mut FaultState,
+        i: usize,
+    ) -> Result<(), SimError> {
+        let (at, dst) = (self.at[i], self.dst[i]);
+        match faults.next_hop(graph, at, dst) {
+            Some(to) if to != at => {
+                self.hop_to[i] = to;
+                self.hop_edge[i] = graph
+                    .directed_edge_index(at, to)
+                    .ok_or(SimError::RouterInvariant { at, to })?;
+            }
+            _ => self.hop_edge[i] = UNROUTABLE,
         }
+        Ok(())
+    }
+
+    /// Delivers `messages` on `net` while `faults` damages and repairs the
+    /// topology.
+    ///
+    /// Each delivery cycle advances the fault clock by one; due events
+    /// apply at the start of the cycle and invalidate every in-flight
+    /// route (failed links reject claims — messages re-route on the
+    /// survivor graph and detour around damage whenever their destination
+    /// stays reachable). A message whose destination is currently cut off
+    /// waits; if nothing can move the engine either jumps the clock to the
+    /// next scheduled event (when it is within
+    /// [`FaultState::max_idle_wait`] cycles) or terminates with a typed
+    /// verdict:
+    ///
+    /// * all destinations permanently unreachable and no events pending →
+    ///   [`BatchOutcome::Partial`] with the stranded ids;
+    /// * the next repair is beyond the idle-wait budget →
+    ///   [`BatchOutcome::Stalled`] naming the cycle it refused to wait for.
+    ///
+    /// The watchdog bound is `H + (n + 1) · (m + 1) + max_idle_wait`
+    /// cycles for a plan whose last event lies `H` cycles ahead, an
+    /// `n`-vertex host, and `m` messages: after the last event the
+    /// survivor graph is static and the lowest-id routable message moves
+    /// every cycle, so a run past the bound is diagnosed as `Stalled`
+    /// (never an infinite loop).
+    ///
+    /// One `FaultState` may span many batches: damage and the fault clock
+    /// carry over, modelling a host that stays broken between rounds.
+    ///
+    /// # Errors
+    /// [`SimError::InvalidFault`] when `faults` was built for a different
+    /// host, [`SimError::RouterInvariant`] on a survivor-routing bug.
+    pub fn run_batch_faulted(
+        &mut self,
+        net: &Network,
+        messages: &[Message],
+        faults: &mut FaultState,
+    ) -> Result<BatchOutcome, SimError> {
+        // A trivial state never affects delivery: take the fault-free fast
+        // path, which checks no fault flags at all.
+        if faults.is_trivial() {
+            return Ok(BatchOutcome::Delivered(self.run_batch(net, messages)?));
+        }
+        enum End {
+            Delivered,
+            Stranded,
+            Stalled(Option<u32>),
+        }
+        let graph: &Csr = net.graph();
+        faults.check_host(graph)?;
+        self.reserve(graph.directed_edge_count(), messages.len());
+        let mut ideal_cycles = 0u32;
+        for (i, m) in messages.iter().enumerate() {
+            self.at.push(m.src);
+            self.dst.push(m.dst);
+            if m.src != m.dst {
+                self.active.push(i as u32);
+            }
+            ideal_cycles = ideal_cycles.max(net.distance(m.src, m.dst));
+        }
+        let horizon = faults
+            .horizon()
+            .map_or(0, |h| u64::from(h.saturating_sub(faults.clock())));
+        let hard_limit: u64 = horizon
+            + (graph.node_count() as u64 + 1) * (messages.len() as u64 + 1)
+            + u64::from(faults.max_idle_wait());
+        let mut cycles = 0u64;
+        let mut total_hops = 0u64;
+        let mut need_reroute = true;
+        let end = loop {
+            if self.active.is_empty() {
+                break End::Delivered;
+            }
+            if faults.apply_due(graph) {
+                // Topology changed: every cached hop may now cross a dead
+                // link or follow a stale detour, so recompute them all.
+                need_reroute = true;
+            }
+            if need_reroute {
+                for k in 0..self.active.len() {
+                    let i = self.active[k] as usize;
+                    self.route_survivor(graph, faults, i)?;
+                }
+                need_reroute = false;
+            }
+            let any_routable = self
+                .active
+                .iter()
+                .any(|&i| self.hop_edge[i as usize] != UNROUTABLE);
+            if !any_routable {
+                match faults.pending() {
+                    Some(event_cycle) => {
+                        // Idle until the network changes again — but only
+                        // within the watchdog's patience.
+                        let wait = event_cycle.saturating_sub(faults.clock()).max(1);
+                        if wait > faults.max_idle_wait() {
+                            break End::Stalled(Some(event_cycle));
+                        }
+                        cycles += u64::from(wait);
+                        faults.advance_clock(wait);
+                        continue;
+                    }
+                    // No repair will ever arrive: everyone left is
+                    // provably stranded.
+                    None => break End::Stranded,
+                }
+            }
+            cycles += 1;
+            faults.advance_clock(1);
+            if cycles > hard_limit {
+                break End::Stalled(None);
+            }
+            self.epoch += 1;
+            // Pass 1: claims, exactly as in the fault-free loop — waiting
+            // messages do not claim, and routes are never stale here (they
+            // are rebuilt on every topology change), so a claimed link is
+            // always alive.
+            for &i in &self.active {
+                let e = self.hop_edge[i as usize];
+                if e == UNROUTABLE {
+                    continue;
+                }
+                let e = e as usize;
+                if self.claim_epoch[e] != self.epoch {
+                    self.claim_epoch[e] = self.epoch;
+                    self.claim_msg[e] = i;
+                }
+            }
+            // Pass 2: advance winners, re-route them on the survivor graph.
+            let mut w = 0usize;
+            for k in 0..self.active.len() {
+                let i = self.active[k];
+                let e = self.hop_edge[i as usize];
+                if e != UNROUTABLE && self.claim_msg[e as usize] == i {
+                    let e = e as usize;
+                    let to = self.hop_to[i as usize];
+                    self.at[i as usize] = to;
+                    total_hops += 1;
+                    if self.traffic[e] == 0 {
+                        self.touched.push(e as u32);
+                    }
+                    self.traffic[e] += 1;
+                    if to == self.dst[i as usize] {
+                        continue; // delivered
+                    }
+                    self.route_survivor(graph, faults, i as usize)?;
+                }
+                self.active[w] = i;
+                w += 1;
+            }
+            self.active.truncate(w);
+        };
+        let undelivered: Vec<u32> = std::mem::take(&mut self.active);
+        let stats = BatchStats {
+            cycles: u32::try_from(cycles).unwrap_or(u32::MAX),
+            ideal_cycles,
+            messages: messages.len(),
+            max_link_traffic: self.drain_traffic(),
+            total_hops,
+        };
+        Ok(match end {
+            End::Delivered => BatchOutcome::Delivered(stats),
+            End::Stranded => BatchOutcome::Partial {
+                stats,
+                stranded: undelivered,
+            },
+            End::Stalled(waiting_for) => BatchOutcome::Stalled {
+                stats,
+                undelivered,
+                waiting_for,
+            },
+        })
     }
 }
 
 /// Delivers one batch on a throwaway [`Engine`].
-pub fn run_batch(net: &Network, messages: &[Message]) -> BatchStats {
+///
+/// # Errors
+/// See [`Engine::run_batch`].
+pub fn run_batch(net: &Network, messages: &[Message]) -> Result<BatchStats, SimError> {
     Engine::new().run_batch(net, messages)
 }
 
 /// Runs a sequence of batches (e.g. one per tree level) on one shared
 /// engine, so scratch buffers are allocated once for the whole sequence.
-pub fn run_rounds(net: &Network, rounds: &[Vec<Message>]) -> Vec<BatchStats> {
+///
+/// # Errors
+/// See [`Engine::run_batch`].
+pub fn run_rounds(net: &Network, rounds: &[Vec<Message>]) -> Result<Vec<BatchStats>, SimError> {
     let mut engine = Engine::new();
     rounds.iter().map(|r| engine.run_batch(net, r)).collect()
+}
+
+/// Runs a batch sequence under one persistent [`FaultState`]: damage and
+/// the fault clock carry across rounds, so a link that dies in round 2
+/// stays dead for round 3 unless the plan repairs it.
+///
+/// # Errors
+/// See [`Engine::run_batch_faulted`].
+pub fn run_rounds_faulted(
+    net: &Network,
+    rounds: &[Vec<Message>],
+    faults: &mut FaultState,
+) -> Result<Vec<BatchOutcome>, SimError> {
+    let mut engine = Engine::new();
+    rounds
+        .iter()
+        .map(|r| engine.run_batch_faulted(net, r, faults))
+        .collect()
 }
 
 /// Total cycles across a batch sequence.
@@ -202,11 +526,18 @@ pub fn total_cycles(stats: &[BatchStats]) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, FaultState, DEFAULT_MAX_IDLE_WAIT};
     use xtree_topology::{Csr, Graph, XTree};
 
     fn path_net(n: usize) -> Network {
         let edges: Vec<_> = (1..n as u32).map(|v| (v - 1, v)).collect();
-        Network::new(Csr::from_edges(n, &edges))
+        Network::new(Csr::from_edges(n, &edges)).unwrap()
+    }
+
+    fn cycle_net(n: usize) -> Network {
+        let mut edges: Vec<_> = (1..n as u32).map(|v| (v - 1, v)).collect();
+        edges.push((0, n as u32 - 1));
+        Network::new(Csr::from_edges(n, &edges)).unwrap()
     }
 
     /// The pre-optimisation engine, verbatim: hash maps keyed by vertex
@@ -266,7 +597,7 @@ mod tests {
     #[test]
     fn single_message_takes_distance_cycles() {
         let net = path_net(10);
-        let s = run_batch(&net, &[Message { src: 0, dst: 7 }]);
+        let s = run_batch(&net, &[Message { src: 0, dst: 7 }]).unwrap();
         assert_eq!(s.cycles, 7);
         assert_eq!(s.ideal_cycles, 7);
         assert_eq!(s.total_hops, 7);
@@ -276,7 +607,7 @@ mod tests {
     #[test]
     fn self_message_is_free() {
         let net = path_net(4);
-        let s = run_batch(&net, &[Message { src: 2, dst: 2 }]);
+        let s = run_batch(&net, &[Message { src: 2, dst: 2 }]).unwrap();
         assert_eq!(s.cycles, 0);
         assert_eq!(s.total_hops, 0);
     }
@@ -287,7 +618,7 @@ mod tests {
         // pipelining, no queueing.
         let net = path_net(4);
         let msgs = [Message { src: 0, dst: 3 }, Message { src: 1, dst: 3 }];
-        let s = run_batch(&net, &msgs);
+        let s = run_batch(&net, &msgs).unwrap();
         assert_eq!(s.ideal_cycles, 3);
         assert_eq!(s.cycles, 3);
         assert_eq!(s.max_link_traffic, 2);
@@ -299,7 +630,7 @@ mod tests {
         // take turns on the first link: one cycle of queueing.
         let net = path_net(4);
         let msgs = [Message { src: 0, dst: 2 }, Message { src: 0, dst: 2 }];
-        let s = run_batch(&net, &msgs);
+        let s = run_batch(&net, &msgs).unwrap();
         assert_eq!(s.ideal_cycles, 2);
         assert_eq!(s.cycles, 3, "one cycle of queueing expected");
         assert_eq!(s.max_link_traffic, 2);
@@ -310,14 +641,14 @@ mod tests {
         // Directed links: a->b and b->a are distinct resources.
         let net = path_net(3);
         let msgs = [Message { src: 0, dst: 2 }, Message { src: 2, dst: 0 }];
-        let s = run_batch(&net, &msgs);
+        let s = run_batch(&net, &msgs).unwrap();
         assert_eq!(s.cycles, 2);
     }
 
     #[test]
     fn empty_batch() {
         let net = path_net(3);
-        let s = run_batch(&net, &[]);
+        let s = run_batch(&net, &[]).unwrap();
         assert_eq!(s.cycles, 0);
         assert_eq!(s.messages, 0);
     }
@@ -329,7 +660,7 @@ mod tests {
         // 011 -> 100 are X-tree neighbours (horizontal edge): 1 cycle.
         let u = xtree_topology::Address::parse("011").unwrap().heap_id() as u32;
         let v = xtree_topology::Address::parse("100").unwrap().heap_id() as u32;
-        let s = run_batch(&net, &[Message { src: u, dst: v }]);
+        let s = run_batch(&net, &[Message { src: u, dst: v }]).unwrap();
         assert_eq!(s.cycles, 1);
     }
 
@@ -340,7 +671,7 @@ mod tests {
             vec![Message { src: 0, dst: 2 }],
             vec![Message { src: 2, dst: 4 }],
         ];
-        let stats = run_rounds(&net, &rounds);
+        let stats = run_rounds(&net, &rounds).unwrap();
         assert_eq!(total_cycles(&stats), 4);
     }
 
@@ -350,7 +681,7 @@ mod tests {
         // rewritten engine must reproduce the reference engine's stats
         // bit for bit, with the engine reused across batches.
         let x = XTree::new(5);
-        let nets = [Network::xtree(&x), Network::new(x.graph().clone())];
+        let nets = [Network::xtree(&x), Network::new(x.graph().clone()).unwrap()];
         let n = x.graph().node_count() as u64;
         let mut engine = Engine::new();
         for net in &nets {
@@ -369,7 +700,7 @@ mod tests {
                     })
                     .collect();
                 assert_eq!(
-                    engine.run_batch(net, &msgs),
+                    engine.run_batch(net, &msgs).unwrap(),
                     run_batch_reference(net, &msgs),
                     "batch {batch}"
                 );
@@ -385,10 +716,194 @@ mod tests {
             .flat_map(|s| (0..16).map(move |d| Message { src: s, dst: d }))
             .collect();
         let mut warmed = Engine::new();
-        let first = warmed.run_batch(&net, &msgs);
+        let first = warmed.run_batch(&net, &msgs).unwrap();
         for _ in 0..3 {
-            assert_eq!(warmed.run_batch(&net, &msgs), first);
+            assert_eq!(warmed.run_batch(&net, &msgs).unwrap(), first);
         }
-        assert_eq!(Engine::new().run_batch(&net, &msgs), first);
+        assert_eq!(Engine::new().run_batch(&net, &msgs).unwrap(), first);
+    }
+
+    // ---- faults ---------------------------------------------------------
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_the_fast_path() {
+        let x = XTree::new(4);
+        let net = Network::xtree(&x);
+        let msgs: Vec<Message> = (0..24u32)
+            .map(|i| Message {
+                src: i % 31,
+                dst: (i * 13 + 5) % 31,
+            })
+            .collect();
+        let plain = run_batch(&net, &msgs).unwrap();
+        let mut faults = FaultState::new(net.graph(), FaultPlan::new()).unwrap();
+        let out = Engine::new()
+            .run_batch_faulted(&net, &msgs, &mut faults)
+            .unwrap();
+        assert_eq!(out, BatchOutcome::Delivered(plain));
+    }
+
+    #[test]
+    fn messages_detour_around_a_failed_link() {
+        // 6-cycle, 0 -> 1 with the direct link dead: the detour is the
+        // other way round the ring, 5 hops.
+        let net = cycle_net(6);
+        let plan = FaultPlan::new().link_down(0, 0, 1);
+        let mut faults = FaultState::new(net.graph(), plan).unwrap();
+        let out = Engine::new()
+            .run_batch_faulted(&net, &[Message { src: 0, dst: 1 }], &mut faults)
+            .unwrap();
+        let BatchOutcome::Delivered(s) = out else {
+            panic!("connected survivor graph must deliver, got {out:?}");
+        };
+        assert_eq!(s.cycles, 5);
+        assert_eq!(s.total_hops, 5);
+        assert_eq!(s.ideal_cycles, 1, "ideal stays the undamaged bound");
+    }
+
+    #[test]
+    fn repair_mid_batch_reopens_the_short_route() {
+        // The dead link comes back at cycle 2: the message waits nowhere
+        // near 5 hops because re-routing happens on the repair epoch.
+        let net = cycle_net(6);
+        let plan = FaultPlan::new().link_down(0, 0, 1).link_up(2, 0, 1);
+        let mut faults = FaultState::new(net.graph(), plan).unwrap();
+        let out = Engine::new()
+            .run_batch_faulted(&net, &[Message { src: 0, dst: 1 }], &mut faults)
+            .unwrap();
+        let BatchOutcome::Delivered(s) = out else {
+            panic!("expected delivery, got {out:?}");
+        };
+        // 2 cycles walking the long way (0→5→4), then the repair applies
+        // and the survivor route flips; the message walks back. Whatever
+        // the exact path, it must beat the full 5-hop detour's *distance
+        // remaining* and deliver.
+        assert!(s.cycles <= 6, "repair must not slow past the detour: {s:?}");
+    }
+
+    #[test]
+    fn partition_without_repair_reports_stranded_partial_delivery() {
+        // path 0-1-2-3 with link {1,2} dead: 0→1 delivers, 0→3 and 2→0
+        // are stranded, and the engine proves it without hanging.
+        let net = path_net(4);
+        let plan = FaultPlan::new().link_down(0, 1, 2);
+        let mut faults = FaultState::new(net.graph(), plan).unwrap();
+        let msgs = [
+            Message { src: 0, dst: 3 },
+            Message { src: 0, dst: 1 },
+            Message { src: 2, dst: 0 },
+        ];
+        let out = Engine::new()
+            .run_batch_faulted(&net, &msgs, &mut faults)
+            .unwrap();
+        let BatchOutcome::Partial { stats, stranded } = out else {
+            panic!("expected Partial, got {out:?}");
+        };
+        assert_eq!(stranded, vec![0, 2]);
+        assert_eq!(stats.messages, 3);
+        assert_eq!(stats.total_hops, 1, "only 0→1 moved");
+    }
+
+    #[test]
+    fn node_down_strands_messages_to_and_from_it() {
+        let net = path_net(4);
+        let plan = FaultPlan::new().node_down(0, 1);
+        let mut faults = FaultState::new(net.graph(), plan).unwrap();
+        let msgs = [
+            Message { src: 0, dst: 1 }, // into the dead node
+            Message { src: 1, dst: 3 }, // frozen at the dead node
+            Message { src: 2, dst: 3 }, // unaffected
+        ];
+        let out = Engine::new()
+            .run_batch_faulted(&net, &msgs, &mut faults)
+            .unwrap();
+        assert_eq!(out.stranded(), &[0, 1]);
+        assert!(!out.delivered_all());
+    }
+
+    #[test]
+    fn watchdog_flags_stall_when_repair_never_arrives() {
+        // The satellite scenario: the destination is fully partitioned and
+        // the only scheduled "repair" lies far beyond the watchdog's
+        // idle-wait budget — i.e. it never effectively arrives. The engine
+        // must diagnose this within the documented bound instead of
+        // hanging (or idling for two million cycles).
+        let net = path_net(4);
+        let never = DEFAULT_MAX_IDLE_WAIT * 40; // far past the patience
+        let plan = FaultPlan::new().link_down(0, 1, 2).link_up(never, 1, 2);
+        let mut faults = FaultState::new(net.graph(), plan).unwrap();
+        let msgs = [Message { src: 0, dst: 3 }];
+        let out = Engine::new()
+            .run_batch_faulted(&net, &msgs, &mut faults)
+            .unwrap();
+        let BatchOutcome::Stalled {
+            stats,
+            undelivered,
+            waiting_for,
+        } = out
+        else {
+            panic!("expected Stalled, got {out:?}");
+        };
+        assert_eq!(undelivered, vec![0]);
+        assert_eq!(waiting_for, Some(never));
+        // Documented watchdog bound: H + (n+1)(m+1) + max_idle_wait. The
+        // diagnosis must arrive well inside it — here, essentially
+        // instantly, since nothing can move from cycle one.
+        let bound = u64::from(never) + 5 * 2 + u64::from(DEFAULT_MAX_IDLE_WAIT);
+        assert!(u64::from(stats.cycles) <= bound);
+        assert!(
+            stats.cycles <= 2,
+            "diagnosis should be immediate: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn patient_engine_waits_through_a_late_repair() {
+        // Same scenario, but the caller raises the idle-wait budget past
+        // the repair: the engine skips the dead time and delivers.
+        let net = path_net(4);
+        let repair_at = 100_000;
+        let plan = FaultPlan::new().link_down(0, 1, 2).link_up(repair_at, 1, 2);
+        let mut faults = FaultState::new(net.graph(), plan)
+            .unwrap()
+            .with_max_idle_wait(repair_at + 1);
+        let msgs = [Message { src: 0, dst: 3 }];
+        let out = Engine::new()
+            .run_batch_faulted(&net, &msgs, &mut faults)
+            .unwrap();
+        let BatchOutcome::Delivered(s) = out else {
+            panic!("expected delivery after the repair, got {out:?}");
+        };
+        assert!(s.cycles >= repair_at, "waiting time is real time: {s:?}");
+        assert_eq!(s.total_hops, 3);
+    }
+
+    #[test]
+    fn fault_state_persists_across_batches() {
+        // Round 1 runs under a dead link; the repair lands on the shared
+        // fault clock, so round 2 sees the healed network.
+        let net = cycle_net(6);
+        let plan = FaultPlan::new().link_down(0, 0, 1).link_up(5, 0, 1);
+        let mut faults = FaultState::new(net.graph(), plan).unwrap();
+        let rounds = vec![
+            vec![Message { src: 0, dst: 1 }], // detours: 5 cycles
+            vec![Message { src: 0, dst: 1 }], // healed: 1 cycle
+        ];
+        let outs = run_rounds_faulted(&net, &rounds, &mut faults).unwrap();
+        assert_eq!(outs[0].stats().cycles, 5);
+        assert_eq!(outs[1].stats().cycles, 1);
+        assert!(outs.iter().all(|o| o.delivered_all()));
+    }
+
+    #[test]
+    fn fault_state_rejects_a_mismatched_host() {
+        let net = path_net(4);
+        let other = cycle_net(8);
+        let mut faults =
+            FaultState::new(other.graph(), FaultPlan::new().link_down(0, 0, 1)).unwrap();
+        let err = Engine::new()
+            .run_batch_faulted(&net, &[Message { src: 0, dst: 3 }], &mut faults)
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidFault { .. }));
     }
 }

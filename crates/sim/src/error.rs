@@ -1,0 +1,127 @@
+//! Typed simulator errors.
+//!
+//! The simulator originally `panic!`ed / `expect`ed its way through bad
+//! hosts and broken invariants, which made it unusable as a library under
+//! damaged topologies: a disconnected survivor graph is a *measurement*,
+//! not a programming error. Every fallible entry point of this crate now
+//! returns [`SimError`] instead.
+
+use std::fmt;
+
+/// Everything that can go wrong while building or driving a simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The host graph is disconnected, so a dense next-hop table (which
+    /// requires every pair to be routable) cannot be built.
+    Disconnected {
+        /// Number of host vertices.
+        vertices: usize,
+        /// Number of connected components found.
+        components: usize,
+    },
+    /// The host is too large for a dense all-pairs routing table.
+    HostTooLarge {
+        /// Number of host vertices.
+        vertices: usize,
+        /// The largest supported vertex count.
+        cap: usize,
+    },
+    /// A router proposed a next hop that is not a neighbour of the current
+    /// vertex — a routing-strategy bug surfaced as data, not a panic.
+    RouterInvariant {
+        /// Vertex the message is at.
+        at: u32,
+        /// The non-neighbour the router proposed.
+        to: u32,
+    },
+    /// The fault-free engine exceeded its convergence bound — deterministic
+    /// shortest-path routing can only do this if a router is broken.
+    Diverged {
+        /// Cycle count at which the engine gave up.
+        cycle: u32,
+        /// Messages still undelivered at that point.
+        undelivered: usize,
+    },
+    /// A fault event refers to a link or node the host does not have.
+    InvalidFault {
+        /// Human-readable description of the offending event.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Disconnected {
+                vertices,
+                components,
+            } => write!(
+                f,
+                "host graph is disconnected ({components} components over {vertices} vertices); \
+                 dense routing tables need a connected host"
+            ),
+            SimError::HostTooLarge { vertices, cap } => write!(
+                f,
+                "host has {vertices} vertices but dense routing tables support at most {cap}; \
+                 use a structured constructor (Network::xtree/hypercube/cbt)"
+            ),
+            SimError::RouterInvariant { at, to } => write!(
+                f,
+                "router returned non-neighbour {to} as the next hop from {at}"
+            ),
+            SimError::Diverged { cycle, undelivered } => write!(
+                f,
+                "engine failed to converge by cycle {cycle} with {undelivered} messages \
+                 undelivered — routing bug"
+            ),
+            SimError::InvalidFault { reason } => write!(f, "invalid fault event: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_descriptive() {
+        let cases: Vec<(SimError, &str)> = vec![
+            (
+                SimError::Disconnected {
+                    vertices: 8,
+                    components: 2,
+                },
+                "disconnected",
+            ),
+            (
+                SimError::HostTooLarge {
+                    vertices: 1 << 20,
+                    cap: 1 << 13,
+                },
+                "at most",
+            ),
+            (SimError::RouterInvariant { at: 3, to: 9 }, "non-neighbour"),
+            (
+                SimError::Diverged {
+                    cycle: 99,
+                    undelivered: 4,
+                },
+                "converge",
+            ),
+            (
+                SimError::InvalidFault {
+                    reason: "link 0-9".into(),
+                },
+                "link 0-9",
+            ),
+        ];
+        for (e, needle) in cases {
+            let msg = e.to_string();
+            assert!(msg.contains(needle), "{msg}");
+            // Errors are values: they must be comparable and cloneable.
+            assert_eq!(e.clone(), e);
+        }
+    }
+}

@@ -10,18 +10,30 @@
 //!   message rounds derived from a guest tree and an embedding;
 //! * [`engine`] — cycle-accurate delivery with per-link contention, with
 //!   reusable allocation-free scratch state in [`engine::Engine`];
-//! * [`stats`] — per-workload reports and rayon-parallel sweeps.
+//! * [`fault`] — deterministic link/node failure schedules and the cached
+//!   survivor-graph routing the engine falls back to under damage;
+//! * [`error`] — the [`SimError`] type every fallible entry point returns
+//!   instead of panicking;
+//! * [`stats`] — per-workload reports (fault-free and degraded) and
+//!   rayon-parallel sweeps.
 
 pub mod engine;
+pub mod error;
+pub mod fault;
 pub mod network;
 pub mod router;
 pub mod stats;
 pub mod workload;
 
-pub use engine::{run_batch, run_rounds, BatchStats, Engine, Message};
+pub use engine::{
+    run_batch, run_rounds, run_rounds_faulted, BatchOutcome, BatchStats, Engine, Message,
+};
+pub use error::SimError;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultState, DEFAULT_MAX_IDLE_WAIT};
 pub use network::Network;
 pub use router::Router;
 pub use stats::{
-    compute_load, congestion, simulate_all, simulate_step, sweep, SimReport, StepReport,
+    compute_load, congestion, simulate_all, simulate_all_faulted, simulate_step, sweep,
+    FaultSimReport, SimReport, StepReport,
 };
 pub use workload::HostMap;

@@ -9,10 +9,12 @@
 //! the same next hop (the smallest-id neighbour that decreases the
 //! distance), so results never depend on the constructor used.
 
+use crate::error::SimError;
 use crate::router::{AnyRouter, CbtRouter, HypercubeRouter, Router, TableRouter, XTreeRouter};
 use xtree_topology::{CompleteBinaryTree, Csr, Graph, Hypercube, XTree};
 
 /// A host network with deterministic next-hop routing.
+#[derive(Debug)]
 pub struct Network {
     graph: Csr,
     router: AnyRouter,
@@ -21,14 +23,14 @@ pub struct Network {
 impl Network {
     /// Wraps an arbitrary connected host with BFS next-hop tables.
     ///
-    /// # Panics
-    /// Panics if the graph is disconnected or too large (> 2^13 vertices —
-    /// the table would be ≥ 512 MiB beyond that). Structured hosts should
-    /// use [`Network::xtree`] / [`Network::hypercube`] / [`Network::cbt`],
-    /// which have no size cap.
-    pub fn new(graph: Csr) -> Self {
-        let router = AnyRouter::Table(TableRouter::new(&graph));
-        Network { graph, router }
+    /// # Errors
+    /// Returns [`SimError::Disconnected`] for a disconnected host and
+    /// [`SimError::HostTooLarge`] beyond 2^13 vertices (the table would be
+    /// ≥ 512 MiB). Structured hosts should use [`Network::xtree`] /
+    /// [`Network::hypercube`] / [`Network::cbt`], which have no size cap.
+    pub fn new(graph: Csr) -> Result<Self, SimError> {
+        let router = AnyRouter::Table(TableRouter::new(&graph)?);
+        Ok(Network { graph, router })
     }
 
     /// An `X(r)` host with closed-form routing (no size cap, no tables).
@@ -91,7 +93,7 @@ mod tests {
     #[test]
     fn routes_follow_shortest_paths() {
         let x = XTree::new(4);
-        for net in [Network::new(x.graph().clone()), Network::xtree(&x)] {
+        for net in [Network::new(x.graph().clone()).unwrap(), Network::xtree(&x)] {
             for v in 0..net.len() as u32 {
                 for dst in (0..net.len() as u32).step_by(3) {
                     let mut cur = v;
@@ -110,7 +112,7 @@ mod tests {
     #[test]
     fn structured_constructors_agree_with_tables() {
         let x = XTree::new(4);
-        let (table, fast) = (Network::new(x.graph().clone()), Network::xtree(&x));
+        let (table, fast) = (Network::new(x.graph().clone()).unwrap(), Network::xtree(&x));
         for v in 0..table.len() as u32 {
             for dst in 0..table.len() as u32 {
                 assert_eq!(table.next_hop(v, dst), fast.next_hop(v, dst));
@@ -122,7 +124,10 @@ mod tests {
     #[test]
     fn hypercube_distances_match_hamming() {
         let q = Hypercube::new(5);
-        for net in [Network::new(q.graph().clone()), Network::hypercube(&q)] {
+        for net in [
+            Network::new(q.graph().clone()).unwrap(),
+            Network::hypercube(&q),
+        ] {
             for v in 0..32u32 {
                 for dst in 0..32u32 {
                     assert_eq!(net.distance(v, dst), (v ^ dst).count_ones());
@@ -145,14 +150,30 @@ mod tests {
 
     #[test]
     fn is_empty_reflects_vertex_count() {
-        assert!(Network::new(Csr::from_edges(0, &[])).is_empty());
-        assert!(!Network::new(Csr::from_edges(2, &[(0, 1)])).is_empty());
+        assert!(Network::new(Csr::from_edges(0, &[])).unwrap().is_empty());
+        assert!(!Network::new(Csr::from_edges(2, &[(0, 1)]))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "connected")]
-    fn rejects_disconnected_hosts() {
+    fn rejects_disconnected_hosts_with_an_error() {
         let g = Csr::from_edges(4, &[(0, 1), (2, 3)]);
-        let _ = Network::new(g);
+        assert_eq!(
+            Network::new(g).unwrap_err(),
+            SimError::Disconnected {
+                vertices: 4,
+                components: 2
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_hosts_with_an_error() {
+        let x = XTree::new(14); // 32767 vertices, past the table cap
+        assert!(matches!(
+            Network::new(x.graph().clone()),
+            Err(SimError::HostTooLarge { .. })
+        ));
     }
 }

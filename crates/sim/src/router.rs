@@ -9,6 +9,7 @@
 //! distance to the destination. [`TableRouter`] remains as the fallback
 //! for irregular hosts (meshes, CCC, butterflies) at table-friendly sizes.
 
+use crate::error::SimError;
 use xtree_topology::{analytic_distance, routing, Address, Csr, Graph};
 
 /// A deterministic shortest-path routing strategy for one host graph.
@@ -100,6 +101,7 @@ impl Router for CbtRouter {
 ///
 /// `O(n²)` memory, so only viable for hosts up to `2^13` vertices; kept
 /// for hosts without structured routing.
+#[derive(Debug)]
 pub struct TableRouter {
     n: usize,
     /// `next_hop[dst * n + v]` = neighbour of `v` on a shortest path to
@@ -109,16 +111,32 @@ pub struct TableRouter {
     dist: Vec<u32>,
 }
 
+/// The largest host a dense all-pairs table will be built for — the
+/// tables would be ≥ 512 MiB beyond 2^13 vertices.
+pub const TABLE_ROUTER_CAP: usize = 1 << 13;
+
 impl TableRouter {
-    /// Builds the tables for `graph` (must be connected).
+    /// Builds the tables for `graph`.
     ///
-    /// # Panics
-    /// Panics if the graph is disconnected or too large (> 2^13 vertices —
-    /// the table would be ≥ 512 MiB beyond that).
-    pub fn new(graph: &Csr) -> Self {
+    /// # Errors
+    /// [`SimError::HostTooLarge`] beyond [`TABLE_ROUTER_CAP`] vertices
+    /// (the table would be ≥ 512 MiB) and [`SimError::Disconnected`] when
+    /// any pair of vertices cannot route to each other.
+    pub fn new(graph: &Csr) -> Result<Self, SimError> {
         let n = graph.node_count();
-        assert!(n <= (1 << 13), "routing table too large for {n} vertices");
-        assert!(graph.is_connected(), "simulator hosts must be connected");
+        if n > TABLE_ROUTER_CAP {
+            return Err(SimError::HostTooLarge {
+                vertices: n,
+                cap: TABLE_ROUTER_CAP,
+            });
+        }
+        if !graph.is_connected() {
+            let (_, components) = graph.component_ids();
+            return Err(SimError::Disconnected {
+                vertices: n,
+                components,
+            });
+        }
         let mut next_hop = vec![0u32; n * n];
         let mut dist = vec![0u32; n * n];
         for dst in 0..n {
@@ -132,14 +150,20 @@ impl TableRouter {
                 }
                 // Deterministic: the smallest-id neighbour that decreases
                 // the distance to dst (neighbor lists are sorted).
+                // A connected graph always has a downhill neighbour, but
+                // surface a typed error rather than panicking if the
+                // invariant ever breaks.
                 row_h[v] = *graph
                     .neighbors(v)
                     .iter()
                     .find(|&&w| d[w as usize] + 1 == d[v])
-                    .expect("connected graph has a downhill neighbour");
+                    .ok_or(SimError::RouterInvariant {
+                        at: v as u32,
+                        to: dst as u32,
+                    })?;
             }
         }
-        TableRouter { n, next_hop, dist }
+        Ok(TableRouter { n, next_hop, dist })
     }
 }
 
@@ -157,6 +181,7 @@ impl Router for TableRouter {
 
 /// Static dispatch over the router strategies a [`crate::Network`] can
 /// hold, keeping the per-hop call in the engine's inner loop monomorphic.
+#[derive(Debug)]
 pub enum AnyRouter {
     /// Closed-form X-tree routing.
     XTree(XTreeRouter),
@@ -196,7 +221,7 @@ mod tests {
     use xtree_topology::{CompleteBinaryTree, Hypercube, XTree};
 
     fn assert_router_matches_table(router: &dyn Router, graph: &Csr) {
-        let table = TableRouter::new(graph);
+        let table = TableRouter::new(graph).unwrap();
         let n = graph.node_count() as u32;
         for v in 0..n {
             for dst in 0..n {
@@ -233,6 +258,26 @@ mod tests {
         for r in 0..=5u8 {
             assert_router_matches_table(&CbtRouter, CompleteBinaryTree::new(r).graph());
         }
+    }
+
+    #[test]
+    fn table_router_reports_bad_hosts_as_errors() {
+        let disconnected = Csr::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(
+            TableRouter::new(&disconnected).unwrap_err(),
+            crate::SimError::Disconnected {
+                vertices: 4,
+                components: 2
+            }
+        );
+        let big = XTree::new(14);
+        assert_eq!(
+            TableRouter::new(big.graph()).unwrap_err(),
+            crate::SimError::HostTooLarge {
+                vertices: big.graph().node_count(),
+                cap: TABLE_ROUTER_CAP
+            }
+        );
     }
 
     #[test]

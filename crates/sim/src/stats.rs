@@ -1,7 +1,10 @@
 //! Aggregation of batch statistics into experiment-report rows, with a
-//! rayon-parallel sweep driver for running many (tree, embedding) pairs.
+//! rayon-parallel sweep driver for running many (tree, embedding) pairs
+//! and a fault-injection variant that reports degraded delivery.
 
-use crate::engine::{run_rounds, BatchStats};
+use crate::engine::{run_rounds, BatchOutcome, BatchStats, Engine};
+use crate::error::SimError;
+use crate::fault::{FaultPlan, FaultState};
 use crate::network::Network;
 use crate::workload;
 use rayon::prelude::*;
@@ -45,7 +48,15 @@ fn summarise(workload: &'static str, stats: &[BatchStats]) -> SimReport {
 /// per directed link, returning the maximum. Works for any [`Network`]
 /// (X-tree, hypercube, mesh, …), complementing the X-tree-specific
 /// `xtree_core::metrics::edge_congestion`.
-pub fn congestion<M: workload::HostMap>(net: &Network, tree: &BinaryTree, emb: &M) -> u32 {
+///
+/// # Errors
+/// [`SimError::RouterInvariant`] if the network's router proposes a
+/// non-neighbour — a routing bug, reported instead of panicking.
+pub fn congestion<M: workload::HostMap>(
+    net: &Network,
+    tree: &BinaryTree,
+    emb: &M,
+) -> Result<u32, SimError> {
     // Flat per-directed-link counters: links are dense indices (see
     // `Csr::directed_edge_index`), so no hashing in the walk.
     let mut usage = vec![0u32; net.graph().directed_edge_count()];
@@ -56,12 +67,12 @@ pub fn congestion<M: workload::HostMap>(net: &Network, tree: &BinaryTree, emb: &
             let e = net
                 .graph()
                 .directed_edge_index(at, next)
-                .expect("router returned a non-neighbour");
+                .ok_or(SimError::RouterInvariant { at, to: next })?;
             usage[e as usize] += 1;
             at = next;
         }
     }
-    usage.into_iter().max().unwrap_or(0)
+    Ok(usage.into_iter().max().unwrap_or(0))
 }
 
 /// Maximum number of guest nodes mapped to one host processor — the
@@ -96,62 +107,151 @@ impl StepReport {
 }
 
 /// Measures one guest step on `net`.
+///
+/// # Errors
+/// See [`crate::engine::run_batch`].
 pub fn simulate_step<M: workload::HostMap>(
     net: &Network,
     tree: &BinaryTree,
     emb: &M,
-) -> StepReport {
-    let batch = crate::engine::run_batch(net, &workload::exchange_round(tree, emb));
-    StepReport {
+) -> Result<StepReport, SimError> {
+    let batch = crate::engine::run_batch(net, &workload::exchange_round(tree, emb))?;
+    Ok(StepReport {
         compute_cycles: compute_load(net, tree, emb),
         exchange_cycles: batch.cycles,
-    }
+    })
 }
 
-/// Runs the three canonical tree workloads of one embedding.
+/// The four canonical workloads, each as a round sequence.
+fn workload_rounds<M: workload::HostMap>(
+    tree: &BinaryTree,
+    emb: &M,
+) -> [(&'static str, Vec<Vec<crate::engine::Message>>); 4] {
+    [
+        ("broadcast", workload::broadcast_rounds(tree, emb)),
+        ("reduce", workload::reduce_rounds(tree, emb)),
+        ("exchange", vec![workload::exchange_round(tree, emb)]),
+        ("dnc", workload::divide_and_conquer_rounds(tree, emb)),
+    ]
+}
+
+/// Runs the canonical tree workloads of one embedding.
+///
+/// # Errors
+/// See [`crate::engine::run_batch`].
 pub fn simulate_all<M: workload::HostMap + Sync>(
     net: &Network,
     tree: &BinaryTree,
     emb: &M,
-) -> Vec<SimReport> {
-    vec![
-        summarise(
-            "broadcast",
-            &run_rounds(net, &workload::broadcast_rounds(tree, emb)),
-        ),
-        summarise(
-            "reduce",
-            &run_rounds(net, &workload::reduce_rounds(tree, emb)),
-        ),
-        summarise(
-            "exchange",
-            &run_rounds(net, &[workload::exchange_round(tree, emb)]),
-        ),
-        summarise(
-            "dnc",
-            &run_rounds(net, &workload::divide_and_conquer_rounds(tree, emb)),
-        ),
-    ]
+) -> Result<Vec<SimReport>, SimError> {
+    workload_rounds(tree, emb)
+        .iter()
+        .map(|(name, rounds)| Ok(summarise(name, &run_rounds(net, rounds)?)))
+        .collect()
+}
+
+/// Cycle-and-delivery summary of one workload run under fault injection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSimReport {
+    /// Workload name (`broadcast`, `reduce`, `exchange`, `dnc`).
+    pub workload: &'static str,
+    /// Total cycles across all rounds actually run (idle repair-waiting
+    /// included).
+    pub cycles: u32,
+    /// Dilation-only lower bound on the *undamaged* host, so slowdown
+    /// compares degraded against healthy.
+    pub ideal_cycles: u32,
+    /// Messages injected across the rounds run.
+    pub messages: usize,
+    /// Messages that arrived.
+    pub delivered: usize,
+    /// Messages proven permanently unreachable.
+    pub stranded: usize,
+    /// True when the progress watchdog cut a round short.
+    pub stalled: bool,
+}
+
+impl FaultSimReport {
+    /// Fraction of injected messages that arrived (1.0 for an empty run).
+    pub fn delivery_rate(&self) -> f64 {
+        if self.messages == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.messages as f64
+        }
+    }
+}
+
+/// Runs the canonical tree workloads under one fault plan, restarting the
+/// fault clock for every workload so each sees the same damage schedule.
+///
+/// Rounds after a watchdog stall are skipped (their report reflects only
+/// the rounds run); stranded messages in one round do not stop later
+/// rounds, matching a program that times out on lost peers and moves on.
+///
+/// # Errors
+/// [`SimError::InvalidFault`] when `plan` does not fit the host, plus the
+/// engine errors of [`Engine::run_batch_faulted`].
+pub fn simulate_all_faulted<M: workload::HostMap + Sync>(
+    net: &Network,
+    tree: &BinaryTree,
+    emb: &M,
+    plan: &FaultPlan,
+) -> Result<Vec<FaultSimReport>, SimError> {
+    let mut engine = Engine::new();
+    workload_rounds(tree, emb)
+        .iter()
+        .map(|(name, rounds)| {
+            let mut faults = FaultState::new(net.graph(), plan.clone())?;
+            let mut rep = FaultSimReport {
+                workload: name,
+                cycles: 0,
+                ideal_cycles: 0,
+                messages: 0,
+                delivered: 0,
+                stranded: 0,
+                stalled: false,
+            };
+            for round in rounds {
+                let out = engine.run_batch_faulted(net, round, &mut faults)?;
+                let s = out.stats();
+                rep.cycles += s.cycles;
+                rep.ideal_cycles += s.ideal_cycles;
+                rep.messages += s.messages;
+                rep.delivered += s.messages - out.undelivered().len();
+                rep.stranded += out.stranded().len();
+                if let BatchOutcome::Stalled { .. } = out {
+                    rep.stalled = true;
+                    break;
+                }
+            }
+            Ok(rep)
+        })
+        .collect()
 }
 
 /// Rayon-parallel sweep: simulates many (tree, embedding) pairs on one
 /// shared host network. The network's routing tables are read-only, so the
 /// sweep parallelises embarrassingly.
+///
+/// # Errors
+/// The first engine error from any case (see [`crate::engine::run_batch`]).
 pub fn sweep<M: workload::HostMap + Sync>(
     net: &Network,
     cases: &[(BinaryTree, M)],
-) -> Vec<Vec<SimReport>> {
-    cases
+) -> Result<Vec<Vec<SimReport>>, SimError> {
+    let per_case: Vec<Result<Vec<SimReport>, SimError>> = cases
         .par_iter()
         .map(|(tree, emb)| simulate_all(net, tree, emb))
-        .collect()
+        .collect();
+    per_case.into_iter().collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use xtree_core::metrics::heap_order_embedding;
-    use xtree_topology::XTree;
+    use xtree_topology::{Graph, XTree};
     use xtree_trees::generate;
 
     #[test]
@@ -159,10 +259,10 @@ mod tests {
         // Heap-order embedding of the complete tree: every message is one
         // hop on its own link, so cycles == rounds == ideal.
         let x = XTree::new(4);
-        let net = Network::new(x.graph().clone());
+        let net = Network::new(x.graph().clone()).unwrap();
         let t = generate::left_complete(31);
         let e = heap_order_embedding(&t, 4);
-        let reports = simulate_all(&net, &t, &e);
+        let reports = simulate_all(&net, &t, &e).unwrap();
         let bc = &reports[0];
         assert_eq!(bc.workload, "broadcast");
         assert_eq!(bc.cycles, bc.ideal_cycles);
@@ -172,10 +272,10 @@ mod tests {
     #[test]
     fn congestion_on_identity_is_one() {
         let x = XTree::new(3);
-        let net = Network::new(x.graph().clone());
+        let net = Network::new(x.graph().clone()).unwrap();
         let t = generate::left_complete(15);
         let e = heap_order_embedding(&t, 3);
-        assert_eq!(congestion(&net, &t, &e), 1);
+        assert_eq!(congestion(&net, &t, &e).unwrap(), 1);
     }
 
     #[test]
@@ -183,16 +283,16 @@ mod tests {
         // A path guest embedded in heap order funnels many edges through
         // the upper links.
         let x = XTree::new(3);
-        let net = Network::new(x.graph().clone());
+        let net = Network::new(x.graph().clone()).unwrap();
         let t = generate::path(15);
         let e = heap_order_embedding(&t, 3);
-        assert!(congestion(&net, &t, &e) >= 2);
+        assert!(congestion(&net, &t, &e).unwrap() >= 2);
     }
 
     #[test]
     fn compute_load_matches_embedding_load() {
         let x = XTree::new(2);
-        let net = Network::new(x.graph().clone());
+        let net = Network::new(x.graph().clone()).unwrap();
         let t = generate::path(7);
         let e = heap_order_embedding(&t, 2);
         assert_eq!(compute_load(&net, &t, &e), 1);
@@ -201,10 +301,10 @@ mod tests {
     #[test]
     fn step_report_totals() {
         let x = XTree::new(3);
-        let net = Network::new(x.graph().clone());
+        let net = Network::new(x.graph().clone()).unwrap();
         let t = generate::left_complete(15);
         let e = heap_order_embedding(&t, 3);
-        let step = simulate_step(&net, &t, &e);
+        let step = simulate_step(&net, &t, &e).unwrap();
         assert_eq!(step.compute_cycles, 1);
         assert!(step.exchange_cycles >= 1);
         assert_eq!(step.total(), step.compute_cycles + step.exchange_cycles);
@@ -213,7 +313,7 @@ mod tests {
     #[test]
     fn sweep_matches_sequential() {
         let x = XTree::new(3);
-        let net = Network::new(x.graph().clone());
+        let net = Network::new(x.graph().clone()).unwrap();
         let cases: Vec<_> = (0..4)
             .map(|i| {
                 let t = generate::caterpillar(10 + i);
@@ -221,9 +321,47 @@ mod tests {
                 (t, e)
             })
             .collect();
-        let par = sweep(&net, &cases);
+        let par = sweep(&net, &cases).unwrap();
         for (i, (t, e)) in cases.iter().enumerate() {
-            assert_eq!(par[i], simulate_all(&net, t, e));
+            assert_eq!(par[i], simulate_all(&net, t, e).unwrap());
+        }
+    }
+
+    #[test]
+    fn faulted_run_with_empty_plan_matches_fault_free_reports() {
+        let x = XTree::new(4);
+        let net = Network::new(x.graph().clone()).unwrap();
+        let t = generate::left_complete(31);
+        let e = heap_order_embedding(&t, 4);
+        let plain = simulate_all(&net, &t, &e).unwrap();
+        let faulted = simulate_all_faulted(&net, &t, &e, &FaultPlan::new()).unwrap();
+        for (p, f) in plain.iter().zip(&faulted) {
+            assert_eq!(p.workload, f.workload);
+            assert_eq!(p.cycles, f.cycles, "{}", p.workload);
+            assert_eq!(p.ideal_cycles, f.ideal_cycles);
+            assert_eq!(f.delivered, f.messages);
+            assert_eq!(f.stranded, 0);
+            assert!(!f.stalled);
+            assert_eq!(f.delivery_rate(), 1.0);
+        }
+    }
+
+    #[test]
+    fn faulted_run_on_connected_survivor_delivers_everything_slower() {
+        // Kill one leaf-level link of X(4): the X-tree's sibling links keep
+        // the survivor graph connected, so everything still arrives — some
+        // of it via detours.
+        let x = XTree::new(4);
+        let net = Network::new(x.graph().clone()).unwrap();
+        let t = generate::left_complete(31);
+        let e = heap_order_embedding(&t, 4);
+        let n = x.graph().node_count() as u32;
+        let plan = FaultPlan::new().link_down(0, (n - 2) / 2, n - 2);
+        let reports = simulate_all_faulted(&net, &t, &e, &plan).unwrap();
+        for f in &reports {
+            assert_eq!(f.delivered, f.messages, "{}", f.workload);
+            assert_eq!(f.stranded, 0);
+            assert!(!f.stalled);
         }
     }
 }

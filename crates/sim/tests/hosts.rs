@@ -19,7 +19,8 @@ fn deliver_all_pairs(net: &Network) {
                     src: src as u32,
                     dst: dst as u32,
                 }],
-            );
+            )
+            .unwrap();
             assert_eq!(s.cycles, net.distance(src as u32, dst as u32));
         }
     }
@@ -30,28 +31,28 @@ fn xtree_host() {
     // Both the BFS-table fallback and the closed-form router must deliver
     // every message in exactly the shortest-path time.
     let x = XTree::new(5);
-    deliver_all_pairs(&Network::new(x.graph().clone()));
+    deliver_all_pairs(&Network::new(x.graph().clone()).unwrap());
     deliver_all_pairs(&Network::xtree(&x));
 }
 
 #[test]
 fn hypercube_host() {
     let q = Hypercube::new(6);
-    deliver_all_pairs(&Network::new(q.graph().clone()));
+    deliver_all_pairs(&Network::new(q.graph().clone()).unwrap());
     deliver_all_pairs(&Network::hypercube(&q));
 }
 
 #[test]
 fn cbt_host() {
     let b = CompleteBinaryTree::new(5);
-    deliver_all_pairs(&Network::new(b.graph().clone()));
+    deliver_all_pairs(&Network::new(b.graph().clone()).unwrap());
     deliver_all_pairs(&Network::cbt(&b));
 }
 
 #[test]
 fn mesh_host() {
     let m = Mesh2D::new(6, 9);
-    let net = Network::new(m.graph().clone());
+    let net = Network::new(m.graph().clone()).unwrap();
     deliver_all_pairs(&net);
     // Network distances equal the Manhattan metric.
     for a in (0..m.node_count()).step_by(5) {
@@ -63,12 +64,12 @@ fn mesh_host() {
 
 #[test]
 fn ccc_host() {
-    deliver_all_pairs(&Network::new(CubeConnectedCycles::new(4).graph().clone()));
+    deliver_all_pairs(&Network::new(CubeConnectedCycles::new(4).graph().clone()).unwrap());
 }
 
 #[test]
 fn butterfly_host() {
-    deliver_all_pairs(&Network::new(Butterfly::new(4).graph().clone()));
+    deliver_all_pairs(&Network::new(Butterfly::new(4).graph().clone()).unwrap());
 }
 
 #[test]
@@ -80,11 +81,11 @@ fn delivery_is_deterministic() {
             dst: (i * 7 + 3) % 31,
         })
         .collect();
-    let table = run_batch(&Network::new(x.graph().clone()), &msgs);
-    let fast = run_batch(&Network::xtree(&x), &msgs);
+    let table = run_batch(&Network::new(x.graph().clone()).unwrap(), &msgs).unwrap();
+    let fast = run_batch(&Network::xtree(&x), &msgs).unwrap();
     assert_eq!(
         table,
-        run_batch(&Network::new(x.graph().clone()), &msgs),
+        run_batch(&Network::new(x.graph().clone()).unwrap(), &msgs).unwrap(),
         "same batch must produce identical statistics"
     );
     assert_eq!(
@@ -97,9 +98,9 @@ fn delivery_is_deterministic() {
 fn saturating_batch_terminates() {
     // Every vertex sends to vertex 0: heavy funnel congestion, must still
     // converge with cycles ≥ messages on the last link.
-    let net = Network::new(XTree::new(4).graph().clone());
+    let net = Network::new(XTree::new(4).graph().clone()).unwrap();
     let msgs: Vec<Message> = (1..31).map(|src| Message { src, dst: 0 }).collect();
-    let s = run_batch(&net, &msgs);
+    let s = run_batch(&net, &msgs).unwrap();
     assert!(
         s.cycles >= 15,
         "30 messages over 2 root links need ≥ 15 cycles"

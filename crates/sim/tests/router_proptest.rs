@@ -19,7 +19,7 @@ fn xtree_oracles() -> &'static Vec<(usize, TableRouter)> {
         (1..=8u8)
             .map(|r| {
                 let x = XTree::new(r);
-                (x.node_count(), TableRouter::new(x.graph()))
+                (x.node_count(), TableRouter::new(x.graph()).unwrap())
             })
             .collect()
     })
@@ -31,7 +31,7 @@ fn hypercube_oracles() -> &'static Vec<(usize, TableRouter)> {
         (1..=8u8)
             .map(|d| {
                 let q = Hypercube::new(d);
-                (q.node_count(), TableRouter::new(q.graph()))
+                (q.node_count(), TableRouter::new(q.graph()).unwrap())
             })
             .collect()
     })
@@ -43,7 +43,7 @@ fn cbt_oracles() -> &'static Vec<(usize, TableRouter)> {
         (1..=8u8)
             .map(|r| {
                 let b = CompleteBinaryTree::new(r);
-                (b.node_count(), TableRouter::new(b.graph()))
+                (b.node_count(), TableRouter::new(b.graph()).unwrap())
             })
             .collect()
     })
@@ -120,7 +120,7 @@ proptest! {
         let n = x.node_count() as u32;
         let (v, dst) = (a % n, b % n);
         let fast = Network::xtree(&x);
-        let table = Network::new(x.graph().clone());
+        let table = Network::new(x.graph().clone()).unwrap();
         prop_assert_eq!(fast.next_hop(v, dst), table.next_hop(v, dst));
         prop_assert_eq!(fast.distance(v, dst), table.distance(v, dst));
     }

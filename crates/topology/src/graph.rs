@@ -173,6 +173,51 @@ impl Csr {
         self.bfs(0).iter().all(|&d| d != u32::MAX)
     }
 
+    /// Connected-component labels and the component count.
+    ///
+    /// Labels are dense in `0..count`, assigned in ascending order of each
+    /// component's smallest vertex id, so they are deterministic.
+    pub fn component_ids(&self) -> (Vec<u32>, usize) {
+        let n = self.node_count();
+        let mut label = vec![u32::MAX; n];
+        let mut count = 0u32;
+        let mut q = VecDeque::new();
+        for src in 0..n {
+            if label[src] != u32::MAX {
+                continue;
+            }
+            label[src] = count;
+            q.push_back(src as u32);
+            while let Some(u) = q.pop_front() {
+                for &w in self.neighbors(u as usize) {
+                    if label[w as usize] == u32::MAX {
+                        label[w as usize] = count;
+                        q.push_back(w);
+                    }
+                }
+            }
+            count += 1;
+        }
+        (label, count as usize)
+    }
+
+    /// The survivor subgraph after faults: keeps every edge `{u, v}` whose
+    /// endpoints are both alive and for which `edge_alive(u, v)` holds
+    /// (called once per undirected edge, with `u < v`). Downed vertices
+    /// remain in the vertex set but become isolated, so vertex ids are
+    /// stable between the original and the survivor graph.
+    pub fn survivor(
+        &self,
+        node_alive: impl Fn(u32) -> bool,
+        mut edge_alive: impl FnMut(u32, u32) -> bool,
+    ) -> Csr {
+        let edges: Vec<(u32, u32)> = self
+            .edges()
+            .filter(|&(u, v)| node_alive(u) && node_alive(v) && edge_alive(u, v))
+            .collect();
+        Csr::from_edges(self.node_count(), &edges)
+    }
+
     /// A shortest path from `src` to `dst` inclusive, or `None` if
     /// unreachable.
     pub fn shortest_path(&self, src: usize, dst: usize) -> Option<Vec<u32>> {
@@ -226,6 +271,18 @@ impl Csr {
     #[inline]
     pub fn directed_edge_count(&self) -> usize {
         self.targets.len()
+    }
+
+    /// Out-edges of `v` as `(directed_edge_index, target)` pairs, in
+    /// ascending target order — the zero-cost way to walk a vertex's links
+    /// together with their dense indices.
+    #[inline]
+    pub fn out_edges(&self, v: usize) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let s = self.offsets[v] as usize;
+        self.targets[s..self.offsets[v + 1] as usize]
+            .iter()
+            .enumerate()
+            .map(move |(k, &w)| ((s + k) as u32, w))
     }
 
     /// Iterates over each undirected edge once, as `(u, v)` with `u < v`.
@@ -347,6 +404,37 @@ mod tests {
         assert!(seen.iter().all(|&s| s));
         assert_eq!(g.directed_edge_index(1, 4), None);
         assert_ne!(g.directed_edge_index(0, 1), g.directed_edge_index(1, 0));
+    }
+
+    #[test]
+    fn component_ids_label_every_piece() {
+        let g = Csr::from_edges(7, &[(0, 1), (1, 2), (3, 4), (5, 6)]);
+        let (label, count) = g.component_ids();
+        assert_eq!(count, 3);
+        assert_eq!(label[0], label[1]);
+        assert_eq!(label[1], label[2]);
+        assert_eq!(label[3], label[4]);
+        assert_eq!(label[5], label[6]);
+        assert_ne!(label[0], label[3]);
+        assert_ne!(label[3], label[5]);
+        // Deterministic dense labels in first-vertex order.
+        assert_eq!((label[0], label[3], label[5]), (0, 1, 2));
+        let (single, one) = path_graph(4).component_ids();
+        assert_eq!(one, 1);
+        assert!(single.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn survivor_drops_dead_edges_and_isolates_dead_nodes() {
+        let g = Csr::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        // Kill vertex 2 and the edge {0, 4}: the cycle breaks into 0-1 and 3-4.
+        let s = g.survivor(|v| v != 2, |u, v| (u, v) != (0, 4));
+        assert_eq!(s.node_count(), 5);
+        assert_eq!(s.edge_count(), 2);
+        assert!(s.has_edge(0, 1) && s.has_edge(3, 4));
+        assert_eq!(s.degree(2), 0);
+        let (_, count) = s.component_ids();
+        assert_eq!(count, 3); // {0,1}, {2}, {3,4}
     }
 
     #[test]

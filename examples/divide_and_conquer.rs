@@ -43,7 +43,7 @@ fn main() {
     for (name, emb) in &candidates {
         let stats = evaluate(&tree, emb);
         let rounds = workload::divide_and_conquer_rounds(&tree, emb);
-        let batch = run_rounds(&net, &rounds);
+        let batch = run_rounds(&net, &rounds).expect("simulation failed");
         let cycles: u32 = batch.iter().map(|b| b.cycles).sum();
         let ideal: u32 = batch.iter().map(|b| b.ideal_cycles).sum();
         println!(

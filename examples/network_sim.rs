@@ -67,14 +67,14 @@ fn main() {
     let xh = XTree::new(t1.emb.height);
     let xnet = Network::xtree(&xh);
     println!("on X({}) [{} processors]:", t1.emb.height, xnet.len());
-    print_reports(&simulate_all(&xnet, &tree, &t1.emb));
+    print_reports(&simulate_all(&xnet, &tree, &t1.emb).expect("simulation failed"));
 
     // Hypercube route (Theorem 3).
     let qemb = hypercube::embed_theorem3(&tree);
     let qh = Hypercube::new(qemb.dim);
     let qnet = Network::hypercube(&qh);
     println!("\non Q_{} [{} processors]:", qemb.dim, qnet.len());
-    print_reports(&simulate_all(&qnet, &tree, &qemb));
+    print_reports(&simulate_all(&qnet, &tree, &qemb).expect("simulation failed"));
 
     println!("\nboth hosts run the tree program within a small constant of the ideal ✓");
 }

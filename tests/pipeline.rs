@@ -16,9 +16,9 @@ fn exchange_cycles_bounded_by_dilation_times_congestion() {
     let emb = theorem1::embed(&tree).emb;
     let stats = evaluate(&tree, &emb);
     let host = XTree::new(r);
-    let net = Network::new(host.graph().clone());
+    let net = Network::new(host.graph().clone()).unwrap();
 
-    let batch = run_rounds(&net, &[workload::exchange_round(&tree, &emb)]);
+    let batch = run_rounds(&net, &[workload::exchange_round(&tree, &emb)]).unwrap();
     let ex = &batch[0];
     // Every message needs at most `dilation` hops; with load 16 the
     // per-link pressure is bounded, so the exchange finishes in a small
@@ -40,8 +40,8 @@ fn broadcast_on_xtree_close_to_ideal() {
         let tree = family.generate(theorem1_size(4), &mut rng);
         let emb = theorem1::embed(&tree).emb;
         let host = XTree::new(4);
-        let net = Network::new(host.graph().clone());
-        let reports = simulate_all(&net, &tree, &emb);
+        let net = Network::new(host.graph().clone()).unwrap();
+        let reports = simulate_all(&net, &tree, &emb).unwrap();
         let bc = reports.iter().find(|r| r.workload == "broadcast").unwrap();
         assert!(
             (bc.cycles as f64) <= 2.0 * bc.ideal_cycles as f64 + 16.0,
@@ -59,11 +59,11 @@ fn same_guest_runs_on_both_hosts() {
 
     let x = theorem1::embed(&tree).emb;
     let xnet = Network::xtree(&XTree::new(x.height));
-    let xr = simulate_all(&xnet, &tree, &x);
+    let xr = simulate_all(&xnet, &tree, &x).unwrap();
 
     let q = hypercube::embed_theorem3(&tree);
     let qnet = Network::hypercube(&Hypercube::new(q.dim));
-    let qr = simulate_all(&qnet, &tree, &q);
+    let qr = simulate_all(&qnet, &tree, &q).unwrap();
 
     for (a, b) in xr.iter().zip(qr.iter()) {
         assert_eq!(a.workload, b.workload);
@@ -87,7 +87,7 @@ fn non_exact_guest_still_runs() {
     let tree = TreeFamily::RandomSplit.generate(500, &mut rng);
     let emb = theorem1::embed(&tree).emb;
     let net = Network::xtree(&XTree::new(emb.height));
-    let reports = simulate_all(&net, &tree, &emb);
+    let reports = simulate_all(&net, &tree, &emb).unwrap();
     assert_eq!(reports.len(), 4);
     for r in reports {
         assert!(r.cycles >= r.ideal_cycles);

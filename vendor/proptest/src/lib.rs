@@ -1,7 +1,8 @@
 //! Offline subset of `proptest`.
 //!
 //! Supports what this workspace's property tests use: integer-range and
-//! `any::<T>()` strategies, tuple composition, `prop_map`, the
+//! `any::<T>()` strategies, tuple composition, `prop_map`,
+//! `prop::collection::vec`, the
 //! `proptest!` macro with an optional `proptest_config` attribute, and
 //! the `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
 //! `prop_assume!` family. No shrinking: a failing case panics with the
@@ -200,6 +201,33 @@ impl_tuple_strategy!(A, B, C, D);
 impl_tuple_strategy!(A, B, C, D, E);
 impl_tuple_strategy!(A, B, C, D, E, G);
 
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+    use crate::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// The [`vec`] strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec` whose length is drawn from `len` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
 /// Defines property tests: `proptest! { #[test] fn f(x in strat) {...} }`.
 #[macro_export]
 macro_rules! proptest {
@@ -304,6 +332,7 @@ macro_rules! prop_assume {
 
 pub mod prelude {
     //! The customary glob import.
+    pub use crate as prop;
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
         ProptestConfig, Strategy, TestCaseError, TestRng,
