@@ -16,6 +16,7 @@
 //! (`--smoke` sweeps two tiny hosts and skips the results file — the CI
 //! guard that the degraded engine terminates with sane numbers.)
 
+use xtree_bench::seeded_batches;
 use xtree_json::Value;
 use xtree_sim::{Engine, FaultPlan, FaultState, Message, Network};
 use xtree_topology::{Graph, XTree};
@@ -25,28 +26,6 @@ use xtree_topology::{Graph, XTree};
 const FAULT_WINDOW: u32 = 32;
 /// Cycles from a link's failure to its repair in the repaired sweep.
 const REPAIR_AFTER: u32 = 16;
-
-/// Seeded batches: `count` messages with a cheap LCG so every run and
-/// every fault rate sees the identical workload.
-fn seeded_batches(n: u64, batches: usize, count: usize) -> Vec<Vec<Message>> {
-    let mut state = 0x5EED_FA17_u64;
-    let mut rand = move || {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        state >> 33
-    };
-    (0..batches)
-        .map(|_| {
-            (0..count)
-                .map(|_| Message {
-                    src: (rand() % n) as u32,
-                    dst: (rand() % n) as u32,
-                })
-                .collect()
-        })
-        .collect()
-}
 
 struct Degraded {
     cycles: u64,
@@ -94,7 +73,7 @@ fn main() {
         let net = Network::xtree(&x);
         let batches = if smoke { 2 } else { 4 };
         let per_batch = (n / 2).min(512);
-        let rounds = seeded_batches(n as u64, batches, per_batch);
+        let rounds = seeded_batches(0x5EED_FA17, n as u64, batches, per_batch);
         let mut engine = Engine::new();
         let clean: u64 = rounds
             .iter()
@@ -159,11 +138,9 @@ fn main() {
         .with("fault_window", FAULT_WINDOW)
         .with("repair_after", REPAIR_AFTER)
         .with("hosts", Value::from(hosts));
-    let out = xtree_json::to_string_pretty(&doc);
     if !smoke {
-        std::fs::create_dir_all("results").expect("create results/");
-        std::fs::write("results/BENCH_faults.json", format!("{out}\n"))
+        xtree_json::write_pretty_file("results/BENCH_faults.json", &doc)
             .expect("write BENCH_faults.json");
     }
-    println!("{out}");
+    println!("{}", xtree_json::to_string_pretty(&doc));
 }

@@ -14,31 +14,10 @@
 
 use std::collections::HashMap;
 use std::time::Instant;
+use xtree_bench::seeded_batches;
 use xtree_json::Value;
 use xtree_sim::{BatchStats, Engine, Message, Network};
 use xtree_topology::{Graph, XTree};
-
-/// Seeded batches: `count` messages with a cheap LCG so every run (and
-/// both engines) sees the identical workload.
-fn seeded_batches(n: u64, batches: usize, count: usize) -> Vec<Vec<Message>> {
-    let mut state = 0x5EED_BEEF_u64;
-    let mut rand = move || {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        state >> 33
-    };
-    (0..batches)
-        .map(|_| {
-            (0..count)
-                .map(|_| Message {
-                    src: (rand() % n) as u32,
-                    dst: (rand() % n) as u32,
-                })
-                .collect()
-        })
-        .collect()
-}
 
 /// The engine as it was before this optimisation pass: per-cycle hash maps
 /// keyed by `(from, to)` vertex pairs, all state rebuilt every batch.
@@ -130,7 +109,7 @@ fn main() {
         let x = XTree::new(r);
         let n = x.node_count();
         let per_batch = n / 2;
-        let rounds = seeded_batches(n as u64, batches, per_batch);
+        let rounds = seeded_batches(0x5EED_BEEF, n as u64, batches, per_batch);
 
         let net = Network::xtree(&x);
         let mut engine = Engine::new();
@@ -186,8 +165,6 @@ fn main() {
              legacy dense-table + HashMap cycle loop",
         )
         .with("hosts", Value::from(hosts));
-    let out = xtree_json::to_string_pretty(&doc);
-    std::fs::create_dir_all("results").expect("create results/");
-    std::fs::write("results/BENCH_sim.json", format!("{out}\n")).expect("write BENCH_sim.json");
-    println!("{out}");
+    xtree_json::write_pretty_file("results/BENCH_sim.json", &doc).expect("write BENCH_sim.json");
+    println!("{}", xtree_json::to_string_pretty(&doc));
 }

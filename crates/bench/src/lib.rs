@@ -5,6 +5,31 @@
 pub mod experiments;
 
 use xtree_json::Value;
+use xtree_sim::Message;
+
+/// Seeded uniform-random message batches over `n` vertices from a cheap
+/// LCG, so every bench binary (and every rerun) sees an identical workload
+/// for a given `seed`. `simbench` seeds with `0x5EED_BEEF`, `faultbench`
+/// with `0x5EED_FA17`, `telbench` with `0x5EED_7E1E`.
+pub fn seeded_batches(seed: u64, n: u64, batches: usize, count: usize) -> Vec<Vec<Message>> {
+    let mut state = seed;
+    let mut rand = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    (0..batches)
+        .map(|_| {
+            (0..count)
+                .map(|_| Message {
+                    src: (rand() % n) as u32,
+                    dst: (rand() % n) as u32,
+                })
+                .collect()
+        })
+        .collect()
+}
 
 /// A formatted experiment result.
 #[derive(Clone, Debug)]
@@ -109,5 +134,20 @@ mod tests {
         let b: Vec<u64> = seeds(5).collect();
         assert_eq!(a, b);
         assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn seeded_batches_are_deterministic_and_in_range() {
+        let a = seeded_batches(0x5EED_BEEF, 31, 3, 16);
+        let b = seeded_batches(0x5EED_BEEF, 31, 3, 16);
+        assert_eq!(a, b);
+        assert_ne!(a, seeded_batches(0x5EED_FA17, 31, 3, 16));
+        assert_eq!(a.len(), 3);
+        for batch in &a {
+            assert_eq!(batch.len(), 16);
+            for m in batch {
+                assert!(m.src < 31 && m.dst < 31);
+            }
+        }
     }
 }

@@ -41,6 +41,11 @@ impl Args {
         Ok(args)
     }
 
+    /// String option, `None` when absent.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
     /// String option with a default.
     pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
         self.options
@@ -94,6 +99,8 @@ mod tests {
     fn parses_command_options_flags() {
         let a = parse("embed --family path --nodes 240 --json").unwrap();
         assert_eq!(a.command, "embed");
+        assert_eq!(a.get("family"), Some("path"));
+        assert_eq!(a.get("trace"), None);
         assert_eq!(a.get_or("family", "x"), "path");
         assert_eq!(a.num_or("nodes", 0usize).unwrap(), 240);
         assert!(a.flag("json"));

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! xtree-cli embed    --family random-bst --nodes 1008 [--target xtree|xtree-injective|hypercube|hypercube-injective] [--seed N] [--json] [--map]
-//! xtree-cli simulate --family caterpillar --nodes 496 [--host xtree|hypercube] [--workload broadcast|reduce|exchange|dnc|all] [--seed N] [--fault-rate P --fault-seed S --repair-after K] [--json]
+//! xtree-cli simulate --family caterpillar --nodes 496 [--host xtree|hypercube] [--workload broadcast|reduce|exchange|dnc|all] [--seed N] [--fault-rate P --fault-seed S --repair-after K] [--trace FILE] [--verify-trace FILE] [--metrics FILE --metrics-format jsonl|prom] [--json]
 //! xtree-cli info     --height 3 [--network xtree|hypercube|ccc|butterfly|mesh]
 //! xtree-cli sizes    --max-r 10
 //! ```
@@ -15,8 +15,10 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use xtree_core::{evaluate, hypercube, metrics, theorem1, theorem2};
 use xtree_json::Value;
+use xtree_sim::telemetry::{MetricsSink, NopSink, Sink, Tee, TraceRecorder};
 use xtree_sim::{
-    simulate_all, simulate_all_faulted, FaultPlan, FaultSimReport, HostMap, Network, SimReport,
+    simulate_all_faulted_with, simulate_all_with, FaultPlan, FaultSimReport, HostMap, Network,
+    SimReport,
 };
 use xtree_topology::{Butterfly, CubeConnectedCycles, Graph, Hypercube, Mesh2D, XTree};
 use xtree_trees::{generate, BinaryTree, TreeFamily};
@@ -46,7 +48,7 @@ fn main() {
 
 const USAGE: &str = "usage:
   xtree-cli embed    --family F --nodes N [--target xtree|xtree-injective|hypercube|hypercube-injective] [--seed S] [--json] [--map]
-  xtree-cli simulate --family F --nodes N [--host xtree|hypercube] [--workload W|all] [--seed S] [--fault-rate P] [--fault-seed S] [--repair-after K] [--json]
+  xtree-cli simulate --family F --nodes N [--host xtree|hypercube] [--workload W|all] [--seed S] [--fault-rate P] [--fault-seed S] [--repair-after K] [--trace FILE] [--verify-trace FILE] [--metrics FILE] [--metrics-format jsonl|prom] [--json]
   xtree-cli info     --height R [--network xtree|hypercube|ccc|butterfly|mesh]
   xtree-cli sizes    [--max-r R]
   xtree-cli trace    --family F --nodes N [--seed S]
@@ -186,32 +188,179 @@ impl FaultArgs {
     }
 }
 
+/// Telemetry outputs of `simulate`, `None` when no telemetry flag was
+/// given (the zero-overhead `NopSink` path).
+struct TelemetryArgs<'a> {
+    trace: Option<&'a str>,
+    metrics: Option<&'a str>,
+    format: &'a str,
+    verify: Option<&'a str>,
+}
+
+impl<'a> TelemetryArgs<'a> {
+    fn parse(a: &'a Args) -> Result<Option<Self>, String> {
+        let format = a.get_or("metrics-format", "jsonl");
+        if !["jsonl", "prom"].contains(&format) {
+            return Err(format!(
+                "--metrics-format: `{format}` is not one of jsonl|prom"
+            ));
+        }
+        let t = TelemetryArgs {
+            trace: a.get("trace"),
+            metrics: a.get("metrics"),
+            format,
+            verify: a.get("verify-trace"),
+        };
+        Ok((t.trace.is_some() || t.metrics.is_some() || t.verify.is_some()).then_some(t))
+    }
+}
+
+/// What the user sees after a traced/metered run: the one-line summary in
+/// text mode, a `"telemetry"` object in `--json` mode.
+struct TelemetrySummary {
+    events: u64,
+    trace_bytes: usize,
+    /// Top edges by hop count, as `(from, to, hops)`.
+    hottest: Vec<(u32, u32, u64)>,
+    verified: bool,
+}
+
+impl TelemetrySummary {
+    fn line(&self) -> String {
+        let hottest = if self.hottest.is_empty() {
+            "none".to_string()
+        } else {
+            self.hottest
+                .iter()
+                .map(|&(u, v, h)| format!("{u}->{v} x{h}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        format!(
+            "telemetry: {} events, {} trace bytes, hottest links: {hottest}{}",
+            self.events,
+            self.trace_bytes,
+            if self.verified {
+                " (replay verified)"
+            } else {
+                ""
+            }
+        )
+    }
+
+    fn to_json(&self) -> Value {
+        Value::object()
+            .with("events", self.events)
+            .with("trace_bytes", self.trace_bytes)
+            .with(
+                "hottest_links",
+                self.hottest
+                    .iter()
+                    .map(|&(u, v, h)| {
+                        Value::object()
+                            .with("from", u)
+                            .with("to", v)
+                            .with("hops", h)
+                    })
+                    .collect::<Value>(),
+            )
+            .with("replay_verified", self.verified)
+    }
+}
+
 /// `simulate` output rows: fault-free or degraded-delivery reports.
 enum Reports {
     Plain(Vec<SimReport>),
     Faulted(Vec<FaultSimReport>),
 }
 
-fn simulate_reports<M: HostMap + Sync>(
+fn simulate_reports<M: HostMap + Sync, S: Sink>(
     net: &Network,
     tree: &BinaryTree,
     emb: &M,
     faults: &Option<FaultArgs>,
+    sink: &mut S,
 ) -> Result<Reports, String> {
     match faults {
         // No faults requested: the plan-free path, bit-identical to the
         // pre-fault simulator.
         None => Ok(Reports::Plain(
-            simulate_all(net, tree, emb).map_err(|e| e.to_string())?,
+            simulate_all_with(net, tree, emb, sink).map_err(|e| e.to_string())?,
         )),
         Some(f) => {
             let plan =
                 FaultPlan::random_links(net.graph(), f.rate, f.seed, FAULT_WINDOW, f.repair_after);
             Ok(Reports::Faulted(
-                simulate_all_faulted(net, tree, emb, &plan).map_err(|e| e.to_string())?,
+                simulate_all_faulted_with(net, tree, emb, &plan, sink)
+                    .map_err(|e| e.to_string())?,
             ))
         }
     }
+}
+
+/// Runs the workloads, threading a trace recorder + metrics sink through
+/// the engine when any telemetry flag is present and writing/verifying the
+/// requested files afterwards. `Sink` dispatch is static, so the
+/// no-telemetry path monomorphizes to the uninstrumented loop.
+fn simulate_telemetry<M: HostMap + Sync>(
+    net: &Network,
+    tree: &BinaryTree,
+    emb: &M,
+    faults: &Option<FaultArgs>,
+    tel: &Option<TelemetryArgs>,
+) -> Result<(Reports, Option<TelemetrySummary>), String> {
+    let Some(t) = tel else {
+        return Ok((
+            simulate_reports(net, tree, emb, faults, &mut NopSink)?,
+            None,
+        ));
+    };
+    let mut rec = TraceRecorder::new();
+    let mut met = MetricsSink::new();
+    let reports = simulate_reports(net, tree, emb, faults, &mut Tee(&mut rec, &mut met))?;
+    met.finish();
+    if let Some(path) = t.trace {
+        std::fs::write(path, rec.bytes()).map_err(|e| format!("--trace {path}: {e}"))?;
+    }
+    let mut verified = false;
+    if let Some(path) = t.verify {
+        let prior = std::fs::read(path).map_err(|e| format!("--verify-trace {path}: {e}"))?;
+        if prior != rec.bytes() {
+            return Err(format!(
+                "--verify-trace {path}: replay mismatch (recorded {} bytes, file holds {})",
+                rec.bytes().len(),
+                prior.len()
+            ));
+        }
+        verified = true;
+    }
+    if let Some(path) = t.metrics {
+        let body = match t.format {
+            "prom" => met.to_prometheus(),
+            _ => met.to_jsonl(),
+        };
+        std::fs::write(path, body).map_err(|e| format!("--metrics {path}: {e}"))?;
+    }
+    // Resolve the hottest directed edge indices back to endpoint pairs.
+    let graph = net.graph();
+    let mut ends = vec![(0u32, 0u32); graph.directed_edge_count()];
+    for v in 0..graph.node_count() {
+        for (e, to) in graph.out_edges(v) {
+            ends[e as usize] = (v as u32, to);
+        }
+    }
+    let hottest = met
+        .hottest_edges(3)
+        .into_iter()
+        .map(|(e, h)| (ends[e as usize].0, ends[e as usize].1, h))
+        .collect();
+    let summary = TelemetrySummary {
+        events: rec.event_count(),
+        trace_bytes: rec.bytes().len(),
+        hottest,
+        verified,
+    };
+    Ok((reports, Some(summary)))
 }
 
 fn cmd_simulate(a: &Args) -> Result<String, String> {
@@ -222,18 +371,19 @@ fn cmd_simulate(a: &Args) -> Result<String, String> {
         return Err(format!("unknown workload `{workload}`"));
     }
     let faults = FaultArgs::parse(a)?;
+    let tel = TelemetryArgs::parse(a)?;
     // Both hosts route in closed form (no routing tables), so there is no
     // host-size cap here: the guest size is limited only by memory.
-    let reports = match host {
+    let (reports, telemetry) = match host {
         "xtree" => {
             let emb = theorem1::embed(&tree).emb;
             let net = Network::xtree(&XTree::new(emb.height));
-            simulate_reports(&net, &tree, &emb, &faults)?
+            simulate_telemetry(&net, &tree, &emb, &faults, &tel)?
         }
         "hypercube" => {
             let q = hypercube::embed_theorem3(&tree);
             let net = Network::hypercube(&Hypercube::new(q.dim));
-            simulate_reports(&net, &tree, &q, &faults)?
+            simulate_telemetry(&net, &tree, &q, &faults, &tel)?
         }
         other => return Err(format!("unknown host `{other}`")),
     };
@@ -256,7 +406,7 @@ fn cmd_simulate(a: &Args) -> Result<String, String> {
                             .with("max_link_traffic", r.max_link_traffic)
                     })
                     .collect();
-                let doc = Value::object()
+                let mut doc = Value::object()
                     .with(
                         "guest",
                         Value::object()
@@ -265,6 +415,9 @@ fn cmd_simulate(a: &Args) -> Result<String, String> {
                     )
                     .with("host", host)
                     .with("reports", rows);
+                if let Some(s) = &telemetry {
+                    doc.set("telemetry", s.to_json());
+                }
                 Ok(xtree_json::to_string_pretty(&doc))
             } else {
                 let mut out = format!("guest: {family} ({} nodes) on {host}\n", tree.len());
@@ -282,11 +435,17 @@ fn cmd_simulate(a: &Args) -> Result<String, String> {
                         r.max_link_traffic
                     ));
                 }
+                if let Some(s) = &telemetry {
+                    out.push_str(&s.line());
+                    out.push('\n');
+                }
                 Ok(out.trim_end().to_string())
             }
         }
         Reports::Faulted(reports) => {
-            let f = faults.as_ref().expect("faulted reports imply fault args");
+            let Some(f) = faults.as_ref() else {
+                return Err("internal error: faulted reports without fault parameters".into());
+            };
             let reports: Vec<_> = reports.into_iter().filter(|r| keep(r.workload)).collect();
             if reports.is_empty() {
                 return Err(format!("unknown workload `{workload}`"));
@@ -314,7 +473,7 @@ fn cmd_simulate(a: &Args) -> Result<String, String> {
                         "repair_after",
                         f.repair_after.map_or(Value::Null, Value::from),
                     );
-                let doc = Value::object()
+                let mut doc = Value::object()
                     .with(
                         "guest",
                         Value::object()
@@ -324,6 +483,9 @@ fn cmd_simulate(a: &Args) -> Result<String, String> {
                     .with("host", host)
                     .with("fault", fault)
                     .with("reports", rows);
+                if let Some(s) = &telemetry {
+                    doc.set("telemetry", s.to_json());
+                }
                 Ok(xtree_json::to_string_pretty(&doc))
             } else {
                 let mut out = format!(
@@ -352,6 +514,10 @@ fn cmd_simulate(a: &Args) -> Result<String, String> {
                         r.stranded,
                         if r.stalled { "yes" } else { "no" }
                     ));
+                }
+                if let Some(s) = &telemetry {
+                    out.push_str(&s.line());
+                    out.push('\n');
                 }
                 Ok(out.trim_end().to_string())
             }
@@ -628,6 +794,111 @@ mod tests {
         assert!(out.contains("link fault rate 0.1"), "{out}");
         assert!(out.contains("delivered"), "{out}");
         assert!(out.contains("stranded"), "{out}");
+    }
+
+    /// A collision-free scratch path for file-producing CLI tests; cleaned
+    /// up on drop so parallel test runs never see each other's files.
+    struct TmpPath(std::path::PathBuf);
+
+    impl TmpPath {
+        fn new(name: &str) -> Self {
+            let p = std::env::temp_dir().join(format!("xtree-cli-{}-{name}", std::process::id()));
+            let _ = std::fs::remove_file(&p);
+            TmpPath(p)
+        }
+
+        fn as_str(&self) -> &str {
+            self.0.to_str().expect("temp paths are UTF-8")
+        }
+    }
+
+    impl Drop for TmpPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn simulate_trace_records_verifies_and_rejects_mismatch() {
+        let p = TmpPath::new("trace.bin");
+        let base = format!(
+            "simulate --family caterpillar --nodes 112 --seed 5 --trace {}",
+            p.as_str()
+        );
+        let out = run_str(&base).unwrap();
+        assert!(out.contains("telemetry:"), "{out}");
+        assert!(out.contains("hottest links:"), "{out}");
+        let bytes = std::fs::read(&p.0).unwrap();
+        assert!(
+            bytes.starts_with(xtree_sim::telemetry::TRACE_MAGIC),
+            "trace magic missing"
+        );
+
+        // Same seed replays byte-for-byte...
+        let out = run_str(&format!(
+            "simulate --family caterpillar --nodes 112 --seed 5 --verify-trace {}",
+            p.as_str()
+        ))
+        .unwrap();
+        assert!(out.contains("replay verified"), "{out}");
+
+        // ...a different workload does not.
+        let err = run_str(&format!(
+            "simulate --family caterpillar --nodes 96 --seed 5 --verify-trace {}",
+            p.as_str()
+        ))
+        .unwrap_err();
+        assert!(err.contains("replay mismatch"), "{err}");
+    }
+
+    #[test]
+    fn simulate_metrics_exports_both_formats() {
+        let p = TmpPath::new("metrics.prom");
+        run_str(&format!(
+            "simulate --family path --nodes 112 --metrics {} --metrics-format prom",
+            p.as_str()
+        ))
+        .unwrap();
+        let prom = std::fs::read_to_string(&p.0).unwrap();
+        assert!(prom.contains("xtree_sim_hops_total"), "{prom}");
+        assert!(prom.contains("# TYPE"), "{prom}");
+
+        let p = TmpPath::new("metrics.jsonl");
+        run_str(&format!(
+            "simulate --family path --nodes 112 --metrics {}",
+            p.as_str()
+        ))
+        .unwrap();
+        let jsonl = std::fs::read_to_string(&p.0).unwrap();
+        for line in jsonl.lines() {
+            let v: Value = xtree_json::from_str(line).unwrap();
+            assert!(v["type"].as_str().is_some(), "{line}");
+        }
+    }
+
+    #[test]
+    fn simulate_json_carries_telemetry_object() {
+        let p = TmpPath::new("trace-json.bin");
+        let out = run_str(&format!(
+            "simulate --family broom --nodes 112 --fault-rate 0.1 --trace {} --json",
+            p.as_str()
+        ))
+        .unwrap();
+        let v: Value = xtree_json::from_str(&out).unwrap();
+        assert!(v["telemetry"]["events"].as_u64().unwrap() > 0);
+        assert!(v["telemetry"]["trace_bytes"].as_u64().unwrap() > 0);
+        assert!(!v["telemetry"]["hottest_links"]
+            .as_array()
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn simulate_rejects_bad_telemetry_args() {
+        let err = run_str("simulate --nodes 48 --metrics-format xml").unwrap_err();
+        assert!(err.contains("--metrics-format"), "{err}");
+        let err = run_str("simulate --nodes 48 --verify-trace /nonexistent/t.bin").unwrap_err();
+        assert!(err.contains("--verify-trace"), "{err}");
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use super::state::{Builder, IntId};
 use xtree_topology::Address;
-use xtree_trees::lemma2;
+use xtree_trees::lemma2_with;
 
 /// A Fenwick (binary indexed) tree over the leaf masses of the current
 /// round, supporting point updates as ADJUST moves intervals around.
@@ -163,7 +163,7 @@ fn adjust_pair(b: &mut Builder<'_>, fw: &mut Fenwick, alpha: Address, i: u8) {
             // ablation): clamp, which turns the split into a lemma-driven
             // whole move of this interval.
             let delta = remaining.min(size) as u32;
-            let sep = lemma2(b.tree, &b.placed, r1, r2, delta);
+            let sep = lemma2_with(&mut b.scratch, b.tree, &b.placed, r1, r2, delta);
             b.att.get_mut(&bd).unwrap().swap_remove(pos);
             let moved = sep.part2.len() as i64;
             b.apply_separation(id, &sep, d0, r0, d0, r0);

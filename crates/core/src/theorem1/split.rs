@@ -20,7 +20,7 @@
 
 use super::state::{Builder, IntId};
 use xtree_topology::Address;
-use xtree_trees::lemma2;
+use xtree_trees::lemma2_with;
 
 /// Runs the full SPLIT sweep of round `i ≥ 1`.
 pub(crate) fn split_phase(b: &mut Builder<'_>, i: u8) {
@@ -89,7 +89,7 @@ fn assign_children(b: &mut Builder<'_>, alpha: Address) {
         return;
     }
     let (r1, r2) = b.interval(id).lemma_designated();
-    let sep = lemma2(b.tree, &b.placed, r1, r2, delta as u32);
+    let sep = lemma2_with(&mut b.scratch, b.tree, &b.placed, r1, r2, delta as u32);
     b.att.get_mut(&heavy).unwrap().swap_remove(pos);
     b.apply_separation(id, &sep, heavy, light, heavy, light);
     b.log.split_balances += 1;

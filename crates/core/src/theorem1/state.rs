@@ -17,7 +17,7 @@
 use smallvec::SmallVec;
 use std::collections::HashMap;
 use xtree_topology::Address;
-use xtree_trees::{BinaryTree, NodeId, Separation};
+use xtree_trees::{BinaryTree, NodeId, Separation, SeparatorScratch};
 
 /// Handle of a live interval in the builder's slab.
 pub(crate) type IntId = u32;
@@ -124,6 +124,9 @@ pub(crate) struct Builder<'t> {
     pub att: HashMap<Address, Vec<IntId>>,
     mark: Vec<u32>,
     epoch: u32,
+    /// Orientation buffers reused by every separator-lemma call of the
+    /// build — one allocation for the whole embedding (DESIGN.md §9).
+    pub scratch: SeparatorScratch,
     pub log: BuildLog,
     /// `trace[i][j]` = Δ(j, i) measured after round `i` (see `trace.rs`).
     pub trace: Vec<Vec<u64>>,
@@ -146,6 +149,7 @@ impl<'t> Builder<'t> {
             att: HashMap::new(),
             mark: vec![0; n],
             epoch: 0,
+            scratch: SeparatorScratch::new(n),
             log: BuildLog::default(),
             trace: Vec::new(),
             mass_trace: Vec::new(),
@@ -382,6 +386,10 @@ impl<'t> Builder<'t> {
     /// nodes exactly, every designated node's anchor must actually hold a
     /// placed neighbour no more than two levels up, and every vertex of
     /// levels `≤ i` must be filled (for exact-size guests).
+    ///
+    /// The only caller is `#[cfg(debug_assertions)]`-gated, so release
+    /// builds see no call site.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
     pub fn check_round_invariants(&self, i: u8, exact: bool) {
         // 1. Attachment addresses sit on level i.
         for (&addr, ids) in &self.att {

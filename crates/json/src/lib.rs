@@ -230,6 +230,22 @@ pub fn to_string(v: &Value) -> String {
     out
 }
 
+/// Writes `v` pretty-printed with a trailing newline to `path`, creating
+/// parent directories first — the one way every bench/results file in this
+/// workspace is produced.
+///
+/// # Errors
+/// Propagates directory-creation and write failures.
+pub fn write_pretty_file(path: impl AsRef<std::path::Path>, v: &Value) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, format!("{}\n", to_string_pretty(v)))
+}
+
 fn write_scalar(v: &Value, out: &mut String) -> bool {
     match v {
         Value::Null => out.push_str("null"),
@@ -625,6 +641,20 @@ mod tests {
         let text = to_string_pretty(&v);
         assert_eq!(from_str(&text).unwrap(), v);
         assert!(text.contains("\"whole\": 2.0"));
+    }
+
+    #[test]
+    fn write_pretty_file_creates_dirs_and_round_trips() {
+        let dir = std::env::temp_dir().join(format!("xtree-json-{}", std::process::id()));
+        let path = dir.join("nested").join("doc.json");
+        let v = Value::object()
+            .with("a", 1)
+            .with("b", vec![Value::Bool(true)]);
+        write_pretty_file(&path, &v).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'));
+        assert_eq!(from_str(&text).unwrap(), v);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

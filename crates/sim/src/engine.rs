@@ -29,10 +29,20 @@
 //! `Stalled` diagnosis from the progress watchdog — never a hang and
 //! never a panic. The fault-free path does not check a single fault flag,
 //! so scheduling no faults costs nothing.
+//!
+//! **Telemetry.** [`Engine::run_batch_with`] and
+//! [`Engine::run_batch_faulted_with`] thread a [`Sink`] through the cycle
+//! loop, emitting typed [`Event`]s (hops, contention, deliveries, fault
+//! applications, reroute sweeps, watchdog jumps). Sinks dispatch
+//! statically and every emission site is guarded by the sink's
+//! `const ACTIVE`, so the plain entry points — which pass
+//! [`NopSink`] — compile to the same machine code as before
+//! instrumentation existed (`telbench` measures this).
 
 use crate::error::SimError;
 use crate::fault::FaultState;
 use crate::network::Network;
+use xtree_telemetry::{Event, NopSink, Sink};
 use xtree_topology::{Csr, Graph};
 
 /// A message to deliver: from host vertex `src` to host vertex `dst`.
@@ -209,8 +219,28 @@ impl Engine {
         net: &Network,
         messages: &[Message],
     ) -> Result<BatchStats, SimError> {
+        self.run_batch_with(net, messages, &mut NopSink)
+    }
+
+    /// [`Engine::run_batch`] with telemetry: every hop, link arbitration
+    /// loss, and delivery is reported to `sink`. With [`NopSink`] this *is*
+    /// `run_batch` — the instrumentation compiles out.
+    ///
+    /// # Errors
+    /// See [`Engine::run_batch`].
+    pub fn run_batch_with<S: Sink>(
+        &mut self,
+        net: &Network,
+        messages: &[Message],
+        sink: &mut S,
+    ) -> Result<BatchStats, SimError> {
         let graph: &Csr = net.graph();
         self.reserve(graph.directed_edge_count(), messages.len());
+        if S::ACTIVE {
+            sink.record(Event::BatchStarted {
+                messages: messages.len() as u32,
+            });
+        }
         let mut ideal_cycles = 0u32;
         for (i, m) in messages.iter().enumerate() {
             self.at.push(m.src);
@@ -257,6 +287,15 @@ impl Engine {
                 let e = self.hop_edge[i as usize] as usize;
                 if self.claim_msg[e] == i {
                     let to = self.hop_to[i as usize];
+                    if S::ACTIVE {
+                        sink.record(Event::HopTaken {
+                            cycle: u64::from(cycles),
+                            msg: i,
+                            from: self.at[i as usize],
+                            to,
+                            edge: e as u32,
+                        });
+                    }
                     self.at[i as usize] = to;
                     total_hops += 1;
                     if self.traffic[e] == 0 {
@@ -265,6 +304,13 @@ impl Engine {
                     self.traffic[e] += 1;
                     let dst = self.dst[i as usize];
                     if to == dst {
+                        if S::ACTIVE {
+                            sink.record(Event::MessageDelivered {
+                                cycle: u64::from(cycles),
+                                msg: i,
+                                at: to,
+                            });
+                        }
                         continue; // delivered — drop from the active list
                     }
                     let next = net.next_hop(to, dst);
@@ -272,6 +318,13 @@ impl Engine {
                     self.hop_edge[i as usize] = graph
                         .directed_edge_index(to, next)
                         .ok_or(SimError::RouterInvariant { at: to, to: next })?;
+                } else if S::ACTIVE {
+                    sink.record(Event::LinkContended {
+                        cycle: u64::from(cycles),
+                        edge: e as u32,
+                        msg: i,
+                        winner: self.claim_msg[e],
+                    });
                 }
                 self.active[w] = i;
                 w += 1;
@@ -345,10 +398,29 @@ impl Engine {
         messages: &[Message],
         faults: &mut FaultState,
     ) -> Result<BatchOutcome, SimError> {
+        self.run_batch_faulted_with(net, messages, faults, &mut NopSink)
+    }
+
+    /// [`Engine::run_batch_faulted`] with telemetry: beyond the fast-path
+    /// events, `sink` sees every fault application, survivor-reroute
+    /// sweep, and watchdog clock jump. With [`NopSink`] this *is*
+    /// `run_batch_faulted`.
+    ///
+    /// # Errors
+    /// See [`Engine::run_batch_faulted`].
+    pub fn run_batch_faulted_with<S: Sink>(
+        &mut self,
+        net: &Network,
+        messages: &[Message],
+        faults: &mut FaultState,
+        sink: &mut S,
+    ) -> Result<BatchOutcome, SimError> {
         // A trivial state never affects delivery: take the fault-free fast
         // path, which checks no fault flags at all.
         if faults.is_trivial() {
-            return Ok(BatchOutcome::Delivered(self.run_batch(net, messages)?));
+            return Ok(BatchOutcome::Delivered(
+                self.run_batch_with(net, messages, sink)?,
+            ));
         }
         enum End {
             Delivered,
@@ -358,6 +430,11 @@ impl Engine {
         let graph: &Csr = net.graph();
         faults.check_host(graph)?;
         self.reserve(graph.directed_edge_count(), messages.len());
+        if S::ACTIVE {
+            sink.record(Event::BatchStarted {
+                messages: messages.len() as u32,
+            });
+        }
         let mut ideal_cycles = 0u32;
         for (i, m) in messages.iter().enumerate() {
             self.at.push(m.src);
@@ -384,6 +461,13 @@ impl Engine {
                 // Topology changed: every cached hop may now cross a dead
                 // link or follow a stale detour, so recompute them all.
                 need_reroute = true;
+                if S::ACTIVE {
+                    sink.record(Event::FaultApplied {
+                        cycle: cycles,
+                        down_links: faults.down_links() as u32,
+                        down_nodes: faults.down_nodes() as u32,
+                    });
+                }
             }
             if need_reroute {
                 for k in 0..self.active.len() {
@@ -391,6 +475,12 @@ impl Engine {
                     self.route_survivor(graph, faults, i)?;
                 }
                 need_reroute = false;
+                if S::ACTIVE {
+                    sink.record(Event::RerouteComputed {
+                        cycle: cycles,
+                        messages: self.active.len() as u32,
+                    });
+                }
             }
             let any_routable = self
                 .active
@@ -407,6 +497,12 @@ impl Engine {
                         }
                         cycles += u64::from(wait);
                         faults.advance_clock(wait);
+                        if S::ACTIVE {
+                            sink.record(Event::WatchdogIdle {
+                                cycle: cycles,
+                                skipped: u64::from(wait),
+                            });
+                        }
                         continue;
                     }
                     // No repair will ever arrive: everyone left is
@@ -443,6 +539,15 @@ impl Engine {
                 if e != UNROUTABLE && self.claim_msg[e as usize] == i {
                     let e = e as usize;
                     let to = self.hop_to[i as usize];
+                    if S::ACTIVE {
+                        sink.record(Event::HopTaken {
+                            cycle: cycles,
+                            msg: i,
+                            from: self.at[i as usize],
+                            to,
+                            edge: e as u32,
+                        });
+                    }
                     self.at[i as usize] = to;
                     total_hops += 1;
                     if self.traffic[e] == 0 {
@@ -450,9 +555,23 @@ impl Engine {
                     }
                     self.traffic[e] += 1;
                     if to == self.dst[i as usize] {
+                        if S::ACTIVE {
+                            sink.record(Event::MessageDelivered {
+                                cycle: cycles,
+                                msg: i,
+                                at: to,
+                            });
+                        }
                         continue; // delivered
                     }
                     self.route_survivor(graph, faults, i as usize)?;
+                } else if S::ACTIVE && e != UNROUTABLE {
+                    sink.record(Event::LinkContended {
+                        cycle: cycles,
+                        edge: e,
+                        msg: i,
+                        winner: self.claim_msg[e as usize],
+                    });
                 }
                 self.active[w] = i;
                 w += 1;

@@ -15,7 +15,11 @@
 //! * [`error`] — the [`SimError`] type every fallible entry point returns
 //!   instead of panicking;
 //! * [`stats`] — per-workload reports (fault-free and degraded) and
-//!   rayon-parallel sweeps.
+//!   rayon-parallel sweeps;
+//! * [`telemetry`] (re-export of `xtree-telemetry`) — event sinks, binary
+//!   traces with deterministic replay, and metric exporters that plug
+//!   into [`engine::Engine::run_batch_with`] /
+//!   [`engine::Engine::run_batch_faulted_with`].
 
 pub mod engine;
 pub mod error;
@@ -33,7 +37,9 @@ pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultState, DEFAULT_MAX_IDLE_W
 pub use network::Network;
 pub use router::Router;
 pub use stats::{
-    compute_load, congestion, simulate_all, simulate_all_faulted, simulate_step, sweep,
-    FaultSimReport, SimReport, StepReport,
+    compute_load, congestion, simulate_all, simulate_all_faulted, simulate_all_faulted_with,
+    simulate_all_with, simulate_step, sweep, sweep_counted, FaultSimReport, SimReport, StepReport,
 };
 pub use workload::HostMap;
+pub use xtree_telemetry as telemetry;
+pub use xtree_telemetry::{AtomicCounters, Event, MetricsSink, NopSink, Sink, Tee, TraceRecorder};

@@ -2,12 +2,13 @@
 //! rayon-parallel sweep driver for running many (tree, embedding) pairs
 //! and a fault-injection variant that reports degraded delivery.
 
-use crate::engine::{run_rounds, BatchOutcome, BatchStats, Engine};
+use crate::engine::{BatchOutcome, BatchStats, Engine};
 use crate::error::SimError;
 use crate::fault::{FaultPlan, FaultState};
 use crate::network::Network;
 use crate::workload;
 use rayon::prelude::*;
+use xtree_telemetry::{AtomicCounters, NopSink, Sink};
 use xtree_trees::BinaryTree;
 
 /// Cycle summary of one simulated program on one embedding.
@@ -144,9 +145,31 @@ pub fn simulate_all<M: workload::HostMap + Sync>(
     tree: &BinaryTree,
     emb: &M,
 ) -> Result<Vec<SimReport>, SimError> {
+    simulate_all_with(net, tree, emb, &mut NopSink)
+}
+
+/// [`simulate_all`] with telemetry: every batch of every workload reports
+/// its events to `sink` (workloads run in their fixed order on one shared
+/// engine, so the event stream is deterministic).
+///
+/// # Errors
+/// See [`crate::engine::run_batch`].
+pub fn simulate_all_with<M: workload::HostMap + Sync, S: Sink>(
+    net: &Network,
+    tree: &BinaryTree,
+    emb: &M,
+    sink: &mut S,
+) -> Result<Vec<SimReport>, SimError> {
+    let mut engine = Engine::new();
     workload_rounds(tree, emb)
         .iter()
-        .map(|(name, rounds)| Ok(summarise(name, &run_rounds(net, rounds)?)))
+        .map(|(name, rounds)| {
+            let stats = rounds
+                .iter()
+                .map(|r| engine.run_batch_with(net, r, sink))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(summarise(name, &stats))
+        })
         .collect()
 }
 
@@ -198,6 +221,21 @@ pub fn simulate_all_faulted<M: workload::HostMap + Sync>(
     emb: &M,
     plan: &FaultPlan,
 ) -> Result<Vec<FaultSimReport>, SimError> {
+    simulate_all_faulted_with(net, tree, emb, plan, &mut NopSink)
+}
+
+/// [`simulate_all_faulted`] with telemetry: the sink additionally sees
+/// fault applications, reroute sweeps, and watchdog clock jumps.
+///
+/// # Errors
+/// See [`simulate_all_faulted`].
+pub fn simulate_all_faulted_with<M: workload::HostMap + Sync, S: Sink>(
+    net: &Network,
+    tree: &BinaryTree,
+    emb: &M,
+    plan: &FaultPlan,
+    sink: &mut S,
+) -> Result<Vec<FaultSimReport>, SimError> {
     let mut engine = Engine::new();
     workload_rounds(tree, emb)
         .iter()
@@ -213,7 +251,7 @@ pub fn simulate_all_faulted<M: workload::HostMap + Sync>(
                 stalled: false,
             };
             for round in rounds {
-                let out = engine.run_batch_faulted(net, round, &mut faults)?;
+                let out = engine.run_batch_faulted_with(net, round, &mut faults, sink)?;
                 let s = out.stats();
                 rep.cycles += s.cycles;
                 rep.ideal_cycles += s.ideal_cycles;
@@ -243,6 +281,27 @@ pub fn sweep<M: workload::HostMap + Sync>(
     let per_case: Vec<Result<Vec<SimReport>, SimError>> = cases
         .par_iter()
         .map(|(tree, emb)| simulate_all(net, tree, emb))
+        .collect();
+    per_case.into_iter().collect()
+}
+
+/// [`sweep`] with lock-free counting: every worker thread records into
+/// the shared [`AtomicCounters`] (relaxed atomic adds, no locks), so a
+/// parallel sweep still produces an exact total event tally.
+///
+/// # Errors
+/// See [`sweep`].
+pub fn sweep_counted<M: workload::HostMap + Sync>(
+    net: &Network,
+    cases: &[(BinaryTree, M)],
+    counters: &AtomicCounters,
+) -> Result<Vec<Vec<SimReport>>, SimError> {
+    let per_case: Vec<Result<Vec<SimReport>, SimError>> = cases
+        .par_iter()
+        .map(|(tree, emb)| {
+            let mut sink = counters;
+            simulate_all_with(net, tree, emb, &mut sink)
+        })
         .collect();
     per_case.into_iter().collect()
 }

@@ -1,0 +1,73 @@
+//! The typed event vocabulary the engine emits.
+//!
+//! Events are small `Copy` values built from the engine's own state — no
+//! strings, no allocation — so recording one is a handful of stores.
+//! `cycle` is always the batch-local cycle number (the fault clock is a
+//! property of the [`FaultState`], not of the event stream), which keeps
+//! traces of equal seeds byte-identical even when one engine previously
+//! ran other batches.
+//!
+//! [`FaultState`]: ../../xtree_sim/fault/struct.FaultState.html
+
+/// One observable engine action.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A batch began; resets the trace's cycle delta.
+    BatchStarted {
+        /// Messages injected (including free `src == dst` ones).
+        messages: u32,
+    },
+    /// Message `msg` crossed directed link `edge` this cycle.
+    HopTaken {
+        cycle: u64,
+        msg: u32,
+        from: u32,
+        to: u32,
+        edge: u32,
+    },
+    /// Message `msg` wanted `edge` but lost it to `winner` and waits.
+    LinkContended {
+        cycle: u64,
+        edge: u32,
+        msg: u32,
+        winner: u32,
+    },
+    /// Message `msg` reached its destination `at`.
+    MessageDelivered { cycle: u64, msg: u32, at: u32 },
+    /// A fault-plan event batch applied; totals are the damage *currently*
+    /// in effect afterwards.
+    FaultApplied {
+        cycle: u64,
+        down_links: u32,
+        down_nodes: u32,
+    },
+    /// Every in-flight route was recomputed on the survivor graph.
+    RerouteComputed {
+        cycle: u64,
+        /// Messages still in flight (each got a fresh route or parked).
+        messages: u32,
+    },
+    /// Nothing could move; the engine jumped the clock to the next
+    /// scheduled fault event instead of idling cycle by cycle.
+    WatchdogIdle {
+        /// Cycle *after* the jump.
+        cycle: u64,
+        /// Idle cycles skipped.
+        skipped: u64,
+    },
+}
+
+impl Event {
+    /// The batch-local cycle the event belongs to (0 for `BatchStarted`).
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            Event::BatchStarted { .. } => 0,
+            Event::HopTaken { cycle, .. }
+            | Event::LinkContended { cycle, .. }
+            | Event::MessageDelivered { cycle, .. }
+            | Event::FaultApplied { cycle, .. }
+            | Event::RerouteComputed { cycle, .. }
+            | Event::WatchdogIdle { cycle, .. } => cycle,
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Fixed-bucket histograms.
+//!
+//! Buckets are chosen at construction (ascending inclusive upper bounds
+//! plus an implicit overflow bucket), so observing a value is one
+//! `partition_point` over a handful of bounds and no allocation — cheap
+//! enough for per-event use inside a sink.
+
+/// A histogram over `u64` observations with fixed inclusive upper bounds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// One count per bound, plus the trailing overflow bucket.
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending inclusive upper bounds.
+    ///
+    /// Panics when `bounds` is empty or not strictly ascending — bucket
+    /// layouts are compile-time decisions, so a bad one is a bug.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Power-of-two bounds `1, 2, 4, …, 2^(buckets-1)`.
+    pub fn pow2(buckets: u32) -> Self {
+        let bounds: Vec<u64> = (0..buckets).map(|i| 1u64 << i).collect();
+        Histogram::new(&bounds)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Buckets as `(inclusive upper bound, count)`; the final bucket has
+    /// no bound (`None`) and holds everything larger than the last one.
+    pub fn buckets(&self) -> impl Iterator<Item = (Option<u64>, u64)> + '_ {
+        self.bounds
+            .iter()
+            .map(|&b| Some(b))
+            .chain(std::iter::once(None))
+            .zip(self.counts.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_the_first_bucket_whose_bound_holds_them() {
+        let mut h = Histogram::new(&[1, 2, 4, 8]);
+        for v in [0, 1, 2, 3, 4, 5, 8, 9, 1000] {
+            h.observe(v);
+        }
+        let counts: Vec<u64> = h.buckets().map(|(_, c)| c).collect();
+        // ≤1: {0,1}; ≤2: {2}; ≤4: {3,4}; ≤8: {5,8}; overflow: {9,1000}.
+        assert_eq!(counts, vec![2, 1, 2, 2, 2]);
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.sum(), 1032);
+    }
+
+    #[test]
+    fn bucket_edges_are_inclusive() {
+        let mut h = Histogram::pow2(4); // bounds 1, 2, 4, 8
+        h.observe(4); // exactly on a bound → that bucket, not the next
+        h.observe(5);
+        let counts: Vec<u64> = h.buckets().map(|(_, c)| c).collect();
+        assert_eq!(counts, vec![0, 0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn pow2_layout_and_mean() {
+        let h = Histogram::pow2(3);
+        let bounds: Vec<_> = h.buckets().map(|(b, _)| b).collect();
+        assert_eq!(bounds, vec![Some(1), Some(2), Some(4), None]);
+        let mut h = Histogram::pow2(3);
+        assert_eq!(h.mean(), 0.0);
+        h.observe(2);
+        h.observe(4);
+        assert_eq!(h.mean(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_unsorted_bounds() {
+        Histogram::new(&[2, 1]);
+    }
+}

@@ -1,0 +1,366 @@
+//! Live metrics: counters, per-edge utilization, and fixed-bucket
+//! histograms, with JSONL and Prometheus text exporters.
+
+use crate::counters::Counters;
+use crate::event::Event;
+use crate::hist::Histogram;
+use crate::sink::Sink;
+use xtree_json::Value;
+
+/// Queue depth = messages that lost a link arbitration in one cycle.
+const QUEUE_DEPTH_BOUNDS: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+/// Message latency in batch-local cycles.
+const LATENCY_BUCKETS: u32 = 17; // 1 … 65536, pow2
+/// Hops carried by one directed edge over the run.
+const EDGE_UTIL_BUCKETS: u32 = 17;
+
+/// A [`Sink`] that aggregates the event stream into exportable metrics.
+///
+/// Call [`finish`](MetricsSink::finish) once the run is over (it flushes
+/// the last cycle's queue-depth sample), then export with
+/// [`to_jsonl`](MetricsSink::to_jsonl) or
+/// [`to_prometheus`](MetricsSink::to_prometheus).
+#[derive(Clone, Debug)]
+pub struct MetricsSink {
+    counters: Counters,
+    /// Hops per directed edge, grown on demand.
+    edge_hops: Vec<u64>,
+    /// Blocked messages per traffic-carrying cycle.
+    queue_depth: Histogram,
+    /// Delivery cycle (batch-local) per delivered message.
+    latency: Histogram,
+    /// The cycle currently being accumulated, if any.
+    cur_cycle: Option<u64>,
+    cur_blocked: u64,
+    events: u64,
+}
+
+impl MetricsSink {
+    /// Fresh, empty metrics.
+    pub fn new() -> Self {
+        MetricsSink {
+            counters: Counters::default(),
+            edge_hops: Vec::new(),
+            queue_depth: Histogram::new(QUEUE_DEPTH_BOUNDS),
+            latency: Histogram::pow2(LATENCY_BUCKETS),
+            cur_cycle: None,
+            cur_blocked: 0,
+            events: 0,
+        }
+    }
+
+    /// Total events observed.
+    pub fn event_count(&self) -> u64 {
+        self.events
+    }
+
+    /// The aggregated counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Hops per directed edge index.
+    pub fn edge_hops(&self) -> &[u64] {
+        &self.edge_hops
+    }
+
+    /// The queue-depth histogram (one sample per cycle that carried or
+    /// blocked traffic).
+    pub fn queue_depth(&self) -> &Histogram {
+        &self.queue_depth
+    }
+
+    /// The message-latency histogram (batch-local delivery cycles).
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// Flushes the cycle still being accumulated. Idempotent; call after
+    /// the last batch and before exporting.
+    pub fn finish(&mut self) {
+        if self.cur_cycle.take().is_some() {
+            self.queue_depth.observe(self.cur_blocked);
+            self.cur_blocked = 0;
+        }
+    }
+
+    /// The `k` busiest directed edges as `(edge, hops)`, busiest first
+    /// (ties to the lower edge index).
+    pub fn hottest_edges(&self, k: usize) -> Vec<(u32, u64)> {
+        let mut edges: Vec<(u32, u64)> = self
+            .edge_hops
+            .iter()
+            .enumerate()
+            .filter(|&(_, &h)| h > 0)
+            .map(|(e, &h)| (e as u32, h))
+            .collect();
+        edges.sort_by_key(|&(e, h)| (std::cmp::Reverse(h), e));
+        edges.truncate(k);
+        edges
+    }
+
+    /// Histogram over per-edge hop totals (edges that carried traffic).
+    pub fn edge_utilization(&self) -> Histogram {
+        let mut h = Histogram::pow2(EDGE_UTIL_BUCKETS);
+        for &hops in self.edge_hops.iter().filter(|&&h| h > 0) {
+            h.observe(hops);
+        }
+        h
+    }
+
+    fn roll_cycle(&mut self, cycle: u64) {
+        if self.cur_cycle != Some(cycle) {
+            if self.cur_cycle.is_some() {
+                self.queue_depth.observe(self.cur_blocked);
+            }
+            self.cur_cycle = Some(cycle);
+            self.cur_blocked = 0;
+        }
+    }
+
+    /// One JSON object per line: counters, then each histogram, then every
+    /// edge that carried traffic.
+    pub fn to_jsonl(&self) -> String {
+        let c = &self.counters;
+        let mut out = String::new();
+        let counters = Value::object()
+            .with("type", "counters")
+            .with("events", self.events)
+            .with("batches", c.batches)
+            .with("hops", c.hops)
+            .with("contentions", c.contentions)
+            .with("delivered", c.delivered)
+            .with("faults_applied", c.faults_applied)
+            .with("reroutes", c.reroutes)
+            .with("idle_jumps", c.idle_jumps)
+            .with("idle_cycles_skipped", c.idle_cycles_skipped);
+        out.push_str(&xtree_json::to_string(&counters));
+        out.push('\n');
+        for (name, h) in [
+            ("queue_depth", &self.queue_depth),
+            ("message_latency_cycles", &self.latency),
+            ("edge_utilization_hops", &self.edge_utilization()),
+        ] {
+            let buckets: Value = h
+                .buckets()
+                .map(|(le, count)| {
+                    Value::object()
+                        .with("le", le.map_or(Value::Null, Value::from))
+                        .with("count", count)
+                })
+                .collect();
+            let line = Value::object()
+                .with("type", "histogram")
+                .with("name", name)
+                .with("count", h.count())
+                .with("sum", h.sum())
+                .with("max", h.max())
+                .with("mean", h.mean())
+                .with("buckets", buckets);
+            out.push_str(&xtree_json::to_string(&line));
+            out.push('\n');
+        }
+        for (e, hops) in self
+            .edge_hops
+            .iter()
+            .enumerate()
+            .filter(|&(_, &h)| h > 0)
+            .map(|(e, &h)| (e, h))
+        {
+            let line = Value::object()
+                .with("type", "edge")
+                .with("edge", e)
+                .with("hops", hops);
+            out.push_str(&xtree_json::to_string(&line));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prometheus text exposition. Histograms use cumulative `le` buckets;
+    /// per-edge series are capped to the 16 busiest edges (the full set is
+    /// in the JSONL export and in the edge-utilization histogram).
+    pub fn to_prometheus(&self) -> String {
+        let c = &self.counters;
+        let mut out = String::new();
+        for (name, v) in [
+            ("batches", c.batches),
+            ("hops", c.hops),
+            ("contentions", c.contentions),
+            ("delivered", c.delivered),
+            ("faults_applied", c.faults_applied),
+            ("reroutes", c.reroutes),
+            ("idle_jumps", c.idle_jumps),
+            ("idle_cycles_skipped", c.idle_cycles_skipped),
+        ] {
+            out.push_str(&format!(
+                "# TYPE xtree_sim_{name}_total counter\nxtree_sim_{name}_total {v}\n"
+            ));
+        }
+        for (name, h) in [
+            ("queue_depth", &self.queue_depth),
+            ("message_latency_cycles", &self.latency),
+            ("edge_utilization_hops", &self.edge_utilization()),
+        ] {
+            out.push_str(&format!("# TYPE xtree_sim_{name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (le, count) in h.buckets() {
+                cumulative += count;
+                let le = le.map_or("+Inf".to_string(), |b| b.to_string());
+                out.push_str(&format!(
+                    "xtree_sim_{name}_bucket{{le=\"{le}\"}} {cumulative}\n"
+                ));
+            }
+            out.push_str(&format!("xtree_sim_{name}_sum {}\n", h.sum()));
+            out.push_str(&format!("xtree_sim_{name}_count {}\n", h.count()));
+        }
+        out.push_str("# TYPE xtree_sim_edge_hops_total counter\n");
+        for (e, hops) in self.hottest_edges(16) {
+            out.push_str(&format!(
+                "xtree_sim_edge_hops_total{{edge=\"{e}\"}} {hops}\n"
+            ));
+        }
+        out
+    }
+}
+
+impl Default for MetricsSink {
+    fn default() -> Self {
+        MetricsSink::new()
+    }
+}
+
+impl Sink for MetricsSink {
+    fn record(&mut self, ev: Event) {
+        self.events += 1;
+        match ev {
+            Event::BatchStarted { .. } => {
+                self.finish();
+                self.counters.batches += 1;
+            }
+            Event::HopTaken { cycle, edge, .. } => {
+                self.roll_cycle(cycle);
+                self.counters.hops += 1;
+                let e = edge as usize;
+                if self.edge_hops.len() <= e {
+                    self.edge_hops.resize(e + 1, 0);
+                }
+                self.edge_hops[e] += 1;
+            }
+            Event::LinkContended { cycle, .. } => {
+                self.roll_cycle(cycle);
+                self.counters.contentions += 1;
+                self.cur_blocked += 1;
+            }
+            Event::MessageDelivered { cycle, .. } => {
+                self.roll_cycle(cycle);
+                self.counters.delivered += 1;
+                self.latency.observe(cycle);
+            }
+            Event::FaultApplied { .. } => self.counters.faults_applied += 1,
+            Event::RerouteComputed { .. } => self.counters.reroutes += 1,
+            Event::WatchdogIdle { skipped, .. } => {
+                self.counters.idle_jumps += 1;
+                self.counters.idle_cycles_skipped += skipped;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hop(cycle: u64, msg: u32, edge: u32) -> Event {
+        Event::HopTaken {
+            cycle,
+            msg,
+            from: 0,
+            to: 1,
+            edge,
+        }
+    }
+
+    #[test]
+    fn aggregates_counters_edges_and_latency() {
+        let mut m = MetricsSink::new();
+        m.record(Event::BatchStarted { messages: 2 });
+        m.record(hop(1, 0, 5));
+        m.record(Event::LinkContended {
+            cycle: 1,
+            edge: 5,
+            msg: 1,
+            winner: 0,
+        });
+        m.record(hop(2, 0, 5));
+        m.record(Event::MessageDelivered {
+            cycle: 2,
+            msg: 0,
+            at: 1,
+        });
+        m.finish();
+        assert_eq!(m.counters().hops, 2);
+        assert_eq!(m.counters().contentions, 1);
+        assert_eq!(m.counters().delivered, 1);
+        assert_eq!(m.edge_hops()[5], 2);
+        assert_eq!(m.hottest_edges(3), vec![(5, 2)]);
+        // Two cycles sampled: cycle 1 had one blocked message, cycle 2 none.
+        assert_eq!(m.queue_depth().count(), 2);
+        assert_eq!(m.queue_depth().sum(), 1);
+        assert_eq!(m.latency().count(), 1);
+        assert_eq!(m.latency().sum(), 2);
+        assert_eq!(m.event_count(), 5);
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_batch_start_flushes() {
+        let mut m = MetricsSink::new();
+        m.record(Event::BatchStarted { messages: 1 });
+        m.record(hop(1, 0, 0));
+        m.record(Event::BatchStarted { messages: 1 });
+        m.record(hop(1, 0, 1));
+        m.finish();
+        m.finish();
+        assert_eq!(m.queue_depth().count(), 2);
+    }
+
+    #[test]
+    fn hottest_edges_orders_by_hops_then_index() {
+        let mut m = MetricsSink::new();
+        m.record(hop(1, 0, 3));
+        m.record(hop(2, 0, 1));
+        m.record(hop(3, 0, 3));
+        m.record(hop(4, 0, 7));
+        m.finish();
+        assert_eq!(m.hottest_edges(2), vec![(3, 2), (1, 1)]);
+        assert_eq!(m.hottest_edges(10).len(), 3);
+    }
+
+    #[test]
+    fn exporters_render_all_sections() {
+        let mut m = MetricsSink::new();
+        m.record(Event::BatchStarted { messages: 1 });
+        m.record(hop(1, 0, 2));
+        m.record(Event::MessageDelivered {
+            cycle: 1,
+            msg: 0,
+            at: 1,
+        });
+        m.finish();
+        let jsonl = m.to_jsonl();
+        // Every line is a standalone JSON object.
+        for line in jsonl.lines() {
+            assert!(xtree_json::from_str(line).is_ok(), "bad JSONL line {line}");
+        }
+        assert!(jsonl.contains("\"type\":\"counters\""));
+        assert!(jsonl.contains("\"name\":\"queue_depth\""));
+        assert!(jsonl.contains("\"name\":\"message_latency_cycles\""));
+        assert!(jsonl.contains("\"name\":\"edge_utilization_hops\""));
+        assert!(jsonl.contains("\"type\":\"edge\""));
+        let prom = m.to_prometheus();
+        assert!(prom.contains("xtree_sim_hops_total 1"));
+        assert!(prom.contains("xtree_sim_message_latency_cycles_bucket{le=\"+Inf\"} 1"));
+        assert!(prom.contains("xtree_sim_edge_hops_total{edge=\"2\"} 1"));
+        assert!(prom.contains("# TYPE xtree_sim_queue_depth histogram"));
+    }
+}

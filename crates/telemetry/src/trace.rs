@@ -1,0 +1,382 @@
+//! Compact binary traces and deterministic replay.
+//!
+//! A trace is the magic header followed by one record per event: a tag
+//! byte, then LEB128 fields (see [`crate::varint`]). The cycle is
+//! delta-encoded against the previous event — batches visit cycles in
+//! non-decreasing order and `BatchStarted` resets the base to zero, so
+//! deltas stay tiny and most records are two to six bytes.
+//!
+//! The engine is deterministic, so two runs of the same seed produce the
+//! same event stream and therefore *byte-identical* traces. That turns
+//! replay verification into `bytes_a == bytes_b` — no event-by-event
+//! tolerance logic — and [`read_trace`] exists for inspecting or
+//! diffing a stream when the bytes do differ.
+
+use crate::event::Event;
+use crate::sink::Sink;
+use crate::varint::{decode_u64, encode_u64};
+use std::fmt;
+
+/// First bytes of every trace file.
+pub const TRACE_MAGIC: &[u8; 8] = b"XTRACE1\n";
+
+const TAG_BATCH_STARTED: u8 = 0;
+const TAG_HOP_TAKEN: u8 = 1;
+const TAG_LINK_CONTENDED: u8 = 2;
+const TAG_MESSAGE_DELIVERED: u8 = 3;
+const TAG_FAULT_APPLIED: u8 = 4;
+const TAG_REROUTE_COMPUTED: u8 = 5;
+const TAG_WATCHDOG_IDLE: u8 = 6;
+
+/// A [`Sink`] that appends every event to an in-memory binary trace.
+#[derive(Clone, Debug)]
+pub struct TraceRecorder {
+    buf: Vec<u8>,
+    prev_cycle: u64,
+    events: u64,
+}
+
+impl TraceRecorder {
+    /// An empty trace (magic header only).
+    pub fn new() -> Self {
+        TraceRecorder {
+            buf: TRACE_MAGIC.to_vec(),
+            prev_cycle: 0,
+            events: 0,
+        }
+    }
+
+    /// The encoded trace, header included — what goes in the file.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the recorder, returning the encoded trace.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Events recorded so far.
+    pub fn event_count(&self) -> u64 {
+        self.events
+    }
+
+    /// Drops everything recorded, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.buf.truncate(TRACE_MAGIC.len());
+        self.prev_cycle = 0;
+        self.events = 0;
+    }
+
+    fn delta(&mut self, cycle: u64) -> u64 {
+        // Cycles are non-decreasing within a batch; saturate rather than
+        // corrupt the stream if an engine bug ever violates that.
+        let d = cycle.saturating_sub(self.prev_cycle);
+        self.prev_cycle = cycle;
+        d
+    }
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder::new()
+    }
+}
+
+impl Sink for TraceRecorder {
+    fn record(&mut self, ev: Event) {
+        self.events += 1;
+        let buf = &mut self.buf;
+        match ev {
+            Event::BatchStarted { messages } => {
+                buf.push(TAG_BATCH_STARTED);
+                self.prev_cycle = 0;
+                encode_u64(buf, u64::from(messages));
+            }
+            Event::HopTaken {
+                cycle,
+                msg,
+                from,
+                to,
+                edge,
+            } => {
+                buf.push(TAG_HOP_TAKEN);
+                let d = self.delta(cycle);
+                encode_u64(&mut self.buf, d);
+                encode_u64(&mut self.buf, u64::from(msg));
+                encode_u64(&mut self.buf, u64::from(from));
+                encode_u64(&mut self.buf, u64::from(to));
+                encode_u64(&mut self.buf, u64::from(edge));
+            }
+            Event::LinkContended {
+                cycle,
+                edge,
+                msg,
+                winner,
+            } => {
+                buf.push(TAG_LINK_CONTENDED);
+                let d = self.delta(cycle);
+                encode_u64(&mut self.buf, d);
+                encode_u64(&mut self.buf, u64::from(edge));
+                encode_u64(&mut self.buf, u64::from(msg));
+                encode_u64(&mut self.buf, u64::from(winner));
+            }
+            Event::MessageDelivered { cycle, msg, at } => {
+                buf.push(TAG_MESSAGE_DELIVERED);
+                let d = self.delta(cycle);
+                encode_u64(&mut self.buf, d);
+                encode_u64(&mut self.buf, u64::from(msg));
+                encode_u64(&mut self.buf, u64::from(at));
+            }
+            Event::FaultApplied {
+                cycle,
+                down_links,
+                down_nodes,
+            } => {
+                buf.push(TAG_FAULT_APPLIED);
+                let d = self.delta(cycle);
+                encode_u64(&mut self.buf, d);
+                encode_u64(&mut self.buf, u64::from(down_links));
+                encode_u64(&mut self.buf, u64::from(down_nodes));
+            }
+            Event::RerouteComputed { cycle, messages } => {
+                buf.push(TAG_REROUTE_COMPUTED);
+                let d = self.delta(cycle);
+                encode_u64(&mut self.buf, d);
+                encode_u64(&mut self.buf, u64::from(messages));
+            }
+            Event::WatchdogIdle { cycle, skipped } => {
+                buf.push(TAG_WATCHDOG_IDLE);
+                let d = self.delta(cycle);
+                encode_u64(&mut self.buf, d);
+                encode_u64(&mut self.buf, skipped);
+            }
+        }
+    }
+}
+
+/// Why a trace failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// The input does not start with [`TRACE_MAGIC`].
+    BadMagic,
+    /// The input ended inside a record (or a varint overflowed).
+    Truncated {
+        /// Byte offset of the failing record's tag.
+        offset: usize,
+    },
+    /// An unknown record tag.
+    BadTag {
+        /// Byte offset of the tag.
+        offset: usize,
+        /// The tag value found.
+        tag: u8,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a trace file (bad magic)"),
+            TraceError::Truncated { offset } => {
+                write!(f, "trace truncated inside the record at byte {offset}")
+            }
+            TraceError::BadTag { offset, tag } => {
+                write!(f, "unknown record tag {tag} at byte {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Decodes a complete trace back into its event stream.
+///
+/// # Errors
+/// [`TraceError`] describing the first malformed byte.
+pub fn read_trace(bytes: &[u8]) -> Result<Vec<Event>, TraceError> {
+    if !bytes.starts_with(TRACE_MAGIC) {
+        return Err(TraceError::BadMagic);
+    }
+    let mut pos = TRACE_MAGIC.len();
+    let mut prev_cycle = 0u64;
+    let mut events = Vec::new();
+    while pos < bytes.len() {
+        let start = pos;
+        let tag = bytes[pos];
+        pos += 1;
+        let field =
+            |pos: &mut usize| decode_u64(bytes, pos).ok_or(TraceError::Truncated { offset: start });
+        let ev = match tag {
+            TAG_BATCH_STARTED => {
+                prev_cycle = 0;
+                Event::BatchStarted {
+                    messages: field(&mut pos)? as u32,
+                }
+            }
+            TAG_HOP_TAKEN => {
+                let cycle = prev_cycle + field(&mut pos)?;
+                prev_cycle = cycle;
+                Event::HopTaken {
+                    cycle,
+                    msg: field(&mut pos)? as u32,
+                    from: field(&mut pos)? as u32,
+                    to: field(&mut pos)? as u32,
+                    edge: field(&mut pos)? as u32,
+                }
+            }
+            TAG_LINK_CONTENDED => {
+                let cycle = prev_cycle + field(&mut pos)?;
+                prev_cycle = cycle;
+                Event::LinkContended {
+                    cycle,
+                    edge: field(&mut pos)? as u32,
+                    msg: field(&mut pos)? as u32,
+                    winner: field(&mut pos)? as u32,
+                }
+            }
+            TAG_MESSAGE_DELIVERED => {
+                let cycle = prev_cycle + field(&mut pos)?;
+                prev_cycle = cycle;
+                Event::MessageDelivered {
+                    cycle,
+                    msg: field(&mut pos)? as u32,
+                    at: field(&mut pos)? as u32,
+                }
+            }
+            TAG_FAULT_APPLIED => {
+                let cycle = prev_cycle + field(&mut pos)?;
+                prev_cycle = cycle;
+                Event::FaultApplied {
+                    cycle,
+                    down_links: field(&mut pos)? as u32,
+                    down_nodes: field(&mut pos)? as u32,
+                }
+            }
+            TAG_REROUTE_COMPUTED => {
+                let cycle = prev_cycle + field(&mut pos)?;
+                prev_cycle = cycle;
+                Event::RerouteComputed {
+                    cycle,
+                    messages: field(&mut pos)? as u32,
+                }
+            }
+            TAG_WATCHDOG_IDLE => {
+                let cycle = prev_cycle + field(&mut pos)?;
+                prev_cycle = cycle;
+                Event::WatchdogIdle {
+                    cycle,
+                    skipped: field(&mut pos)?,
+                }
+            }
+            tag => return Err(TraceError::BadTag { offset: start, tag }),
+        };
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::BatchStarted { messages: 4 },
+            Event::RerouteComputed {
+                cycle: 0,
+                messages: 4,
+            },
+            Event::HopTaken {
+                cycle: 1,
+                msg: 0,
+                from: 3,
+                to: 1,
+                edge: 9,
+            },
+            Event::LinkContended {
+                cycle: 1,
+                edge: 9,
+                msg: 2,
+                winner: 0,
+            },
+            Event::MessageDelivered {
+                cycle: 2,
+                msg: 0,
+                at: 1,
+            },
+            Event::FaultApplied {
+                cycle: 5,
+                down_links: 2,
+                down_nodes: 0,
+            },
+            Event::WatchdogIdle {
+                cycle: 40,
+                skipped: 35,
+            },
+            // A second batch resets the cycle base below the previous one.
+            Event::BatchStarted { messages: 1 },
+            Event::HopTaken {
+                cycle: 1,
+                msg: 0,
+                from: 0,
+                to: 2,
+                edge: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_round_trips_through_the_reader() {
+        let mut rec = TraceRecorder::new();
+        let events = sample_events();
+        for &ev in &events {
+            rec.record(ev);
+        }
+        assert_eq!(rec.event_count(), events.len() as u64);
+        assert_eq!(read_trace(rec.bytes()).unwrap(), events);
+    }
+
+    #[test]
+    fn identical_streams_are_byte_identical_and_clear_resets() {
+        let (mut a, mut b) = (TraceRecorder::new(), TraceRecorder::new());
+        for &ev in &sample_events() {
+            a.record(ev);
+            b.record(ev);
+        }
+        assert_eq!(a.bytes(), b.bytes());
+        let snapshot = a.bytes().to_vec();
+        a.clear();
+        assert_eq!(a.bytes(), TRACE_MAGIC);
+        for &ev in &sample_events() {
+            a.record(ev);
+        }
+        assert_eq!(a.bytes(), &snapshot[..], "clear must reset the delta base");
+    }
+
+    #[test]
+    fn reader_rejects_malformed_input() {
+        assert_eq!(read_trace(b"not a trace"), Err(TraceError::BadMagic));
+        let mut rec = TraceRecorder::new();
+        rec.record(Event::BatchStarted { messages: 300 });
+        let bytes = rec.bytes();
+        // Chop the last byte: the record at offset 8 is now truncated.
+        assert_eq!(
+            read_trace(&bytes[..bytes.len() - 1]),
+            Err(TraceError::Truncated { offset: 8 })
+        );
+        let mut bad = TRACE_MAGIC.to_vec();
+        bad.push(99);
+        assert_eq!(
+            read_trace(&bad),
+            Err(TraceError::BadTag { offset: 8, tag: 99 })
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_just_the_magic() {
+        let rec = TraceRecorder::new();
+        assert_eq!(rec.bytes(), TRACE_MAGIC);
+        assert_eq!(read_trace(rec.bytes()).unwrap(), Vec::new());
+    }
+}

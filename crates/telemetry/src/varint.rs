@@ -1,0 +1,94 @@
+//! LEB128 variable-length integers — the wire format of binary traces.
+//!
+//! Seven payload bits per byte, least significant group first, high bit
+//! set on every byte but the last. Values the engine emits are small
+//! (cycle deltas, vertex ids), so most fields are one byte.
+
+/// Appends `v` to `buf` in LEB128.
+pub fn encode_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decodes one LEB128 value at `*pos`, advancing it past the encoding.
+///
+/// Returns `None` on truncated input or an encoding longer than a `u64`
+/// can hold (more than ten bytes, or payload bits past bit 63).
+pub fn decode_u64(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(*pos)?;
+        *pos += 1;
+        let payload = u64::from(byte & 0x7f);
+        if shift == 63 && payload > 1 {
+            return None; // would overflow u64
+        }
+        v |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: u64) -> (u64, usize) {
+        let mut buf = Vec::new();
+        encode_u64(&mut buf, v);
+        let mut pos = 0;
+        let back = decode_u64(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len(), "decoder must consume the whole encoding");
+        (back, buf.len())
+    }
+
+    #[test]
+    fn encodes_boundary_values() {
+        assert_eq!(round_trip(0), (0, 1));
+        assert_eq!(round_trip(127), (127, 1));
+        assert_eq!(round_trip(128), (128, 2));
+        assert_eq!(round_trip(16_383), (16_383, 2));
+        assert_eq!(round_trip(16_384), (16_384, 3));
+        assert_eq!(round_trip(u64::MAX), (u64::MAX, 10));
+    }
+
+    #[test]
+    fn rejects_truncated_and_oversized_input() {
+        assert_eq!(decode_u64(&[], &mut 0), None);
+        assert_eq!(decode_u64(&[0x80], &mut 0), None);
+        // Eleven continuation bytes can never be a u64.
+        let bad = [0x80u8; 10];
+        assert_eq!(decode_u64(&bad, &mut 0), None);
+        // Ten bytes whose top byte carries bits past 2^63.
+        let mut high = vec![0xffu8; 9];
+        high.push(0x02);
+        assert_eq!(decode_u64(&high, &mut 0), None);
+    }
+
+    #[test]
+    fn sequences_decode_in_order() {
+        let vals = [0u64, 1, 300, 1 << 20, u64::MAX, 7];
+        let mut buf = Vec::new();
+        for &v in &vals {
+            encode_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &vals {
+            assert_eq!(decode_u64(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+}

@@ -12,5 +12,8 @@ pub mod separator;
 pub mod tree;
 
 pub use generate::{theorem1_size, theorem3_size, TreeFamily};
-pub use separator::{check_separation, find1, lemma1, lemma2, Orientation, Separation};
+pub use separator::{
+    check_separation, find1, lemma1, lemma1_with, lemma2, lemma2_with, Orientation, Separation,
+    SeparatorScratch,
+};
 pub use tree::{BinaryTree, NodeId};

@@ -12,12 +12,13 @@
 //! to `u` and the path from `r1` to `r2` part, and take
 //! `S1 = {r1, r2, z, y}`, `S2 = {u}`.
 
-use super::orient::{find1, Orientation};
+use super::orient::{find1, Orientation, SeparatorScratch};
 use super::Separation;
 use crate::tree::{BinaryTree, NodeId};
 
 /// Applies Lemma 1 to the piece containing `r1` (the component of nodes not
-/// marked in `placed`).
+/// marked in `placed`), allocating fresh orientation buffers. Callers in a
+/// loop should hold a [`SeparatorScratch`] and use [`lemma1_with`].
 ///
 /// # Preconditions (asserted)
 /// * `r1` and `r2` are un-placed and in the same component;
@@ -30,13 +31,37 @@ pub fn lemma1(
     r2: NodeId,
     delta: u32,
 ) -> Separation {
-    lemma1_ex(tree, placed, &[], r1, r2, delta)
+    lemma1_ex(
+        &mut Orientation::new(tree.len()),
+        tree,
+        placed,
+        &[],
+        r1,
+        r2,
+        delta,
+    )
+}
+
+/// [`lemma1`] on reusable buffers: no allocation beyond the returned
+/// [`Separation`] once `scratch` has reached the tree's size.
+pub fn lemma1_with(
+    scratch: &mut SeparatorScratch,
+    tree: &BinaryTree,
+    placed: &[bool],
+    r1: NodeId,
+    r2: NodeId,
+    delta: u32,
+) -> Separation {
+    scratch.ensure(tree.len());
+    lemma1_ex(&mut scratch.o1, tree, placed, &[], r1, r2, delta)
 }
 
 /// Lemma 1 restricted to the piece that remains after additionally treating
-/// `excluded` as placed. Used by Lemma 2's case 3, which applies Lemma 1
-/// inside the subtree `T(v)` by excluding `v`'s father.
+/// `excluded` as placed, oriented in the caller-provided buffer. Used by
+/// Lemma 2's case 3, which applies Lemma 1 inside the subtree `T(v)` by
+/// excluding `v`'s father.
 pub(crate) fn lemma1_ex(
+    o: &mut Orientation,
     tree: &BinaryTree,
     placed: &[bool],
     excluded: &[NodeId],
@@ -44,7 +69,7 @@ pub(crate) fn lemma1_ex(
     r2: NodeId,
     delta: u32,
 ) -> Separation {
-    let mut o = Orientation::new(tree.len());
+    o.ensure(tree.len());
     o.orient(tree, placed, excluded, r1);
     let n = o.piece_len() as u32;
     assert!(o.contains(r2), "r2 must lie in the piece of r1");
@@ -54,7 +79,7 @@ pub(crate) fn lemma1_ex(
         "lemma 1 needs n > 4Δ/3 (n = {n}, Δ = {delta})"
     );
 
-    let u = find1(&o, tree, r1, delta);
+    let u = find1(o, tree, r1, delta);
     let z = o
         .parent(u)
         .expect("find1 never returns the orientation root");

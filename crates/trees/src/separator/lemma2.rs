@@ -14,12 +14,14 @@
 //! `|S1|` to 5.
 
 use super::lemma1::{dedup, lemma1_ex};
-use super::orient::{find1, Orientation};
+use super::orient::{find1, Orientation, SeparatorScratch};
 use super::Separation;
 use crate::tree::{BinaryTree, NodeId};
 use std::collections::HashSet;
 
-/// Applies Lemma 2 to the piece containing `r1`.
+/// Applies Lemma 2 to the piece containing `r1`, allocating fresh
+/// orientation buffers. Callers in a loop should hold a
+/// [`SeparatorScratch`] and use [`lemma2_with`].
 ///
 /// # Preconditions (asserted)
 /// * `r1`, `r2` un-placed, same component; `1 ≤ Δ ≤ n`;
@@ -31,7 +33,29 @@ pub fn lemma2(
     r2: NodeId,
     delta: u32,
 ) -> Separation {
-    let mut o = Orientation::new(tree.len());
+    lemma2_with(
+        &mut SeparatorScratch::new(tree.len()),
+        tree,
+        placed,
+        r1,
+        r2,
+        delta,
+    )
+}
+
+/// [`lemma2`] on reusable buffers: no allocation of tree-sized arrays once
+/// `scratch` has reached the tree's size (a call needs up to three live
+/// orientations — the main piece and two correction carves).
+pub fn lemma2_with(
+    scratch: &mut SeparatorScratch,
+    tree: &BinaryTree,
+    placed: &[bool],
+    r1: NodeId,
+    r2: NodeId,
+    delta: u32,
+) -> Separation {
+    scratch.ensure(tree.len());
+    let SeparatorScratch { o1: o, o2, o3 } = scratch;
     o.orient(tree, placed, &[], r1);
     assert!(o.contains(r2), "r2 must lie in the piece of r1");
     let n = o.piece_len() as u32;
@@ -50,12 +74,12 @@ pub fn lemma2(
         };
     }
     if 3 * n > 4 * delta {
-        main_split(tree, placed, &o, r1, r2, delta)
+        main_split(tree, placed, o, o2, o3, r1, r2, delta)
     } else {
         // Δ < n ≤ 4Δ/3: solve for Δ' = n − Δ < Δ/3 and swap the roles of
         // the two sides (paper's closing remark in the proof).
         let piece: Vec<NodeId> = o.piece_nodes().collect();
-        let inner = main_split(tree, placed, &o, r1, r2, n - delta);
+        let inner = main_split(tree, placed, o, o2, o3, r1, r2, n - delta);
         invert(piece, inner)
     }
 }
@@ -73,11 +97,15 @@ fn invert(piece: Vec<NodeId>, sep: Separation) -> Separation {
 }
 
 /// The main construction, assuming `3n > 4Δ` and `Δ ≥ 1`.
-/// `o` is oriented from `r1` over the full piece.
+/// `o` is oriented from `r1` over the full piece; `o2`, `o3` are spare
+/// buffers for the correction carves.
+#[allow(clippy::too_many_arguments)] // mirrors the lemma's case analysis
 fn main_split(
     tree: &BinaryTree,
     placed: &[bool],
     o: &Orientation,
+    o2: &mut Orientation,
+    o3: &mut Orientation,
     r1: NodeId,
     r2: NodeId,
     delta: u32,
@@ -99,11 +127,11 @@ fn main_split(
     }
 
     if v == r2 && 3 * o.size(r2) > 4 * delta {
-        case_both_in_s1(tree, placed, o, r1, r2, delta)
+        case_both_in_s1(tree, placed, o, o2, r1, r2, delta)
     } else if o.size(v) < delta {
-        case_small_subtree(tree, placed, o, r1, r2, delta, v)
+        case_small_subtree(tree, placed, o, o2, o3, r1, r2, delta, v)
     } else {
-        case_medium_subtree(tree, placed, o, r1, r2, delta, v)
+        case_medium_subtree(tree, placed, o, o2, r1, r2, delta, v)
     }
 }
 
@@ -114,6 +142,7 @@ fn case_both_in_s1(
     tree: &BinaryTree,
     placed: &[bool],
     o: &Orientation,
+    o2: &mut Orientation,
     r1: NodeId,
     r2: NodeId,
     delta: u32,
@@ -152,13 +181,12 @@ fn case_both_in_s1(
     // remainder of T(r2).
     let e = delta - s_u1;
     let part2a = o.subtree_nodes(tree, u1);
-    let mut o2 = Orientation::new(tree.len());
     o2.orient(tree, placed, &[u1], r1);
     assert!(
         3 * o2.size(r2) > 4 * e,
         "case-1 second carve precondition (guaranteed by |T(r2)| > 4Δ/3)"
     );
-    let w = find1(&o2, tree, r2, e);
+    let w = find1(o2, tree, r2, e);
     if o.junction(w, u1) == w {
         // w is an ancestor of u1: the two carvings merge into T(w).
         let pw = o.parent(w).expect("w is below r2");
@@ -186,10 +214,13 @@ fn case_both_in_s1(
 /// Case 2: the walk stopped at `v` with `|T(v)| < Δ` (and `r2 ∈ T(v)`).
 /// `T2 = T(v)` plus `Δ − |T(v)|` nodes carved out of `T(x, v)`, the part of
 /// the father's subtree avoiding `v`.
+#[allow(clippy::too_many_arguments)] // mirrors the lemma's case analysis
 fn case_small_subtree(
     tree: &BinaryTree,
     placed: &[bool],
     o: &Orientation,
+    o2: &mut Orientation,
+    o3: &mut Orientation,
     r1: NodeId,
     r2: NodeId,
     delta: u32,
@@ -201,13 +232,12 @@ fn case_small_subtree(
     let base = o.subtree_nodes(tree, v);
     debug_assert!(base.contains(&r2), "the walk follows the path to r2");
 
-    let mut o2 = Orientation::new(tree.len());
     o2.orient(tree, placed, &[v], r1);
     assert!(
         3 * o2.size(x) > 4 * delta1,
         "case-2 carve precondition (guaranteed by |T(x)| > 4Δ/3)"
     );
-    let u1 = find1(&o2, tree, x, delta1);
+    let u1 = find1(o2, tree, x, delta1);
     let pu1 = o2.parent(u1).expect("find1 result has a father");
     let s_u1 = o2.size(u1);
 
@@ -223,7 +253,7 @@ fn case_small_subtree(
     }
     if s_u1 > delta1 {
         let e = s_u1 - delta1;
-        let w = find1(&o2, tree, u1, e);
+        let w = find1(o2, tree, u1, e);
         let pw = o2.parent(w).expect("find1 result has a father");
         let wset: HashSet<NodeId> = o2.subtree_nodes(tree, w).into_iter().collect();
         let mut part2 = base;
@@ -241,10 +271,9 @@ fn case_small_subtree(
     }
     // Undershoot: second disjoint carve from T(x, v) − T(u1).
     let e = delta1 - s_u1;
-    let mut o3 = Orientation::new(tree.len());
     o3.orient(tree, placed, &[v, u1], r1);
     assert!(3 * o3.size(x) > 4 * e, "case-2 second carve precondition");
-    let u2 = find1(&o3, tree, x, e);
+    let u2 = find1(o3, tree, x, e);
     if o2.junction(u2, u1) == u2 {
         // u2 is an ancestor of u1: the carvings merge into T(u2) − T(v).
         let pu2 = o2
@@ -275,10 +304,12 @@ fn case_small_subtree(
 /// Case 3: the walk stopped at `v` with `Δ ≤ |T(v)| ≤ 4Δ/3`. Apply Lemma 1
 /// *inside* `T(v)` with `Δ' = |T(v)| − Δ` and designated nodes `v, r2`; the
 /// piece Lemma 1 carves off returns to `T1`.
+#[allow(clippy::too_many_arguments)] // mirrors the lemma's case analysis
 fn case_medium_subtree(
     tree: &BinaryTree,
     placed: &[bool],
     o: &Orientation,
+    o2: &mut Orientation,
     r1: NodeId,
     r2: NodeId,
     delta: u32,
@@ -294,7 +325,7 @@ fn case_medium_subtree(
             cut: vec![(x, v)],
         };
     }
-    let inner = lemma1_ex(tree, placed, &[x], v, r2, dp);
+    let inner = lemma1_ex(o2, tree, placed, &[x], v, r2, dp);
     let removed: HashSet<NodeId> = inner.part2.iter().copied().collect();
     let part2 = o
         .subtree_nodes(tree, v)

@@ -25,9 +25,9 @@ mod lemma1;
 mod lemma2;
 mod orient;
 
-pub use lemma1::lemma1;
-pub use lemma2::lemma2;
-pub use orient::{find1, Orientation};
+pub use lemma1::{lemma1, lemma1_with};
+pub use lemma2::{lemma2, lemma2_with};
+pub use orient::{find1, Orientation, SeparatorScratch};
 
 use crate::tree::{BinaryTree, NodeId};
 use std::collections::{HashSet, VecDeque};

@@ -38,6 +38,14 @@ impl Orientation {
         }
     }
 
+    /// Grows the buffers to cover a tree with `n` nodes; a no-op when they
+    /// already do, which is what makes reuse across lemma calls free.
+    pub fn ensure(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            *self = Orientation::new(n);
+        }
+    }
+
     /// Orients the piece containing `root`: the component of nodes that are
     /// neither placed nor listed in `excluded`, reachable from `root`.
     /// Computes parents (toward `root`) and subtree sizes.
@@ -172,6 +180,38 @@ impl Orientation {
             }
             cur = self.parent(cur).expect("nodes are in the same piece");
         }
+    }
+}
+
+/// Reusable orientation buffers for the separator lemmas.
+///
+/// One Lemma-2 call needs up to three simultaneous orientations (the main
+/// piece plus two correction carves); allocating them per call is the
+/// dominant cost of a lemma application on large trees (DESIGN.md §9).
+/// Hold one `SeparatorScratch` for the whole embedding and pass it to
+/// [`lemma1_with`](super::lemma1_with) / [`lemma2_with`](super::lemma2_with).
+#[derive(Debug)]
+pub struct SeparatorScratch {
+    pub(crate) o1: Orientation,
+    pub(crate) o2: Orientation,
+    pub(crate) o3: Orientation,
+}
+
+impl SeparatorScratch {
+    /// Allocates scratch for a tree with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        SeparatorScratch {
+            o1: Orientation::new(n),
+            o2: Orientation::new(n),
+            o3: Orientation::new(n),
+        }
+    }
+
+    /// Grows the scratch to cover a tree with `n` nodes.
+    pub fn ensure(&mut self, n: usize) {
+        self.o1.ensure(n);
+        self.o2.ensure(n);
+        self.o3.ensure(n);
     }
 }
 
