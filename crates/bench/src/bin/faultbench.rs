@@ -12,14 +12,28 @@
 //! * **cut** — the same failures with no repairs: the delivery rate shows
 //!   how much traffic strands permanently as the host partitions.
 //!
+//! A third sweep measures the **recovery supervisor** under node failures
+//! at the same rates: the host's vertices double as guests of a
+//! heap-order (identity) embedding, so the random batches gain guest
+//! semantics and `recover_batch` can migrate them off dead vertices. The
+//! curve reports delivery under the default policy against a no-retry
+//! policy, and the extra cycles the retries cost; the no-retry run is
+//! asserted cycle-identical to the bare engine — recovery is free when
+//! disabled.
+//!
 //! Run with: `cargo run --release -p xtree-bench --bin faultbench`
 //! (`--smoke` sweeps two tiny hosts and skips the results file — the CI
 //! guard that the degraded engine terminates with sane numbers.)
 
 use xtree_bench::seeded_batches;
+use xtree_core::metrics::heap_order_embedding;
+use xtree_core::XEmbedding;
 use xtree_json::Value;
-use xtree_sim::{Engine, FaultPlan, FaultState, Message, Network};
+use xtree_sim::{
+    recover_batch, Engine, FaultPlan, FaultState, Message, Network, RecoveryEnd, RecoveryPolicy,
+};
 use xtree_topology::{Graph, XTree};
+use xtree_trees::{generate, BinaryTree};
 
 /// Failure cycles are drawn from this window, so damage lands while the
 /// batches are in flight.
@@ -62,6 +76,59 @@ fn run_degraded(
     d
 }
 
+struct Recovered {
+    cycles: u64,
+    messages: usize,
+    delivered: usize,
+    retries: u64,
+    requeued: u64,
+    migrated: u64,
+}
+
+/// Runs every batch under the recovery supervisor, each from a fresh
+/// [`FaultState`] and a fresh copy of the pristine embedding — the same
+/// replay semantics as [`run_degraded`], plus migrations and retries.
+#[allow(clippy::too_many_arguments)]
+fn run_recovered(
+    engine: &mut Engine,
+    net: &Network,
+    tree: &BinaryTree,
+    emb0: &XEmbedding,
+    rounds: &[Vec<Message>],
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+) -> Recovered {
+    let mut d = Recovered {
+        cycles: 0,
+        messages: 0,
+        delivered: 0,
+        retries: 0,
+        requeued: 0,
+        migrated: 0,
+    };
+    for batch in rounds {
+        let mut faults = FaultState::new(net.graph(), plan.clone()).expect("plan fits its host");
+        let mut emb = emb0.clone();
+        let out = recover_batch(engine, net, tree, &mut emb, batch, &mut faults, policy)
+            .expect("supervised batch");
+        let lost = match &out.end {
+            RecoveryEnd::Delivered => 0,
+            RecoveryEnd::Unreachable { stranded } => stranded.len(),
+            RecoveryEnd::Exhausted {
+                undelivered,
+                stranded,
+            } => undelivered.len() + stranded.len(),
+        };
+        d.cycles += u64::from(out.stats.cycles);
+        d.messages += out.stats.messages;
+        d.delivered += out.stats.messages - lost;
+        d.retries += u64::from(out.retries());
+        d.requeued += out.requeued() as u64;
+        d.migrated += out.repair.as_ref().map_or(0, |r| r.migrated as u64);
+    }
+    d
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let heights: &[u8] = if smoke { &[5, 6] } else { &[8, 9, 10, 11, 12] };
@@ -74,6 +141,11 @@ fn main() {
         let batches = if smoke { 2 } else { 4 };
         let per_batch = (n / 2).min(512);
         let rounds = seeded_batches(0x5EED_FA17, n as u64, batches, per_batch);
+        // Every host vertex doubles as a guest under the heap-order
+        // (identity) embedding, which gives the random host-level batches
+        // guest semantics for the recovery sweep.
+        let tree = generate::left_complete(n);
+        let emb0 = heap_order_embedding(&tree, r);
         let mut engine = Engine::new();
         let clean: u64 = rounds
             .iter()
@@ -87,7 +159,8 @@ fn main() {
                 &mut engine,
                 &net,
                 &rounds,
-                &FaultPlan::random_links(net.graph(), rate, seed, FAULT_WINDOW, Some(REPAIR_AFTER)),
+                &FaultPlan::random_links(net.graph(), rate, seed, FAULT_WINDOW, Some(REPAIR_AFTER))
+                    .expect("rate is a probability"),
             );
             assert_eq!(
                 repaired.delivered, repaired.messages,
@@ -97,16 +170,59 @@ fn main() {
                 &mut engine,
                 &net,
                 &rounds,
-                &FaultPlan::random_links(net.graph(), rate, seed, FAULT_WINDOW, None),
+                &FaultPlan::random_links(net.graph(), rate, seed, FAULT_WINDOW, None)
+                    .expect("rate is a probability"),
             );
             let slowdown = repaired.cycles as f64 / clean.max(1) as f64;
             let delivery = cut.delivered as f64 / cut.messages.max(1) as f64;
+
+            // Recovery sweep: permanent *node* failures at the same rate,
+            // with and without the supervisor. The no-retry supervised run
+            // must match the bare engine exactly — recovery costs nothing
+            // when it is switched off.
+            let node_plan = FaultPlan::random_nodes(net.graph(), rate, seed, FAULT_WINDOW)
+                .expect("rate is a probability");
+            let bare = run_degraded(&mut engine, &net, &rounds, &node_plan);
+            let off = run_recovered(
+                &mut engine,
+                &net,
+                &tree,
+                &emb0,
+                &rounds,
+                &node_plan,
+                &RecoveryPolicy::none(),
+            );
+            assert_eq!(
+                (off.cycles, off.delivered),
+                (bare.cycles, bare.delivered),
+                "a disabled supervisor must cost zero cycles and change nothing"
+            );
+            let on = run_recovered(
+                &mut engine,
+                &net,
+                &tree,
+                &emb0,
+                &rounds,
+                &node_plan,
+                &RecoveryPolicy::default(),
+            );
+            assert!(
+                on.delivered >= off.delivered,
+                "migrating guests off dead vertices can only help delivery"
+            );
+            let delivery_off = off.delivered as f64 / off.messages.max(1) as f64;
+            let delivery_on = on.delivered as f64 / on.messages.max(1) as f64;
+            let extra_cycles = on.cycles as i64 - off.cycles as i64;
+
             eprintln!(
                 "X({r}): rate {rate:.2} — slowdown {slowdown:.2}x (repaired), \
-                 delivery {:.3} (no repairs, {} of {} stranded)",
+                 delivery {:.3} (no repairs, {} of {} stranded); \
+                 node faults: delivery {delivery_off:.3} -> {delivery_on:.3} recovered \
+                 (+{extra_cycles} cycles, {} migrated)",
                 delivery,
                 cut.messages - cut.delivered,
                 cut.messages,
+                on.migrated,
             );
             curve.push(
                 Value::object()
@@ -115,7 +231,13 @@ fn main() {
                     .with("slowdown_repaired", slowdown)
                     .with("delivered_no_repair", cut.delivered)
                     .with("stranded_no_repair", cut.messages - cut.delivered)
-                    .with("delivery_rate_no_repair", delivery),
+                    .with("delivery_rate_no_repair", delivery)
+                    .with("delivery_rate_nodes_no_recovery", delivery_off)
+                    .with("delivery_rate_nodes_recovered", delivery_on)
+                    .with("recovery_extra_cycles", extra_cycles)
+                    .with("recovery_retries", on.retries)
+                    .with("recovery_requeued", on.requeued)
+                    .with("recovery_migrated", on.migrated),
             );
         }
         hosts.push(
@@ -133,7 +255,9 @@ fn main() {
         .with(
             "workload",
             "seeded uniform-random batches under random link failures; repaired runs \
-             measure detour slowdown, unrepaired runs measure permanent stranding",
+             measure detour slowdown, unrepaired runs measure permanent stranding; \
+             the recovery columns re-run the batches under permanent node failures as \
+             guests of an identity embedding, default RecoveryPolicy vs none",
         )
         .with("fault_window", FAULT_WINDOW)
         .with("repair_after", REPAIR_AFTER)

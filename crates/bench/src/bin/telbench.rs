@@ -8,7 +8,8 @@
 //!   verbatim below (the same way `simbench` keeps `run_batch_legacy`), so
 //!   the comparison is against code with no `Sink` parameter at all;
 //! * **noop** — `Engine::run_batch`, i.e. the instrumented loop with
-//!   [`NopSink`]: the number that must stay within ~2% of baseline,
+//!   [`NopSink`](xtree_sim::telemetry::NopSink): the number that must
+//!   stay within ~2% of baseline,
 //!   proving the statically-dispatched instrumentation compiles out;
 //! * **counters** / **metrics** / **trace** — the loop paying for real
 //!   sinks, so the cost of *enabled* telemetry is on record too.

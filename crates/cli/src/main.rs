@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! xtree-cli embed    --family random-bst --nodes 1008 [--target xtree|xtree-injective|hypercube|hypercube-injective] [--seed N] [--json] [--map]
-//! xtree-cli simulate --family caterpillar --nodes 496 [--host xtree|hypercube] [--workload broadcast|reduce|exchange|dnc|all] [--seed N] [--fault-rate P --fault-seed S --repair-after K] [--trace FILE] [--verify-trace FILE] [--metrics FILE --metrics-format jsonl|prom] [--json]
+//! xtree-cli simulate --family caterpillar --nodes 496 [--host xtree|hypercube] [--workload broadcast|reduce|exchange|dnc|all] [--seed N] [--fault-rate P --node-fault-rate P --fault-seed S --repair-after K] [--recover --max-retries N --backoff fixed:K|exp:B:C] [--checkpoint FILE --checkpoint-after K] [--trace FILE] [--verify-trace FILE] [--metrics FILE --metrics-format jsonl|prom] [--json]
+//! xtree-cli resume   FILE [--workload W|all] [--trace FILE] [--verify-trace FILE] [--metrics FILE] [--json]
 //! xtree-cli info     --height 3 [--network xtree|hypercube|ccc|butterfly|mesh]
 //! xtree-cli sizes    --max-r 10
 //! ```
@@ -15,12 +16,13 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use xtree_core::{evaluate, hypercube, metrics, theorem1, theorem2};
 use xtree_json::Value;
-use xtree_sim::telemetry::{MetricsSink, NopSink, Sink, Tee, TraceRecorder};
+use xtree_sim::telemetry::{Event, MetricsSink, NopSink, Sink, Tee, TraceRecorder};
 use xtree_sim::{
-    simulate_all_faulted_with, simulate_all_with, FaultPlan, FaultSimReport, HostMap, Network,
-    SimReport,
+    decode_checkpoint, encode_checkpoint, simulate_all_faulted_with, simulate_all_with, Backoff,
+    Checkpoint, FaultPlan, FaultSimReport, HostMap, Network, RecoveryPolicy, RecoveryTotals,
+    Session, SessionStatus, SimReport,
 };
-use xtree_topology::{Butterfly, CubeConnectedCycles, Graph, Hypercube, Mesh2D, XTree};
+use xtree_topology::{Butterfly, Csr, CubeConnectedCycles, Graph, Hypercube, Mesh2D, XTree};
 use xtree_trees::{generate, BinaryTree, TreeFamily};
 
 fn main() {
@@ -48,17 +50,26 @@ fn main() {
 
 const USAGE: &str = "usage:
   xtree-cli embed    --family F --nodes N [--target xtree|xtree-injective|hypercube|hypercube-injective] [--seed S] [--json] [--map]
-  xtree-cli simulate --family F --nodes N [--host xtree|hypercube] [--workload W|all] [--seed S] [--fault-rate P] [--fault-seed S] [--repair-after K] [--trace FILE] [--verify-trace FILE] [--metrics FILE] [--metrics-format jsonl|prom] [--json]
+  xtree-cli simulate --family F --nodes N [--host xtree|hypercube] [--workload W|all] [--seed S] [--fault-rate P] [--node-fault-rate P] [--fault-seed S] [--repair-after K] [--recover] [--max-retries N] [--backoff fixed:K|exp:B:C] [--checkpoint FILE] [--checkpoint-after K] [--trace FILE] [--verify-trace FILE] [--metrics FILE] [--metrics-format jsonl|prom] [--json]
+  xtree-cli resume   FILE [--workload W|all] [--trace FILE] [--verify-trace FILE] [--metrics FILE] [--metrics-format jsonl|prom] [--json]
   xtree-cli info     --height R [--network xtree|hypercube|ccc|butterfly|mesh]
   xtree-cli sizes    [--max-r R]
   xtree-cli trace    --family F --nodes N [--seed S]
 families: path complete caterpillar broom random-bst random-attach random-split leaning";
 
-fn run(argv: Vec<String>) -> Result<String, String> {
+fn run(mut argv: Vec<String>) -> Result<String, String> {
+    // `resume FILE` takes its checkpoint as a positional argument; rewrite
+    // it into the `--key value` shape the parser speaks.
+    if argv.first().map(String::as_str) == Some("resume")
+        && argv.get(1).is_some_and(|s| !s.starts_with("--"))
+    {
+        argv.insert(1, "--from".into());
+    }
     let a = Args::parse(argv)?;
     match a.command.as_str() {
         "embed" => cmd_embed(&a),
         "simulate" => cmd_simulate(&a),
+        "resume" => cmd_resume(&a),
         "info" => cmd_info(&a),
         "sizes" => cmd_sizes(&a),
         "trace" => cmd_trace(&a),
@@ -163,10 +174,11 @@ fn cmd_embed(a: &Args) -> Result<String, String> {
 /// `FAULT_WINDOW` cycles, so damage lands while the workloads are running.
 const FAULT_WINDOW: u32 = 16;
 
-/// Random link-failure parameters of `simulate`, `None` when fault
+/// Random link/node failure parameters of `simulate`, `None` when fault
 /// injection is off.
 struct FaultArgs {
     rate: f64,
+    node_rate: f64,
     seed: u64,
     repair_after: Option<u32>,
 }
@@ -174,17 +186,115 @@ struct FaultArgs {
 impl FaultArgs {
     fn parse(a: &Args) -> Result<Option<Self>, String> {
         let rate: f64 = a.num_or("fault-rate", 0.0)?;
-        if !(0.0..=1.0).contains(&rate) {
-            return Err(format!("--fault-rate: `{rate}` is not within [0, 1]"));
+        let node_rate: f64 = a.num_or("node-fault-rate", 0.0)?;
+        for (flag, r) in [("fault-rate", rate), ("node-fault-rate", node_rate)] {
+            if !(0.0..=1.0).contains(&r) {
+                return Err(format!("--{flag}: `{r}` is not within [0, 1]"));
+            }
         }
-        if rate == 0.0 {
+        if rate == 0.0 && node_rate == 0.0 {
             return Ok(None);
         }
         Ok(Some(FaultArgs {
             rate,
+            node_rate,
             seed: a.num_or("fault-seed", 0xFA17)?,
             repair_after: a.num_opt("repair-after")?,
         }))
+    }
+
+    /// The combined damage schedule: random link failures, plus random
+    /// node failures when `--node-fault-rate` is set.
+    fn plan(&self, graph: &Csr) -> Result<FaultPlan, String> {
+        let mut plan =
+            FaultPlan::random_links(graph, self.rate, self.seed, FAULT_WINDOW, self.repair_after)
+                .map_err(|e| e.to_string())?;
+        if self.node_rate > 0.0 {
+            plan = plan.merged(
+                FaultPlan::random_nodes(graph, self.node_rate, self.seed, FAULT_WINDOW)
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+        Ok(plan)
+    }
+
+    /// The human-readable fault line shared by both output paths.
+    fn describe(&self) -> String {
+        let repairs = match self.repair_after {
+            Some(k) => format!("repair after {k}"),
+            None => "no repairs".into(),
+        };
+        let mut s = format!("link fault rate {}", self.rate);
+        if self.node_rate > 0.0 {
+            s.push_str(&format!(" + node fault rate {}", self.node_rate));
+        }
+        format!("{s} (seed {}, {repairs})", self.seed)
+    }
+}
+
+/// Self-healing knobs of `simulate`, `None` when neither `--recover` nor
+/// checkpointing was requested.
+struct RecoveryArgs<'a> {
+    /// True when `--recover` was given: supervise with retry + repair.
+    recover: bool,
+    policy: RecoveryPolicy,
+    checkpoint: Option<&'a str>,
+    checkpoint_after: Option<usize>,
+}
+
+impl<'a> RecoveryArgs<'a> {
+    fn parse(a: &'a Args) -> Result<Option<Self>, String> {
+        let recover = a.flag("recover");
+        let checkpoint = a.get("checkpoint");
+        let checkpoint_after = a.num_opt::<usize>("checkpoint-after")?;
+        if !recover && checkpoint.is_none() {
+            if checkpoint_after.is_some() {
+                return Err("--checkpoint-after requires --checkpoint FILE".into());
+            }
+            if a.get("max-retries").is_some() || a.get("backoff").is_some() {
+                return Err("--max-retries/--backoff require --recover".into());
+            }
+            return Ok(None);
+        }
+        if checkpoint_after.is_some() && checkpoint.is_none() {
+            return Err("--checkpoint-after requires --checkpoint FILE".into());
+        }
+        let default = RecoveryPolicy::default();
+        let policy = RecoveryPolicy {
+            max_retries: a.num_or("max-retries", default.max_retries)?,
+            backoff: match a.get("backoff") {
+                Some(spec) => parse_backoff(spec)?,
+                None => default.backoff,
+            },
+            ..default
+        };
+        Ok(Some(RecoveryArgs {
+            recover,
+            policy,
+            checkpoint,
+            checkpoint_after,
+        }))
+    }
+}
+
+fn parse_backoff(spec: &str) -> Result<Backoff, String> {
+    let bad = || format!("--backoff: `{spec}` is not fixed:K or exp:BASE:CAP");
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["fixed", k] => k.parse().map(Backoff::Fixed).map_err(|_| bad()),
+        ["exp", b, c] => {
+            let base = b.parse().map_err(|_| bad())?;
+            let cap = c.parse().map_err(|_| bad())?;
+            Ok(Backoff::Exponential { base, cap })
+        }
+        _ => Err(bad()),
+    }
+}
+
+fn backoff_str(b: Backoff) -> String {
+    match b {
+        Backoff::Fixed(k) => format!("fixed:{k}"),
+        Backoff::Exponential { base, cap } => format!("exp:{base}:{cap}"),
     }
 }
 
@@ -288,8 +398,7 @@ fn simulate_reports<M: HostMap + Sync, S: Sink>(
             simulate_all_with(net, tree, emb, sink).map_err(|e| e.to_string())?,
         )),
         Some(f) => {
-            let plan =
-                FaultPlan::random_links(net.graph(), f.rate, f.seed, FAULT_WINDOW, f.repair_after);
+            let plan = f.plan(net.graph())?;
             Ok(Reports::Faulted(
                 simulate_all_faulted_with(net, tree, emb, &plan, sink)
                     .map_err(|e| e.to_string())?,
@@ -318,6 +427,19 @@ fn simulate_telemetry<M: HostMap + Sync>(
     let mut rec = TraceRecorder::new();
     let mut met = MetricsSink::new();
     let reports = simulate_reports(net, tree, emb, faults, &mut Tee(&mut rec, &mut met))?;
+    let summary = finish_telemetry(net, t, &rec, &mut met)?;
+    Ok((reports, Some(summary)))
+}
+
+/// Writes/verifies the telemetry files a run asked for and distils the
+/// user-facing summary. Shared by the plain, supervised, and resumed
+/// simulation paths.
+fn finish_telemetry(
+    net: &Network,
+    t: &TelemetryArgs,
+    rec: &TraceRecorder,
+    met: &mut MetricsSink,
+) -> Result<TelemetrySummary, String> {
     met.finish();
     if let Some(path) = t.trace {
         std::fs::write(path, rec.bytes()).map_err(|e| format!("--trace {path}: {e}"))?;
@@ -354,13 +476,12 @@ fn simulate_telemetry<M: HostMap + Sync>(
         .into_iter()
         .map(|(e, h)| (ends[e as usize].0, ends[e as usize].1, h))
         .collect();
-    let summary = TelemetrySummary {
+    Ok(TelemetrySummary {
         events: rec.event_count(),
         trace_bytes: rec.bytes().len(),
         hottest,
         verified,
-    };
-    Ok((reports, Some(summary)))
+    })
 }
 
 fn cmd_simulate(a: &Args) -> Result<String, String> {
@@ -372,6 +493,12 @@ fn cmd_simulate(a: &Args) -> Result<String, String> {
     }
     let faults = FaultArgs::parse(a)?;
     let tel = TelemetryArgs::parse(a)?;
+    if let Some(rec) = RecoveryArgs::parse(a)? {
+        if host != "xtree" {
+            return Err("--recover/--checkpoint currently support --host xtree only".into());
+        }
+        return cmd_simulate_session(a, &tree, family, &faults, &tel, &rec);
+    }
     // Both hosts route in closed form (no routing tables), so there is no
     // host-size cap here: the guest size is limited only by memory.
     let (reports, telemetry) = match host {
@@ -467,6 +594,7 @@ fn cmd_simulate(a: &Args) -> Result<String, String> {
                     .collect();
                 let fault = Value::object()
                     .with("rate", f.rate)
+                    .with("node_rate", f.node_rate)
                     .with("seed", f.seed)
                     .with("window", FAULT_WINDOW)
                     .with(
@@ -489,14 +617,9 @@ fn cmd_simulate(a: &Args) -> Result<String, String> {
                 Ok(xtree_json::to_string_pretty(&doc))
             } else {
                 let mut out = format!(
-                    "guest: {family} ({} nodes) on {host}, link fault rate {} (seed {}, {})\n",
+                    "guest: {family} ({} nodes) on {host}, {}\n",
                     tree.len(),
-                    f.rate,
-                    f.seed,
-                    match f.repair_after {
-                        Some(k) => format!("repair after {k}"),
-                        None => "no repairs".into(),
-                    }
+                    f.describe()
                 );
                 out.push_str(&format!(
                     "{:<10} {:>8} {:>8} {:>9} {:>11} {:>9} {:>8}\n",
@@ -523,6 +646,260 @@ fn cmd_simulate(a: &Args) -> Result<String, String> {
             }
         }
     }
+}
+
+/// The supervised (`--recover`) / checkpointed (`--checkpoint`) simulate
+/// path: the four workloads driven through a resumable [`Session`].
+fn cmd_simulate_session(
+    a: &Args,
+    tree: &BinaryTree,
+    family: &'static str,
+    faults: &Option<FaultArgs>,
+    tel: &Option<TelemetryArgs>,
+    rec: &RecoveryArgs,
+) -> Result<String, String> {
+    let emb = theorem1::embed(tree).emb;
+    let net = Network::xtree(&XTree::new(emb.height));
+    let plan = match faults {
+        Some(f) => f.plan(net.graph())?,
+        None => FaultPlan::new(),
+    };
+    let policy = rec.recover.then(|| rec.policy.clone());
+    let config = run_config(a, family, rec)?;
+    let mut session = Session::new(&net, tree, emb, plan, policy);
+    let mut trace = TraceRecorder::new();
+    let mut met = MetricsSink::new();
+    let budget = rec.checkpoint_after.unwrap_or(usize::MAX);
+    let status = session
+        .run_with(budget, &mut Tee(&mut trace, &mut met))
+        .map_err(|e| e.to_string())?;
+    if let Some(path) = rec.checkpoint {
+        let ck = Checkpoint {
+            session: session.snapshot(),
+            embedding: session.embedding().clone(),
+            config,
+            trace: trace.bytes().to_vec(),
+        };
+        let bytes = encode_checkpoint(&ck);
+        met.record(Event::CheckpointWritten {
+            bytes: bytes.len() as u64,
+        });
+        std::fs::write(path, &bytes).map_err(|e| format!("--checkpoint {path}: {e}"))?;
+        if status == SessionStatus::Paused {
+            // The trace so far lives inside the checkpoint; a resumed run
+            // appends to it, so no partial telemetry files are written.
+            return Ok(if a.flag("json") {
+                xtree_json::to_string_pretty(
+                    &Value::object()
+                        .with("status", "paused")
+                        .with("checkpoint", path)
+                        .with("bytes", bytes.len())
+                        .with("rounds_run", rec.checkpoint_after.unwrap_or(0)),
+                )
+            } else {
+                format!(
+                    "checkpoint: {path} written after {} rounds ({} bytes); \
+                     continue with `xtree-cli resume {path}`",
+                    rec.checkpoint_after.unwrap_or(0),
+                    bytes.len()
+                )
+            });
+        }
+    }
+    let telemetry = match tel {
+        Some(t) => Some(finish_telemetry(&net, t, &trace, &mut met)?),
+        None => None,
+    };
+    let origin = match faults {
+        Some(f) => f.describe(),
+        None => "no faults".into(),
+    };
+    session_output(
+        a,
+        family,
+        tree.len(),
+        &origin,
+        session.reports(),
+        session.totals(),
+        rec.recover,
+        telemetry.as_ref(),
+    )
+}
+
+/// The config blob stored inside a checkpoint: exactly what `resume` needs
+/// to rebuild the guest tree and the recovery policy.
+fn run_config(a: &Args, family: &str, rec: &RecoveryArgs) -> Result<String, String> {
+    Ok(xtree_json::to_string(
+        &Value::object()
+            .with("family", family)
+            .with("nodes", a.num_or("nodes", 1008usize)?)
+            .with("seed", a.num_or("seed", 7u64)?)
+            .with("recover", rec.recover)
+            .with("max_retries", rec.policy.max_retries)
+            .with("backoff", backoff_str(rec.policy.backoff)),
+    ))
+}
+
+/// Renders a finished session: the faulted-style delivery table plus the
+/// recovery totals line (and `"recovery"` JSON object) when supervised.
+#[allow(clippy::too_many_arguments)]
+fn session_output(
+    a: &Args,
+    family: &str,
+    nodes: usize,
+    origin: &str,
+    reports: &[FaultSimReport],
+    totals: RecoveryTotals,
+    recovered: bool,
+    telemetry: Option<&TelemetrySummary>,
+) -> Result<String, String> {
+    let workload = a.get_or("workload", "all");
+    let keep = |w: &str| workload == "all" || w == workload;
+    let reports: Vec<&FaultSimReport> = reports.iter().filter(|r| keep(r.workload)).collect();
+    if reports.is_empty() {
+        return Err(format!("unknown workload `{workload}`"));
+    }
+    let all_delivered = reports
+        .iter()
+        .all(|r| r.delivered == r.messages && !r.stalled);
+    if a.flag("json") {
+        let rows: Value = reports
+            .iter()
+            .map(|r| {
+                Value::object()
+                    .with("workload", r.workload)
+                    .with("cycles", r.cycles)
+                    .with("ideal_cycles", r.ideal_cycles)
+                    .with("messages", r.messages)
+                    .with("delivered", r.delivered)
+                    .with("stranded", r.stranded)
+                    .with("delivery_rate", r.delivery_rate())
+                    .with("stalled", r.stalled)
+            })
+            .collect();
+        let mut doc = Value::object()
+            .with(
+                "guest",
+                Value::object().with("family", family).with("nodes", nodes),
+            )
+            .with("host", "xtree")
+            .with("run", origin)
+            .with("reports", rows);
+        if recovered {
+            doc.set(
+                "recovery",
+                Value::object()
+                    .with("retries", totals.retries)
+                    .with("requeued", totals.requeued)
+                    .with("migrated", totals.migrated)
+                    .with("unreachable", totals.stranded)
+                    .with("all_delivered", all_delivered),
+            );
+        }
+        if let Some(s) = telemetry {
+            doc.set("telemetry", s.to_json());
+        }
+        Ok(xtree_json::to_string_pretty(&doc))
+    } else {
+        let mut out = format!("guest: {family} ({nodes} nodes) on xtree, {origin}\n");
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>8} {:>9} {:>11} {:>9} {:>8}\n",
+            "workload", "cycles", "ideal", "slowdown", "delivered", "stranded", "stalled"
+        ));
+        for r in reports {
+            out.push_str(&format!(
+                "{:<10} {:>8} {:>8} {:>8.2}x {:>5}/{:<5} {:>9} {:>8}\n",
+                r.workload,
+                r.cycles,
+                r.ideal_cycles,
+                r.cycles as f64 / r.ideal_cycles.max(1) as f64,
+                r.delivered,
+                r.messages,
+                r.stranded,
+                if r.stalled { "yes" } else { "no" }
+            ));
+        }
+        if recovered {
+            out.push_str(&format!(
+                "recovery: {} retries, {} requeued, {} guests migrated, {} unreachable{}\n",
+                totals.retries,
+                totals.requeued,
+                totals.migrated,
+                totals.stranded,
+                if all_delivered { ", all delivered" } else { "" }
+            ));
+        }
+        if let Some(s) = telemetry {
+            out.push_str(&s.line());
+            out.push('\n');
+        }
+        Ok(out.trim_end().to_string())
+    }
+}
+
+/// `resume FILE`: continue a checkpointed run to completion, appending to
+/// the trace stream stored inside the checkpoint.
+fn cmd_resume(a: &Args) -> Result<String, String> {
+    let path = a
+        .get("from")
+        .ok_or("resume: missing checkpoint path (usage: xtree-cli resume FILE)")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("resume {path}: {e}"))?;
+    let ck = decode_checkpoint(&bytes).map_err(|e| format!("resume {path}: {e}"))?;
+    let cfg = xtree_json::from_str(&ck.config)
+        .map_err(|e| format!("resume {path}: bad config blob: {e}"))?;
+    let family_name = cfg["family"]
+        .as_str()
+        .ok_or("resume: config lacks `family`")?
+        .to_string();
+    let nodes = cfg["nodes"]
+        .as_u64()
+        .ok_or("resume: config lacks `nodes`")? as usize;
+    let seed = cfg["seed"].as_u64().ok_or("resume: config lacks `seed`")?;
+    let recover = cfg["recover"].as_bool().unwrap_or(false);
+    let policy = if recover {
+        let default = RecoveryPolicy::default();
+        Some(RecoveryPolicy {
+            max_retries: cfg["max_retries"].as_u64().unwrap_or(8) as u32,
+            backoff: match cfg["backoff"].as_str() {
+                Some(spec) => parse_backoff(spec)?,
+                None => default.backoff,
+            },
+            ..default
+        })
+    } else {
+        None
+    };
+    let family = TreeFamily::ALL
+        .into_iter()
+        .find(|f| f.name() == family_name)
+        .ok_or_else(|| format!("resume: unknown family `{family_name}` in checkpoint"))?;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let tree = family.generate(nodes, &mut rng);
+    let net = Network::xtree(&XTree::new(ck.embedding.height));
+    let mut trace =
+        TraceRecorder::resume(ck.trace).map_err(|e| format!("resume {path}: trace: {e}"))?;
+    let mut met = MetricsSink::new();
+    let mut session = Session::resume(&net, &tree, ck.embedding, policy, &ck.session)
+        .map_err(|e| format!("resume {path}: {e}"))?;
+    session
+        .run_with(usize::MAX, &mut Tee(&mut trace, &mut met))
+        .map_err(|e| e.to_string())?;
+    let tel = TelemetryArgs::parse(a)?;
+    let telemetry = match &tel {
+        Some(t) => Some(finish_telemetry(&net, t, &trace, &mut met)?),
+        None => None,
+    };
+    let origin = format!("resumed from {path}");
+    session_output(
+        a,
+        family.name(),
+        nodes,
+        &origin,
+        session.reports(),
+        session.totals(),
+        recover,
+        telemetry.as_ref(),
+    )
 }
 
 fn cmd_info(a: &Args) -> Result<String, String> {
@@ -899,6 +1276,103 @@ mod tests {
         assert!(err.contains("--metrics-format"), "{err}");
         let err = run_str("simulate --nodes 48 --verify-trace /nonexistent/t.bin").unwrap_err();
         assert!(err.contains("--verify-trace"), "{err}");
+    }
+
+    #[test]
+    fn simulate_recover_heals_node_faults() {
+        // Fixed seed where the unsupervised run strands messages...
+        let bare = run_str(
+            "simulate --family path --nodes 496 --node-fault-rate 0.2 --fault-seed 3 --json",
+        )
+        .unwrap();
+        let v: Value = xtree_json::from_str(&bare).unwrap();
+        let stranded: usize = v["reports"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|r| r["stranded"].as_u64().unwrap() as usize)
+            .sum();
+        assert!(stranded > 0, "fixture must strand without recovery: {bare}");
+        // ...and the default recovery policy delivers everything.
+        let out = run_str(
+            "simulate --family path --nodes 496 --node-fault-rate 0.2 --fault-seed 3 --recover",
+        )
+        .unwrap();
+        assert!(out.contains("node fault rate 0.2"), "{out}");
+        assert!(out.contains("guests migrated"), "{out}");
+        assert!(out.contains("all delivered"), "{out}");
+    }
+
+    #[test]
+    fn simulate_recover_json_carries_recovery_object() {
+        let out = run_str(
+            "simulate --family path --nodes 496 --node-fault-rate 0.2 --fault-seed 3 \
+             --recover --max-retries 4 --backoff exp:4:64 --json",
+        )
+        .unwrap();
+        let v: Value = xtree_json::from_str(&out).unwrap();
+        assert_eq!(v["recovery"]["all_delivered"], true, "{out}");
+        assert!(v["recovery"]["migrated"].as_u64().unwrap() > 0, "{out}");
+        for r in v["reports"].as_array().unwrap() {
+            assert_eq!(r["delivered"], r["messages"], "{r:?}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_trace_is_byte_identical() {
+        let full = TmpPath::new("full-trace.bin");
+        let ck = TmpPath::new("ck.bin");
+        let resumed = TmpPath::new("resumed-trace.bin");
+        let base =
+            "simulate --family path --nodes 496 --node-fault-rate 0.2 --fault-seed 3 --recover";
+        run_str(&format!("{base} --trace {}", full.as_str())).unwrap();
+        let out = run_str(&format!(
+            "{base} --checkpoint {} --checkpoint-after 3",
+            ck.as_str()
+        ))
+        .unwrap();
+        assert!(out.contains("checkpoint:"), "{out}");
+        let bytes = std::fs::read(&ck.0).unwrap();
+        assert!(bytes.starts_with(xtree_sim::checkpoint::MAGIC), "magic");
+        let out = run_str(&format!(
+            "resume {} --trace {}",
+            ck.as_str(),
+            resumed.as_str()
+        ))
+        .unwrap();
+        assert!(out.contains("resumed from"), "{out}");
+        assert!(out.contains("all delivered"), "{out}");
+        assert_eq!(
+            std::fs::read(&full.0).unwrap(),
+            std::fs::read(&resumed.0).unwrap(),
+            "an interrupted+resumed run must trace byte-identically"
+        );
+    }
+
+    #[test]
+    fn simulate_rejects_bad_recovery_args() {
+        let err = run_str("simulate --nodes 48 --recover --backoff weird").unwrap_err();
+        assert!(err.contains("--backoff"), "{err}");
+        let err = run_str("simulate --nodes 48 --recover --backoff fixed:lots").unwrap_err();
+        assert!(err.contains("--backoff"), "{err}");
+        let err = run_str("simulate --nodes 48 --checkpoint-after 3").unwrap_err();
+        assert!(err.contains("--checkpoint"), "{err}");
+        let err = run_str("simulate --nodes 48 --max-retries 2").unwrap_err();
+        assert!(err.contains("--recover"), "{err}");
+        let err = run_str("simulate --nodes 48 --node-fault-rate 1.5").unwrap_err();
+        assert!(err.contains("--node-fault-rate"), "{err}");
+        let err = run_str("simulate --nodes 48 --host hypercube --recover").unwrap_err();
+        assert!(err.contains("xtree"), "{err}");
+    }
+
+    #[test]
+    fn resume_rejects_missing_and_garbage_files() {
+        assert!(run_str("resume").is_err());
+        assert!(run_str("resume /nonexistent/ck.bin").is_err());
+        let p = TmpPath::new("garbage-ck.bin");
+        std::fs::write(&p.0, b"not a checkpoint").unwrap();
+        let err = run_str(&format!("resume {}", p.as_str())).unwrap_err();
+        assert!(err.contains("XCKPT1"), "{err}");
     }
 
     #[test]

@@ -14,7 +14,7 @@ use xtree_topology::Address;
 use xtree_trees::{BinaryTree, NodeId};
 
 /// An embedding of a binary tree into an X-tree of a given height.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct XEmbedding {
     /// Height of the host X-tree.
     pub height: u8,
@@ -76,7 +76,7 @@ impl XEmbedding {
 }
 
 /// An embedding of a binary tree into a hypercube of a given dimension.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QEmbedding {
     /// Dimension of the host hypercube.
     pub dim: u8,

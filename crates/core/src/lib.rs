@@ -12,16 +12,21 @@
 //! * [`universal::UniversalGraph`] — the degree-415 universal graph;
 //! * [`baseline`] — naïve embeddings for the comparison benchmarks;
 //! * [`metrics::evaluate`] — dilation / load / expansion / condition-(3′)
-//!   measurement of any embedding.
+//!   measurement of any embedding;
+//! * [`repair`] — migrating guests off dead host vertices (bounded-radius
+//!   BFS under a load cap), turning host failures into measured
+//!   degradation instead of stranded work.
 
 pub mod baseline;
 pub mod embedding;
 pub mod hypercube;
 pub mod metrics;
+pub mod repair;
 pub mod theorem1;
 pub mod theorem2;
 pub mod universal;
 
 pub use embedding::{QEmbedding, XEmbedding};
 pub use metrics::{evaluate, EmbeddingStats};
+pub use repair::{Relocation, RepairConfig, RepairError, RepairReport, Repaired};
 pub use theorem1::{embed as embed_theorem1, BuildLog, Theorem1Embedding};

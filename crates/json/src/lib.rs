@@ -167,7 +167,13 @@ macro_rules! impl_from_int {
     ($($t:ty),*) => {$(
         impl From<$t> for Value {
             fn from(n: $t) -> Value {
-                Value::Int(i64::try_from(n).expect("integer too large for JSON Int"))
+                // Unsigned values past i64::MAX degrade to a float (with
+                // the usual f64 precision loss) rather than aborting the
+                // write mid-run — JSON has no integer width anyway.
+                match i64::try_from(n) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::Float(n as f64),
+                }
             }
         }
     )*};
@@ -619,6 +625,16 @@ mod tests {
         assert_eq!(v["map"].as_array().unwrap().len(), 3);
         assert_eq!(v["map"][2], 2u64);
         assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn oversized_unsigned_degrades_to_float_instead_of_panicking() {
+        assert_eq!(Value::from(i64::MAX as u64), Value::Int(i64::MAX));
+        let v = Value::from(u64::MAX);
+        assert_eq!(v, Value::Float(u64::MAX as f64));
+        // The degraded value still serializes.
+        assert!(to_string(&v).parse::<f64>().is_ok());
+        assert_eq!(Value::from(usize::MAX), Value::Float(usize::MAX as f64));
     }
 
     #[test]

@@ -180,6 +180,19 @@ impl Engine {
         Engine::default()
     }
 
+    /// The engine's monotone clock: total delivery cycles across every
+    /// batch run on this engine. Checkpoints store it so a resumed run
+    /// reports the same cumulative timeline.
+    pub fn clock(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Fast-forwards the clock to at least `clock` (it never moves
+    /// backwards: the link-claim stamps rely on the epoch being monotone).
+    pub fn restore_clock(&mut self, clock: u64) {
+        self.epoch = self.epoch.max(clock);
+    }
+
     fn reserve(&mut self, links: usize, messages: usize) {
         if self.claim_epoch.len() < links {
             self.claim_msg.resize(links, 0);

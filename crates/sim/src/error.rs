@@ -47,6 +47,19 @@ pub enum SimError {
         /// Human-readable description of the offending event.
         reason: String,
     },
+    /// A fault probability is NaN or outside `[0, 1]` — a degenerate plan
+    /// would be silently all-or-nothing, so it is rejected instead.
+    InvalidRate {
+        /// The offending value, formatted (kept as text so the error stays
+        /// `Eq` despite NaN).
+        given: String,
+    },
+    /// A checkpoint file is truncated, corrupt, or from an incompatible
+    /// version.
+    BadCheckpoint {
+        /// Human-readable description of what failed to parse.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -75,6 +88,10 @@ impl fmt::Display for SimError {
                  undelivered — routing bug"
             ),
             SimError::InvalidFault { reason } => write!(f, "invalid fault event: {reason}"),
+            SimError::InvalidRate { given } => {
+                write!(f, "fault rate `{given}` is not a probability in [0, 1]")
+            }
+            SimError::BadCheckpoint { reason } => write!(f, "bad checkpoint: {reason}"),
         }
     }
 }
@@ -115,6 +132,18 @@ mod tests {
                     reason: "link 0-9".into(),
                 },
                 "link 0-9",
+            ),
+            (
+                SimError::InvalidRate {
+                    given: "NaN".into(),
+                },
+                "not a probability",
+            ),
+            (
+                SimError::BadCheckpoint {
+                    reason: "short magic".into(),
+                },
+                "short magic",
             ),
         ];
         for (e, needle) in cases {

@@ -87,6 +87,16 @@ fn unit_f64(x: u64) -> f64 {
     (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
+/// Rejects NaN and out-of-range failure probabilities.
+fn validate_rate(rate: f64) -> Result<(), SimError> {
+    if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+        return Err(SimError::InvalidRate {
+            given: format!("{rate}"),
+        });
+    }
+    Ok(())
+}
+
 impl FaultPlan {
     /// An empty plan (no faults ever).
     pub fn new() -> Self {
@@ -132,13 +142,18 @@ impl FaultPlan {
     /// comes back `k` cycles after it went down. Fully determined by
     /// `seed` — the same seed, graph, and parameters always produce the
     /// same plan.
+    ///
+    /// # Errors
+    /// [`SimError::InvalidRate`] when `rate` is NaN or outside `[0, 1]` —
+    /// a degenerate rate would silently fail every link or none.
     pub fn random_links(
         graph: &Csr,
         rate: f64,
         seed: u64,
         window: u32,
         repair_after: Option<u32>,
-    ) -> Self {
+    ) -> Result<Self, SimError> {
+        validate_rate(rate)?;
         let mut plan = FaultPlan::new();
         let mut state = seed ^ 0xFA_17_5E_ED_u64.rotate_left(32);
         for (u, v) in graph.edges() {
@@ -152,7 +167,38 @@ impl FaultPlan {
                 plan = plan.link_up(at.saturating_add(k), u, v);
             }
         }
-        plan
+        Ok(plan)
+    }
+
+    /// Random node failures: each vertex of `graph` independently fails
+    /// with probability `rate`, at a cycle drawn uniformly from
+    /// `0..window.max(1)`. Deterministic in `seed` and drawn from a stream
+    /// independent of [`FaultPlan::random_links`], so the two compose
+    /// (via [`FaultPlan::merged`]) without correlating.
+    ///
+    /// # Errors
+    /// [`SimError::InvalidRate`] when `rate` is NaN or outside `[0, 1]`.
+    pub fn random_nodes(graph: &Csr, rate: f64, seed: u64, window: u32) -> Result<Self, SimError> {
+        validate_rate(rate)?;
+        let mut plan = FaultPlan::new();
+        let mut state = seed ^ 0xD0_0D_FA_17_u64.rotate_left(32);
+        for v in 0..graph.node_count() as u32 {
+            let fails = unit_f64(splitmix64(&mut state)) < rate;
+            let at = (splitmix64(&mut state) % u64::from(window.max(1))) as u32;
+            if fails {
+                plan = plan.node_down(at, v);
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Merges two schedules into one, keeping events sorted by cycle
+    /// (`self`'s events come first within a tie).
+    pub fn merged(mut self, other: FaultPlan) -> FaultPlan {
+        for e in other.events {
+            self.push(e);
+        }
+        self
     }
 
     /// Number of scheduled events.
@@ -173,6 +219,23 @@ impl FaultPlan {
     /// The cycle of the last scheduled event.
     pub fn horizon(&self) -> Option<u32> {
         self.events.last().map(|e| e.cycle)
+    }
+
+    /// Serialises the schedule as LEB128 words (count, then per event:
+    /// cycle, kind tag, endpoints).
+    pub(crate) fn encode(&self, buf: &mut Vec<u8>) {
+        encode_events(&self.events, buf);
+    }
+
+    /// Inverse of [`FaultPlan::encode`]. Events were sorted when encoded,
+    /// so the order round-trips.
+    ///
+    /// # Errors
+    /// [`SimError::InvalidFault`] on truncation or an unknown tag.
+    pub(crate) fn decode(bytes: &[u8], pos: &mut usize) -> Result<Self, SimError> {
+        Ok(FaultPlan {
+            events: decode_events(bytes, pos)?,
+        })
     }
 }
 
@@ -349,21 +412,25 @@ impl FaultState {
             let kind = e.kind;
             self.next_event += 1;
             applied = true;
-            match kind {
-                FaultKind::LinkDown { u, v } => self.set_link(graph, u, v, true),
-                FaultKind::LinkUp { u, v } => self.set_link(graph, u, v, false),
-                FaultKind::NodeDown { v } => {
-                    if !self.node_down[v as usize] {
-                        self.node_down[v as usize] = true;
-                        self.down_nodes += 1;
-                    }
-                }
-            }
+            self.apply_kind(graph, kind);
         }
         if applied {
             self.epoch += 1;
         }
         applied
+    }
+
+    fn apply_kind(&mut self, graph: &Csr, kind: FaultKind) {
+        match kind {
+            FaultKind::LinkDown { u, v } => self.set_link(graph, u, v, true),
+            FaultKind::LinkUp { u, v } => self.set_link(graph, u, v, false),
+            FaultKind::NodeDown { v } => {
+                if !self.node_down[v as usize] {
+                    self.node_down[v as usize] = true;
+                    self.down_nodes += 1;
+                }
+            }
+        }
     }
 
     fn set_link(&mut self, graph: &Csr, u: u32, v: u32, down: bool) {
@@ -443,6 +510,115 @@ impl FaultState {
     pub fn reachable(&mut self, graph: &Csr, v: u32, dst: u32) -> bool {
         self.distance(graph, v, dst).is_some()
     }
+
+    /// Serialises the runtime state into `buf` as LEB128 words (see the
+    /// checkpoint container for framing). The live link/node masks are
+    /// *not* stored: they are a pure function of the applied event prefix,
+    /// so [`FaultState::decode`] rebuilds them by replay — the snapshot
+    /// stays small and cannot de-synchronise from the plan.
+    pub(crate) fn encode(&self, buf: &mut Vec<u8>) {
+        use xtree_telemetry::varint::encode_u64;
+        encode_u64(buf, u64::from(self.max_idle_wait));
+        encode_u64(buf, u64::from(self.clock));
+        encode_u64(buf, self.next_event as u64);
+        encode_events(&self.events, buf);
+    }
+
+    /// Rebuilds a state serialised by [`FaultState::encode`], validating
+    /// the embedded plan against `graph` exactly like [`FaultState::new`]
+    /// and replaying the applied event prefix to reconstruct the masks.
+    ///
+    /// # Errors
+    /// [`SimError::InvalidFault`] on truncated input, unknown event tags,
+    /// an out-of-range cursor, or a plan that does not fit `graph`.
+    pub(crate) fn decode(graph: &Csr, bytes: &[u8], pos: &mut usize) -> Result<Self, SimError> {
+        let max_idle_wait = decode_u32(bytes, pos)?;
+        let clock = decode_u32(bytes, pos)?;
+        let next_event = decode_word(bytes, pos)? as usize;
+        let plan = FaultPlan::decode(bytes, pos)?;
+        if next_event > plan.len() {
+            return Err(SimError::InvalidFault {
+                reason: format!(
+                    "checkpoint cursor {next_event} past the end of a {}-event plan",
+                    plan.len()
+                ),
+            });
+        }
+        let mut st = FaultState::new(graph, plan)?;
+        for i in 0..next_event {
+            let kind = st.events[i].kind;
+            st.apply_kind(graph, kind);
+        }
+        st.next_event = next_event;
+        st.epoch = next_event as u64;
+        st.clock = clock;
+        st.max_idle_wait = max_idle_wait;
+        Ok(st)
+    }
+}
+
+fn encode_events(events: &[FaultEvent], buf: &mut Vec<u8>) {
+    use xtree_telemetry::varint::encode_u64;
+    encode_u64(buf, events.len() as u64);
+    for e in events {
+        encode_u64(buf, u64::from(e.cycle));
+        match e.kind {
+            FaultKind::LinkDown { u, v } => {
+                encode_u64(buf, 0);
+                encode_u64(buf, u64::from(u));
+                encode_u64(buf, u64::from(v));
+            }
+            FaultKind::LinkUp { u, v } => {
+                encode_u64(buf, 1);
+                encode_u64(buf, u64::from(u));
+                encode_u64(buf, u64::from(v));
+            }
+            FaultKind::NodeDown { v } => {
+                encode_u64(buf, 2);
+                encode_u64(buf, u64::from(v));
+            }
+        }
+    }
+}
+
+fn decode_events(bytes: &[u8], pos: &mut usize) -> Result<Vec<FaultEvent>, SimError> {
+    let len = decode_word(bytes, pos)? as usize;
+    let mut events = Vec::new();
+    for _ in 0..len {
+        let cycle = decode_u32(bytes, pos)?;
+        let kind = match decode_word(bytes, pos)? {
+            0 => FaultKind::LinkDown {
+                u: decode_u32(bytes, pos)?,
+                v: decode_u32(bytes, pos)?,
+            },
+            1 => FaultKind::LinkUp {
+                u: decode_u32(bytes, pos)?,
+                v: decode_u32(bytes, pos)?,
+            },
+            2 => FaultKind::NodeDown {
+                v: decode_u32(bytes, pos)?,
+            },
+            t => {
+                return Err(SimError::InvalidFault {
+                    reason: format!("unknown fault-event tag {t} in checkpoint"),
+                })
+            }
+        };
+        events.push(FaultEvent { cycle, kind });
+    }
+    Ok(events)
+}
+
+fn decode_word(bytes: &[u8], pos: &mut usize) -> Result<u64, SimError> {
+    xtree_telemetry::varint::decode_u64(bytes, pos).ok_or_else(|| SimError::InvalidFault {
+        reason: "checkpoint truncated inside the fault snapshot".into(),
+    })
+}
+
+fn decode_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, SimError> {
+    u32::try_from(decode_word(bytes, pos)?).map_err(|_| SimError::InvalidFault {
+        reason: "fault snapshot word does not fit in 32 bits".into(),
+    })
 }
 
 /// Reverse BFS from `dst` over the survivor graph. The host is
@@ -521,13 +697,15 @@ mod tests {
     #[test]
     fn random_plans_are_deterministic_and_rate_scaled() {
         let g = cycle(64);
-        let a = FaultPlan::random_links(&g, 0.25, 42, 8, Some(3));
-        let b = FaultPlan::random_links(&g, 0.25, 42, 8, Some(3));
+        let a = FaultPlan::random_links(&g, 0.25, 42, 8, Some(3)).unwrap();
+        let b = FaultPlan::random_links(&g, 0.25, 42, 8, Some(3)).unwrap();
         assert_eq!(a, b);
-        let c = FaultPlan::random_links(&g, 0.25, 43, 8, Some(3));
+        let c = FaultPlan::random_links(&g, 0.25, 43, 8, Some(3)).unwrap();
         assert_ne!(a, c, "a different seed must give a different plan");
-        assert!(FaultPlan::random_links(&g, 0.0, 42, 8, None).is_empty());
-        let all = FaultPlan::random_links(&g, 1.0, 42, 1, None);
+        assert!(FaultPlan::random_links(&g, 0.0, 42, 8, None)
+            .unwrap()
+            .is_empty());
+        let all = FaultPlan::random_links(&g, 1.0, 42, 1, None).unwrap();
         assert_eq!(all.len(), g.edge_count());
         assert!(all.events().iter().all(|e| e.cycle == 0));
         // Every repair trails its failure by exactly k.
@@ -539,6 +717,104 @@ mod tests {
                     .any(|e| e.kind == FaultKind::LinkUp { u, v } && e.cycle == w.cycle + 3));
             }
         }
+    }
+
+    #[test]
+    fn degenerate_rates_are_rejected_not_silently_absorbed() {
+        let g = cycle(8);
+        for bad in [f64::NAN, -0.1, 1.5, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                matches!(
+                    FaultPlan::random_links(&g, bad, 1, 4, None),
+                    Err(SimError::InvalidRate { .. })
+                ),
+                "rate {bad} must be rejected"
+            );
+            assert!(matches!(
+                FaultPlan::random_nodes(&g, bad, 1, 4),
+                Err(SimError::InvalidRate { .. })
+            ));
+        }
+        // The boundary values are legal probabilities.
+        assert!(FaultPlan::random_links(&g, 0.0, 1, 4, None).is_ok());
+        assert!(FaultPlan::random_nodes(&g, 1.0, 1, 4).is_ok());
+    }
+
+    #[test]
+    fn random_nodes_and_merged_compose() {
+        let g = cycle(64);
+        let nodes = FaultPlan::random_nodes(&g, 0.25, 7, 8).unwrap();
+        assert_eq!(nodes, FaultPlan::random_nodes(&g, 0.25, 7, 8).unwrap());
+        assert!(!nodes.is_empty());
+        assert!(nodes
+            .events()
+            .iter()
+            .all(|e| matches!(e.kind, FaultKind::NodeDown { .. })));
+        let links = FaultPlan::random_links(&g, 0.25, 7, 8, None).unwrap();
+        let both = links.clone().merged(nodes.clone());
+        assert_eq!(both.len(), links.len() + nodes.len());
+        let cycles: Vec<u32> = both.events().iter().map(|e| e.cycle).collect();
+        assert!(
+            cycles.windows(2).all(|w| w[0] <= w[1]),
+            "merged stays sorted"
+        );
+    }
+
+    #[test]
+    fn fault_state_snapshot_round_trips_mid_plan() {
+        let g = cycle(8);
+        let plan = FaultPlan::new()
+            .link_down(0, 0, 1)
+            .node_down(2, 4)
+            .link_up(5, 0, 1);
+        let mut st = FaultState::new(&g, plan).unwrap().with_max_idle_wait(99);
+        st.apply_due(&g);
+        st.advance_clock(3);
+        st.apply_due(&g); // link {0,1} down, node 4 down; link-up still pending
+        let mut buf = Vec::new();
+        st.encode(&mut buf);
+        let mut pos = 0;
+        let mut back = FaultState::decode(&g, &buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len(), "decode must consume the whole snapshot");
+        assert_eq!(back.clock(), st.clock());
+        assert_eq!(back.max_idle_wait(), 99);
+        assert_eq!(back.down_links(), st.down_links());
+        assert_eq!(back.down_nodes(), st.down_nodes());
+        assert_eq!(back.pending(), Some(5));
+        for v in 0..8u32 {
+            for dst in 0..8u32 {
+                assert_eq!(back.next_hop(&g, v, dst), st.next_hop(&g, v, dst));
+            }
+        }
+        // The restored state keeps consuming the plan identically.
+        back.advance_clock(2);
+        st.advance_clock(2);
+        assert!(back.apply_due(&g) && st.apply_due(&g));
+        assert_eq!(back.down_links(), 0);
+        assert_eq!(st.down_links(), 0);
+    }
+
+    #[test]
+    fn fault_state_decode_rejects_garbage() {
+        let g = cycle(8);
+        let mut buf = Vec::new();
+        FaultState::new(&g, FaultPlan::new().link_down(0, 0, 7))
+            .unwrap()
+            .encode(&mut buf);
+        // Truncation anywhere must error, never panic.
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(
+                matches!(
+                    FaultState::decode(&g, &buf[..cut], &mut pos),
+                    Err(SimError::InvalidFault { .. })
+                ),
+                "cut at {cut} must be a decode error"
+            );
+        }
+        // A snapshot for one host must not drive a different one.
+        let mut pos = 0;
+        assert!(FaultState::decode(&path(3), &buf, &mut pos).is_err());
     }
 
     #[test]

@@ -16,26 +16,41 @@
 //!   instead of panicking;
 //! * [`stats`] — per-workload reports (fault-free and degraded) and
 //!   rayon-parallel sweeps;
+//! * [`recovery`] — the self-healing supervisor: embedding repair,
+//!   stranded-message retry with backoff, provable-unreachability cutoff;
+//! * [`session`] — the four-workload experiment as a resumable state
+//!   machine with deterministic snapshots;
+//! * [`checkpoint`] — the versioned `XCKPT1` container tying a session
+//!   snapshot, the current embedding, and the telemetry trace together;
 //! * [`telemetry`] (re-export of `xtree-telemetry`) — event sinks, binary
 //!   traces with deterministic replay, and metric exporters that plug
 //!   into [`engine::Engine::run_batch_with`] /
 //!   [`engine::Engine::run_batch_faulted_with`].
 
+pub mod checkpoint;
 pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod network;
+pub mod recovery;
 pub mod router;
+pub mod session;
 pub mod stats;
 pub mod workload;
 
+pub use checkpoint::{decode_checkpoint, encode_checkpoint, Checkpoint};
 pub use engine::{
     run_batch, run_rounds, run_rounds_faulted, BatchOutcome, BatchStats, Engine, Message,
 };
 pub use error::SimError;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultState, DEFAULT_MAX_IDLE_WAIT};
 pub use network::Network;
+pub use recovery::{
+    recover_batch, recover_batch_with, AttemptStats, Backoff, RecoveryEnd, RecoveryOutcome,
+    RecoveryPolicy, RepairableHost,
+};
 pub use router::Router;
+pub use session::{RecoveryTotals, Session, SessionSnapshot, SessionStatus};
 pub use stats::{
     compute_load, congestion, simulate_all, simulate_all_faulted, simulate_all_faulted_with,
     simulate_all_with, simulate_step, sweep, sweep_counted, FaultSimReport, SimReport, StepReport,

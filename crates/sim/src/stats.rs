@@ -128,12 +128,7 @@ fn workload_rounds<M: workload::HostMap>(
     tree: &BinaryTree,
     emb: &M,
 ) -> [(&'static str, Vec<Vec<crate::engine::Message>>); 4] {
-    [
-        ("broadcast", workload::broadcast_rounds(tree, emb)),
-        ("reduce", workload::reduce_rounds(tree, emb)),
-        ("exchange", vec![workload::exchange_round(tree, emb)]),
-        ("dnc", workload::divide_and_conquer_rounds(tree, emb)),
-    ]
+    std::array::from_fn(|i| (workload::WORKLOADS[i], workload::rounds_for(tree, emb, i)))
 }
 
 /// Runs the canonical tree workloads of one embedding.

@@ -89,6 +89,23 @@ pub fn divide_and_conquer_rounds<M: HostMap>(tree: &BinaryTree, emb: &M) -> Vec<
     rounds
 }
 
+/// Canonical workload names, in the fixed order `simulate_all*` and the
+/// session driver execute them.
+pub const WORKLOADS: [&str; 4] = ["broadcast", "reduce", "exchange", "dnc"];
+
+/// The round sequence of canonical workload `idx` (an index into
+/// [`WORKLOADS`]), generated from the *current* embedding — callers that
+/// mutate the embedding mid-experiment (recovery repairs) regenerate each
+/// round from here so later traffic follows the migrated guests.
+pub fn rounds_for<M: HostMap>(tree: &BinaryTree, emb: &M, idx: usize) -> Vec<Vec<Message>> {
+    match idx {
+        0 => broadcast_rounds(tree, emb),
+        1 => reduce_rounds(tree, emb),
+        2 => vec![exchange_round(tree, emb)],
+        _ => divide_and_conquer_rounds(tree, emb),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

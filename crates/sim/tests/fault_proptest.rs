@@ -98,8 +98,8 @@ proptest! {
     ) {
         let rate = f64::from(rate_pct) / 100.0;
         let graph = XTree::new(size).graph().clone();
-        let a = FaultPlan::random_links(&graph, rate, seed, 8, Some(4));
-        let b = FaultPlan::random_links(&graph, rate, seed, 8, Some(4));
+        let a = FaultPlan::random_links(&graph, rate, seed, 8, Some(4)).unwrap();
+        let b = FaultPlan::random_links(&graph, rate, seed, 8, Some(4)).unwrap();
         prop_assert_eq!(a.events(), b.events());
         // Generated plans always validate against the host they came from.
         prop_assert!(FaultState::new(&graph, a).is_ok());
@@ -116,7 +116,7 @@ proptest! {
         // every link is back) — never hang, never panic.
         let graph = XTree::new(size).graph().clone();
         let n = graph.node_count() as u32;
-        let plan = FaultPlan::random_links(&graph, 0.2, seed, 6, Some(3));
+        let plan = FaultPlan::random_links(&graph, 0.2, seed, 6, Some(3)).unwrap();
         let msgs: Vec<Message> = msg_picks
             .iter()
             .map(|(a, b)| Message { src: a % n, dst: b % n })

@@ -78,7 +78,7 @@ proptest! {
         let x = XTree::new(size);
         let net = Network::xtree(&x);
         let msgs = messages(x.node_count() as u32, &msg_picks);
-        let plan = FaultPlan::random_links(net.graph(), 0.15, seed, 6, Some(3));
+        let plan = FaultPlan::random_links(net.graph(), 0.15, seed, 6, Some(3)).unwrap();
         let (rec_a, out_a) = traced_faulted_run(&net, &msgs, &plan);
         let (rec_b, out_b) = traced_faulted_run(&net, &msgs, &plan);
         prop_assert_eq!(out_a, out_b);
@@ -118,7 +118,7 @@ proptest! {
         prop_assert_eq!(met.counters().hops, plain.total_hops);
 
         // Faulted: same check through the survivor path.
-        let plan = FaultPlan::random_links(net.graph(), 0.2, seed, 6, Some(3));
+        let plan = FaultPlan::random_links(net.graph(), 0.2, seed, 6, Some(3)).unwrap();
         let mut faults = FaultState::new(net.graph(), plan.clone()).unwrap();
         let out_plain = Engine::new().run_batch_faulted(&net, &msgs, &mut faults).unwrap();
         let (_, out_traced) = traced_faulted_run(&net, &msgs, &plan);
@@ -146,7 +146,7 @@ fn faulted_x10_fixed_seed_replays_byte_for_byte() {
             dst: (rand() % n) as u32,
         })
         .collect();
-    let plan = FaultPlan::random_links(net.graph(), 0.05, 0xFA17, 32, Some(16));
+    let plan = FaultPlan::random_links(net.graph(), 0.05, 0xFA17, 32, Some(16)).unwrap();
     let (rec_a, out_a) = traced_faulted_run(&net, &msgs, &plan);
     let (rec_b, out_b) = traced_faulted_run(&net, &msgs, &plan);
     assert_eq!(out_a, out_b);

@@ -22,6 +22,10 @@ pub struct AtomicCounters {
     reroutes: AtomicU64,
     idle_jumps: AtomicU64,
     idle_cycles_skipped: AtomicU64,
+    recovery_attempts: AtomicU64,
+    requeues: AtomicU64,
+    repairs: AtomicU64,
+    checkpoints: AtomicU64,
 }
 
 /// A plain-value copy of [`AtomicCounters`] at one point in time.
@@ -35,6 +39,10 @@ pub struct Counters {
     pub reroutes: u64,
     pub idle_jumps: u64,
     pub idle_cycles_skipped: u64,
+    pub recovery_attempts: u64,
+    pub requeues: u64,
+    pub repairs: u64,
+    pub checkpoints: u64,
 }
 
 impl Counters {
@@ -47,6 +55,10 @@ impl Counters {
             + self.faults_applied
             + self.reroutes
             + self.idle_jumps
+            + self.recovery_attempts
+            + self.requeues
+            + self.repairs
+            + self.checkpoints
     }
 }
 
@@ -69,6 +81,10 @@ impl AtomicCounters {
                 self.idle_cycles_skipped.fetch_add(skipped, Relaxed);
                 &self.idle_jumps
             }
+            Event::RecoveryAttempt { .. } => &self.recovery_attempts,
+            Event::MessageRequeued { .. } => &self.requeues,
+            Event::EmbeddingRepaired { .. } => &self.repairs,
+            Event::CheckpointWritten { .. } => &self.checkpoints,
         };
         c.fetch_add(1, Relaxed);
     }
@@ -84,6 +100,10 @@ impl AtomicCounters {
             reroutes: self.reroutes.load(Relaxed),
             idle_jumps: self.idle_jumps.load(Relaxed),
             idle_cycles_skipped: self.idle_cycles_skipped.load(Relaxed),
+            recovery_attempts: self.recovery_attempts.load(Relaxed),
+            requeues: self.requeues.load(Relaxed),
+            repairs: self.repairs.load(Relaxed),
+            checkpoints: self.checkpoints.load(Relaxed),
         }
     }
 }

@@ -55,13 +55,53 @@ pub enum Event {
         /// Idle cycles skipped.
         skipped: u64,
     },
+    /// A recovery supervisor is about to re-dispatch undelivered messages.
+    RecoveryAttempt {
+        /// 1-based retry number (the initial dispatch is attempt 0).
+        attempt: u32,
+        /// Simulated cycles waited out before this attempt.
+        backoff: u32,
+        /// Messages re-dispatched in this attempt.
+        requeued: u32,
+    },
+    /// One undelivered message was re-sourced and queued for retry.
+    MessageRequeued {
+        /// Retry number the message rides in.
+        attempt: u32,
+        /// The message's id in its original batch.
+        msg: u32,
+        /// Host vertex it is re-sent from (post-repair).
+        src: u32,
+        /// Host vertex it now targets (post-repair).
+        dst: u32,
+    },
+    /// Guest nodes were migrated off dead host vertices.
+    EmbeddingRepaired {
+        /// Guest nodes that moved.
+        migrated: u32,
+        /// Maximum host load after the migration.
+        max_load: u32,
+        /// Embedding dilation after the migration.
+        dilation: u32,
+    },
+    /// A checkpoint was serialized.
+    CheckpointWritten {
+        /// Encoded size of the checkpoint.
+        bytes: u64,
+    },
 }
 
 impl Event {
-    /// The batch-local cycle the event belongs to (0 for `BatchStarted`).
+    /// The batch-local cycle the event belongs to (0 for `BatchStarted`
+    /// and for the supervisor-level recovery/checkpoint events, which
+    /// happen between batches).
     pub fn cycle(&self) -> u64 {
         match *self {
-            Event::BatchStarted { .. } => 0,
+            Event::BatchStarted { .. }
+            | Event::RecoveryAttempt { .. }
+            | Event::MessageRequeued { .. }
+            | Event::EmbeddingRepaired { .. }
+            | Event::CheckpointWritten { .. } => 0,
             Event::HopTaken { cycle, .. }
             | Event::LinkContended { cycle, .. }
             | Event::MessageDelivered { cycle, .. }

@@ -133,7 +133,11 @@ impl MetricsSink {
             .with("faults_applied", c.faults_applied)
             .with("reroutes", c.reroutes)
             .with("idle_jumps", c.idle_jumps)
-            .with("idle_cycles_skipped", c.idle_cycles_skipped);
+            .with("idle_cycles_skipped", c.idle_cycles_skipped)
+            .with("recovery_attempts", c.recovery_attempts)
+            .with("requeues", c.requeues)
+            .with("repairs", c.repairs)
+            .with("checkpoints", c.checkpoints);
         out.push_str(&xtree_json::to_string(&counters));
         out.push('\n');
         for (name, h) in [
@@ -192,6 +196,10 @@ impl MetricsSink {
             ("reroutes", c.reroutes),
             ("idle_jumps", c.idle_jumps),
             ("idle_cycles_skipped", c.idle_cycles_skipped),
+            ("recovery_attempts", c.recovery_attempts),
+            ("requeues", c.requeues),
+            ("repairs", c.repairs),
+            ("checkpoints", c.checkpoints),
         ] {
             out.push_str(&format!(
                 "# TYPE xtree_sim_{name}_total counter\nxtree_sim_{name}_total {v}\n"
@@ -263,6 +271,10 @@ impl Sink for MetricsSink {
                 self.counters.idle_jumps += 1;
                 self.counters.idle_cycles_skipped += skipped;
             }
+            Event::RecoveryAttempt { .. } => self.counters.recovery_attempts += 1,
+            Event::MessageRequeued { .. } => self.counters.requeues += 1,
+            Event::EmbeddingRepaired { .. } => self.counters.repairs += 1,
+            Event::CheckpointWritten { .. } => self.counters.checkpoints += 1,
         }
     }
 }

@@ -27,6 +27,10 @@ const TAG_MESSAGE_DELIVERED: u8 = 3;
 const TAG_FAULT_APPLIED: u8 = 4;
 const TAG_REROUTE_COMPUTED: u8 = 5;
 const TAG_WATCHDOG_IDLE: u8 = 6;
+const TAG_RECOVERY_ATTEMPT: u8 = 7;
+const TAG_MESSAGE_REQUEUED: u8 = 8;
+const TAG_EMBEDDING_REPAIRED: u8 = 9;
+const TAG_CHECKPOINT_WRITTEN: u8 = 10;
 
 /// A [`Sink`] that appends every event to an in-memory binary trace.
 #[derive(Clone, Debug)]
@@ -44,6 +48,36 @@ impl TraceRecorder {
             prev_cycle: 0,
             events: 0,
         }
+    }
+
+    /// Resumes recording onto a previously encoded trace (e.g. one pulled
+    /// out of a checkpoint): appended events continue the same stream, so
+    /// an interrupted-and-resumed run can still match an uninterrupted one
+    /// byte for byte.
+    ///
+    /// # Errors
+    /// [`TraceError`] when `bytes` is not a well-formed trace.
+    pub fn resume(bytes: Vec<u8>) -> Result<Self, TraceError> {
+        let events = read_trace(&bytes)?;
+        // Recover the delta base exactly as recording would have left it:
+        // cycle-bearing events move it, `BatchStarted` resets it, and the
+        // supervisor-level events leave it untouched.
+        let mut prev_cycle = 0;
+        for ev in &events {
+            match ev {
+                Event::BatchStarted { .. } => prev_cycle = 0,
+                Event::RecoveryAttempt { .. }
+                | Event::MessageRequeued { .. }
+                | Event::EmbeddingRepaired { .. }
+                | Event::CheckpointWritten { .. } => {}
+                other => prev_cycle = other.cycle(),
+            }
+        }
+        Ok(TraceRecorder {
+            buf: bytes,
+            prev_cycle,
+            events: events.len() as u64,
+        })
     }
 
     /// The encoded trace, header included — what goes in the file.
@@ -150,6 +184,44 @@ impl Sink for TraceRecorder {
                 let d = self.delta(cycle);
                 encode_u64(&mut self.buf, d);
                 encode_u64(&mut self.buf, skipped);
+            }
+            // Supervisor-level events carry no batch-local cycle and leave
+            // the delta base alone (the next BatchStarted resets it).
+            Event::RecoveryAttempt {
+                attempt,
+                backoff,
+                requeued,
+            } => {
+                buf.push(TAG_RECOVERY_ATTEMPT);
+                encode_u64(buf, u64::from(attempt));
+                encode_u64(buf, u64::from(backoff));
+                encode_u64(buf, u64::from(requeued));
+            }
+            Event::MessageRequeued {
+                attempt,
+                msg,
+                src,
+                dst,
+            } => {
+                buf.push(TAG_MESSAGE_REQUEUED);
+                encode_u64(buf, u64::from(attempt));
+                encode_u64(buf, u64::from(msg));
+                encode_u64(buf, u64::from(src));
+                encode_u64(buf, u64::from(dst));
+            }
+            Event::EmbeddingRepaired {
+                migrated,
+                max_load,
+                dilation,
+            } => {
+                buf.push(TAG_EMBEDDING_REPAIRED);
+                encode_u64(buf, u64::from(migrated));
+                encode_u64(buf, u64::from(max_load));
+                encode_u64(buf, u64::from(dilation));
+            }
+            Event::CheckpointWritten { bytes } => {
+                buf.push(TAG_CHECKPOINT_WRITTEN);
+                encode_u64(buf, bytes);
             }
         }
     }
@@ -269,6 +341,25 @@ pub fn read_trace(bytes: &[u8]) -> Result<Vec<Event>, TraceError> {
                     skipped: field(&mut pos)?,
                 }
             }
+            TAG_RECOVERY_ATTEMPT => Event::RecoveryAttempt {
+                attempt: field(&mut pos)? as u32,
+                backoff: field(&mut pos)? as u32,
+                requeued: field(&mut pos)? as u32,
+            },
+            TAG_MESSAGE_REQUEUED => Event::MessageRequeued {
+                attempt: field(&mut pos)? as u32,
+                msg: field(&mut pos)? as u32,
+                src: field(&mut pos)? as u32,
+                dst: field(&mut pos)? as u32,
+            },
+            TAG_EMBEDDING_REPAIRED => Event::EmbeddingRepaired {
+                migrated: field(&mut pos)? as u32,
+                max_load: field(&mut pos)? as u32,
+                dilation: field(&mut pos)? as u32,
+            },
+            TAG_CHECKPOINT_WRITTEN => Event::CheckpointWritten {
+                bytes: field(&mut pos)?,
+            },
             tag => return Err(TraceError::BadTag { offset: start, tag }),
         };
         events.push(ev);
@@ -314,6 +405,24 @@ mod tests {
                 cycle: 40,
                 skipped: 35,
             },
+            // Supervisor events sit between batches and carry no cycle.
+            Event::EmbeddingRepaired {
+                migrated: 3,
+                max_load: 17,
+                dilation: 4,
+            },
+            Event::MessageRequeued {
+                attempt: 1,
+                msg: 2,
+                src: 7,
+                dst: 4,
+            },
+            Event::RecoveryAttempt {
+                attempt: 1,
+                backoff: 8,
+                requeued: 1,
+            },
+            Event::CheckpointWritten { bytes: 96 },
             // A second batch resets the cycle base below the previous one.
             Event::BatchStarted { messages: 1 },
             Event::HopTaken {
@@ -370,6 +479,30 @@ mod tests {
         assert_eq!(
             read_trace(&bad),
             Err(TraceError::BadTag { offset: 8, tag: 99 })
+        );
+    }
+
+    #[test]
+    fn resume_continues_a_stream_byte_identically() {
+        let events = sample_events();
+        for cut in 0..=events.len() {
+            let mut full = TraceRecorder::new();
+            let mut prefix = TraceRecorder::new();
+            for &ev in &events[..cut] {
+                full.record(ev);
+                prefix.record(ev);
+            }
+            let mut resumed = TraceRecorder::resume(prefix.into_bytes()).unwrap();
+            assert_eq!(resumed.event_count(), cut as u64);
+            for &ev in &events[cut..] {
+                full.record(ev);
+                resumed.record(ev);
+            }
+            assert_eq!(full.bytes(), resumed.bytes(), "cut at {cut}");
+        }
+        assert_eq!(
+            TraceRecorder::resume(b"junk".to_vec()).err(),
+            Some(TraceError::BadMagic)
         );
     }
 
