@@ -1,0 +1,357 @@
+//! Load generator for the `xtree-server` daemon.
+//!
+//! Two ways to run it:
+//!
+//! * **Spawn mode** (default): starts its own servers in-process and runs
+//!   three phases — a *warm* run (4 workers, cache on) against a small
+//!   repeated key pool, the identical *cold* run with the cache disabled
+//!   (`cache_cap = 0`), and a *saturation* probe (1 worker, tiny queue)
+//!   that must bounce requests as `Overloaded`. It asserts the serving
+//!   layer's contract: warm hit rate > 90%, warm throughput strictly
+//!   above cold, and saturation observably answered — never a hang.
+//! * **`--addr HOST:PORT`**: drives an already-running daemon (the CI
+//!   smoke job does this) with one bounded phase and leaves it up.
+//!
+//! Both modes report throughput and client-side p50/p95/p99 latency and
+//! write `results/BENCH_server.json`. `--smoke` shrinks the workload and
+//! skips the results file.
+//!
+//! Run with: cargo run --release -p xtree-bench --bin loadgen
+
+use std::net::SocketAddr;
+use std::time::Instant;
+use xtree_bench::seeded_batches;
+use xtree_json::Value;
+use xtree_server::{Client, Request, Response, Server, ServerConfig, WireStats};
+
+/// Key pool: `random-bst` in `TreeFamily::ALL`.
+const FAMILY: u8 = 4;
+/// 16(2^(r+1) - 1) with r = 6 — a mid-size guest, so one Theorem-1
+/// construction is expensive enough for the cache to matter.
+const NODES: u64 = 2032;
+/// Distinct seeds in the repeated-key workload. Every request maps to
+/// one of these keys, so a warm cache serves all but the first builds.
+const SEED_POOL: u64 = 4;
+const SEED_BASE: u64 = 1000;
+
+struct Opts {
+    addr: Option<String>,
+    conns: usize,
+    requests: usize,
+    smoke: bool,
+    out: String,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        addr: None,
+        conns: 8,
+        requests: 64,
+        smoke: false,
+        out: "results/BENCH_server.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => opts.addr = Some(value("--addr")),
+            "--conns" => opts.conns = value("--conns").parse().expect("--conns"),
+            "--requests" => opts.requests = value("--requests").parse().expect("--requests"),
+            "--out" => opts.out = value("--out"),
+            "--smoke" => opts.smoke = true,
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    if opts.smoke {
+        opts.conns = opts.conns.min(4);
+        opts.requests = opts.requests.min(8);
+    }
+    assert!(opts.conns >= 1 && opts.requests >= 1, "need work to do");
+    opts
+}
+
+/// What one phase of driving measured, client side plus server stats.
+struct Phase {
+    name: &'static str,
+    requests: usize,
+    ok: usize,
+    overloaded: usize,
+    errors: usize,
+    wall_s: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    stats: WireStats,
+}
+
+impl Phase {
+    fn throughput_rps(&self) -> f64 {
+        self.requests as f64 / self.wall_s
+    }
+
+    fn hit_rate(&self) -> f64 {
+        let lookups = self.stats.cache_hits + self.stats.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.stats.cache_hits as f64 / lookups as f64
+        }
+    }
+
+    fn report(&self) -> Value {
+        Value::object()
+            .with("phase", self.name)
+            .with("requests", self.requests)
+            .with("ok", self.ok)
+            .with("overloaded", self.overloaded)
+            .with("errors", self.errors)
+            .with("wall_s", self.wall_s)
+            .with("throughput_rps", self.throughput_rps())
+            .with("latency_p50_us", self.p50_us)
+            .with("latency_p95_us", self.p95_us)
+            .with("latency_p99_us", self.p99_us)
+            .with("cache_hits", self.stats.cache_hits)
+            .with("cache_misses", self.stats.cache_misses)
+            .with("cache_hit_rate", self.hit_rate())
+            .with("server_overloaded", self.stats.overloaded)
+    }
+}
+
+/// The deterministic request sequence for connection `conn`: repeated
+/// keys drawn from the seed pool, mixed 3:1 simulate:embed, cycling
+/// through the engine's four workloads.
+fn requests_for(conn: usize, conns: usize, count: usize, nodes: u64) -> Vec<Request> {
+    let batches = seeded_batches(0x5EED_10AD, SEED_POOL, conns, count);
+    batches[conn]
+        .iter()
+        .map(|m| {
+            let seed = SEED_BASE + u64::from(m.src);
+            if m.dst % 4 == 3 {
+                Request::Embed {
+                    family: FAMILY,
+                    nodes,
+                    seed,
+                    theorem: 1,
+                }
+            } else {
+                Request::Simulate {
+                    family: FAMILY,
+                    nodes,
+                    seed,
+                    theorem: 1,
+                    workload: (m.dst % 4) as u8,
+                }
+            }
+        })
+        .collect()
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Drive `conns` concurrent connections, `count` requests each, against
+/// `addr`; fetch the server's stats afterwards through a fresh client.
+fn drive(name: &'static str, addr: SocketAddr, conns: usize, count: usize, nodes: u64) -> Phase {
+    let start = Instant::now();
+    let per_conn: Vec<(usize, usize, usize, Vec<u64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|conn| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let (mut ok, mut overloaded, mut errors) = (0, 0, 0);
+                    let mut latencies = Vec::with_capacity(count);
+                    for req in requests_for(conn, conns, count, nodes) {
+                        let sent = Instant::now();
+                        let resp = client.call(&req).expect("call");
+                        latencies.push(sent.elapsed().as_micros() as u64);
+                        match resp {
+                            Response::EmbedOk { .. } | Response::SimulateOk { .. } => ok += 1,
+                            Response::Overloaded { .. } => overloaded += 1,
+                            other => {
+                                errors += 1;
+                                eprintln!("loadgen: unexpected response: {other:?}");
+                            }
+                        }
+                    }
+                    (ok, overloaded, errors, latencies)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+
+    let mut latencies: Vec<u64> = per_conn.iter().flat_map(|p| p.3.iter().copied()).collect();
+    latencies.sort_unstable();
+    let stats = fetch_stats(addr);
+    Phase {
+        name,
+        requests: conns * count,
+        ok: per_conn.iter().map(|p| p.0).sum(),
+        overloaded: per_conn.iter().map(|p| p.1).sum(),
+        errors: per_conn.iter().map(|p| p.2).sum(),
+        wall_s,
+        p50_us: quantile(&latencies, 0.50),
+        p95_us: quantile(&latencies, 0.95),
+        p99_us: quantile(&latencies, 0.99),
+        stats,
+    }
+}
+
+fn fetch_stats(addr: SocketAddr) -> WireStats {
+    let mut client = Client::connect(addr).expect("connect for stats");
+    match client.call(&Request::Stats).expect("stats call") {
+        Response::StatsOk(stats) => stats,
+        other => panic!("expected StatsOk, got {other:?}"),
+    }
+}
+
+/// Run one phase against a throwaway in-process server and tear it down.
+fn spawn_and_drive(
+    name: &'static str,
+    config: &ServerConfig,
+    conns: usize,
+    count: usize,
+    nodes: u64,
+) -> Phase {
+    let mut server = Server::spawn(config).expect("bind ephemeral server");
+    let addr = server.local_addr();
+    let phase = drive(name, addr, conns, count, nodes);
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    client.call(&Request::Shutdown).expect("shutdown");
+    server.wait();
+    phase
+}
+
+fn print_phase(phase: &Phase) {
+    eprintln!(
+        "{:>10}: {} reqs in {:.2}s — {:.0} req/s, p50 {}us p95 {}us p99 {}us, \
+         hit rate {:.1}%, {} overloaded, {} errors",
+        phase.name,
+        phase.requests,
+        phase.wall_s,
+        phase.throughput_rps(),
+        phase.p50_us,
+        phase.p95_us,
+        phase.p99_us,
+        phase.hit_rate() * 100.0,
+        phase.overloaded,
+        phase.errors,
+    );
+}
+
+fn main() {
+    let opts = parse_opts();
+    let mut doc = Value::object()
+        .with("bench", "server")
+        .with("conns", opts.conns)
+        .with("requests_per_conn", opts.requests)
+        .with("family", "random-bst")
+        .with("nodes", NODES)
+        .with("seed_pool", SEED_POOL);
+
+    let mut phases = Vec::new();
+    if let Some(addr) = &opts.addr {
+        // External mode: one bounded phase against a live daemon; leave
+        // it running for whoever started it.
+        let addr: SocketAddr = addr.parse().expect("--addr must be HOST:PORT");
+        let phase = drive("external", addr, opts.conns, opts.requests, NODES);
+        print_phase(&phase);
+        assert_eq!(phase.errors, 0, "external run must not error");
+        assert!(phase.ok >= 1, "external run must serve something");
+        phases.push(phase);
+    } else {
+        let warm_config = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_cap: 64,
+            cache_cap: 256,
+        };
+        let cold_config = ServerConfig {
+            cache_cap: 0,
+            ..warm_config.clone()
+        };
+
+        let warm = spawn_and_drive("warm", &warm_config, opts.conns, opts.requests, NODES);
+        print_phase(&warm);
+        let cold = spawn_and_drive("cold", &cold_config, opts.conns, opts.requests, NODES);
+        print_phase(&cold);
+
+        // Saturation probe: one worker, a queue of two, a burst of
+        // distinct expensive keys — backpressure must be explicit.
+        let tight = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_cap: 2,
+            cache_cap: 0,
+        };
+        let burst_conns = opts.conns.max(8);
+        let saturation = spawn_and_drive("saturation", &tight, burst_conns, 2, NODES);
+        print_phase(&saturation);
+
+        // The contract the serving layer was built around. In --smoke the
+        // workload is too small to promise a hit-rate or a speedup, but
+        // backpressure must hold at any size.
+        assert_eq!(warm.errors + cold.errors, 0, "no request may error");
+        assert_eq!(
+            warm.overloaded + cold.overloaded,
+            0,
+            "sized queue must not bounce the throughput phases"
+        );
+        if !opts.smoke {
+            assert!(
+                warm.hit_rate() > 0.9,
+                "repeated-key workload must hit the cache: {:.3}",
+                warm.hit_rate()
+            );
+            assert!(
+                warm.throughput_rps() > cold.throughput_rps(),
+                "warm cache must out-run cold: {:.0} vs {:.0} req/s",
+                warm.throughput_rps(),
+                cold.throughput_rps()
+            );
+        }
+        assert!(
+            saturation.overloaded >= 1,
+            "saturation probe must observe Overloaded"
+        );
+        assert_eq!(
+            saturation.overloaded as u64, saturation.stats.overloaded,
+            "client-observed bounces must match server telemetry"
+        );
+
+        eprintln!(
+            "warm/cold speedup: {:.2}x (hit rate {:.1}%)",
+            warm.throughput_rps() / cold.throughput_rps(),
+            warm.hit_rate() * 100.0
+        );
+        doc.set(
+            "comparison",
+            Value::object()
+                .with("warm_rps", warm.throughput_rps())
+                .with("cold_rps", cold.throughput_rps())
+                .with("speedup", warm.throughput_rps() / cold.throughput_rps())
+                .with("warm_hit_rate", warm.hit_rate()),
+        );
+        phases.extend([warm, cold, saturation]);
+    }
+
+    doc.set(
+        "phases",
+        phases.iter().map(Phase::report).collect::<Value>(),
+    );
+    if opts.smoke {
+        eprintln!("smoke mode: skipping results file");
+    } else {
+        xtree_json::write_pretty_file(&opts.out, &doc).expect("write results");
+        eprintln!("wrote {}", opts.out);
+    }
+}

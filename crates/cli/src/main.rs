@@ -7,6 +7,8 @@
 //! xtree-cli resume   FILE [--workload W|all] [--trace FILE] [--verify-trace FILE] [--metrics FILE] [--json]
 //! xtree-cli info     --height 3 [--network xtree|hypercube|ccc|butterfly|mesh]
 //! xtree-cli sizes    --max-r 10
+//! xtree-cli serve    [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] [--metrics FILE --metrics-format jsonl|prom]
+//! xtree-cli request  OP --addr HOST:PORT [--family F --nodes N --seed S --theorem 1|2 --workload W|all] [--json]
 //! ```
 
 mod args;
@@ -16,7 +18,9 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use xtree_core::{evaluate, hypercube, metrics, theorem1, theorem2};
 use xtree_json::Value;
+use xtree_server::{Client, Request, Response, Server, ServerConfig};
 use xtree_sim::telemetry::{Event, MetricsSink, NopSink, Sink, Tee, TraceRecorder};
+use xtree_sim::workload::WORKLOADS;
 use xtree_sim::{
     decode_checkpoint, encode_checkpoint, simulate_all_faulted_with, simulate_all_with, Backoff,
     Checkpoint, FaultPlan, FaultSimReport, HostMap, Network, RecoveryPolicy, RecoveryTotals,
@@ -24,6 +28,50 @@ use xtree_sim::{
 };
 use xtree_topology::{Butterfly, Csr, CubeConnectedCycles, Graph, Hypercube, Mesh2D, XTree};
 use xtree_trees::{generate, BinaryTree, TreeFamily};
+
+/// What went wrong, carrying the process exit code: bad invocations exit
+/// 2 (and reprint the usage), runtime failures exit 1, and I/O failures
+/// (files, sockets) exit 3 — so scripts can tell "fix the command line"
+/// from "the run failed" from "the environment failed".
+#[derive(Debug)]
+enum CliError {
+    /// The invocation itself is wrong; exits 2 and shows the usage.
+    Usage(String),
+    /// The command was well-formed but the operation failed; exits 1.
+    Runtime(String),
+    /// A file or socket operation failed; exits 3.
+    Io(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Runtime(_) => 1,
+            CliError::Io(_) => 3,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Runtime(m) | CliError::Io(m) => m,
+        }
+    }
+}
+
+/// Bare-string errors are invocation problems: every parse/validation
+/// helper returns `Err(String)`, and `?` lifts them to [`CliError::Usage`].
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Usage(m)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(m: &str) -> Self {
+        CliError::Usage(m.into())
+    }
+}
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -42,8 +90,11 @@ fn main() {
             }
         }
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
-            std::process::exit(2);
+            match &e {
+                CliError::Usage(m) => eprintln!("error: {m}\n\n{USAGE}"),
+                _ => eprintln!("error: {}", e.message()),
+            }
+            std::process::exit(e.exit_code());
         }
     }
 }
@@ -55,15 +106,23 @@ const USAGE: &str = "usage:
   xtree-cli info     --height R [--network xtree|hypercube|ccc|butterfly|mesh]
   xtree-cli sizes    [--max-r R]
   xtree-cli trace    --family F --nodes N [--seed S]
+  xtree-cli serve    [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] [--metrics FILE] [--metrics-format jsonl|prom]
+  xtree-cli request  OP --addr HOST:PORT [--family F] [--nodes N] [--seed S] [--theorem 1|2] [--workload W|all] [--json]
+                     (OP: embed simulate stats health shutdown)
 families: path complete caterpillar broom random-bst random-attach random-split leaning";
 
-fn run(mut argv: Vec<String>) -> Result<String, String> {
-    // `resume FILE` takes its checkpoint as a positional argument; rewrite
+fn run(mut argv: Vec<String>) -> Result<String, CliError> {
+    // `resume FILE` and `request OP` take a positional argument; rewrite
     // it into the `--key value` shape the parser speaks.
     if argv.first().map(String::as_str) == Some("resume")
         && argv.get(1).is_some_and(|s| !s.starts_with("--"))
     {
         argv.insert(1, "--from".into());
+    }
+    if argv.first().map(String::as_str) == Some("request")
+        && argv.get(1).is_some_and(|s| !s.starts_with("--"))
+    {
+        argv.insert(1, "--op".into());
     }
     let a = Args::parse(argv)?;
     match a.command.as_str() {
@@ -73,7 +132,9 @@ fn run(mut argv: Vec<String>) -> Result<String, String> {
         "info" => cmd_info(&a),
         "sizes" => cmd_sizes(&a),
         "trace" => cmd_trace(&a),
-        other => Err(format!("unknown command `{other}`")),
+        "serve" => cmd_serve(&a),
+        "request" => cmd_request(&a),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
 }
 
@@ -92,7 +153,7 @@ fn make_tree(a: &Args) -> Result<(BinaryTree, &'static str), String> {
     Ok((family.generate(n, &mut rng), family.name()))
 }
 
-fn cmd_embed(a: &Args) -> Result<String, String> {
+fn cmd_embed(a: &Args) -> Result<String, CliError> {
     let (tree, family) = make_tree(a)?;
     let target = a.get_or("target", "xtree");
     let n = tree.len();
@@ -166,7 +227,7 @@ fn cmd_embed(a: &Args) -> Result<String, String> {
                 ))
             }
         }
-        other => Err(format!("unknown target `{other}`")),
+        other => Err(format!("unknown target `{other}`").into()),
     }
 }
 
@@ -390,18 +451,19 @@ fn simulate_reports<M: HostMap + Sync, S: Sink>(
     emb: &M,
     faults: &Option<FaultArgs>,
     sink: &mut S,
-) -> Result<Reports, String> {
+) -> Result<Reports, CliError> {
     match faults {
         // No faults requested: the plan-free path, bit-identical to the
         // pre-fault simulator.
         None => Ok(Reports::Plain(
-            simulate_all_with(net, tree, emb, sink).map_err(|e| e.to_string())?,
+            simulate_all_with(net, tree, emb, sink)
+                .map_err(|e| CliError::Runtime(e.to_string()))?,
         )),
         Some(f) => {
             let plan = f.plan(net.graph())?;
             Ok(Reports::Faulted(
                 simulate_all_faulted_with(net, tree, emb, &plan, sink)
-                    .map_err(|e| e.to_string())?,
+                    .map_err(|e| CliError::Runtime(e.to_string()))?,
             ))
         }
     }
@@ -417,7 +479,7 @@ fn simulate_telemetry<M: HostMap + Sync>(
     emb: &M,
     faults: &Option<FaultArgs>,
     tel: &Option<TelemetryArgs>,
-) -> Result<(Reports, Option<TelemetrySummary>), String> {
+) -> Result<(Reports, Option<TelemetrySummary>), CliError> {
     let Some(t) = tel else {
         return Ok((
             simulate_reports(net, tree, emb, faults, &mut NopSink)?,
@@ -439,20 +501,22 @@ fn finish_telemetry(
     t: &TelemetryArgs,
     rec: &TraceRecorder,
     met: &mut MetricsSink,
-) -> Result<TelemetrySummary, String> {
+) -> Result<TelemetrySummary, CliError> {
     met.finish();
     if let Some(path) = t.trace {
-        std::fs::write(path, rec.bytes()).map_err(|e| format!("--trace {path}: {e}"))?;
+        std::fs::write(path, rec.bytes())
+            .map_err(|e| CliError::Io(format!("--trace {path}: {e}")))?;
     }
     let mut verified = false;
     if let Some(path) = t.verify {
-        let prior = std::fs::read(path).map_err(|e| format!("--verify-trace {path}: {e}"))?;
+        let prior =
+            std::fs::read(path).map_err(|e| CliError::Io(format!("--verify-trace {path}: {e}")))?;
         if prior != rec.bytes() {
-            return Err(format!(
+            return Err(CliError::Runtime(format!(
                 "--verify-trace {path}: replay mismatch (recorded {} bytes, file holds {})",
                 rec.bytes().len(),
                 prior.len()
-            ));
+            )));
         }
         verified = true;
     }
@@ -461,7 +525,7 @@ fn finish_telemetry(
             "prom" => met.to_prometheus(),
             _ => met.to_jsonl(),
         };
-        std::fs::write(path, body).map_err(|e| format!("--metrics {path}: {e}"))?;
+        std::fs::write(path, body).map_err(|e| CliError::Io(format!("--metrics {path}: {e}")))?;
     }
     // Resolve the hottest directed edge indices back to endpoint pairs.
     let graph = net.graph();
@@ -484,12 +548,12 @@ fn finish_telemetry(
     })
 }
 
-fn cmd_simulate(a: &Args) -> Result<String, String> {
+fn cmd_simulate(a: &Args) -> Result<String, CliError> {
     let (tree, family) = make_tree(a)?;
     let host = a.get_or("host", "xtree");
     let workload = a.get_or("workload", "all");
     if !["all", "broadcast", "reduce", "exchange", "dnc"].contains(&workload) {
-        return Err(format!("unknown workload `{workload}`"));
+        return Err(format!("unknown workload `{workload}`").into());
     }
     let faults = FaultArgs::parse(a)?;
     let tel = TelemetryArgs::parse(a)?;
@@ -512,14 +576,14 @@ fn cmd_simulate(a: &Args) -> Result<String, String> {
             let net = Network::hypercube(&Hypercube::new(q.dim));
             simulate_telemetry(&net, &tree, &q, &faults, &tel)?
         }
-        other => return Err(format!("unknown host `{other}`")),
+        other => return Err(format!("unknown host `{other}`").into()),
     };
     let keep = |w: &str| workload == "all" || w == workload;
     match reports {
         Reports::Plain(reports) => {
             let reports: Vec<_> = reports.into_iter().filter(|r| keep(r.workload)).collect();
             if reports.is_empty() {
-                return Err(format!("unknown workload `{workload}`"));
+                return Err(format!("unknown workload `{workload}`").into());
             }
             if a.flag("json") {
                 let rows: Value = reports
@@ -575,7 +639,7 @@ fn cmd_simulate(a: &Args) -> Result<String, String> {
             };
             let reports: Vec<_> = reports.into_iter().filter(|r| keep(r.workload)).collect();
             if reports.is_empty() {
-                return Err(format!("unknown workload `{workload}`"));
+                return Err(format!("unknown workload `{workload}`").into());
             }
             if a.flag("json") {
                 let rows: Value = reports
@@ -657,7 +721,7 @@ fn cmd_simulate_session(
     faults: &Option<FaultArgs>,
     tel: &Option<TelemetryArgs>,
     rec: &RecoveryArgs,
-) -> Result<String, String> {
+) -> Result<String, CliError> {
     let emb = theorem1::embed(tree).emb;
     let net = Network::xtree(&XTree::new(emb.height));
     let plan = match faults {
@@ -672,7 +736,7 @@ fn cmd_simulate_session(
     let budget = rec.checkpoint_after.unwrap_or(usize::MAX);
     let status = session
         .run_with(budget, &mut Tee(&mut trace, &mut met))
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
     if let Some(path) = rec.checkpoint {
         let ck = Checkpoint {
             session: session.snapshot(),
@@ -684,7 +748,8 @@ fn cmd_simulate_session(
         met.record(Event::CheckpointWritten {
             bytes: bytes.len() as u64,
         });
-        std::fs::write(path, &bytes).map_err(|e| format!("--checkpoint {path}: {e}"))?;
+        std::fs::write(path, &bytes)
+            .map_err(|e| CliError::Io(format!("--checkpoint {path}: {e}")))?;
         if status == SessionStatus::Paused {
             // The trace so far lives inside the checkpoint; a resumed run
             // appends to it, so no partial telemetry files are written.
@@ -752,12 +817,12 @@ fn session_output(
     totals: RecoveryTotals,
     recovered: bool,
     telemetry: Option<&TelemetrySummary>,
-) -> Result<String, String> {
+) -> Result<String, CliError> {
     let workload = a.get_or("workload", "all");
     let keep = |w: &str| workload == "all" || w == workload;
     let reports: Vec<&FaultSimReport> = reports.iter().filter(|r| keep(r.workload)).collect();
     if reports.is_empty() {
-        return Err(format!("unknown workload `{workload}`"));
+        return Err(format!("unknown workload `{workload}`").into());
     }
     let all_delivered = reports
         .iter()
@@ -839,12 +904,13 @@ fn session_output(
 
 /// `resume FILE`: continue a checkpointed run to completion, appending to
 /// the trace stream stored inside the checkpoint.
-fn cmd_resume(a: &Args) -> Result<String, String> {
+fn cmd_resume(a: &Args) -> Result<String, CliError> {
     let path = a
         .get("from")
         .ok_or("resume: missing checkpoint path (usage: xtree-cli resume FILE)")?;
-    let bytes = std::fs::read(path).map_err(|e| format!("resume {path}: {e}"))?;
-    let ck = decode_checkpoint(&bytes).map_err(|e| format!("resume {path}: {e}"))?;
+    let bytes = std::fs::read(path).map_err(|e| CliError::Io(format!("resume {path}: {e}")))?;
+    let ck =
+        decode_checkpoint(&bytes).map_err(|e| CliError::Runtime(format!("resume {path}: {e}")))?;
     let cfg = xtree_json::from_str(&ck.config)
         .map_err(|e| format!("resume {path}: bad config blob: {e}"))?;
     let family_name = cfg["family"]
@@ -876,14 +942,14 @@ fn cmd_resume(a: &Args) -> Result<String, String> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let tree = family.generate(nodes, &mut rng);
     let net = Network::xtree(&XTree::new(ck.embedding.height));
-    let mut trace =
-        TraceRecorder::resume(ck.trace).map_err(|e| format!("resume {path}: trace: {e}"))?;
+    let mut trace = TraceRecorder::resume(ck.trace)
+        .map_err(|e| CliError::Runtime(format!("resume {path}: trace: {e}")))?;
     let mut met = MetricsSink::new();
     let mut session = Session::resume(&net, &tree, ck.embedding, policy, &ck.session)
-        .map_err(|e| format!("resume {path}: {e}"))?;
+        .map_err(|e| CliError::Runtime(format!("resume {path}: {e}")))?;
     session
         .run_with(usize::MAX, &mut Tee(&mut trace, &mut met))
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
     let tel = TelemetryArgs::parse(a)?;
     let telemetry = match &tel {
         Some(t) => Some(finish_telemetry(&net, t, &trace, &mut met)?),
@@ -902,7 +968,7 @@ fn cmd_resume(a: &Args) -> Result<String, String> {
     )
 }
 
-fn cmd_info(a: &Args) -> Result<String, String> {
+fn cmd_info(a: &Args) -> Result<String, CliError> {
     let r: u8 = a.num_or("height", 3u8)?;
     // X-tree and hypercube stats are closed-form; 30 keeps the vertex
     // counts inside u64 arithmetic and graph construction affordable.
@@ -973,7 +1039,7 @@ fn cmd_info(a: &Args) -> Result<String, String> {
                 2 * (k as u32 - 1),
             )
         }
-        other => return Err(format!("unknown network `{other}`")),
+        other => return Err(format!("unknown network `{other}`").into()),
     };
     let mut out = format!(
         "{name}: {nodes} vertices, {edges} edges, max degree {degree}, diameter {diameter}"
@@ -985,7 +1051,7 @@ fn cmd_info(a: &Args) -> Result<String, String> {
     Ok(out.trim_end().to_string())
 }
 
-fn cmd_trace(a: &Args) -> Result<String, String> {
+fn cmd_trace(a: &Args) -> Result<String, CliError> {
     let (tree, family) = make_tree(a)?;
     let res = theorem1::embed(&tree);
     let r = res.emb.height;
@@ -1014,7 +1080,235 @@ fn cmd_trace(a: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-fn cmd_sizes(a: &Args) -> Result<String, String> {
+/// `serve`: run the daemon until a wire `Shutdown` request drains it.
+/// The listening line goes to stdout (flushed) *before* blocking, so
+/// scripts can wait for readiness; the returned summary prints after the
+/// drain. `--metrics FILE` writes the final server metrics on the way out.
+fn cmd_serve(a: &Args) -> Result<String, CliError> {
+    let config = ServerConfig {
+        addr: a.get_or("addr", "127.0.0.1:7171").to_string(),
+        workers: a.num_or("workers", 4usize)?,
+        queue_cap: a.num_or("queue-cap", 64usize)?,
+        cache_cap: a.num_or("cache-cap", 256usize)?,
+    };
+    if config.workers == 0 {
+        return Err("--workers must be ≥ 1".into());
+    }
+    if config.queue_cap == 0 {
+        return Err("--queue-cap must be ≥ 1".into());
+    }
+    let format = a.get_or("metrics-format", "jsonl");
+    if !["jsonl", "prom"].contains(&format) {
+        return Err(format!("--metrics-format: `{format}` is not one of jsonl|prom").into());
+    }
+    let metrics_path = a.get("metrics");
+    let mut server = Server::spawn(&config)
+        .map_err(|e| CliError::Io(format!("serve: bind {}: {e}", config.addr)))?;
+    {
+        use std::io::Write;
+        let mut stdout = std::io::stdout().lock();
+        let _ = writeln!(
+            stdout,
+            "xtree-server listening on {} ({} workers, queue {}, cache {})",
+            server.local_addr(),
+            config.workers,
+            config.queue_cap,
+            config.cache_cap
+        );
+        let _ = stdout.flush();
+    }
+    server.wait();
+    if let Some(path) = metrics_path {
+        let body = match format {
+            "prom" => server.prometheus(),
+            _ => server.jsonl(),
+        };
+        std::fs::write(path, body).map_err(|e| CliError::Io(format!("--metrics {path}: {e}")))?;
+    }
+    Ok(format!(
+        "xtree-server drained and stopped ({} requests bounced overloaded)",
+        server.overloaded()
+    ))
+}
+
+/// Resolves `--workload W|all` to the wire's workload byte.
+fn wire_workload(name: &str) -> Result<u8, CliError> {
+    if name == "all" {
+        return Ok(xtree_server::WORKLOAD_ALL);
+    }
+    WORKLOADS
+        .iter()
+        .position(|&w| w == name)
+        .map(|i| i as u8)
+        .ok_or_else(|| CliError::Usage(format!("unknown workload `{name}`")))
+}
+
+/// `request OP`: one call against a running daemon. Server-side failures
+/// (`Overloaded`, `Error`) exit nonzero so shell pipelines can react.
+fn cmd_request(a: &Args) -> Result<String, CliError> {
+    let op = a
+        .get("op")
+        .ok_or("request: missing operation (usage: xtree-cli request OP --addr HOST:PORT)")?;
+    let addr = a.get("addr").ok_or("request: missing --addr HOST:PORT")?;
+    let family_name = a.get_or("family", "random-bst");
+    let family = TreeFamily::ALL
+        .iter()
+        .position(|f| f.name() == family_name)
+        .ok_or_else(|| CliError::Usage(format!("unknown family `{family_name}`")))?
+        as u8;
+    let nodes: u64 = a.num_or("nodes", 1008u64)?;
+    let seed: u64 = a.num_or("seed", 7u64)?;
+    let theorem: u8 = a.num_or("theorem", 1u8)?;
+    let req = match op {
+        "embed" => Request::Embed {
+            family,
+            nodes,
+            seed,
+            theorem,
+        },
+        "simulate" => Request::Simulate {
+            family,
+            nodes,
+            seed,
+            theorem,
+            workload: wire_workload(a.get_or("workload", "all"))?,
+        },
+        "stats" => Request::Stats,
+        "health" => Request::Health,
+        "shutdown" => Request::Shutdown,
+        other => return Err(format!("unknown request op `{other}`").into()),
+    };
+    let mut client =
+        Client::connect(addr).map_err(|e| CliError::Io(format!("request: connect {addr}: {e}")))?;
+    let resp = client
+        .call(&req)
+        .map_err(|e| CliError::Runtime(format!("request: {e}")))?;
+    render_response(a, &resp)
+}
+
+/// The name a wire workload byte prints as.
+fn workload_name(w: u8) -> &'static str {
+    WORKLOADS.get(usize::from(w)).copied().unwrap_or("all")
+}
+
+fn render_response(a: &Args, resp: &Response) -> Result<String, CliError> {
+    match resp {
+        Response::EmbedOk {
+            height,
+            dilation,
+            max_load,
+            congestion,
+            injective,
+            cached,
+        } => {
+            if a.flag("json") {
+                Ok(xtree_json::to_string_pretty(
+                    &Value::object()
+                        .with("host", format!("X({height})"))
+                        .with("dilation", *dilation)
+                        .with("max_load", *max_load)
+                        .with("congestion", *congestion)
+                        .with("injective", *injective)
+                        .with("cached", *cached),
+                ))
+            } else {
+                Ok(format!(
+                    "host: X({height})\ndilation: {dilation}\nload: {max_load}\ncongestion: {congestion}\ninjective: {injective}\ncached: {cached}"
+                ))
+            }
+        }
+        Response::SimulateOk { cached, reports } => {
+            if a.flag("json") {
+                let rows: Value = reports
+                    .iter()
+                    .map(|r| {
+                        Value::object()
+                            .with("workload", workload_name(r.workload))
+                            .with("cycles", r.cycles)
+                            .with("ideal_cycles", r.ideal_cycles)
+                            .with("max_link_traffic", r.max_link_traffic)
+                    })
+                    .collect();
+                Ok(xtree_json::to_string_pretty(
+                    &Value::object()
+                        .with("cached", *cached)
+                        .with("reports", rows),
+                ))
+            } else {
+                let mut out = format!(
+                    "{:<10} {:>8} {:>8} {:>13}   (cached: {cached})\n",
+                    "workload", "cycles", "ideal", "link traffic"
+                );
+                for r in reports {
+                    out.push_str(&format!(
+                        "{:<10} {:>8} {:>8} {:>13}\n",
+                        workload_name(r.workload),
+                        r.cycles,
+                        r.ideal_cycles,
+                        r.max_link_traffic
+                    ));
+                }
+                Ok(out.trim_end().to_string())
+            }
+        }
+        Response::StatsOk(s) => {
+            if a.flag("json") {
+                Ok(xtree_json::to_string_pretty(
+                    &Value::object()
+                        .with("requests", s.requests)
+                        .with("embeds", s.embeds)
+                        .with("simulates", s.simulates)
+                        .with("overloaded", s.overloaded)
+                        .with("errors", s.errors)
+                        .with("cache_hits", s.cache_hits)
+                        .with("cache_misses", s.cache_misses)
+                        .with("cache_entries", s.cache_entries)
+                        .with("queue_depth", s.queue_depth)
+                        .with("latency_count", s.latency_count)
+                        .with("latency_p50_us", s.latency_p50_us)
+                        .with("latency_p95_us", s.latency_p95_us)
+                        .with("latency_p99_us", s.latency_p99_us)
+                        .with("sim_hops", s.sim_hops)
+                        .with("sim_delivered", s.sim_delivered),
+                ))
+            } else {
+                Ok(format!(
+                    "requests: {} ({} embed, {} simulate)\noverloaded: {}\nerrors: {}\n\
+                     cache: {} hits / {} misses, {} entries\nqueue depth: {}\n\
+                     latency: p50 {}us p95 {}us p99 {}us over {} requests\n\
+                     sim: {} hops, {} delivered",
+                    s.requests,
+                    s.embeds,
+                    s.simulates,
+                    s.overloaded,
+                    s.errors,
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.cache_entries,
+                    s.queue_depth,
+                    s.latency_p50_us,
+                    s.latency_p95_us,
+                    s.latency_p99_us,
+                    s.latency_count,
+                    s.sim_hops,
+                    s.sim_delivered
+                ))
+            }
+        }
+        Response::HealthOk => Ok("ok".into()),
+        Response::ShutdownOk { pending } => {
+            Ok(format!("shutting down ({pending} requests draining)"))
+        }
+        Response::Overloaded { depth, cap } => Err(CliError::Runtime(format!(
+            "server overloaded (queue {depth}/{cap}); retry later"
+        ))),
+        Response::Error { code, message } => {
+            Err(CliError::Runtime(format!("server error {code}: {message}")))
+        }
+    }
+}
+
+fn cmd_sizes(a: &Args) -> Result<String, CliError> {
     let max_r: u8 = a.num_or("max-r", 10u8)?;
     let mut out =
         String::from("r  X-tree size  Theorem-1 guest n = 16(2^{r+1}-1)  Theorem-4 form\n");
@@ -1034,7 +1328,49 @@ mod tests {
     use super::*;
 
     fn run_str(s: &str) -> Result<String, String> {
-        run(s.split_whitespace().map(String::from).collect())
+        run(s.split_whitespace().map(String::from).collect()).map_err(|e| e.message().to_string())
+    }
+
+    #[test]
+    fn errors_carry_exit_codes() {
+        let argv = |s: &str| s.split_whitespace().map(String::from).collect::<Vec<_>>();
+        // Bad invocation → usage, exit 2.
+        let e = run(argv("embed --family nope")).unwrap_err();
+        assert_eq!(e.exit_code(), 2);
+        // Missing file → I/O, exit 3.
+        let e = run(argv("resume /no/such/file.ckpt")).unwrap_err();
+        assert_eq!(e.exit_code(), 3, "{e:?}");
+        // Unreachable server → I/O, exit 3.
+        let e = run(argv("request health --addr 127.0.0.1:1")).unwrap_err();
+        assert_eq!(e.exit_code(), 3, "{e:?}");
+    }
+
+    #[test]
+    fn request_round_trip_against_spawned_server() {
+        let mut server = Server::spawn(&ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+        assert_eq!(
+            run_str(&format!("request health --addr {addr}")).unwrap(),
+            "ok"
+        );
+        let out = run_str(&format!(
+            "request embed --addr {addr} --family path --nodes 240"
+        ))
+        .unwrap();
+        assert!(out.contains("host: X(3)"), "{out}");
+        assert!(out.contains("load: 16"), "{out}");
+        let out = run_str(&format!(
+            "request simulate --addr {addr} --family path --nodes 240 --workload broadcast --json"
+        ))
+        .unwrap();
+        let v: Value = xtree_json::from_str(&out).unwrap();
+        assert_eq!(v["reports"].as_array().unwrap().len(), 1);
+        assert_eq!(v["cached"], true, "embed warmed the cache: {out}");
+        let out = run_str(&format!("request stats --addr {addr}")).unwrap();
+        assert!(out.contains("cache: 1 hits"), "{out}");
+        let out = run_str(&format!("request shutdown --addr {addr}")).unwrap();
+        assert!(out.contains("shutting down"), "{out}");
+        server.wait();
     }
 
     #[test]

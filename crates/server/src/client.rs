@@ -1,0 +1,45 @@
+//! A minimal blocking client: one connection, one request in flight.
+//!
+//! This is what the CLI `request` subcommand, the load generator, and the
+//! integration tests all speak through — so client-side framing bugs
+//! would show up everywhere at once.
+
+use crate::wire::{read_frame, write_request, Request, Response, WireError};
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected client. Requests are strictly serial per connection; open
+/// several clients for concurrency.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    /// Propagates the connect failure.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    /// Any wire error, including [`WireError::Closed`] when the server
+    /// hangs up without answering.
+    pub fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+        write_request(&mut self.writer, req)?;
+        match read_frame(&mut self.reader)? {
+            Some(bytes) => crate::wire::decode_response(&bytes),
+            None => Err(WireError::Closed),
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! `xtree-server` — the serving layer: a long-running daemon that
+//! embeds and simulates trees on request over a binary TCP protocol.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`wire`] — the `XWIRE1` length-prefixed LEB128 frame codec and the
+//!   typed [`Request`]/[`Response`] messages (versioned the same way the
+//!   `XCKPT1` checkpoint container is);
+//! * [`queue`] — the bounded MPMC job queue whose `try_push` failure *is*
+//!   the backpressure signal (`Overloaded`, never a hang);
+//! * [`cache`] — the sharded-LRU embedding cache keyed on
+//!   `(family, nodes, seed, theorem)`, sharing `Arc<XEmbedding>`s so a
+//!   hit skips the Theorem-1 construction entirely;
+//! * [`service`] — what a worker does with a request (validate → cache
+//!   get-or-build → evaluate / simulate);
+//! * [`metrics`] — request counters, latency/queue-depth histograms, and
+//!   the shared engine-event sink, exported in the workspace's standard
+//!   Prometheus and JSONL shapes;
+//! * [`server`] — the daemon itself (acceptor + handler threads + worker
+//!   pool + graceful drain);
+//! * [`client`] — the blocking client the CLI, load generator, and tests
+//!   all use.
+//!
+//! ```no_run
+//! use xtree_server::{Client, Request, Response, Server, ServerConfig};
+//!
+//! let mut server = Server::spawn(&ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let resp = client
+//!     .call(&Request::Embed { family: 0, nodes: 496, seed: 7, theorem: 1 })
+//!     .unwrap();
+//! assert!(matches!(resp, Response::EmbedOk { .. }));
+//! client.call(&Request::Shutdown).unwrap();
+//! server.wait();
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+pub mod service;
+pub mod wire;
+
+pub use cache::{EmbeddingCache, EmbeddingKey};
+pub use client::Client;
+pub use metrics::ServerMetrics;
+pub use queue::{BoundedQueue, PushError};
+pub use server::{Server, ServerConfig};
+pub use service::MAX_NODES;
+pub use wire::{Request, Response, WireError, WireReport, WireStats, WORKLOAD_ALL};

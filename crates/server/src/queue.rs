@@ -1,0 +1,179 @@
+//! A bounded multi-producer/multi-consumer job queue with explicit
+//! backpressure.
+//!
+//! Producers never block: [`BoundedQueue::try_push`] fails immediately
+//! with the job handed back when the queue is at capacity (the connection
+//! handler turns that into a typed `Overloaded` response) or closed (the
+//! daemon is draining). Consumers block in [`BoundedQueue::pop`] until a
+//! job arrives or the queue is closed *and* empty — so closing the queue
+//! is exactly the graceful-drain operation: already-accepted work is
+//! finished, nothing new gets in, and every worker then sees `None` and
+//! exits.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused, carrying the rejected item back to the caller.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue held `cap` items already.
+    Full(T),
+    /// [`BoundedQueue::close`] was called; the daemon is draining.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity FIFO shared between connection handlers (producers)
+/// and the worker pool (consumers).
+pub struct BoundedQueue<T> {
+    cap: usize,
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `cap` items (`cap ≥ 1`).
+    ///
+    /// # Panics
+    /// If `cap` is zero — a zero-capacity queue could never serve anything.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "queue capacity must be ≥ 1");
+        BoundedQueue {
+            cap,
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(cap),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// The capacity the queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues without blocking. On success returns the queue depth
+    /// *after* the push (≥ 1); on failure hands the item back.
+    ///
+    /// # Errors
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`close`](BoundedQueue::close).
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        if st.closed {
+            return Err(PushError::Closed(item));
+        }
+        if st.items.len() >= self.cap {
+            return Err(PushError::Full(item));
+        }
+        st.items.push_back(item);
+        let depth = st.items.len();
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available or the queue is closed and
+    /// drained (`None`).
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: future pushes fail, queued items still drain,
+    /// and blocked consumers wake (returning items until empty, then
+    /// `None`).
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo_and_depth() {
+        let q = BoundedQueue::new(3);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = BoundedQueue::new(1);
+        q.try_push(1).unwrap();
+        match q.try_push(2) {
+            Err(PushError::Full(v)) => assert_eq!(v, 2),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Popping frees a slot again.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3).unwrap(), 1);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        match q.try_push(3) {
+            Err(PushError::Closed(v)) => assert_eq!(v, 3),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        // Queued work still drains in order, then pop reports the end.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_push_and_close() {
+        let q = Arc::new(BoundedQueue::new(2));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        // Give the consumers a moment to block, then feed two and close.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.try_push(7).unwrap();
+        q.try_push(8).unwrap();
+        q.close();
+        let mut got: Vec<Option<i32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        got.sort();
+        assert_eq!(got, vec![None, Some(7), Some(8)]);
+    }
+}

@@ -1,0 +1,323 @@
+//! The daemon: acceptor, connection handlers, and the worker pool.
+//!
+//! Threading model: one acceptor thread blocks in `accept()`; each
+//! connection gets a handler thread that owns its socket and does *only*
+//! I/O; a fixed pool of worker threads does all embedding/simulation
+//! compute. Handlers route `Embed`/`Simulate` through the bounded
+//! [`BoundedQueue`] as jobs and answer `Health`/`Stats`/`Shutdown`
+//! inline, so control requests keep working while the pool is saturated.
+//! A full queue is an immediate `Overloaded` response — the daemon never
+//! buffers unboundedly and never blocks a client on admission.
+//!
+//! Shutdown is graceful by construction: the flag stops new admissions,
+//! closing the queue lets workers drain already-accepted jobs before
+//! exiting, and a self-connect wakes the blocking `accept()` so the
+//! acceptor can observe the flag and leave.
+
+use crate::cache::EmbeddingCache;
+use crate::metrics::ServerMetrics;
+use crate::queue::{BoundedQueue, PushError};
+use crate::service::handle_compute;
+use crate::wire::{
+    decode_request, read_frame, write_response, Request, Response, WireError, ERR_BAD_REQUEST,
+    ERR_SHUTTING_DOWN,
+};
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// How a daemon is shaped: where it listens and how much it admits.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Compute threads in the worker pool (≥ 1).
+    pub workers: usize,
+    /// Bounded job-queue capacity (≥ 1); beyond it requests bounce with
+    /// `Overloaded`.
+    pub queue_cap: usize,
+    /// Total embedding-cache capacity; 0 disables caching.
+    pub cache_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_cap: 64,
+            cache_cap: 256,
+        }
+    }
+}
+
+/// One pooled request: what to compute and where to send the answer.
+struct Job {
+    req: Request,
+    reply: mpsc::Sender<Response>,
+}
+
+/// State shared by the acceptor, every handler, and every worker.
+struct Shared {
+    queue: BoundedQueue<Job>,
+    cache: EmbeddingCache,
+    metrics: ServerMetrics,
+    shutdown: AtomicBool,
+}
+
+/// A running daemon. Dropping the handle does not stop it — send a
+/// `Shutdown` request (or call [`Server::shutdown`]) and then
+/// [`Server::wait`].
+pub struct Server {
+    local_addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr` and spawns the acceptor and worker pool.
+    ///
+    /// # Errors
+    /// Propagates the bind failure (address in use, permission, …).
+    pub fn spawn(config: &ServerConfig) -> std::io::Result<Server> {
+        assert!(config.workers >= 1, "need at least one worker");
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_cap.max(1)),
+            cache: EmbeddingCache::new(config.cache_cap),
+            metrics: ServerMetrics::new(),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("xtree-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("xtree-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &shared))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            local_addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the ephemeral port picked).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests bounced with `Overloaded` so far.
+    pub fn overloaded(&self) -> u64 {
+        self.shared.metrics.overloaded()
+    }
+
+    /// Prometheus exposition of the server metrics at this instant.
+    pub fn prometheus(&self) -> String {
+        self.shared
+            .metrics
+            .to_prometheus(&self.shared.cache, self.shared.queue.len())
+    }
+
+    /// JSONL export of the server metrics at this instant.
+    pub fn jsonl(&self) -> String {
+        self.shared
+            .metrics
+            .to_jsonl(&self.shared.cache, self.shared.queue.len())
+    }
+
+    /// Initiates the same graceful drain a wire `Shutdown` request does.
+    pub fn shutdown(&self) {
+        begin_shutdown(&self.shared, self.local_addr);
+    }
+
+    /// Blocks until the acceptor and every worker have exited — i.e.
+    /// until a shutdown has been requested *and* accepted work drained.
+    /// Idempotent; metrics remain readable afterwards.
+    pub fn wait(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Flips the flag, closes the queue (drain point), and self-connects to
+/// kick the acceptor out of `accept()`.
+fn begin_shutdown(shared: &Shared, addr: std::net::SocketAddr) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return; // already draining
+    }
+    shared.queue.close();
+    // The acceptor blocks in accept(); a throwaway connection wakes it so
+    // it can observe the flag. Failure is fine — it means the listener is
+    // already gone.
+    let _ = TcpStream::connect(addr);
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        let resp = handle_compute(&job.req, &shared.cache, &shared.metrics.sim);
+        if matches!(resp, Response::Error { .. }) {
+            shared.metrics.count_error();
+        }
+        // A dead reply channel means the client hung up; drop the result.
+        let _ = job.reply.send(resp);
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break; // the wake-up connection (or a late client) during drain
+        }
+        let shared = Arc::clone(shared);
+        let addr = listener.local_addr().ok();
+        // Handlers are detached: they die with their connection (EOF /
+        // error) or with the process. wait() only joins compute threads.
+        let _ = std::thread::Builder::new()
+            .name("xtree-conn".into())
+            .spawn(move || {
+                let local = addr.unwrap_or_else(|| "0.0.0.0:0".parse().expect("literal addr"));
+                handle_connection(stream, &shared, local);
+            });
+    }
+}
+
+/// The response a malformed frame or payload earns before the connection
+/// is dropped (framing cannot be trusted past the first bad byte).
+fn wire_reject(e: &WireError) -> Response {
+    Response::Error {
+        code: ERR_BAD_REQUEST,
+        message: format!("bad request: {e}"),
+    }
+}
+
+/// Serves one connection until EOF, a wire error, or shutdown.
+fn handle_connection(stream: TcpStream, shared: &Shared, local: std::net::SocketAddr) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match read_frame(&mut reader) {
+            Ok(Some(bytes)) => match decode_request(&bytes) {
+                Ok(req) => req,
+                Err(e) => {
+                    shared.metrics.count_request();
+                    shared.metrics.count_error();
+                    let _ = write_response(&mut writer, &wire_reject(&e));
+                    return; // framing is lost after a bad payload
+                }
+            },
+            Ok(None) => return, // clean EOF between frames
+            Err(WireError::Io(_)) => return,
+            Err(e) => {
+                shared.metrics.count_request();
+                shared.metrics.count_error();
+                let _ = write_response(&mut writer, &wire_reject(&e));
+                return;
+            }
+        };
+        shared.metrics.count_request();
+        let resp = match req {
+            Request::Health => {
+                shared.metrics.count_health();
+                Response::HealthOk
+            }
+            Request::Stats => {
+                shared.metrics.count_stats();
+                Response::StatsOk(shared.metrics.snapshot(&shared.cache, shared.queue.len()))
+            }
+            Request::Shutdown => {
+                let pending = shared.queue.len() as u64;
+                begin_shutdown(shared, local);
+                Response::ShutdownOk { pending }
+            }
+            Request::Embed { .. } | Request::Simulate { .. } => {
+                if matches!(req, Request::Embed { .. }) {
+                    shared.metrics.count_embed();
+                } else {
+                    shared.metrics.count_simulate();
+                }
+                dispatch(shared, req)
+            }
+        };
+        if write_response(&mut writer, &resp).is_err() {
+            return;
+        }
+        if matches!(resp, Response::ShutdownOk { .. }) {
+            return;
+        }
+    }
+}
+
+/// Admits one compute request to the pool and blocks (I/O thread only)
+/// until its reply arrives.
+fn dispatch(shared: &Shared, req: Request) -> Response {
+    let start = Instant::now();
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        req,
+        reply: reply_tx,
+    };
+    match shared.queue.try_push(job) {
+        Ok(depth) => {
+            shared.metrics.observe_queue_depth(depth as u64);
+        }
+        Err(PushError::Full(_)) => {
+            shared.metrics.count_overloaded();
+            return Response::Overloaded {
+                depth: shared.queue.len() as u64,
+                cap: shared.queue.capacity() as u64,
+            };
+        }
+        Err(PushError::Closed(_)) => {
+            shared.metrics.count_error();
+            return Response::Error {
+                code: ERR_SHUTTING_DOWN,
+                message: "server is draining".into(),
+            };
+        }
+    }
+    // recv fails only if the worker died with the job; surface it as a
+    // typed error instead of hanging the connection.
+    let resp = reply_rx.recv().unwrap_or(Response::Error {
+        code: crate::wire::ERR_INTERNAL,
+        message: "worker dropped the request".into(),
+    });
+    shared
+        .metrics
+        .observe_latency_us(start.elapsed().as_micros() as u64);
+    resp
+}

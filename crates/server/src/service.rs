@@ -1,0 +1,326 @@
+//! Request execution: what a worker thread does with a pooled request.
+//!
+//! Validation happens here, not in the codec — the wire layer moves any
+//! well-formed message, and the service decides whether the values make
+//! sense (`family` must index `TreeFamily::ALL`, `theorem` must be 1 or
+//! 2, `nodes` is capped). The embedding itself is a pure function of the
+//! request key, fetched from the shared cache or built via the Theorem-1
+//! construction (plus Theorem-2 injectivization) on a miss.
+
+use crate::cache::{EmbeddingCache, EmbeddingKey};
+use crate::wire::{Request, Response, WireReport, ERR_BAD_REQUEST, ERR_INTERNAL, WORKLOAD_ALL};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+use xtree_core::{evaluate, metrics::edge_congestion, theorem1, theorem2, XEmbedding};
+use xtree_sim::telemetry::AtomicCounters;
+use xtree_sim::workload::WORKLOADS;
+use xtree_sim::{simulate_all_with, simulate_one_with, Network, SimReport};
+use xtree_topology::XTree;
+use xtree_trees::{BinaryTree, TreeFamily};
+
+/// Largest guest a single request may ask for: a million-node tree embeds
+/// in well under a second, and the cap keeps one request from pinning a
+/// worker (and the cache from holding arbitrarily large maps).
+pub const MAX_NODES: u64 = 1 << 20;
+
+fn bad(message: impl Into<String>) -> Response {
+    Response::Error {
+        code: ERR_BAD_REQUEST,
+        message: message.into(),
+    }
+}
+
+/// Resolves the validated (family, tree) pair of a request key.
+fn make_tree(family: u8, nodes: u64, seed: u64) -> Result<(TreeFamily, BinaryTree), Response> {
+    let fam = *TreeFamily::ALL
+        .get(usize::from(family))
+        .ok_or_else(|| bad(format!("unknown family index {family}")))?;
+    if nodes == 0 || nodes > MAX_NODES {
+        return Err(bad(format!(
+            "nodes must be in 1..={MAX_NODES}, got {nodes}"
+        )));
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Ok((fam, fam.generate(nodes as usize, &mut rng)))
+}
+
+/// The embedding for a key: cache hit, or build-and-insert. Returns the
+/// embedding and whether it was a hit.
+fn embedding(
+    cache: &EmbeddingCache,
+    key: EmbeddingKey,
+    tree: &BinaryTree,
+) -> Result<(Arc<XEmbedding>, bool), Response> {
+    if let Some(emb) = cache.get(&key) {
+        return Ok((emb, true));
+    }
+    let emb = match key.theorem {
+        1 => theorem1::embed(tree).emb,
+        2 => theorem2::injectivize(&theorem1::embed(tree).emb),
+        t => return Err(bad(format!("theorem must be 1 or 2, got {t}"))),
+    };
+    let emb = Arc::new(emb);
+    cache.insert(key, Arc::clone(&emb));
+    Ok((emb, false))
+}
+
+fn wire_report(r: &SimReport) -> WireReport {
+    let workload = WORKLOADS
+        .iter()
+        .position(|&w| w == r.workload)
+        .unwrap_or(usize::from(WORKLOAD_ALL)) as u8;
+    WireReport {
+        workload,
+        cycles: u64::from(r.cycles),
+        ideal_cycles: u64::from(r.ideal_cycles),
+        max_link_traffic: u64::from(r.max_link_traffic),
+    }
+}
+
+/// Executes one pooled request against the shared cache, reporting engine
+/// events to `sim`. Only `Embed` and `Simulate` arrive here — control
+/// requests are answered inline by the connection handler.
+pub fn handle_compute(req: &Request, cache: &EmbeddingCache, sim: &AtomicCounters) -> Response {
+    match *req {
+        Request::Embed {
+            family,
+            nodes,
+            seed,
+            theorem,
+        } => {
+            let key = EmbeddingKey {
+                family,
+                nodes,
+                seed,
+                theorem,
+            };
+            let (_, tree) = match make_tree(family, nodes, seed) {
+                Ok(t) => t,
+                Err(resp) => return resp,
+            };
+            let (emb, cached) = match embedding(cache, key, &tree) {
+                Ok(e) => e,
+                Err(resp) => return resp,
+            };
+            let stats = evaluate(&tree, &emb);
+            let host = XTree::new(emb.height);
+            let congestion = edge_congestion(&tree, &emb, &host);
+            Response::EmbedOk {
+                height: emb.height,
+                dilation: u64::from(stats.dilation),
+                max_load: u64::from(stats.max_load),
+                congestion: u64::from(congestion),
+                injective: stats.injective,
+                cached,
+            }
+        }
+        Request::Simulate {
+            family,
+            nodes,
+            seed,
+            theorem,
+            workload,
+        } => {
+            if workload != WORKLOAD_ALL && usize::from(workload) >= WORKLOADS.len() {
+                return bad(format!("workload must be 0..{} or 255", WORKLOADS.len()));
+            }
+            let key = EmbeddingKey {
+                family,
+                nodes,
+                seed,
+                theorem,
+            };
+            let (_, tree) = match make_tree(family, nodes, seed) {
+                Ok(t) => t,
+                Err(resp) => return resp,
+            };
+            let (emb, cached) = match embedding(cache, key, &tree) {
+                Ok(e) => e,
+                Err(resp) => return resp,
+            };
+            let net = Network::xtree(&XTree::new(emb.height));
+            let mut sink = sim;
+            let reports = if workload == WORKLOAD_ALL {
+                simulate_all_with(&net, &tree, &*emb, &mut sink)
+            } else {
+                simulate_one_with(&net, &tree, &*emb, usize::from(workload), &mut sink)
+                    .map(|r| vec![r])
+            };
+            match reports {
+                Ok(reports) => Response::SimulateOk {
+                    cached,
+                    reports: reports.iter().map(wire_report).collect(),
+                },
+                Err(e) => Response::Error {
+                    code: ERR_INTERNAL,
+                    message: format!("simulation failed: {e}"),
+                },
+            }
+        }
+        // Control requests never reach the pool.
+        Request::Stats | Request::Health | Request::Shutdown => Response::Error {
+            code: ERR_INTERNAL,
+            message: "control request routed to a worker".into(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters() -> AtomicCounters {
+        AtomicCounters::new()
+    }
+
+    #[test]
+    fn embed_matches_direct_construction() {
+        let cache = EmbeddingCache::new(8);
+        let req = Request::Embed {
+            family: 0, // path
+            nodes: 240,
+            seed: 7,
+            theorem: 1,
+        };
+        let resp = handle_compute(&req, &cache, &counters());
+        let Response::EmbedOk {
+            height,
+            dilation,
+            max_load,
+            cached,
+            ..
+        } = resp
+        else {
+            panic!("expected EmbedOk, got {resp:?}");
+        };
+        assert_eq!(height, 3);
+        assert!(dilation <= 3);
+        assert_eq!(max_load, 16);
+        assert!(!cached, "first request must miss");
+        // Second identical request hits.
+        let resp = handle_compute(&req, &cache, &counters());
+        assert!(matches!(resp, Response::EmbedOk { cached: true, .. }));
+    }
+
+    #[test]
+    fn simulate_single_workload_matches_the_all_run() {
+        let cache = EmbeddingCache::new(8);
+        let base = |workload| Request::Simulate {
+            family: 2, // caterpillar
+            nodes: 112,
+            seed: 5,
+            theorem: 1,
+            workload,
+        };
+        let all = handle_compute(&base(WORKLOAD_ALL), &cache, &counters());
+        let Response::SimulateOk { reports: all, .. } = all else {
+            panic!("expected SimulateOk");
+        };
+        assert_eq!(all.len(), 4);
+        for (i, expect) in all.iter().enumerate() {
+            let one = handle_compute(&base(i as u8), &cache, &counters());
+            let Response::SimulateOk { reports: one, .. } = one else {
+                panic!("expected SimulateOk");
+            };
+            assert_eq!(one.len(), 1);
+            assert_eq!(&one[0], expect, "workload {i} must match the all-run");
+        }
+    }
+
+    #[test]
+    fn theorem2_requests_are_injective() {
+        let cache = EmbeddingCache::new(8);
+        let resp = handle_compute(
+            &Request::Embed {
+                family: 3, // broom
+                nodes: 48,
+                seed: 7,
+                theorem: 2,
+            },
+            &cache,
+            &counters(),
+        );
+        let Response::EmbedOk {
+            injective,
+            max_load,
+            ..
+        } = resp
+        else {
+            panic!("expected EmbedOk, got {resp:?}");
+        };
+        assert!(injective);
+        assert_eq!(max_load, 1);
+    }
+
+    #[test]
+    fn invalid_fields_return_typed_errors() {
+        let cache = EmbeddingCache::new(8);
+        let sim = counters();
+        for req in [
+            Request::Embed {
+                family: 200,
+                nodes: 48,
+                seed: 7,
+                theorem: 1,
+            },
+            Request::Embed {
+                family: 0,
+                nodes: 0,
+                seed: 7,
+                theorem: 1,
+            },
+            Request::Embed {
+                family: 0,
+                nodes: MAX_NODES + 1,
+                seed: 7,
+                theorem: 1,
+            },
+            Request::Embed {
+                family: 0,
+                nodes: 48,
+                seed: 7,
+                theorem: 3,
+            },
+            Request::Simulate {
+                family: 0,
+                nodes: 48,
+                seed: 7,
+                theorem: 1,
+                workload: 4,
+            },
+        ] {
+            let resp = handle_compute(&req, &cache, &sim);
+            assert!(
+                matches!(
+                    resp,
+                    Response::Error {
+                        code: ERR_BAD_REQUEST,
+                        ..
+                    }
+                ),
+                "{req:?} must be rejected, got {resp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn simulations_report_engine_events() {
+        let cache = EmbeddingCache::new(8);
+        let sim = counters();
+        handle_compute(
+            &Request::Simulate {
+                family: 0,
+                nodes: 112,
+                seed: 7,
+                theorem: 1,
+                workload: 0,
+            },
+            &cache,
+            &sim,
+        );
+        let snap = sim.snapshot();
+        assert!(snap.hops > 0, "engine events must land in the shared sink");
+        assert!(snap.delivered > 0);
+    }
+}

@@ -1,0 +1,275 @@
+//! End-to-end daemon tests over real sockets: concurrent clients against
+//! an ephemeral-port server, cache behaviour under contention, explicit
+//! backpressure at queue saturation, malformed-byte robustness, and the
+//! graceful shutdown drain.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use xtree_server::{Client, Request, Response, Server, ServerConfig, WireError, WORKLOAD_ALL};
+
+fn config(workers: usize, queue_cap: usize, cache_cap: usize) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_cap,
+        cache_cap,
+    }
+}
+
+/// The key every concurrency test hammers: one (family, nodes, seed,
+/// theorem) identity, so all worker threads contend on one cache entry.
+const FAMILY: u8 = 4; // random-bst
+const NODES: u64 = 496;
+const SEED: u64 = 11;
+
+fn embed_req() -> Request {
+    Request::Embed {
+        family: FAMILY,
+        nodes: NODES,
+        seed: SEED,
+        theorem: 1,
+    }
+}
+
+fn simulate_req() -> Request {
+    Request::Simulate {
+        family: FAMILY,
+        nodes: NODES,
+        seed: SEED,
+        theorem: 1,
+        workload: WORKLOAD_ALL,
+    }
+}
+
+#[test]
+fn concurrent_clients_share_the_cache_and_agree() {
+    let mut server = Server::spawn(&config(2, 16, 8)).expect("bind");
+    let addr = server.local_addr();
+
+    // The single-threaded reference answers, straight through one client.
+    let mut reference = Client::connect(addr).unwrap();
+    let ref_embed = reference.call(&embed_req()).unwrap();
+    let Response::EmbedOk {
+        height,
+        dilation,
+        max_load,
+        ..
+    } = ref_embed
+    else {
+        panic!("expected EmbedOk, got {ref_embed:?}");
+    };
+    assert!(dilation <= 3, "Theorem 1 bound");
+    assert_eq!(max_load, 16, "Theorem 1 bound");
+    let ref_sim = reference.call(&simulate_req()).unwrap();
+    let Response::SimulateOk {
+        reports: ref_reports,
+        ..
+    } = ref_sim
+    else {
+        panic!("expected SimulateOk");
+    };
+    assert_eq!(ref_reports.len(), 4);
+
+    // Four client threads fire Embed + Simulate for the same key.
+    let results: Vec<(Response, Response)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    let e = c.call(&embed_req()).unwrap();
+                    let s = c.call(&simulate_req()).unwrap();
+                    (e, s)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (e, s) in &results {
+        // Every concurrent embed reports the same construction...
+        let Response::EmbedOk {
+            height: h,
+            dilation: d,
+            max_load: l,
+            ..
+        } = e
+        else {
+            panic!("expected EmbedOk, got {e:?}");
+        };
+        assert_eq!((*h, *d, *l), (height, dilation, max_load));
+        // ...and every simulation matches the single-threaded reports.
+        let Response::SimulateOk { reports, .. } = s else {
+            panic!("expected SimulateOk, got {s:?}");
+        };
+        assert_eq!(reports, &ref_reports, "concurrency must not change results");
+    }
+
+    // 10 pooled requests for one key: at most the racing cold builds miss.
+    let stats = reference.call(&Request::Stats).unwrap();
+    let Response::StatsOk(stats) = stats else {
+        panic!("expected StatsOk");
+    };
+    assert_eq!(stats.embeds + stats.simulates, 10);
+    assert!(
+        stats.cache_hits >= 6,
+        "expected most lookups to hit one shared entry, got {stats:?}"
+    );
+    assert!(stats.cache_entries >= 1);
+    // 10 pooled requests plus the Stats request itself (counted before
+    // the snapshot is taken).
+    assert_eq!(stats.requests, 11);
+
+    let resp = reference.call(&Request::Shutdown).unwrap();
+    assert!(matches!(resp, Response::ShutdownOk { .. }));
+    server.wait();
+}
+
+#[test]
+fn saturated_queue_answers_overloaded_not_hangs() {
+    // One worker, queue of one: a burst of slow simulates from many
+    // connections must bounce some requests immediately.
+    let mut server = Server::spawn(&config(1, 1, 8)).expect("bind");
+    let addr = server.local_addr();
+
+    let responses: Vec<Response> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    // Distinct seeds so nothing is served from cache.
+                    c.call(&Request::Simulate {
+                        family: FAMILY,
+                        nodes: 2032,
+                        seed: 100 + i,
+                        theorem: 1,
+                        workload: WORKLOAD_ALL,
+                    })
+                    .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let ok = responses
+        .iter()
+        .filter(|r| matches!(r, Response::SimulateOk { .. }))
+        .count();
+    let overloaded = responses
+        .iter()
+        .filter(|r| matches!(r, Response::Overloaded { .. }))
+        .count();
+    assert_eq!(
+        ok + overloaded,
+        8,
+        "only Ok/Overloaded expected: {responses:?}"
+    );
+    assert!(ok >= 1, "some requests must be served");
+    assert_eq!(server.overloaded(), overloaded as u64);
+
+    let mut c = Client::connect(addr).unwrap();
+    c.call(&Request::Shutdown).unwrap();
+    server.wait();
+}
+
+#[test]
+fn garbage_bytes_get_a_typed_error_and_valid_clients_continue() {
+    let mut server = Server::spawn(&config(1, 4, 4)).expect("bind");
+    let addr = server.local_addr();
+
+    // A liar: correct magic, then junk. The server must answer with a
+    // typed Error frame and close — not crash, not hang.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(b"XWIRE1\n\x05hello").unwrap();
+    raw.flush().unwrap();
+    let mut buf = Vec::new();
+    raw.read_to_end(&mut buf).unwrap(); // server closes after replying
+    assert!(!buf.is_empty(), "expected an error response before close");
+    let mut cursor = &buf[..];
+    let frame = xtree_server::wire::read_frame(&mut cursor)
+        .unwrap()
+        .expect("one response frame");
+    let resp = xtree_server::wire::decode_response(&frame).unwrap();
+    assert!(
+        matches!(resp, Response::Error { code: 1, .. }),
+        "expected bad-request error, got {resp:?}"
+    );
+
+    // And a total liar: no magic at all.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    raw.flush().unwrap();
+    let mut buf = Vec::new();
+    raw.read_to_end(&mut buf).unwrap();
+
+    // The daemon is still healthy for honest clients.
+    let mut c = Client::connect(addr).unwrap();
+    assert!(matches!(
+        c.call(&Request::Health).unwrap(),
+        Response::HealthOk
+    ));
+    c.call(&Request::Shutdown).unwrap();
+    server.wait();
+}
+
+#[test]
+fn shutdown_drains_queued_work_and_refuses_new() {
+    let mut server = Server::spawn(&config(1, 16, 8)).expect("bind");
+    let addr = server.local_addr();
+
+    // Fill the queue with slow work from background connections, then
+    // shut down while they are in flight: every accepted request must
+    // still get a real answer.
+    let results: Vec<Response> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..4)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    c.call(&Request::Simulate {
+                        family: FAMILY,
+                        nodes: 2032,
+                        seed: 500 + i,
+                        theorem: 1,
+                        workload: WORKLOAD_ALL,
+                    })
+                    .unwrap()
+                })
+            })
+            .collect();
+        // Give the burst a moment to enqueue, then pull the plug.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let mut c = Client::connect(addr).unwrap();
+        let resp = c.call(&Request::Shutdown).unwrap();
+        assert!(matches!(resp, Response::ShutdownOk { .. }));
+        workers.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Accepted requests drained to real responses (no hangs, no drops).
+    for r in &results {
+        assert!(
+            matches!(
+                r,
+                Response::SimulateOk { .. } | Response::Overloaded { .. } | Response::Error { .. }
+            ),
+            "unexpected response during drain: {r:?}"
+        );
+    }
+    assert!(
+        results
+            .iter()
+            .any(|r| matches!(r, Response::SimulateOk { .. })),
+        "at least the in-flight request must complete"
+    );
+    server.wait();
+
+    // The listener is gone after the drain.
+    assert!(
+        Client::connect(addr)
+            .map(|mut c| c.call(&Request::Health))
+            .map_or(true, |r| matches!(
+                r,
+                Err(WireError::Closed | WireError::Io(_))
+            )),
+        "post-shutdown connections must fail"
+    );
+}

@@ -1,0 +1,253 @@
+//! Property tests pinning the XWIRE1 codec: every representable message
+//! survives encode → decode byte-identically (and re-encodes to the same
+//! bytes), while truncated, corrupted, or oversized inputs come back as
+//! typed [`WireError`]s — never panics, never garbage accepted silently.
+
+use proptest::prelude::*;
+use xtree_server::wire::{
+    decode_request, decode_response, encode_request, encode_response, frame, read_frame,
+    write_request, MAGIC, MAX_PAYLOAD,
+};
+use xtree_server::{Request, Response, WireError, WireReport, WireStats};
+
+/// The `k`-th request shape, filled from raw field material.
+fn request_from(k: u8, family: u8, nodes: u64, seed: u64, theorem: u8, workload: u8) -> Request {
+    match k % 5 {
+        0 => Request::Embed {
+            family,
+            nodes,
+            seed,
+            theorem,
+        },
+        1 => Request::Simulate {
+            family,
+            nodes,
+            seed,
+            theorem,
+            workload,
+        },
+        2 => Request::Stats,
+        3 => Request::Health,
+        _ => Request::Shutdown,
+    }
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        any::<u8>(),
+        any::<u8>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u8>(),
+        any::<u8>(),
+    )
+        .prop_map(|(k, family, nodes, seed, theorem, workload)| {
+            request_from(k, family, nodes, seed, theorem, workload)
+        })
+}
+
+fn arb_report() -> impl Strategy<Value = WireReport> {
+    (any::<u8>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+        |(workload, cycles, ideal_cycles, max_link_traffic)| WireReport {
+            workload,
+            cycles,
+            ideal_cycles,
+            max_link_traffic,
+        },
+    )
+}
+
+fn stats_from(v: &[u64]) -> WireStats {
+    WireStats {
+        requests: v[0],
+        embeds: v[1],
+        simulates: v[2],
+        overloaded: v[3],
+        errors: v[4],
+        cache_hits: v[5],
+        cache_misses: v[6],
+        cache_entries: v[7],
+        queue_depth: v[8],
+        latency_count: v[9],
+        latency_p50_us: v[10],
+        latency_p95_us: v[11],
+        latency_p99_us: v[12],
+        sim_hops: v[13],
+        sim_delivered: v[14],
+    }
+}
+
+/// The `k`-th response shape. `words` always holds 15 values; `msg` is
+/// ASCII (any byte < 128 is valid UTF-8).
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        any::<u8>(),
+        proptest::collection::vec(any::<u64>(), 15..16),
+        (any::<bool>(), any::<bool>()),
+        proptest::collection::vec(0u8..128, 0..48),
+        proptest::collection::vec(arb_report(), 0..6),
+    )
+        .prop_map(
+            |(k, words, (injective, cached), msg, reports)| match k % 7 {
+                0 => Response::EmbedOk {
+                    height: words[0] as u8,
+                    dilation: words[1],
+                    max_load: words[2],
+                    congestion: words[3],
+                    injective,
+                    cached,
+                },
+                1 => Response::SimulateOk { cached, reports },
+                2 => Response::StatsOk(stats_from(&words)),
+                3 => Response::HealthOk,
+                4 => Response::ShutdownOk { pending: words[0] },
+                5 => Response::Overloaded {
+                    depth: words[0],
+                    cap: words[1],
+                },
+                _ => Response::Error {
+                    code: words[0] as u8,
+                    message: String::from_utf8(msg).expect("ASCII bytes"),
+                },
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn request_round_trip_is_byte_identical(req in arb_request()) {
+        let mut bytes = Vec::new();
+        encode_request(&req, &mut bytes);
+        let back = decode_request(&bytes).expect("own encoding must decode");
+        prop_assert_eq!(&back, &req);
+        let mut again = Vec::new();
+        encode_request(&back, &mut again);
+        prop_assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn response_round_trip_is_byte_identical(resp in arb_response()) {
+        let mut bytes = Vec::new();
+        encode_response(&resp, &mut bytes);
+        let back = decode_response(&bytes).expect("own encoding must decode");
+        prop_assert_eq!(&back, &resp);
+        let mut again = Vec::new();
+        encode_response(&back, &mut again);
+        prop_assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn framed_request_survives_the_stream(req in arb_request()) {
+        let mut payload = Vec::new();
+        encode_request(&req, &mut payload);
+        let framed = frame(&payload);
+        let mut cursor = &framed[..];
+        let got = read_frame(&mut cursor).unwrap().expect("one frame in");
+        prop_assert_eq!(decode_request(&got).unwrap(), req);
+        prop_assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF after");
+    }
+
+    // Cutting an encoded message anywhere strictly inside it must yield a
+    // typed error — or, if LEB128 field boundaries happen to align into a
+    // shorter valid message, at least never the original one. No panics.
+    #[test]
+    fn truncated_payloads_error_or_differ(req in arb_request(), cut_sel in any::<usize>()) {
+        let mut bytes = Vec::new();
+        encode_request(&req, &mut bytes);
+        let cut = cut_sel % bytes.len();
+        match decode_request(&bytes[..cut]) {
+            Err(
+                WireError::Truncated
+                | WireError::BadTag { .. }
+                | WireError::Trailing { .. }
+                | WireError::BadField { .. },
+            ) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {}", e),
+            Ok(other) => prop_assert_ne!(other, req),
+        }
+    }
+
+    // Same discipline for truncated frames read off a socket: the reader
+    // reports a typed error, never panics, never parses a short frame.
+    #[test]
+    fn truncated_frames_error(req in arb_request(), cut_sel in any::<usize>()) {
+        let mut payload = Vec::new();
+        encode_request(&req, &mut payload);
+        let framed = frame(&payload);
+        let cut = cut_sel % framed.len();
+        let mut cursor = &framed[..cut];
+        match read_frame(&mut cursor) {
+            Ok(None) => prop_assert_eq!(cut, 0),
+            Ok(Some(_)) => prop_assert!(false, "short frame must not parse"),
+            Err(WireError::BadMagic) => prop_assert!(cut < MAGIC.len()),
+            Err(WireError::Truncated | WireError::Io(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error class: {}", e),
+        }
+    }
+
+    // Single-bit corruption: decode must return a typed error or a
+    // different (valid) message — silently-equal is the one forbidden
+    // outcome, and panics are impossible.
+    #[test]
+    fn corrupted_bytes_never_panic(req in arb_request(), idx_sel in any::<usize>(), bit in 0u8..8) {
+        let mut bytes = Vec::new();
+        encode_request(&req, &mut bytes);
+        let i = idx_sel % bytes.len();
+        bytes[i] ^= 1 << bit;
+        if let Ok(other) = decode_request(&bytes) {
+            prop_assert_ne!(other, req);
+        }
+    }
+
+    // Garbage of any shape: decoding must be total (no panics).
+    #[test]
+    fn garbage_decodes_totally(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+        let mut cursor = &bytes[..];
+        let _ = read_frame(&mut cursor);
+    }
+}
+
+#[test]
+fn oversized_frame_declarations_are_refused() {
+    let mut framed = Vec::from(&MAGIC[..]);
+    // Declare MAX_PAYLOAD + 1 bytes; the reader must refuse before
+    // allocating or reading that much.
+    let mut n = MAX_PAYLOAD + 1;
+    while n >= 0x80 {
+        framed.push((n as u8 & 0x7f) | 0x80);
+        n >>= 7;
+    }
+    framed.push(n as u8);
+    let mut cursor = &framed[..];
+    match read_frame(&mut cursor) {
+        Err(WireError::TooLarge { len }) => assert_eq!(len, MAX_PAYLOAD + 1),
+        other => panic!("expected TooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn writer_and_reader_agree_over_a_buffer() {
+    let reqs = [
+        Request::Health,
+        Request::Embed {
+            family: 4,
+            nodes: 1008,
+            seed: 7,
+            theorem: 1,
+        },
+        Request::Stats,
+        Request::Shutdown,
+    ];
+    let mut buf = Vec::new();
+    for req in &reqs {
+        write_request(&mut buf, req).unwrap();
+    }
+    let mut cursor = &buf[..];
+    for req in &reqs {
+        let bytes = read_frame(&mut cursor).unwrap().expect("frame present");
+        assert_eq!(&decode_request(&bytes).unwrap(), req);
+    }
+    assert!(read_frame(&mut cursor).unwrap().is_none());
+}

@@ -168,6 +168,33 @@ pub fn simulate_all_with<M: workload::HostMap + Sync, S: Sink>(
         .collect()
 }
 
+/// Runs one canonical workload (an index into
+/// [`workload::WORKLOADS`]) on its own engine, reporting to `sink`.
+/// Produces the same report as the matching entry of
+/// [`simulate_all_with`] — the engine is pure scratch state, so sharing
+/// one across workloads or not cannot change results. The serving layer
+/// uses this to run exactly the workload a request asked for.
+///
+/// # Panics
+/// If `idx` is not a valid workload index (`0..4`).
+///
+/// # Errors
+/// See [`crate::engine::run_batch`].
+pub fn simulate_one_with<M: workload::HostMap + Sync, S: Sink>(
+    net: &Network,
+    tree: &BinaryTree,
+    emb: &M,
+    idx: usize,
+    sink: &mut S,
+) -> Result<SimReport, SimError> {
+    let mut engine = Engine::new();
+    let stats = workload::rounds_for(tree, emb, idx)
+        .iter()
+        .map(|r| engine.run_batch_with(net, r, sink))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(summarise(workload::WORKLOADS[idx], &stats))
+}
+
 /// Cycle-and-delivery summary of one workload run under fault injection.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultSimReport {

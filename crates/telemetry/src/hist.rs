@@ -75,6 +75,30 @@ impl Histogram {
         }
     }
 
+    /// The `q`-quantile (`0.0 ..= 1.0`) estimated from the bucket layout:
+    /// the inclusive upper bound of the first bucket whose cumulative count
+    /// reaches `q · total`. Observations in the overflow bucket report the
+    /// exact maximum seen. Returns 0 when the histogram is empty.
+    ///
+    /// The estimate errs high by at most one bucket width — fine for the
+    /// pow-2 latency layouts this crate uses, where a bound is always
+    /// within 2x of every observation it covers.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (bound, count) in self.buckets() {
+            cumulative += count;
+            if cumulative >= target {
+                // The overflow bucket has no bound; the max is exact there.
+                return bound.unwrap_or(self.max).min(self.max);
+            }
+        }
+        self.max
+    }
+
     /// Buckets as `(inclusive upper bound, count)`; the final bucket has
     /// no bound (`None`) and holds everything larger than the last one.
     pub fn buckets(&self) -> impl Iterator<Item = (Option<u64>, u64)> + '_ {
@@ -129,5 +153,31 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn rejects_unsorted_bounds() {
         Histogram::new(&[2, 1]);
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_buckets() {
+        let mut h = Histogram::new(&[1, 2, 4, 8]);
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for v in [1, 1, 2, 3, 4, 8] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), 1); // target clamps to the 1st sample
+        assert_eq!(h.quantile(0.33), 1); // 2 of 6 samples are ≤ 1
+        assert_eq!(h.quantile(0.5), 2);
+        assert_eq!(h.quantile(0.75), 4); // 3 lands in the ≤4 bucket
+        assert_eq!(h.quantile(1.0), 8);
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_reports_exact_max() {
+        let mut h = Histogram::new(&[1]);
+        h.observe(1);
+        h.observe(5000);
+        assert_eq!(h.quantile(1.0), 5000);
+        // A bound above the largest observation is clamped to the max.
+        let mut h = Histogram::new(&[1024]);
+        h.observe(3);
+        assert_eq!(h.quantile(1.0), 3);
     }
 }

@@ -32,6 +32,6 @@ pub mod varint;
 pub use counters::{AtomicCounters, Counters};
 pub use event::Event;
 pub use hist::Histogram;
-pub use metrics::MetricsSink;
+pub use metrics::{histogram_jsonl, histogram_prometheus, MetricsSink};
 pub use sink::{NopSink, Sink, Tee};
 pub use trace::{read_trace, TraceError, TraceRecorder, TRACE_MAGIC};

@@ -14,6 +14,45 @@ const LATENCY_BUCKETS: u32 = 17; // 1 … 65536, pow2
 /// Hops carried by one directed edge over the run.
 const EDGE_UTIL_BUCKETS: u32 = 17;
 
+/// One JSONL histogram record — the shape every exporter in the workspace
+/// emits (the simulation [`MetricsSink`] and the server's request metrics
+/// alike): `{"type":"histogram","name":…,"count":…,"sum":…,"max":…,
+/// "mean":…,"buckets":[{"le":…,"count":…},…]}` with `le: null` on the
+/// overflow bucket.
+pub fn histogram_jsonl(name: &str, h: &Histogram) -> Value {
+    let buckets: Value = h
+        .buckets()
+        .map(|(le, count)| {
+            Value::object()
+                .with("le", le.map_or(Value::Null, Value::from))
+                .with("count", count)
+        })
+        .collect();
+    Value::object()
+        .with("type", "histogram")
+        .with("name", name)
+        .with("count", h.count())
+        .with("sum", h.sum())
+        .with("max", h.max())
+        .with("mean", h.mean())
+        .with("buckets", buckets)
+}
+
+/// Appends one histogram in Prometheus text exposition (cumulative `le`
+/// buckets, `_sum`, `_count`) under the fully-qualified `metric` name.
+/// Shared by every Prometheus exporter in the workspace.
+pub fn histogram_prometheus(out: &mut String, metric: &str, h: &Histogram) {
+    out.push_str(&format!("# TYPE {metric} histogram\n"));
+    let mut cumulative = 0u64;
+    for (le, count) in h.buckets() {
+        cumulative += count;
+        let le = le.map_or("+Inf".to_string(), |b| b.to_string());
+        out.push_str(&format!("{metric}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+    }
+    out.push_str(&format!("{metric}_sum {}\n", h.sum()));
+    out.push_str(&format!("{metric}_count {}\n", h.count()));
+}
+
 /// A [`Sink`] that aggregates the event stream into exportable metrics.
 ///
 /// Call [`finish`](MetricsSink::finish) once the run is over (it flushes
@@ -145,23 +184,7 @@ impl MetricsSink {
             ("message_latency_cycles", &self.latency),
             ("edge_utilization_hops", &self.edge_utilization()),
         ] {
-            let buckets: Value = h
-                .buckets()
-                .map(|(le, count)| {
-                    Value::object()
-                        .with("le", le.map_or(Value::Null, Value::from))
-                        .with("count", count)
-                })
-                .collect();
-            let line = Value::object()
-                .with("type", "histogram")
-                .with("name", name)
-                .with("count", h.count())
-                .with("sum", h.sum())
-                .with("max", h.max())
-                .with("mean", h.mean())
-                .with("buckets", buckets);
-            out.push_str(&xtree_json::to_string(&line));
+            out.push_str(&xtree_json::to_string(&histogram_jsonl(name, h)));
             out.push('\n');
         }
         for (e, hops) in self
@@ -210,17 +233,7 @@ impl MetricsSink {
             ("message_latency_cycles", &self.latency),
             ("edge_utilization_hops", &self.edge_utilization()),
         ] {
-            out.push_str(&format!("# TYPE xtree_sim_{name} histogram\n"));
-            let mut cumulative = 0u64;
-            for (le, count) in h.buckets() {
-                cumulative += count;
-                let le = le.map_or("+Inf".to_string(), |b| b.to_string());
-                out.push_str(&format!(
-                    "xtree_sim_{name}_bucket{{le=\"{le}\"}} {cumulative}\n"
-                ));
-            }
-            out.push_str(&format!("xtree_sim_{name}_sum {}\n", h.sum()));
-            out.push_str(&format!("xtree_sim_{name}_count {}\n", h.count()));
+            histogram_prometheus(&mut out, &format!("xtree_sim_{name}"), h);
         }
         out.push_str("# TYPE xtree_sim_edge_hops_total counter\n");
         for (e, hops) in self.hottest_edges(16) {
