@@ -1,0 +1,309 @@
+//! `embedbench` — the Theorem-1 cold-path record, written to
+//! `results/BENCH_embed.json`.
+//!
+//! For each size on the curve X(6)–X(12) it builds the same seeded
+//! `random-bst` guest three ways:
+//!
+//! * **legacy** — the frozen pre-refactor builder
+//!   (`xtree_bench::legacy_theorem1`), timed as the reference;
+//! * **serial** — the rebuilt hot path (`embed_with_scratch`,
+//!   `Parallel::Off`) through one long-lived scratch, the serving-layer
+//!   cache-miss configuration;
+//! * **parallel** — the same with `Parallel::Force`, exercising the
+//!   two-phase ADJUST on worker threads.
+//!
+//! Every rep asserts the three embeddings are identical (the refactor's
+//! byte-identical contract), reps are interleaved and summarised by their
+//! median, and a counting global allocator reports allocations per build —
+//! the number the refactor drives toward zero on the steady-state path.
+//!
+//! **`--gate`** is the CI perf-regression mode (the telbench ±2% pattern,
+//! generalised to be machine-independent): at the serving size X(6) it
+//! requires the serial rebuild to beat legacy by [`GATE_MIN_SPEEDUP`] and
+//! the steady-state allocation count to stay within [`GATE_ALLOC_SLACK`]
+//! of the checked-in `results/BENCH_embed_baseline.json`. Wall-clock is
+//! only ever compared *within* one run, never across machines.
+//! `--write-baseline` refreshes that baseline file; `--smoke` shrinks the
+//! sweep and skips the results file.
+//!
+//! Run with: `cargo run --release -p xtree-bench --bin embedbench`
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
+use xtree_bench::legacy_theorem1::embed_legacy;
+use xtree_core::theorem1::{embed_with_scratch, EmbedOptions, Parallel, Theorem1Scratch};
+use xtree_json::Value;
+use xtree_trees::generate::{theorem1_size, TreeFamily};
+use xtree_trees::BinaryTree;
+
+/// Gate: minimum cold-build speedup of the rebuilt serial path over the
+/// frozen legacy builder at the serving size (target from the issue: 2x;
+/// the gate trips below 1.5x so scheduler noise cannot flake CI).
+const GATE_MIN_SPEEDUP: f64 = 1.5;
+/// Gate: allowed growth of steady-state allocations per build over the
+/// checked-in baseline (counts, not bytes — fully machine-independent).
+const GATE_ALLOC_SLACK: f64 = 1.10;
+/// The serving size: X(6), 2032 nodes — what a cache miss builds.
+const SERVING_R: u8 = 6;
+
+/// Counting allocator: one relaxed increment per `alloc`/`realloc`. The
+/// count is what the flat-SoA refactor is measured by — a steady-state
+/// build through a warm scratch should allocate O(result), not O(rounds).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation count of one run of `f`.
+fn count_allocs<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let before = ALLOCS.load(Relaxed);
+    let out = f();
+    (ALLOCS.load(Relaxed) - before, out)
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+struct SizeResult {
+    r: u8,
+    nodes: usize,
+    legacy_p50_us: f64,
+    serial_p50_us: f64,
+    parallel_p50_us: f64,
+    allocs_legacy: u64,
+    allocs_serial: u64,
+    allocs_parallel: u64,
+}
+
+impl SizeResult {
+    fn speedup_serial(&self) -> f64 {
+        self.legacy_p50_us / self.serial_p50_us
+    }
+
+    fn report(&self) -> Value {
+        Value::object()
+            .with("host", format!("X({})", self.r))
+            .with("nodes", self.nodes)
+            .with("legacy_p50_us", self.legacy_p50_us)
+            .with("serial_p50_us", self.serial_p50_us)
+            .with("parallel_p50_us", self.parallel_p50_us)
+            .with("speedup_serial", self.speedup_serial())
+            .with(
+                "speedup_parallel",
+                self.legacy_p50_us / self.parallel_p50_us,
+            )
+            .with("allocs_legacy", self.allocs_legacy)
+            .with("allocs_serial", self.allocs_serial)
+            .with("allocs_parallel", self.allocs_parallel)
+    }
+}
+
+fn serving_tree(r: u8) -> BinaryTree {
+    // Match the serving layer's key shape: random-bst, fixed seed.
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5EED_E3B3 + u64::from(r));
+    TreeFamily::RandomBst.generate(theorem1_size(r), &mut rng)
+}
+
+fn bench_size(r: u8, reps: usize) -> SizeResult {
+    let tree = serving_tree(r);
+    let nodes = tree.len();
+    let serial = EmbedOptions {
+        parallel: Parallel::Off,
+        ..Default::default()
+    };
+    let forced = EmbedOptions {
+        parallel: Parallel::Force,
+        ..Default::default()
+    };
+    // Long-lived scratches: the timed serial/parallel builds run in the
+    // steady state, exactly like a worker thread's cache misses.
+    let mut s1 = Theorem1Scratch::new();
+    let mut s2 = Theorem1Scratch::new();
+    let warm = embed_with_scratch(&tree, serial, &mut s1);
+    embed_with_scratch(&tree, forced, &mut s2);
+
+    let mut t_legacy = Vec::with_capacity(reps);
+    let mut t_serial = Vec::with_capacity(reps);
+    let mut t_parallel = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let a = embed_legacy(&tree, EmbedOptions::default());
+        t_legacy.push(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        let b = embed_with_scratch(&tree, serial, &mut s1);
+        t_serial.push(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        let c = embed_with_scratch(&tree, forced, &mut s2);
+        t_parallel.push(t0.elapsed().as_secs_f64());
+
+        // The byte-identical contract, checked on every rep.
+        assert_eq!(a.emb, warm.emb, "X({r}): legacy embedding diverged");
+        assert_eq!(b.emb, warm.emb, "X({r}): serial embedding diverged");
+        assert_eq!(c.emb, warm.emb, "X({r}): parallel embedding diverged");
+        assert_eq!(a.log, b.log, "X({r}): build logs diverged");
+    }
+
+    let (allocs_legacy, _) = count_allocs(|| embed_legacy(&tree, EmbedOptions::default()));
+    let (allocs_serial, _) = count_allocs(|| embed_with_scratch(&tree, serial, &mut s1));
+    let (allocs_parallel, _) = count_allocs(|| embed_with_scratch(&tree, forced, &mut s2));
+
+    SizeResult {
+        r,
+        nodes,
+        legacy_p50_us: median(&mut t_legacy) * 1e6,
+        serial_p50_us: median(&mut t_serial) * 1e6,
+        parallel_p50_us: median(&mut t_parallel) * 1e6,
+        allocs_legacy,
+        allocs_serial,
+        allocs_parallel,
+    }
+}
+
+fn print_size(s: &SizeResult) {
+    eprintln!(
+        "X({}): {} nodes — legacy {:.0}us, serial {:.0}us ({:.2}x), parallel {:.0}us, \
+         allocs {} -> {} per build",
+        s.r,
+        s.nodes,
+        s.legacy_p50_us,
+        s.serial_p50_us,
+        s.speedup_serial(),
+        s.parallel_p50_us,
+        s.allocs_legacy,
+        s.allocs_serial,
+    );
+}
+
+fn read_baseline(path: &str) -> u64 {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("gate needs the checked-in {path}: {e}"));
+    let doc = xtree_json::from_str(&text).expect("baseline must parse");
+    doc.get("serving")
+        .get("allocs_serial")
+        .as_u64()
+        .expect("baseline must carry serving.allocs_serial")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let gate = args.iter().any(|a| a == "--gate");
+    let write_baseline = args.iter().any(|a| a == "--write-baseline");
+    let baseline_path = "results/BENCH_embed_baseline.json";
+
+    let (sizes, reps): (&[u8], usize) = if smoke {
+        (&[SERVING_R], 2)
+    } else if gate || write_baseline {
+        (&[SERVING_R], 9)
+    } else {
+        (&[6, 7, 8, 9, 10, 11, 12], 9)
+    };
+
+    let mut results = Vec::new();
+    for &r in sizes {
+        let reps = if r >= 11 { 3.min(reps) } else { reps };
+        let s = bench_size(r, reps);
+        print_size(&s);
+        results.push(s);
+    }
+    let serving = results
+        .iter()
+        .find(|s| s.r == SERVING_R)
+        .expect("sweep always includes the serving size");
+
+    let doc = Value::object()
+        .with("bench", "embed-cold-path")
+        .with(
+            "workload",
+            "seeded random-bst guests, one Theorem-1 build per rep; legacy (frozen pre-refactor \
+             builder) vs rebuilt serial (reused scratch) vs forced-parallel ADJUST; median over \
+             interleaved reps; allocation counts from a counting global allocator",
+        )
+        .with("reps", reps)
+        .with(
+            "sizes",
+            results.iter().map(SizeResult::report).collect::<Value>(),
+        )
+        .with(
+            "acceptance",
+            Value::object()
+                .with("host", format!("X({SERVING_R})"))
+                .with("cold_speedup_serial", serving.speedup_serial())
+                .with("target_speedup", 2.0)
+                .with("gate_min_speedup", GATE_MIN_SPEEDUP)
+                .with("allocs_serial", serving.allocs_serial)
+                .with("allocs_legacy", serving.allocs_legacy),
+        );
+
+    if write_baseline {
+        let base = Value::object().with("bench", "embed-baseline").with(
+            "serving",
+            Value::object()
+                .with("host", format!("X({SERVING_R})"))
+                .with("allocs_serial", serving.allocs_serial),
+        );
+        xtree_json::write_pretty_file(baseline_path, &base).expect("write baseline");
+        eprintln!("wrote {baseline_path}");
+        return;
+    }
+
+    if gate {
+        let base_allocs = read_baseline(baseline_path);
+        let limit = (base_allocs as f64 * GATE_ALLOC_SLACK) as u64;
+        eprintln!(
+            "gate: speedup {:.2}x (min {GATE_MIN_SPEEDUP}), allocs {} (baseline {}, limit {})",
+            serving.speedup_serial(),
+            serving.allocs_serial,
+            base_allocs,
+            limit,
+        );
+        assert!(
+            serving.speedup_serial() >= GATE_MIN_SPEEDUP,
+            "perf gate: serial rebuild is only {:.2}x over legacy at X({SERVING_R}) \
+             (minimum {GATE_MIN_SPEEDUP}x)",
+            serving.speedup_serial(),
+        );
+        assert!(
+            serving.allocs_serial <= limit,
+            "perf gate: {} allocs per steady-state build exceeds baseline {} (+{:.0}%)",
+            serving.allocs_serial,
+            base_allocs,
+            (GATE_ALLOC_SLACK - 1.0) * 100.0,
+        );
+        eprintln!("gate: pass");
+        return;
+    }
+
+    if smoke {
+        eprintln!("smoke mode: skipping results file");
+    } else {
+        xtree_json::write_pretty_file("results/BENCH_embed.json", &doc).expect("write results");
+        eprintln!("wrote results/BENCH_embed.json");
+    }
+    println!("{}", xtree_json::to_string_pretty(&doc));
+}

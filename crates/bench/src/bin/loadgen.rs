@@ -34,11 +34,18 @@ const NODES: u64 = 2032;
 const SEED_POOL: u64 = 4;
 const SEED_BASE: u64 = 1000;
 
+/// Distinct keys the skewed (`--zipf`) workload draws from — much larger
+/// than the uniform `SEED_POOL`, so the distribution's tail actually
+/// misses the cache and the hit rate tracks the head's skew.
+const ZIPF_POOL: usize = 64;
+
 struct Opts {
     addr: Option<String>,
     conns: usize,
     requests: usize,
     smoke: bool,
+    /// Zipf exponent `s` for the skewed-key phase (`None` = uniform only).
+    zipf: Option<f64>,
     out: String,
 }
 
@@ -48,6 +55,7 @@ fn parse_opts() -> Opts {
         conns: 8,
         requests: 64,
         smoke: false,
+        zipf: None,
         out: "results/BENCH_server.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -60,6 +68,11 @@ fn parse_opts() -> Opts {
             "--addr" => opts.addr = Some(value("--addr")),
             "--conns" => opts.conns = value("--conns").parse().expect("--conns"),
             "--requests" => opts.requests = value("--requests").parse().expect("--requests"),
+            "--zipf" => {
+                let s: f64 = value("--zipf").parse().expect("--zipf");
+                assert!(s > 0.0 && s.is_finite(), "--zipf needs s > 0");
+                opts.zipf = Some(s);
+            }
             "--out" => opts.out = value("--out"),
             "--smoke" => opts.smoke = true,
             other => panic!("unknown argument: {other}"),
@@ -71,6 +84,41 @@ fn parse_opts() -> Opts {
     }
     assert!(opts.conns >= 1 && opts.requests >= 1, "need work to do");
     opts
+}
+
+/// Zipf(s) over ranks `0..n` by inverse CDF — the workspace `rand` has no
+/// float distributions, so the cumulative weights are precomputed and a
+/// deterministic uniform draw is pushed through `partition_point`.
+struct Zipf {
+    cum: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(s: f64, n: usize) -> Self {
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cum.push(total);
+        }
+        for c in &mut cum {
+            *c /= total;
+        }
+        Zipf { cum }
+    }
+
+    fn sample(&self, u: f64) -> usize {
+        self.cum.partition_point(|&c| c < u).min(self.cum.len() - 1)
+    }
+}
+
+/// SplitMix64: a deterministic per-request uniform draw (the finalizer of
+/// `java.util.SplittableRandom`), keyed by connection and request index.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// What one phase of driving measured, client side plus server stats.
@@ -121,14 +169,30 @@ impl Phase {
 }
 
 /// The deterministic request sequence for connection `conn`: repeated
-/// keys drawn from the seed pool, mixed 3:1 simulate:embed, cycling
-/// through the engine's four workloads.
-fn requests_for(conn: usize, conns: usize, count: usize, nodes: u64) -> Vec<Request> {
+/// keys drawn from the seed pool — uniformly, or Zipf-skewed over the
+/// larger [`ZIPF_POOL`] when `zipf` is set — mixed 3:1 simulate:embed,
+/// cycling through the engine's four workloads.
+fn requests_for(
+    conn: usize,
+    conns: usize,
+    count: usize,
+    nodes: u64,
+    zipf: Option<f64>,
+) -> Vec<Request> {
     let batches = seeded_batches(0x5EED_10AD, SEED_POOL, conns, count);
+    let dist = zipf.map(|s| Zipf::new(s, ZIPF_POOL));
     batches[conn]
         .iter()
-        .map(|m| {
-            let seed = SEED_BASE + u64::from(m.src);
+        .enumerate()
+        .map(|(i, m)| {
+            let seed = match &dist {
+                Some(z) => {
+                    let bits = splitmix64(0x21BF_0000 ^ ((conn as u64) << 32) ^ i as u64);
+                    let u = (bits >> 11) as f64 / (1u64 << 53) as f64;
+                    SEED_BASE + z.sample(u) as u64
+                }
+                None => SEED_BASE + u64::from(m.src),
+            };
             if m.dst % 4 == 3 {
                 Request::Embed {
                     family: FAMILY,
@@ -159,7 +223,14 @@ fn quantile(sorted: &[u64], q: f64) -> u64 {
 
 /// Drive `conns` concurrent connections, `count` requests each, against
 /// `addr`; fetch the server's stats afterwards through a fresh client.
-fn drive(name: &'static str, addr: SocketAddr, conns: usize, count: usize, nodes: u64) -> Phase {
+fn drive(
+    name: &'static str,
+    addr: SocketAddr,
+    conns: usize,
+    count: usize,
+    nodes: u64,
+    zipf: Option<f64>,
+) -> Phase {
     let start = Instant::now();
     let per_conn: Vec<(usize, usize, usize, Vec<u64>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..conns)
@@ -168,7 +239,7 @@ fn drive(name: &'static str, addr: SocketAddr, conns: usize, count: usize, nodes
                     let mut client = Client::connect(addr).expect("connect");
                     let (mut ok, mut overloaded, mut errors) = (0, 0, 0);
                     let mut latencies = Vec::with_capacity(count);
-                    for req in requests_for(conn, conns, count, nodes) {
+                    for req in requests_for(conn, conns, count, nodes, zipf) {
                         let sent = Instant::now();
                         let resp = client.call(&req).expect("call");
                         latencies.push(sent.elapsed().as_micros() as u64);
@@ -221,10 +292,11 @@ fn spawn_and_drive(
     conns: usize,
     count: usize,
     nodes: u64,
+    zipf: Option<f64>,
 ) -> Phase {
     let mut server = Server::spawn(config).expect("bind ephemeral server");
     let addr = server.local_addr();
-    let phase = drive(name, addr, conns, count, nodes);
+    let phase = drive(name, addr, conns, count, nodes, zipf);
     let mut client = Client::connect(addr).expect("connect for shutdown");
     client.call(&Request::Shutdown).expect("shutdown");
     server.wait();
@@ -263,7 +335,14 @@ fn main() {
         // External mode: one bounded phase against a live daemon; leave
         // it running for whoever started it.
         let addr: SocketAddr = addr.parse().expect("--addr must be HOST:PORT");
-        let phase = drive("external", addr, opts.conns, opts.requests, NODES);
+        let phase = drive(
+            "external",
+            addr,
+            opts.conns,
+            opts.requests,
+            NODES,
+            opts.zipf,
+        );
         print_phase(&phase);
         assert_eq!(phase.errors, 0, "external run must not error");
         assert!(phase.ok >= 1, "external run must serve something");
@@ -280,10 +359,26 @@ fn main() {
             ..warm_config.clone()
         };
 
-        let warm = spawn_and_drive("warm", &warm_config, opts.conns, opts.requests, NODES);
+        let warm = spawn_and_drive("warm", &warm_config, opts.conns, opts.requests, NODES, None);
         print_phase(&warm);
-        let cold = spawn_and_drive("cold", &cold_config, opts.conns, opts.requests, NODES);
+        let cold = spawn_and_drive("cold", &cold_config, opts.conns, opts.requests, NODES, None);
         print_phase(&cold);
+
+        // Skewed-key phase: same warm server, keys Zipf(s) over a pool
+        // 16x the uniform one — the hit rate now measures how much of the
+        // distribution's head the cache captures.
+        let warm_zipf = opts.zipf.map(|s| {
+            let p = spawn_and_drive(
+                "warm-zipf",
+                &warm_config,
+                opts.conns,
+                opts.requests,
+                NODES,
+                Some(s),
+            );
+            print_phase(&p);
+            p
+        });
 
         // Saturation probe: one worker, a queue of two, a burst of
         // distinct expensive keys — backpressure must be explicit.
@@ -294,7 +389,7 @@ fn main() {
             cache_cap: 0,
         };
         let burst_conns = opts.conns.max(8);
-        let saturation = spawn_and_drive("saturation", &tight, burst_conns, 2, NODES);
+        let saturation = spawn_and_drive("saturation", &tight, burst_conns, 2, NODES, None);
         print_phase(&saturation);
 
         // The contract the serving layer was built around. In --smoke the
@@ -341,7 +436,30 @@ fn main() {
                 .with("speedup", warm.throughput_rps() / cold.throughput_rps())
                 .with("warm_hit_rate", warm.hit_rate()),
         );
+        // Hit rate per key distribution, side by side.
+        let mut dists = vec![Value::object()
+            .with("distribution", "uniform")
+            .with("keys", SEED_POOL)
+            .with("hit_rate", warm.hit_rate())];
+        if let Some(z) = &warm_zipf {
+            let s = opts.zipf.unwrap();
+            if !opts.smoke {
+                assert!(
+                    z.hit_rate() > 0.0,
+                    "zipf head keys must repeat enough to hit"
+                );
+            }
+            dists.push(
+                Value::object()
+                    .with("distribution", "zipf")
+                    .with("s", s)
+                    .with("keys", ZIPF_POOL)
+                    .with("hit_rate", z.hit_rate()),
+            );
+        }
+        doc.set("distributions", dists.into_iter().collect::<Value>());
         phases.extend([warm, cold, saturation]);
+        phases.extend(warm_zipf);
     }
 
     doc.set(

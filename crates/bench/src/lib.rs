@@ -3,6 +3,7 @@
 //! records. The `tables` binary dispatches on experiment ids.
 
 pub mod experiments;
+pub mod legacy_theorem1;
 
 use xtree_json::Value;
 use xtree_sim::Message;

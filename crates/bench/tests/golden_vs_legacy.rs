@@ -1,0 +1,83 @@
+//! Byte-identical contract of the rebuilt Theorem-1 hot path: the refactor
+//! (flat SoA interval storage, scratch reuse, two-phase parallel ADJUST)
+//! must emit *exactly* the embeddings of the frozen pre-refactor builder —
+//! same map, same Δ trace, same mechanism counters, same mass trace.
+//!
+//! The reference lives in `xtree_bench::legacy_theorem1`, a verbatim copy
+//! of the builder as it stood before the rewrite. This test drives both
+//! over seeded trees at X(6)–X(10): every family at X(6), spot checks at
+//! the larger sizes, and — for the new builder — each of serial mode,
+//! forced-parallel mode, and a reused scratch, all of which must agree.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use xtree_bench::legacy_theorem1::embed_legacy;
+use xtree_core::theorem1::{
+    embed_with, embed_with_scratch, EmbedOptions, Parallel, Theorem1Embedding, Theorem1Scratch,
+};
+use xtree_trees::generate::{theorem1_size, TreeFamily};
+
+fn assert_same(label: &str, new: &Theorem1Embedding, old: &Theorem1Embedding) {
+    assert_eq!(new.emb, old.emb, "{label}: embedding differs");
+    assert_eq!(new.trace, old.trace, "{label}: Δ trace differs");
+    assert_eq!(new.log, old.log, "{label}: build log differs");
+    assert_eq!(
+        new.mass_trace, old.mass_trace,
+        "{label}: mass trace differs"
+    );
+}
+
+#[test]
+fn new_builder_matches_legacy_in_every_mode() {
+    let cases: &[(usize, u8, u64)] = &[
+        (0, 6, 0xA11CE),
+        (1, 6, 0xA11CE),
+        (2, 6, 0xA11CE),
+        (3, 6, 0xA11CE),
+        (4, 6, 0xA11CE),
+        (5, 6, 0xA11CE),
+        (6, 6, 0xA11CE),
+        (7, 6, 0xA11CE),
+        (4, 7, 0xBEEF),
+        (6, 7, 0xBEEF),
+        (4, 8, 0xCAFE),
+        (5, 8, 0xCAFE),
+        (4, 9, 0xD00D),
+        (4, 10, 0xE66),
+    ];
+    // One scratch across every case: reuse across differing sizes is part
+    // of the contract (the serving pool hands one scratch many trees).
+    let mut scratch = Theorem1Scratch::new();
+    for &(f, r, seed) in cases {
+        let family = TreeFamily::ALL[f];
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let tree = family.generate(theorem1_size(r), &mut rng);
+        let old = embed_legacy(&tree, EmbedOptions::default());
+
+        let serial = EmbedOptions {
+            parallel: Parallel::Off,
+            ..Default::default()
+        };
+        let forced = EmbedOptions {
+            parallel: Parallel::Force,
+            ..Default::default()
+        };
+        let label = format!("{family:?} X({r})");
+        assert_same(&format!("{label} serial"), &embed_with(&tree, serial), &old);
+        assert_same(
+            &format!("{label} parallel"),
+            &embed_with(&tree, forced),
+            &old,
+        );
+        assert_same(
+            &format!("{label} reused scratch"),
+            &embed_with_scratch(&tree, serial, &mut scratch),
+            &old,
+        );
+        assert_same(
+            &format!("{label} reused scratch again"),
+            &embed_with_scratch(&tree, serial, &mut scratch),
+            &old,
+        );
+    }
+}

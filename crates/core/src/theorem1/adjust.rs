@@ -17,43 +17,46 @@
 //! the same Δ-reduction whenever the boundary leaf holds enough movable
 //! mass, and otherwise shifts what is there (the shortfall shows up in the
 //! measured Δ(j, i) trace).
+//!
+//! Execution model (DESIGN.md §13): every sweep runs in two phases. The
+//! **decide** phase computes, per sibling pair, which intervals to move
+//! and the (at most one) Lemma-2 separation — reading only that pair's
+//! disjoint region, so the decisions can be computed on worker threads.
+//! The **apply** phase commits the plans serially in pair order, which
+//! makes serial and parallel execution byte-identical. Leaf masses come
+//! from a per-sweep prefix-sum snapshot over a plain array (replacing the
+//! old Fenwick tree): within one sweep, another pair's moves stay inside
+//! its own index range, so the snapshot equals what live queries would
+//! return.
 
-use super::state::{Builder, IntId};
+use super::state::{Builder, IntId, Parallel};
+use rayon::prelude::*;
+use smallvec::SmallVec;
 use xtree_topology::Address;
-use xtree_trees::lemma2_with;
+use xtree_trees::{lemma2_with, Separation, SeparatorScratch};
 
-/// A Fenwick (binary indexed) tree over the leaf masses of the current
-/// round, supporting point updates as ADJUST moves intervals around.
-pub(crate) struct Fenwick {
-    t: Vec<i64>,
-}
+/// Auto-parallel gate: a sweep goes parallel only with at least this many
+/// sibling pairs (the workspace rayon spawns scoped threads per call, so
+/// tiny sweeps lose more to thread start-up than they gain) …
+const PAR_MIN_PAIRS: usize = 4;
+/// … and at least this much un-placed mass on the level (the decide cost
+/// is proportional to the mass the lemma calls traverse).
+const PAR_MIN_SWEEP_MASS: i64 = 1 << 16;
 
-impl Fenwick {
-    pub fn new(n: usize) -> Self {
-        Fenwick { t: vec![0; n + 1] }
-    }
-
-    pub fn add(&mut self, mut idx: usize, delta: i64) {
-        idx += 1;
-        while idx < self.t.len() {
-            self.t[idx] += delta;
-            idx += idx & idx.wrapping_neg();
-        }
-    }
-
-    fn prefix(&self, mut idx: usize) -> i64 {
-        let mut s = 0;
-        while idx > 0 {
-            s += self.t[idx];
-            idx -= idx & idx.wrapping_neg();
-        }
-        s
-    }
-
-    /// Sum over `lo..=hi` (inclusive).
-    pub fn range(&self, lo: usize, hi: usize) -> i64 {
-        self.prefix(hi + 1) - self.prefix(lo)
-    }
+/// What one sibling pair decided to do, computed read-only in phase one
+/// and committed in phase two.
+struct PairPlan {
+    /// Donor boundary leaf (level i−1) the moves detach from.
+    bd: Address,
+    /// Recipient boundary leaf (level i−1), for the mass bookkeeping.
+    br: Address,
+    /// Level-i boundary leaves where a split lays out its boundary sets.
+    d0: Address,
+    r0: Address,
+    /// Whole-interval moves, in selection order.
+    whole: SmallVec<[IntId; 8]>,
+    /// At most one Lemma-2 split of the residual imbalance.
+    split: Option<(IntId, Separation)>,
 }
 
 /// Runs the full ADJUST sweep of round `i` (no-op for `i < 2`).
@@ -63,18 +66,58 @@ pub(crate) fn adjust_phase(b: &mut Builder<'_>, i: u8) {
     }
     let l = i - 1; // level of the current attachment leaves
     let width = 1usize << l;
-    let mut fw = Fenwick::new(width);
-    for a in Address::level_iter(l) {
-        let m = b.attached_mass(a);
-        if m > 0 {
-            fw.add(a.index() as usize, m as i64);
-        }
-    }
+    // Live leaf masses, updated as plans are applied. Equals the old
+    // Fenwick state: whole moves transfer the interval size, splits
+    // transfer |part2| (boundary nodes placed at level i included).
+    let mut mass = std::mem::take(&mut b.s.mass_buf);
+    mass.clear();
+    mass.extend(Address::level_iter(l).map(|a| b.attached_mass(a) as i64));
+    let mut prefix = std::mem::take(&mut b.s.prefix_buf);
+    let mut pairs = std::mem::take(&mut b.s.pairs_buf);
     for j in 0..=(i - 2) {
-        for alpha in Address::level_iter(j) {
-            adjust_pair(b, &mut fw, alpha, i);
+        // Per-sweep snapshot of the leaf masses as prefix sums.
+        prefix.clear();
+        prefix.push(0);
+        for k in 0..width {
+            prefix.push(prefix[k] + mass[k]);
+        }
+        pairs.clear();
+        pairs.extend(Address::level_iter(j));
+        let use_par = match b.opts.parallel {
+            Parallel::Off => false,
+            Parallel::Force => true,
+            Parallel::Auto => pairs.len() >= PAR_MIN_PAIRS && prefix[width] >= PAR_MIN_SWEEP_MASS,
+        };
+        let plans: Vec<Option<PairPlan>> = if use_par {
+            let bb: &Builder<'_> = b;
+            let prefix_ref: &[i64] = &prefix;
+            pairs
+                .par_iter()
+                .map(|&alpha| {
+                    let mut scr = bb.pop_par_scratch();
+                    let plan = decide(bb, prefix_ref, alpha, i, &mut scr);
+                    bb.push_par_scratch(scr);
+                    plan
+                })
+                .collect()
+        } else {
+            let mut scr = std::mem::take(&mut b.s.sep_scratch);
+            let v = pairs
+                .iter()
+                .map(|&alpha| decide(b, &prefix, alpha, i, &mut scr))
+                .collect();
+            b.s.sep_scratch = scr;
+            v
+        };
+        #[cfg(debug_assertions)]
+        assert_plans_disjoint(&plans);
+        for plan in plans.into_iter().flatten() {
+            apply_plan(b, plan, &mut mass);
         }
     }
+    b.s.mass_buf = mass;
+    b.s.prefix_buf = prefix;
+    b.s.pairs_buf = pairs;
 }
 
 /// Movable intervals are the "natives" of the boundary leaf: all anchors at
@@ -88,7 +131,16 @@ fn movable(b: &Builder<'_>, id: IntId, bd: Address) -> bool {
         .all(|&(_, anchor)| anchor == bd || Some(anchor) == parent)
 }
 
-fn adjust_pair(b: &mut Builder<'_>, fw: &mut Fenwick, alpha: Address, i: u8) {
+/// Phase one: decides what the pair under `alpha` moves, reading only
+/// state inside `alpha`'s region (plus the per-sweep mass snapshot), so
+/// concurrent decides of one sweep never observe each other.
+fn decide(
+    b: &Builder<'_>,
+    prefix: &[i64],
+    alpha: Address,
+    i: u8,
+    scr: &mut SeparatorScratch,
+) -> Option<PairPlan> {
     let l = i - 1;
     let a0 = alpha.child(0);
     let a1 = alpha.child(1);
@@ -100,11 +152,11 @@ fn adjust_pair(b: &mut Builder<'_>, fw: &mut Fenwick, alpha: Address, i: u8) {
     };
     let (lo0, hi0) = range(a0);
     let (lo1, hi1) = range(a1);
-    let m0 = fw.range(lo0, hi0);
-    let m1 = fw.range(lo1, hi1);
+    let m0 = prefix[hi0 + 1] - prefix[lo0];
+    let m1 = prefix[hi1 + 1] - prefix[lo1];
     let delta = (m0 - m1).abs() / 2;
     if delta == 0 {
-        return;
+        return None;
     }
     let donor_left = m0 > m1;
     // Boundary leaves on level i−1, horizontally adjacent across the split.
@@ -120,19 +172,21 @@ fn adjust_pair(b: &mut Builder<'_>, fw: &mut Fenwick, alpha: Address, i: u8) {
     } else {
         (bd.child(0), br.child(1))
     };
-    b.log.adjust_calls += 1;
 
+    // Simulate the selection loop on a copy of the donor's attachment
+    // list, mirroring the legacy removal order exactly (swap_remove, and
+    // max_by_key keeping the *last* maximum).
+    let mut local: SmallVec<[IntId; 16]> = b.att_list(bd).iter().copied().collect();
+    let mut whole: SmallVec<[IntId; 8]> = SmallVec::new();
+    let mut split = None;
     let mut remaining = delta as u64;
     loop {
         if remaining == 0 {
             break;
         }
         // Largest movable native still attached to the donor boundary leaf.
-        let Some((pos, id)) = b
-            .att
-            .get(&bd)
-            .into_iter()
-            .flatten()
+        let Some((pos, id)) = local
+            .iter()
             .enumerate()
             .filter(|&(_, &id)| movable(b, id, bd))
             .max_by_key(|&(_, &id)| b.interval(id).size)
@@ -143,12 +197,11 @@ fn adjust_pair(b: &mut Builder<'_>, fw: &mut Fenwick, alpha: Address, i: u8) {
         let size = b.interval(id).size as u64;
         if size <= remaining && b.opts.whole_moves {
             // Whole move: attachment crosses the boundary, anchors stay.
-            b.att.get_mut(&bd).unwrap().swap_remove(pos);
-            b.attach(id, r0);
-            fw.add(bd.index() as usize, -(size as i64));
-            fw.add(br.index() as usize, size as i64);
+            let last = local.len() - 1;
+            local.as_mut_slice().swap(pos, last);
+            local.pop();
+            whole.push(id);
             remaining -= size;
-            b.log.adjust_whole_moves += 1;
         } else {
             // One Lemma-2 split extracts the exact remainder. Boundary
             // sets need up to 5 slots per leaf; tiny capacities (the A2
@@ -163,14 +216,72 @@ fn adjust_pair(b: &mut Builder<'_>, fw: &mut Fenwick, alpha: Address, i: u8) {
             // ablation): clamp, which turns the split into a lemma-driven
             // whole move of this interval.
             let delta = remaining.min(size) as u32;
-            let sep = lemma2_with(&mut b.scratch, b.tree, &b.placed, r1, r2, delta);
-            b.att.get_mut(&bd).unwrap().swap_remove(pos);
-            let moved = sep.part2.len() as i64;
-            b.apply_separation(id, &sep, d0, r0, d0, r0);
-            fw.add(bd.index() as usize, -moved);
-            fw.add(br.index() as usize, moved);
-            b.log.adjust_splits += 1;
+            let sep = lemma2_with(scr, b.tree, &b.s.placed, r1, r2, delta);
+            split = Some((id, sep));
             break;
+        }
+    }
+    Some(PairPlan {
+        bd,
+        br,
+        d0,
+        r0,
+        whole,
+        split,
+    })
+}
+
+/// Phase two: commits one pair's plan. Runs serially in pair order, so the
+/// attachment-list mutations happen in exactly the legacy sequence.
+fn apply_plan(b: &mut Builder<'_>, plan: PairPlan, mass: &mut [i64]) {
+    b.log.adjust_calls += 1;
+    let bdi = plan.bd.index() as usize;
+    let bri = plan.br.index() as usize;
+    for &id in &plan.whole {
+        let pos = b
+            .att_list(plan.bd)
+            .iter()
+            .position(|&x| x == id)
+            .expect("planned whole move vanished");
+        b.detach_swap(plan.bd, pos);
+        let size = b.interval(id).size as i64;
+        b.attach(id, plan.r0);
+        mass[bdi] -= size;
+        mass[bri] += size;
+        b.log.adjust_whole_moves += 1;
+    }
+    if let Some((id, sep)) = plan.split {
+        let pos = b
+            .att_list(plan.bd)
+            .iter()
+            .position(|&x| x == id)
+            .expect("planned split vanished");
+        b.detach_swap(plan.bd, pos);
+        let moved = sep.part2.len() as i64;
+        b.apply_separation(id, &sep, plan.d0, plan.r0, plan.d0, plan.r0);
+        mass[bdi] -= moved;
+        mass[bri] += moved;
+        b.log.adjust_splits += 1;
+    }
+}
+
+/// Debug check of the disjointness argument the parallel decide rests on:
+/// no interval may be claimed by two pairs of the same sweep, and no two
+/// pairs may share a boundary leaf.
+#[cfg(debug_assertions)]
+fn assert_plans_disjoint(plans: &[Option<PairPlan>]) {
+    let mut ids = std::collections::HashSet::new();
+    let mut leaves = std::collections::HashSet::new();
+    for plan in plans.iter().flatten() {
+        assert!(
+            leaves.insert(plan.bd) && leaves.insert(plan.br),
+            "ADJUST pairs share a boundary leaf"
+        );
+        for &id in &plan.whole {
+            assert!(ids.insert(id), "interval {id} claimed by two ADJUST pairs");
+        }
+        if let Some((id, _)) = plan.split {
+            assert!(ids.insert(id), "interval {id} claimed by two ADJUST pairs");
         }
     }
 }

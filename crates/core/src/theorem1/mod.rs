@@ -22,11 +22,11 @@ mod split;
 mod state;
 mod trace;
 
-pub use state::{BuildLog, EmbedOptions};
+pub use state::{BuildLog, EmbedOptions, Parallel, Theorem1Scratch};
 pub use trace::paper_bound;
 
 use crate::embedding::XEmbedding;
-use state::Builder;
+use state::{AttachRule, Builder};
 use xtree_topology::Address;
 use xtree_trees::{BinaryTree, NodeId};
 
@@ -50,14 +50,18 @@ pub fn optimal_height(n: usize) -> u8 {
     optimal_height_cap(n, 16)
 }
 
-/// The optimal host height at an arbitrary per-vertex capacity.
+/// The optimal host height at an arbitrary per-vertex capacity: the
+/// smallest `r` with `cap·(2^{r+1} − 1) ≥ n`. Rearranging,
+/// `2^{r+1} ≥ ⌈n/cap⌉ + 1`, whose smallest solution is `r = ⌊log₂ q⌋`
+/// for `q = ⌈n/cap⌉ ≥ 2` (and `r = 0` below that) — O(1) instead of the
+/// old linear probe loop (pinned against it by a unit test over 1..=2^20).
 pub fn optimal_height_cap(n: usize, cap: u16) -> u8 {
-    let cap = cap as usize;
-    let mut r = 0u8;
-    while cap * ((1usize << (r + 1)) - 1) < n {
-        r += 1;
+    let q = n.div_ceil(cap as usize);
+    if q <= 1 {
+        0
+    } else {
+        q.ilog2() as u8
     }
-    r
 }
 
 /// True if `n` is one of the sizes `16·(2^{r+1} − 1)` for which Theorem 1
@@ -86,6 +90,20 @@ pub fn embed(tree: &BinaryTree) -> Theorem1Embedding {
 /// Like [`embed`], with the construction's mechanisms individually
 /// switchable — the knob behind the ablation experiments (A1).
 pub fn embed_with(tree: &BinaryTree, opts: EmbedOptions) -> Theorem1Embedding {
+    embed_with_scratch(tree, opts, &mut Theorem1Scratch::new())
+}
+
+/// Like [`embed_with`], building on top of a reusable [`Theorem1Scratch`].
+///
+/// Repeated builds through one scratch skip every per-build buffer
+/// allocation (the hot path of a serving cache miss); the produced
+/// embedding is byte-identical to a fresh-scratch build. The scratch is
+/// handed back ready for the next call, whatever tree size that is.
+pub fn embed_with_scratch(
+    tree: &BinaryTree,
+    opts: EmbedOptions,
+    scratch: &mut Theorem1Scratch,
+) -> Theorem1Embedding {
     let n = tree.len();
     let cap = opts.capacity;
     assert!(cap >= 1, "capacity must be ≥ 1");
@@ -100,17 +118,21 @@ pub fn embed_with(tree: &BinaryTree, opts: EmbedOptions) -> Theorem1Embedding {
         for _ in n..target {
             tip = padded.add_child(tip);
         }
-        let mut res = embed_exact(&padded, opts);
+        let mut res = embed_exact(&padded, opts, scratch);
         res.emb.map.truncate(n);
         return res;
     }
-    embed_exact(tree, opts)
+    embed_exact(tree, opts, scratch)
 }
 
-fn embed_exact(tree: &BinaryTree, opts: EmbedOptions) -> Theorem1Embedding {
+fn embed_exact(
+    tree: &BinaryTree,
+    opts: EmbedOptions,
+    scratch: &mut Theorem1Scratch,
+) -> Theorem1Embedding {
     let n = tree.len();
     let r = optimal_height_cap(n, opts.capacity);
-    let mut b = Builder::new(tree, r, opts);
+    let mut b = Builder::new(tree, r, opts, scratch);
 
     // δ_0: lay out a connected block of up to `capacity` nodes on the root
     // ε and attach everything else there.
@@ -118,7 +140,7 @@ fn embed_exact(tree: &BinaryTree, opts: EmbedOptions) -> Theorem1Embedding {
     for &v in &block {
         b.place(v, Address::ROOT);
     }
-    b.rebuild_components(&block, |_| Address::ROOT);
+    b.rebuild_components(&block, AttachRule::Fixed(Address::ROOT));
 
     // embed_with pads every guest to an exact size first, so embed_exact
     // only ever sees exact sizes: every vertex must fill completely.
@@ -133,19 +155,13 @@ fn embed_exact(tree: &BinaryTree, opts: EmbedOptions) -> Theorem1Embedding {
 
     // Every node must be placed and every vertex completely filled.
     assert_eq!(b.total_unplaced(), 0, "algorithm left guest nodes unplaced");
-    let cap = opts.capacity;
-    assert!(
-        b.count.iter().all(|&c| c == cap),
-        "exact-size guest must fill every host vertex"
-    );
+    assert!(b.all_full(), "exact-size guest must fill every host vertex");
+    let (map, log, trace, mass_trace) = b.finish(scratch);
     Theorem1Embedding {
-        emb: XEmbedding {
-            height: r,
-            map: b.assign,
-        },
-        trace: b.trace,
-        log: b.log,
-        mass_trace: b.mass_trace,
+        emb: XEmbedding { height: r, map },
+        trace,
+        log,
+        mass_trace,
     }
 }
 
@@ -178,6 +194,24 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
     use xtree_trees::generate::{self, theorem1_size, TreeFamily};
+
+    #[test]
+    fn optimal_height_cap_matches_probe_loop() {
+        // The closed form replaced a linear probe; pin exact agreement with
+        // the old loop over every n up to 2^20 at several capacities.
+        fn probe(n: usize, cap: u16) -> u8 {
+            let mut r = 0u8;
+            while cap as usize * ((1usize << (r + 1)) - 1) < n {
+                r += 1;
+            }
+            r
+        }
+        for cap in [1u16, 3, 16] {
+            for n in 1..=(1usize << 20) {
+                assert_eq!(optimal_height_cap(n, cap), probe(n, cap), "n={n} cap={cap}");
+            }
+        }
+    }
 
     #[test]
     fn optimal_height_and_exact_sizes() {

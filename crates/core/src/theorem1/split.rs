@@ -18,7 +18,7 @@
 //!    local mass runs short (this subsumes the paper's final rearrangement
 //!    of the last two levels).
 
-use super::state::{Builder, IntId};
+use super::state::{AttachRule, Builder, IntId};
 use xtree_topology::Address;
 use xtree_trees::lemma2_with;
 
@@ -44,13 +44,14 @@ pub(crate) fn split_phase(b: &mut Builder<'_>, i: u8) {
 fn assign_children(b: &mut Builder<'_>, alpha: Address) {
     let c0 = alpha.child(0);
     let c1 = alpha.child(1);
-    let mut ids = b.detach_all(alpha);
+    let mut ids = std::mem::take(&mut b.s.ids_buf);
+    b.detach_all_into(alpha, &mut ids);
     ids.sort_unstable_by_key(|&id| std::cmp::Reverse(b.interval(id).size));
     // Side weights include nodes already placed on the children and the
     // mass pre-assigned by ADJUST.
-    let mut w0 = b.count[c0.heap_id()] as u64 + b.attached_mass(c0);
-    let mut w1 = b.count[c1.heap_id()] as u64 + b.attached_mass(c1);
-    for id in ids {
+    let mut w0 = b.count(c0) as u64 + b.attached_mass(c0);
+    let mut w1 = b.count(c1) as u64 + b.attached_mass(c1);
+    for &id in &ids {
         let size = b.interval(id).size as u64;
         if w0 <= w1 {
             b.attach(id, c0);
@@ -60,6 +61,7 @@ fn assign_children(b: &mut Builder<'_>, alpha: Address) {
             w1 += size;
         }
     }
+    b.s.ids_buf = ids;
     // Fine balance: split the largest interval of the heavy side.
     let (heavy, light, wh, wl) = if w0 >= w1 {
         (c0, c1, w0, w1)
@@ -71,10 +73,8 @@ fn assign_children(b: &mut Builder<'_>, alpha: Address) {
         return;
     }
     let Some((pos, id)) = b
-        .att
-        .get(&heavy)
-        .into_iter()
-        .flatten()
+        .att_list(heavy)
+        .iter()
         .enumerate()
         .max_by_key(|&(_, &id)| b.interval(id).size)
         .map(|(p, &id)| (p, id))
@@ -84,13 +84,20 @@ fn assign_children(b: &mut Builder<'_>, alpha: Address) {
     let size = b.interval(id).size as u64;
     if size <= delta {
         // Cheaper to reassign the whole interval than to split it.
-        b.att.get_mut(&heavy).unwrap().swap_remove(pos);
+        b.detach_swap(heavy, pos);
         b.attach(id, light);
         return;
     }
     let (r1, r2) = b.interval(id).lemma_designated();
-    let sep = lemma2_with(&mut b.scratch, b.tree, &b.placed, r1, r2, delta as u32);
-    b.att.get_mut(&heavy).unwrap().swap_remove(pos);
+    let sep = lemma2_with(
+        &mut b.s.sep_scratch,
+        b.tree,
+        &b.s.placed,
+        r1,
+        r2,
+        delta as u32,
+    );
+    b.detach_swap(heavy, pos);
     b.apply_separation(id, &sep, heavy, light, heavy, light);
     b.log.split_balances += 1;
 }
@@ -99,17 +106,22 @@ fn assign_children(b: &mut Builder<'_>, alpha: Address) {
 /// (anchor two levels up) has arrived, spilling to the closest leaf with
 /// room if `leaf` is full.
 fn force_due_placements(b: &mut Builder<'_>, leaf: Address, i: u8) {
-    let Some(ids) = b.att.get(&leaf) else { return };
-    let due: Vec<IntId> = ids
-        .iter()
-        .copied()
-        .filter(|&id| b.interval(id).min_anchor_level() + 2 <= i)
-        .collect();
+    let mut due = std::mem::take(&mut b.s.due_buf);
+    due.clear();
+    due.extend(
+        b.att_list(leaf)
+            .iter()
+            .copied()
+            .filter(|&id| b.interval(id).min_anchor_level() + 2 <= i),
+    );
     if due.is_empty() {
+        b.s.due_buf = due;
         return;
     }
-    b.att.get_mut(&leaf).unwrap().retain(|id| !due.contains(id));
-    for id in due {
+    // Order-preserving removal (`retain`), as the legacy builder did: the
+    // residual list order feeds later tie-breaks.
+    b.detach_retain(leaf, &due);
+    for &id in &due {
         let k = b.interval(id).designated.len() as u16;
         let size = b.interval(id).size;
         let target = nearest_with_room(b, leaf, k, i);
@@ -121,14 +133,18 @@ fn force_due_placements(b: &mut Builder<'_>, leaf: Address, i: u8) {
             b.absorb_interval(id, target);
         } else {
             let iv = b.remove_interval(id);
-            let nodes: Vec<_> = iv.designated.iter().map(|&(d, _)| d).collect();
+            let mut nodes = std::mem::take(&mut b.s.newly_buf);
+            nodes.clear();
+            nodes.extend(iv.designated.iter().map(|&(d, _)| d));
             for &d in &nodes {
                 b.place(d, target);
             }
-            b.rebuild_components(&nodes, |_| target);
+            b.rebuild_components(&nodes, AttachRule::Fixed(target));
+            b.s.newly_buf = nodes;
         }
         b.log.forced_placements += k as usize;
     }
+    b.s.due_buf = due;
 }
 
 /// The closest level-i leaf (by horizontal offset from `leaf`) with at
@@ -171,8 +187,8 @@ fn fill(b: &mut Builder<'_>, leaf: Address, i: u8) {
         };
         debug_assert!(amount >= 1);
         let size = b.interval(id).size as u64;
-        let pos = b.att[&src].iter().position(|&x| x == id).unwrap();
-        b.att.get_mut(&src).unwrap().swap_remove(pos);
+        let pos = b.att_list(src).iter().position(|&x| x == id).unwrap();
+        b.detach_swap(src, pos);
         if size <= amount {
             b.absorb_interval(id, leaf);
             b.log.fills += size as usize;
@@ -185,7 +201,9 @@ fn fill(b: &mut Builder<'_>, leaf: Address, i: u8) {
 
 /// Finds an interval to fill from: first the leaf's own attachments, then
 /// the nearest leaf (horizontally) whose attached mass exceeds its own
-/// remaining need. Returns `(source leaf, interval, hops)`.
+/// remaining need. Returns `(source leaf, interval, hops)`. The surplus
+/// scan reads the O(1) mass cache, so a borrow probe costs a lookup, not
+/// a list walk.
 fn find_source(b: &Builder<'_>, leaf: Address, i: u8) -> Option<(Address, IntId, u32)> {
     if let Some(id) = pick(b, leaf, u64::MAX) {
         return Some((leaf, id, 0));
@@ -209,7 +227,7 @@ fn find_source(b: &Builder<'_>, leaf: Address, i: u8) -> Option<(Address, IntId,
 /// entirely within `budget` (clean absorption), otherwise the smallest
 /// (crown it, leaving the rest in place).
 fn pick(b: &Builder<'_>, src: Address, budget: u64) -> Option<IntId> {
-    let ids = b.att.get(&src)?;
+    let ids = b.att_list(src);
     if ids.is_empty() {
         return None;
     }

@@ -13,9 +13,17 @@
 //!   when the capacity-driven fill of SPLIT splits fragments unevenly.
 //! * the **attachment** of every interval to a host vertex (the paper's
 //!   `p_i` maps).
+//!
+//! Storage layout (DESIGN.md §13): all per-vertex state — attachment
+//! lists, attached mass, placement counts — lives in flat arrays indexed
+//! by the host's dense heap numbering, and the interval slab recycles
+//! slots through a free list, so a build performs no per-round
+//! allocation. Everything recyclable sits in a [`Theorem1Scratch`] that
+//! can be carried from one build to the next (the serving layer pools one
+//! per worker thread); the algorithm's outputs are invariant under reuse.
 
 use smallvec::SmallVec;
-use std::collections::HashMap;
+use std::sync::Mutex;
 use xtree_topology::Address;
 use xtree_trees::{BinaryTree, NodeId, Separation, SeparatorScratch};
 
@@ -58,6 +66,25 @@ impl Interval {
     }
 }
 
+/// Whether ADJUST decides its sibling pairs on worker threads.
+///
+/// The pair decisions of one sweep touch disjoint subtree regions (the
+/// disjointness argument in DESIGN.md §13), so they can be computed
+/// concurrently and applied serially without changing a single output
+/// byte. Parallelism only pays once a sweep carries real work — the
+/// workspace rayon spawns scoped threads per call — hence the default is
+/// size-gated rather than unconditional.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Parallel {
+    /// Parallel decide above the size thresholds (the default).
+    #[default]
+    Auto,
+    /// Always decide serially.
+    Off,
+    /// Parallel decide on every sweep regardless of size (tests/benches).
+    Force,
+}
+
 /// Tunable switches of the construction, used by the ablation experiments
 /// to quantify how much each mechanism of algorithm X-TREE contributes.
 /// The default enables everything (the paper's algorithm).
@@ -73,6 +100,8 @@ pub struct EmbedOptions {
     /// 4 SPLIT slots + 8 forced children); the capacity ablation (A2)
     /// sweeps it to show where the slack stops mattering.
     pub capacity: u16,
+    /// Parallel ADJUST decide phase (outputs are identical either way).
+    pub parallel: Parallel,
 }
 
 impl Default for EmbedOptions {
@@ -82,6 +111,7 @@ impl Default for EmbedOptions {
             whole_moves: true,
             fine_balance: true,
             capacity: 16,
+            parallel: Parallel::Auto,
         }
     }
 }
@@ -112,21 +142,101 @@ pub struct BuildLog {
     pub multi_designated_components: usize,
 }
 
+/// Every recyclable buffer of a Theorem-1 build, reusable across builds.
+///
+/// [`embed_with_scratch`](super::embed_with_scratch) moves these buffers
+/// into the builder and returns them on completion, so a caller embedding
+/// many trees (the serving layer, the benches) allocates once and then
+/// builds allocation-free. A fresh (or panic-emptied) scratch is always
+/// valid — buffers grow on demand — and reuse never changes outputs.
+#[derive(Debug, Default)]
+pub struct Theorem1Scratch {
+    /// Guest-node placement flags (pub(crate): the lemma call sites borrow
+    /// it alongside `sep_scratch`, which needs field-disjoint access).
+    pub(crate) placed: Vec<bool>,
+    /// Guest nodes per host vertex, heap-id indexed.
+    count: Vec<u16>,
+    /// Interval slab; `None` slots are recycled through `free_ids`.
+    intervals: Vec<Option<Interval>>,
+    free_ids: Vec<IntId>,
+    /// Attachment lists per host vertex, heap-id indexed (SoA: the hot
+    /// `attached_mass` query reads the flat `att_mass` array instead of
+    /// summing a list behind a hash lookup).
+    att: Vec<Vec<IntId>>,
+    att_mass: Vec<u64>,
+    /// Epoch-stamped visited marks for flood sweeps.
+    mark: Vec<u32>,
+    epoch: u32,
+    /// Epoch-stamped part-2 membership for `apply_separation`.
+    part2_mark: Vec<u32>,
+    part2_epoch: u32,
+    /// Orientation buffers reused by every serial separator-lemma call.
+    pub(crate) sep_scratch: SeparatorScratch,
+    /// Extra orientation buffers for the parallel ADJUST decide phase;
+    /// workers pop one and push it back (the workspace rayon has no
+    /// per-thread init hook).
+    par_pool: Mutex<Vec<SeparatorScratch>>,
+    /// Flat CSR adjacency of the guest tree, in exact
+    /// [`BinaryTree::neighbors`] order (parent first, then children):
+    /// flood sweeps — the build's hottest loop — walk two contiguous
+    /// arrays instead of materialising a `SmallVec` per visited node.
+    adj_off: Vec<u32>,
+    adj: Vec<u32>,
+    // Reusable arenas for flood orders, crown orders, freshly placed
+    // node lists, and the ADJUST/SPLIT work queues.
+    flood_buf: Vec<NodeId>,
+    order_buf: Vec<NodeId>,
+    pub(crate) newly_buf: Vec<NodeId>,
+    pub(crate) ids_buf: Vec<IntId>,
+    pub(crate) due_buf: Vec<IntId>,
+    pub(crate) mass_buf: Vec<i64>,
+    pub(crate) prefix_buf: Vec<i64>,
+    pub(crate) pairs_buf: Vec<Address>,
+}
+
+impl Theorem1Scratch {
+    /// An empty scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Theorem1Scratch::default()
+    }
+
+    /// Readies every buffer for a build over `n` guest nodes and `host`
+    /// X-tree vertices, keeping allocations from previous builds.
+    fn prepare(&mut self, n: usize, host: usize) {
+        self.placed.clear();
+        self.placed.resize(n, false);
+        self.count.clear();
+        self.count.resize(host, 0);
+        self.intervals.clear();
+        self.free_ids.clear();
+        // Clear *every* list, not just the first `host`: a smaller build
+        // after a bigger one must not resurrect stale handles later.
+        for l in &mut self.att {
+            l.clear();
+        }
+        if self.att.len() < host {
+            self.att.resize_with(host, Vec::new);
+        }
+        self.att_mass.clear();
+        self.att_mass.resize(host, 0);
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+        }
+        if self.part2_mark.len() < n {
+            self.part2_mark.resize(n, 0);
+        }
+        self.sep_scratch.ensure(n);
+    }
+}
+
 pub(crate) struct Builder<'t> {
     pub tree: &'t BinaryTree,
     pub opts: EmbedOptions,
-    pub placed: Vec<bool>,
+    /// The output map being built (moved into the result, so it is the
+    /// one per-build allocation that cannot be recycled).
     pub assign: Vec<Address>,
-    /// Guest nodes per host vertex, heap-id indexed; capacity 16 strict.
-    pub count: Vec<u16>,
-    pub intervals: Vec<Option<Interval>>,
-    /// Interval handles attached to each host vertex.
-    pub att: HashMap<Address, Vec<IntId>>,
-    mark: Vec<u32>,
-    epoch: u32,
-    /// Orientation buffers reused by every separator-lemma call of the
-    /// build — one allocation for the whole embedding (DESIGN.md §9).
-    pub scratch: SeparatorScratch,
+    /// All recyclable state (placement, counts, slab, attachments, arenas).
+    pub s: Theorem1Scratch,
     pub log: BuildLog,
     /// `trace[i][j]` = Δ(j, i) measured after round `i` (see `trace.rs`).
     pub trace: Vec<Vec<u64>>,
@@ -136,24 +246,66 @@ pub(crate) struct Builder<'t> {
     pub mass_trace: Vec<(u64, u64)>,
 }
 
+/// How `rebuild_components` picks the attachment vertex of each fragment.
+#[derive(Clone, Copy)]
+pub(crate) enum AttachRule {
+    /// Every fragment attaches to the same vertex.
+    Fixed(Address),
+    /// Fragments on the part-2 side of the last separation attach to
+    /// `att2`, the rest to `att1`.
+    BySide { att1: Address, att2: Address },
+}
+
 impl<'t> Builder<'t> {
-    pub fn new(tree: &'t BinaryTree, r: u8, opts: EmbedOptions) -> Self {
+    /// Builds on top of `scratch`, whose buffers are moved in (and handed
+    /// back by [`Self::finish`]).
+    pub fn new(
+        tree: &'t BinaryTree,
+        r: u8,
+        opts: EmbedOptions,
+        scratch: &mut Theorem1Scratch,
+    ) -> Self {
         let n = tree.len();
+        let mut s = std::mem::take(scratch);
+        s.prepare(n, (1usize << (r + 1)) - 1);
+        s.adj_off.clear();
+        s.adj.clear();
+        s.adj_off.reserve(n + 1);
+        s.adj.reserve(2 * n.saturating_sub(1));
+        s.adj_off.push(0);
+        for v in tree.nodes() {
+            for w in tree.neighbors(v) {
+                s.adj.push(w.0);
+            }
+            s.adj_off.push(s.adj.len() as u32);
+        }
         Builder {
             tree,
             opts,
-            placed: vec![false; n],
             assign: vec![Address::ROOT; n],
-            count: vec![0; (1usize << (r + 1)) - 1],
-            intervals: Vec::new(),
-            att: HashMap::new(),
-            mark: vec![0; n],
-            epoch: 0,
-            scratch: SeparatorScratch::new(n),
+            s,
             log: BuildLog::default(),
             trace: Vec::new(),
             mass_trace: Vec::new(),
         }
+    }
+
+    /// Returns the scratch buffers and surrenders the build products.
+    #[allow(clippy::type_complexity)]
+    pub fn finish(
+        self,
+        scratch: &mut Theorem1Scratch,
+    ) -> (Vec<Address>, BuildLog, Vec<Vec<u64>>, Vec<(u64, u64)>) {
+        let Builder {
+            assign,
+            s,
+            log,
+            trace,
+            mass_trace,
+            ..
+        } = self;
+        *scratch = s;
+        (assign, log, trace, mass_trace)
     }
 
     /// The per-vertex capacity (the paper's load factor 16).
@@ -163,80 +315,151 @@ impl<'t> Builder<'t> {
 
     /// Free capacity of a host vertex.
     pub fn free(&self, a: Address) -> u16 {
-        self.cap() - self.count[a.heap_id()]
+        self.cap() - self.s.count[a.heap_id()]
+    }
+
+    /// Placement count of a host vertex.
+    pub fn count(&self, a: Address) -> u16 {
+        self.s.count[a.heap_id()]
+    }
+
+    /// True when every host vertex carries exactly the capacity.
+    pub fn all_full(&self) -> bool {
+        self.s.count.iter().all(|&c| c == self.opts.capacity)
     }
 
     /// Places one guest node; panics if the vertex is full (callers check).
     pub fn place(&mut self, v: NodeId, at: Address) {
-        debug_assert!(!self.placed[v.index()], "{v:?} placed twice");
+        debug_assert!(!self.s.placed[v.index()], "{v:?} placed twice");
         assert!(
-            self.count[at.heap_id()] < self.cap(),
+            self.s.count[at.heap_id()] < self.cap(),
             "capacity exceeded at {at}"
         );
-        self.placed[v.index()] = true;
+        self.s.placed[v.index()] = true;
         self.assign[v.index()] = at;
-        self.count[at.heap_id()] += 1;
+        self.s.count[at.heap_id()] += 1;
     }
 
-    /// Total attached interval mass at a vertex.
+    /// Total attached interval mass at a vertex — O(1) from the SoA cache.
     pub fn attached_mass(&self, a: Address) -> u64 {
-        self.att
-            .get(&a)
-            .map(|ids| {
-                ids.iter()
-                    .map(|&id| self.intervals[id as usize].as_ref().unwrap().size as u64)
-                    .sum()
-            })
-            .unwrap_or(0)
+        self.s.att_mass[a.heap_id()]
+    }
+
+    /// The interval handles attached to a vertex, in attachment order.
+    pub fn att_list(&self, a: Address) -> &[IntId] {
+        &self.s.att[a.heap_id()]
     }
 
     pub fn attach(&mut self, id: IntId, at: Address) {
-        self.att.entry(at).or_default().push(id);
+        let size = self.interval(id).size as u64;
+        let h = at.heap_id();
+        self.s.att[h].push(id);
+        self.s.att_mass[h] += size;
     }
 
-    pub fn detach_all(&mut self, at: Address) -> Vec<IntId> {
-        self.att.remove(&at).unwrap_or_default()
+    /// Detaches the handle at `pos` with `swap_remove` semantics (the
+    /// residual order every selection loop tie-breaks on).
+    pub fn detach_swap(&mut self, at: Address, pos: usize) -> IntId {
+        let h = at.heap_id();
+        let id = self.s.att[h].swap_remove(pos);
+        self.s.att_mass[h] -= self.interval(id).size as u64;
+        id
+    }
+
+    /// Detaches every handle of `at` into `out` (attachment order).
+    pub fn detach_all_into(&mut self, at: Address, out: &mut Vec<IntId>) {
+        let h = at.heap_id();
+        out.clear();
+        out.extend_from_slice(&self.s.att[h]);
+        self.s.att[h].clear();
+        self.s.att_mass[h] = 0;
+    }
+
+    /// Order-preserving removal of the handles in `remove` (each attached
+    /// to `at` exactly once) — `retain` semantics, as the forced-placement
+    /// pass requires.
+    pub fn detach_retain(&mut self, at: Address, remove: &[IntId]) {
+        let h = at.heap_id();
+        let gone: u64 = remove.iter().map(|&id| self.interval(id).size as u64).sum();
+        self.s.att[h].retain(|id| !remove.contains(id));
+        self.s.att_mass[h] -= gone;
     }
 
     pub fn interval(&self, id: IntId) -> &Interval {
-        self.intervals[id as usize]
+        self.s.intervals[id as usize]
             .as_ref()
             .expect("stale interval handle")
     }
 
     pub fn remove_interval(&mut self, id: IntId) -> Interval {
-        self.intervals[id as usize]
+        let iv = self.s.intervals[id as usize]
             .take()
-            .expect("stale interval handle")
+            .expect("stale interval handle");
+        self.s.free_ids.push(id);
+        iv
     }
 
+    /// Slab insert, recycling a freed slot when one exists. Outputs never
+    /// depend on handle *values* (only on attachment-list positions and
+    /// sizes), so recycling is invisible to the embedding.
     fn new_interval(&mut self, iv: Interval) -> IntId {
-        self.intervals.push(Some(iv));
-        (self.intervals.len() - 1) as IntId
+        if let Some(id) = self.s.free_ids.pop() {
+            self.s.intervals[id as usize] = Some(iv);
+            id
+        } else {
+            self.s.intervals.push(Some(iv));
+            (self.s.intervals.len() - 1) as IntId
+        }
+    }
+
+    /// One `SeparatorScratch` for a parallel ADJUST worker.
+    pub fn pop_par_scratch(&self) -> SeparatorScratch {
+        self.s
+            .par_pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    pub fn push_par_scratch(&self, scr: SeparatorScratch) {
+        self.s
+            .par_pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(scr);
     }
 
     /// Floods the un-placed component containing `start` (using the current
-    /// sweep epoch so components are visited once per sweep), returning its
-    /// nodes and designated nodes with anchors.
-    fn flood(&mut self, start: NodeId) -> (Vec<NodeId>, SmallVec<[(NodeId, Address); 2]>) {
-        let mut nodes = vec![start];
+    /// sweep epoch so components are visited once per sweep) into `nodes`,
+    /// returning the designated nodes with anchors.
+    fn flood_into(
+        &mut self,
+        start: NodeId,
+        nodes: &mut Vec<NodeId>,
+    ) -> SmallVec<[(NodeId, Address); 2]> {
+        nodes.clear();
+        nodes.push(start);
         let mut designated: SmallVec<[(NodeId, Address); 2]> = SmallVec::new();
-        self.mark[start.index()] = self.epoch;
+        self.s.mark[start.index()] = self.s.epoch;
         let mut head = 0;
         while head < nodes.len() {
             let v = nodes[head];
             head += 1;
             let mut anchor: Option<Address> = None;
-            for w in self.tree.neighbors(v) {
-                if self.placed[w.index()] {
+            let lo = self.s.adj_off[v.index()] as usize;
+            let hi = self.s.adj_off[v.index() + 1] as usize;
+            for k in lo..hi {
+                let w = NodeId(self.s.adj[k]);
+                if self.s.placed[w.index()] {
                     let a = self.assign[w.index()];
                     // Prefer the shallowest anchor: its deadline is tightest.
                     anchor = Some(match anchor {
                         Some(b) if b.level() <= a.level() => b,
                         _ => a,
                     });
-                } else if self.mark[w.index()] != self.epoch {
-                    self.mark[w.index()] = self.epoch;
+                } else if self.s.mark[w.index()] != self.s.epoch {
+                    self.s.mark[w.index()] = self.s.epoch;
                     nodes.push(w);
                 }
             }
@@ -247,30 +470,50 @@ impl<'t> Builder<'t> {
         if designated.len() > 2 {
             self.log.multi_designated_components += 1;
         }
-        (nodes, designated)
+        designated
     }
 
-    /// Begins a flood sweep: components found by subsequent [`flood`] calls
-    /// within this sweep are not revisited.
+    /// Begins a flood sweep: components found by subsequent flood calls
+    /// within this sweep are not revisited. Epochs persist across builds
+    /// (scratch reuse), wrapping like `Orientation` stamps.
     fn begin_sweep(&mut self) {
-        self.epoch += 1;
+        if self.s.epoch == u32::MAX {
+            self.s.mark.fill(0);
+            self.s.epoch = 0;
+        }
+        self.s.epoch += 1;
     }
 
-    /// After placing `newly`, discovers all adjacent un-placed fragments and
-    /// registers each as a new interval attached to `attach_for(component)`.
-    pub fn rebuild_components<F>(&mut self, newly: &[NodeId], mut attach_for: F)
-    where
-        F: FnMut(&[NodeId]) -> Address,
-    {
+    /// True if `v` was stamped part-2 by the current separation.
+    fn in_part2(&self, v: NodeId) -> bool {
+        self.s.part2_mark[v.index()] == self.s.part2_epoch
+    }
+
+    /// After placing `newly`, discovers all adjacent un-placed fragments
+    /// and registers each as a new interval attached per `rule`.
+    pub fn rebuild_components(&mut self, newly: &[NodeId], rule: AttachRule) {
         self.begin_sweep();
+        let mut nodes = std::mem::take(&mut self.s.flood_buf);
         for &p in newly {
-            for u in self.tree.neighbors(p) {
-                if self.placed[u.index()] || self.mark[u.index()] == self.epoch {
+            let lo = self.s.adj_off[p.index()] as usize;
+            let hi = self.s.adj_off[p.index() + 1] as usize;
+            for k in lo..hi {
+                let u = NodeId(self.s.adj[k]);
+                if self.s.placed[u.index()] || self.s.mark[u.index()] == self.s.epoch {
                     continue;
                 }
-                let (nodes, designated) = self.flood(u);
+                let designated = self.flood_into(u, &mut nodes);
                 debug_assert!(!designated.is_empty());
-                let at = attach_for(&nodes);
+                let at = match rule {
+                    AttachRule::Fixed(a) => a,
+                    AttachRule::BySide { att1, att2 } => {
+                        if self.in_part2(nodes[0]) {
+                            att2
+                        } else {
+                            att1
+                        }
+                    }
+                };
                 let iv = Interval {
                     entry: nodes[0],
                     designated,
@@ -280,6 +523,7 @@ impl<'t> Builder<'t> {
                 self.attach(id, at);
             }
         }
+        self.s.flood_buf = nodes;
     }
 
     /// Applies a separator-lemma result to the interval `id`: the boundary
@@ -302,27 +546,34 @@ impl<'t> Builder<'t> {
         for &v in &sep.s2 {
             self.place(v, v2);
         }
-        let part2: std::collections::HashSet<NodeId> = sep.part2.iter().copied().collect();
-        let mut newly: Vec<NodeId> = sep.s1.clone();
+        // Epoch-stamped membership replaces the per-call HashSet.
+        if self.s.part2_epoch == u32::MAX {
+            self.s.part2_mark.fill(0);
+            self.s.part2_epoch = 0;
+        }
+        self.s.part2_epoch += 1;
+        for &v in &sep.part2 {
+            self.s.part2_mark[v.index()] = self.s.part2_epoch;
+        }
+        let mut newly = std::mem::take(&mut self.s.newly_buf);
+        newly.clear();
+        newly.extend_from_slice(&sep.s1);
         newly.extend_from_slice(&sep.s2);
-        self.rebuild_components(&newly, |nodes| {
-            if part2.contains(&nodes[0]) {
-                att2
-            } else {
-                att1
-            }
-        });
+        self.rebuild_components(&newly, AttachRule::BySide { att1, att2 });
+        self.s.newly_buf = newly;
     }
 
     /// Places every node of interval `id` at `at` (capacity must suffice).
     pub fn absorb_interval(&mut self, id: IntId, at: Address) {
         let iv = self.remove_interval(id);
         self.begin_sweep();
-        let (nodes, _) = self.flood(iv.entry);
+        let mut nodes = std::mem::take(&mut self.s.flood_buf);
+        let _ = self.flood_into(iv.entry, &mut nodes);
         debug_assert_eq!(nodes.len() as u32, iv.size);
         for &v in &nodes {
             self.place(v, at);
         }
+        self.s.flood_buf = nodes;
     }
 
     /// Places a connected "crown" of `k` nodes of interval `id` at
@@ -344,13 +595,14 @@ impl<'t> Builder<'t> {
         );
         // BFS from the designated nodes through un-placed nodes.
         self.begin_sweep();
-        let mut order: Vec<NodeId> = Vec::with_capacity(k as usize);
+        let mut order = std::mem::take(&mut self.s.order_buf);
+        order.clear();
         for &(d, _) in &iv.designated {
             if order.len() == k as usize {
                 break; // a designated node left out stays designated of the rest
             }
-            if self.mark[d.index()] != self.epoch {
-                self.mark[d.index()] = self.epoch;
+            if self.s.mark[d.index()] != self.s.epoch {
+                self.s.mark[d.index()] = self.s.epoch;
                 order.push(d);
             }
         }
@@ -359,12 +611,15 @@ impl<'t> Builder<'t> {
             debug_assert!(head < order.len(), "crown BFS starved");
             let v = order[head];
             head += 1;
-            for w in self.tree.neighbors(v) {
+            let lo = self.s.adj_off[v.index()] as usize;
+            let hi = self.s.adj_off[v.index() + 1] as usize;
+            for j in lo..hi {
+                let w = NodeId(self.s.adj[j]);
                 if order.len() == k as usize {
                     break;
                 }
-                if !self.placed[w.index()] && self.mark[w.index()] != self.epoch {
-                    self.mark[w.index()] = self.epoch;
+                if !self.s.placed[w.index()] && self.s.mark[w.index()] != self.s.epoch {
+                    self.s.mark[w.index()] = self.s.epoch;
                     order.push(w);
                 }
             }
@@ -372,36 +627,48 @@ impl<'t> Builder<'t> {
         for &v in &order {
             self.place(v, at);
         }
-        self.rebuild_components(&order.clone(), |_| attach_rest_to);
+        self.rebuild_components(&order, AttachRule::Fixed(attach_rest_to));
+        self.s.order_buf = order;
     }
 
     /// Sum over all live attachments — used by invariant checks.
     pub fn total_unplaced(&self) -> u64 {
-        self.placed.iter().filter(|&&p| !p).count() as u64
+        self.s.placed.iter().filter(|&&p| !p).count() as u64
     }
 
     /// Exhaustive mid-build invariant check, run after every round in
-    /// debug builds (tests): the attachment map must live entirely on the
+    /// debug builds (tests): the attachment lists must live entirely on the
     /// current leaf level, the live intervals must partition the un-placed
     /// nodes exactly, every designated node's anchor must actually hold a
-    /// placed neighbour no more than two levels up, and every vertex of
-    /// levels `≤ i` must be filled (for exact-size guests).
+    /// placed neighbour no more than two levels up, every vertex of
+    /// levels `≤ i` must be filled (for exact-size guests), and the cached
+    /// `att_mass` array must agree with the lists it summarises.
     ///
     /// The only caller is `#[cfg(debug_assertions)]`-gated, so release
     /// builds see no call site.
     #[cfg_attr(not(debug_assertions), allow(dead_code))]
     pub fn check_round_invariants(&self, i: u8, exact: bool) {
-        // 1. Attachment addresses sit on level i.
-        for (&addr, ids) in &self.att {
+        // 1. Attachment addresses sit on level i; the mass cache is honest.
+        for h in 0..self.s.att.len() {
+            let ids = &self.s.att[h];
+            // Lists beyond the current host exist only when the scratch
+            // served a larger build earlier; they must have stayed empty.
+            if h >= self.s.att_mass.len() {
+                assert!(ids.is_empty(), "attachment beyond the host at heap {h}");
+                continue;
+            }
+            let mass: u64 = ids.iter().map(|&id| self.interval(id).size as u64).sum();
+            assert_eq!(mass, self.s.att_mass[h], "stale att_mass at heap {h}");
             if ids.is_empty() {
                 continue;
             }
+            let addr = Address::from_heap_id(h);
             assert_eq!(addr.level(), i, "attachment at {addr} after round {i}");
         }
         // 2. Intervals partition the un-placed nodes.
         let mut covered = vec![false; self.tree.len()];
         let mut total = 0u64;
-        for ids in self.att.values() {
+        for ids in &self.s.att {
             for &id in ids {
                 let iv = self.interval(id);
                 // Walk the fragment from its entry.
@@ -409,12 +676,12 @@ impl<'t> Builder<'t> {
                 let mut seen = std::collections::HashSet::new();
                 seen.insert(iv.entry);
                 while let Some(v) = stack.pop() {
-                    assert!(!self.placed[v.index()], "placed node inside an interval");
+                    assert!(!self.s.placed[v.index()], "placed node inside an interval");
                     assert!(!covered[v.index()], "node in two intervals");
                     covered[v.index()] = true;
                     total += 1;
                     for w in self.tree.neighbors(v) {
-                        if !self.placed[w.index()] && seen.insert(w) {
+                        if !self.s.placed[w.index()] && seen.insert(w) {
                             stack.push(w);
                         }
                     }
@@ -422,12 +689,12 @@ impl<'t> Builder<'t> {
                 assert_eq!(seen.len() as u32, iv.size, "stale interval size");
                 // 3. Designated anchors are honest and fresh enough.
                 for &(d, anchor) in &iv.designated {
-                    assert!(!self.placed[d.index()]);
+                    assert!(!self.s.placed[d.index()]);
                     assert!(
                         self.tree
                             .neighbors(d)
                             .iter()
-                            .any(|w| self.placed[w.index()] && self.assign[w.index()] == anchor),
+                            .any(|w| self.s.placed[w.index()] && self.assign[w.index()] == anchor),
                         "anchor {anchor} of {d:?} has no placed neighbour"
                     );
                     assert!(
@@ -446,7 +713,7 @@ impl<'t> Builder<'t> {
         if exact {
             for a in Address::all_up_to(i) {
                 assert_eq!(
-                    self.count[a.heap_id()],
+                    self.s.count[a.heap_id()],
                     self.cap(),
                     "vertex {a} not full after round {i}"
                 );

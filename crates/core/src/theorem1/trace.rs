@@ -22,7 +22,7 @@ use xtree_topology::Address;
 pub(crate) fn record_mass(b: &mut Builder<'_>, i: u8) {
     let (mut nl, mut nh) = (u64::MAX, 0u64);
     for a in Address::level_iter(i) {
-        let associated = u64::from(b.count[a.heap_id()]) + b.attached_mass(a);
+        let associated = u64::from(b.count(a)) + b.attached_mass(a);
         nl = nl.min(associated);
         nh = nh.max(associated);
     }

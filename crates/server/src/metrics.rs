@@ -32,6 +32,10 @@ pub struct ServerMetrics {
     overloaded: AtomicU64,
     errors: AtomicU64,
     latency_us: Mutex<Histogram>,
+    /// Embed-construction latency on cache hits (lookup + evaluate).
+    embed_hit_us: Mutex<Histogram>,
+    /// Embed-construction latency on cache misses (full Theorem-1 build).
+    embed_miss_us: Mutex<Histogram>,
     queue_depth: Mutex<Histogram>,
     /// Engine events from every simulation a worker runs.
     pub sim: AtomicCounters,
@@ -49,6 +53,8 @@ impl ServerMetrics {
             overloaded: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             latency_us: Mutex::new(Histogram::pow2(LATENCY_BUCKETS)),
+            embed_hit_us: Mutex::new(Histogram::pow2(LATENCY_BUCKETS)),
+            embed_miss_us: Mutex::new(Histogram::pow2(LATENCY_BUCKETS)),
             queue_depth: Mutex::new(Histogram::new(QUEUE_DEPTH_BOUNDS)),
             sim: AtomicCounters::new(),
         }
@@ -96,6 +102,19 @@ impl ServerMetrics {
             .lock()
             .expect("latency poisoned")
             .observe(us);
+    }
+
+    /// Records the time one `Embed`/`Simulate` request spent resolving its
+    /// embedding (cache lookup plus, on a miss, the full construction),
+    /// split by whether the cache hit — the serving-side view of the
+    /// cold-path rebuild.
+    pub fn observe_embed_us(&self, us: u64, hit: bool) {
+        let h = if hit {
+            &self.embed_hit_us
+        } else {
+            &self.embed_miss_us
+        };
+        h.lock().expect("embed latency poisoned").observe(us);
     }
 
     /// Records the queue depth right after an enqueue.
@@ -171,6 +190,16 @@ impl ServerMetrics {
         );
         histogram_prometheus(
             &mut out,
+            "xtree_server_embed_hit_latency_us",
+            &self.embed_hit_us.lock().expect("embed latency poisoned"),
+        );
+        histogram_prometheus(
+            &mut out,
+            "xtree_server_embed_miss_latency_us",
+            &self.embed_miss_us.lock().expect("embed latency poisoned"),
+        );
+        histogram_prometheus(
+            &mut out,
             "xtree_server_queue_depth_observed",
             &self.queue_depth.lock().expect("depth poisoned"),
         );
@@ -199,6 +228,8 @@ impl ServerMetrics {
         out.push('\n');
         for (name, h) in [
             ("request_latency_us", &self.latency_us),
+            ("embed_hit_latency_us", &self.embed_hit_us),
+            ("embed_miss_latency_us", &self.embed_miss_us),
             ("queue_depth_observed", &self.queue_depth),
         ] {
             let h = h.lock().expect("histogram poisoned");
@@ -262,5 +293,26 @@ mod tests {
         }
         assert!(jsonl.contains("\"name\":\"request_latency_us\""));
         assert!(jsonl.contains("\"name\":\"queue_depth_observed\""));
+    }
+
+    #[test]
+    fn embed_latency_splits_by_cache_outcome() {
+        let m = ServerMetrics::new();
+        let cache = EmbeddingCache::new(8);
+        m.observe_embed_us(30, true);
+        m.observe_embed_us(5000, false);
+        m.observe_embed_us(7000, false);
+        let prom = m.to_prometheus(&cache, 0);
+        assert!(
+            prom.contains("xtree_server_embed_hit_latency_us_count 1"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("xtree_server_embed_miss_latency_us_count 2"),
+            "{prom}"
+        );
+        let jsonl = m.to_jsonl(&cache, 0);
+        assert!(jsonl.contains("\"name\":\"embed_hit_latency_us\""));
+        assert!(jsonl.contains("\"name\":\"embed_miss_latency_us\""));
     }
 }

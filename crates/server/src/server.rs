@@ -177,7 +177,7 @@ fn begin_shutdown(shared: &Shared, addr: std::net::SocketAddr) {
 
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
-        let resp = handle_compute(&job.req, &shared.cache, &shared.metrics.sim);
+        let resp = handle_compute(&job.req, &shared.cache, &shared.metrics);
         if matches!(resp, Response::Error { .. }) {
             shared.metrics.count_error();
         }

@@ -8,12 +8,15 @@
 //! construction (plus Theorem-2 injectivization) on a miss.
 
 use crate::cache::{EmbeddingCache, EmbeddingKey};
+use crate::metrics::ServerMetrics;
 use crate::wire::{Request, Response, WireReport, ERR_BAD_REQUEST, ERR_INTERNAL, WORKLOAD_ALL};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::cell::RefCell;
 use std::sync::Arc;
+use std::time::Instant;
+use xtree_core::theorem1::{EmbedOptions, Theorem1Scratch};
 use xtree_core::{evaluate, metrics::edge_congestion, theorem1, theorem2, XEmbedding};
-use xtree_sim::telemetry::AtomicCounters;
 use xtree_sim::workload::WORKLOADS;
 use xtree_sim::{simulate_all_with, simulate_one_with, Network, SimReport};
 use xtree_topology::XTree;
@@ -45,6 +48,13 @@ fn make_tree(family: u8, nodes: u64, seed: u64) -> Result<(TreeFamily, BinaryTre
     Ok((fam, fam.generate(nodes as usize, &mut rng)))
 }
 
+thread_local! {
+    /// One Theorem-1 scratch per worker thread: every cache-miss build on
+    /// a worker reuses the previous build's buffers (DESIGN.md §13), so
+    /// steady-state misses allocate only the result itself.
+    static SCRATCH: RefCell<Theorem1Scratch> = RefCell::new(Theorem1Scratch::new());
+}
+
 /// The embedding for a key: cache hit, or build-and-insert. Returns the
 /// embedding and whether it was a hit.
 fn embedding(
@@ -55,14 +65,34 @@ fn embedding(
     if let Some(emb) = cache.get(&key) {
         return Ok((emb, true));
     }
-    let emb = match key.theorem {
-        1 => theorem1::embed(tree).emb,
-        2 => theorem2::injectivize(&theorem1::embed(tree).emb),
-        t => return Err(bad(format!("theorem must be 1 or 2, got {t}"))),
-    };
+    let emb = SCRATCH.with(|s| {
+        let scratch = &mut *s.borrow_mut();
+        match key.theorem {
+            1 => Ok(theorem1::embed_with_scratch(tree, EmbedOptions::default(), scratch).emb),
+            2 => Ok(theorem2::injectivize(
+                &theorem1::embed_with_scratch(tree, EmbedOptions::default(), scratch).emb,
+            )),
+            t => Err(bad(format!("theorem must be 1 or 2, got {t}"))),
+        }
+    })?;
     let emb = Arc::new(emb);
     cache.insert(key, Arc::clone(&emb));
     Ok((emb, false))
+}
+
+/// [`embedding`], timed into the hit/miss-split construction histograms.
+fn timed_embedding(
+    cache: &EmbeddingCache,
+    key: EmbeddingKey,
+    tree: &BinaryTree,
+    metrics: &ServerMetrics,
+) -> Result<(Arc<XEmbedding>, bool), Response> {
+    let t0 = Instant::now();
+    let res = embedding(cache, key, tree);
+    if let Ok((_, hit)) = &res {
+        metrics.observe_embed_us(t0.elapsed().as_micros() as u64, *hit);
+    }
+    res
 }
 
 fn wire_report(r: &SimReport) -> WireReport {
@@ -79,9 +109,10 @@ fn wire_report(r: &SimReport) -> WireReport {
 }
 
 /// Executes one pooled request against the shared cache, reporting engine
-/// events to `sim`. Only `Embed` and `Simulate` arrive here — control
-/// requests are answered inline by the connection handler.
-pub fn handle_compute(req: &Request, cache: &EmbeddingCache, sim: &AtomicCounters) -> Response {
+/// events and embed-construction latency to `metrics`. Only `Embed` and
+/// `Simulate` arrive here — control requests are answered inline by the
+/// connection handler.
+pub fn handle_compute(req: &Request, cache: &EmbeddingCache, metrics: &ServerMetrics) -> Response {
     match *req {
         Request::Embed {
             family,
@@ -99,7 +130,7 @@ pub fn handle_compute(req: &Request, cache: &EmbeddingCache, sim: &AtomicCounter
                 Ok(t) => t,
                 Err(resp) => return resp,
             };
-            let (emb, cached) = match embedding(cache, key, &tree) {
+            let (emb, cached) = match timed_embedding(cache, key, &tree, metrics) {
                 Ok(e) => e,
                 Err(resp) => return resp,
             };
@@ -135,12 +166,12 @@ pub fn handle_compute(req: &Request, cache: &EmbeddingCache, sim: &AtomicCounter
                 Ok(t) => t,
                 Err(resp) => return resp,
             };
-            let (emb, cached) = match embedding(cache, key, &tree) {
+            let (emb, cached) = match timed_embedding(cache, key, &tree, metrics) {
                 Ok(e) => e,
                 Err(resp) => return resp,
             };
             let net = Network::xtree(&XTree::new(emb.height));
-            let mut sink = sim;
+            let mut sink = &metrics.sim;
             let reports = if workload == WORKLOAD_ALL {
                 simulate_all_with(&net, &tree, &*emb, &mut sink)
             } else {
@@ -170,8 +201,8 @@ pub fn handle_compute(req: &Request, cache: &EmbeddingCache, sim: &AtomicCounter
 mod tests {
     use super::*;
 
-    fn counters() -> AtomicCounters {
-        AtomicCounters::new()
+    fn counters() -> ServerMetrics {
+        ServerMetrics::new()
     }
 
     #[test]
@@ -183,7 +214,8 @@ mod tests {
             seed: 7,
             theorem: 1,
         };
-        let resp = handle_compute(&req, &cache, &counters());
+        let metrics = counters();
+        let resp = handle_compute(&req, &cache, &metrics);
         let Response::EmbedOk {
             height,
             dilation,
@@ -199,8 +231,12 @@ mod tests {
         assert_eq!(max_load, 16);
         assert!(!cached, "first request must miss");
         // Second identical request hits.
-        let resp = handle_compute(&req, &cache, &counters());
+        let resp = handle_compute(&req, &cache, &metrics);
         assert!(matches!(resp, Response::EmbedOk { cached: true, .. }));
+        // One construction landed in each side of the split histogram.
+        let prom = metrics.to_prometheus(&cache, 0);
+        assert!(prom.contains("xtree_server_embed_miss_latency_us_count 1"));
+        assert!(prom.contains("xtree_server_embed_hit_latency_us_count 1"));
     }
 
     #[test]
@@ -319,7 +355,7 @@ mod tests {
             &cache,
             &sim,
         );
-        let snap = sim.snapshot();
+        let snap = sim.sim.snapshot();
         assert!(snap.hops > 0, "engine events must land in the shared sink");
         assert!(snap.delivered > 0);
     }

@@ -8,6 +8,7 @@
 //! nodes (an "interval").
 
 pub mod generate;
+pub mod paramtest;
 pub mod separator;
 pub mod tree;
 

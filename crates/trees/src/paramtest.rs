@@ -1,0 +1,147 @@
+//! Printed-seed parametric test harness.
+//!
+//! Every iteration of a parametric test prints its seed *before* the body
+//! runs, so when an iteration panics the failing seed is the last line of
+//! the captured output and the failure reproduces as a one-liner:
+//!
+//! ```text
+//! XTREE_PARAM_SEED=0xDEADBEEF cargo test -p xtree-trees --test param_separators
+//! ```
+//!
+//! Seeds found that way belong in the test's `regressions` list, which is
+//! replayed first on every run so a fixed bug stays fixed. The default
+//! seed stream is itself deterministic — derived from the test name, so
+//! distinct tests explore distinct streams but CI runs are reproducible —
+//! and `XTREE_PARAM_ITERS` scales the stream length without touching code.
+
+use crate::tree::{BinaryTree, NodeId};
+use crate::{generate, TreeFamily};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Environment override: run exactly one seed (hex with `0x` prefix, or
+/// decimal) instead of the regression list and the seed stream.
+pub const ENV_SEED: &str = "XTREE_PARAM_SEED";
+
+/// Environment override: how many fresh-stream iterations to run.
+pub const ENV_ITERS: &str = "XTREE_PARAM_ITERS";
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn parse_seed(s: &str) -> u64 {
+    let s = s.trim();
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.unwrap_or_else(|e| panic!("{ENV_SEED}={s:?} is not a u64: {e}"))
+}
+
+/// Runs `body` once per seed: first every seed in `regressions` (past
+/// failures, pinned forever), then `iters` seeds from the test's own
+/// deterministic stream. Each seed is printed before the body runs, with
+/// the one-liner that reproduces it.
+///
+/// `XTREE_PARAM_SEED=<seed>` runs only that seed; `XTREE_PARAM_ITERS=<n>`
+/// overrides the stream length.
+pub fn start_parametric_test<F>(name: &str, regressions: &[u64], iters: usize, mut body: F)
+where
+    F: FnMut(&mut ChaCha8Rng),
+{
+    let mut run = |seed: u64, label: &str| {
+        println!("[{name}] {label} seed {seed:#018x}  (rerun: {ENV_SEED}={seed:#x})");
+        body(&mut ChaCha8Rng::seed_from_u64(seed));
+    };
+
+    if let Ok(s) = std::env::var(ENV_SEED) {
+        run(parse_seed(&s), "pinned");
+        return;
+    }
+    for &seed in regressions {
+        run(seed, "regression");
+    }
+    let iters = std::env::var(ENV_ITERS)
+        .ok()
+        .map(|s| s.parse().unwrap_or_else(|e| panic!("{ENV_ITERS}: {e}")))
+        .unwrap_or(iters);
+    let base = fnv1a(name);
+    for i in 0..iters {
+        run(
+            splitmix64(base ^ i as u64),
+            &format!("iter {}/{iters}", i + 1),
+        );
+    }
+}
+
+/// A random guest drawn across every generator family (plus the leaning
+/// family the enum does not cover), sized `4..max_nodes` — the shared
+/// "arbitrary tree" strategy of the parametric tests.
+pub fn arbitrary_tree(rng: &mut ChaCha8Rng, max_nodes: usize) -> BinaryTree {
+    let n = rng.random_range(4..max_nodes.max(5));
+    let f = rng.random_range(0..TreeFamily::ALL.len() + 1);
+    match TreeFamily::ALL.get(f) {
+        Some(fam) => fam.generate(n, rng),
+        None => {
+            let lean = rng.random_range(0u8..=255);
+            generate::random_leaning(n, lean, rng)
+        }
+    }
+}
+
+/// A uniformly random node of `t` with degree ≤ 2 — a valid designated
+/// node (in the embedding, designated nodes always have a placed
+/// neighbour, so degree 3 never occurs).
+pub fn designated_node(rng: &mut ChaCha8Rng, t: &BinaryTree) -> NodeId {
+    let cands: Vec<NodeId> = t.nodes().filter(|&v| t.degree(v) <= 2).collect();
+    cands[rng.random_range(0..cands.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn seed_stream_is_deterministic_and_name_dependent() {
+        let mut a = Vec::new();
+        start_parametric_test("alpha", &[], 4, |rng| a.push(rng.next_u64()));
+        let mut b = Vec::new();
+        start_parametric_test("alpha", &[], 4, |rng| b.push(rng.next_u64()));
+        assert_eq!(a, b, "same name must replay the same stream");
+        let mut c = Vec::new();
+        start_parametric_test("beta", &[], 4, |rng| c.push(rng.next_u64()));
+        assert_ne!(a, c, "different tests must explore different streams");
+    }
+
+    #[test]
+    fn regressions_run_before_the_stream() {
+        let mut seen = Vec::new();
+        start_parametric_test("regression-order", &[7, 9], 1, |rng| {
+            seen.push(rng.next_u64());
+        });
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[0], ChaCha8Rng::seed_from_u64(7).next_u64());
+        assert_eq!(seen[1], ChaCha8Rng::seed_from_u64(9).next_u64());
+    }
+
+    #[test]
+    fn parse_accepts_hex_and_decimal() {
+        assert_eq!(parse_seed("0xff"), 255);
+        assert_eq!(parse_seed("255"), 255);
+    }
+}

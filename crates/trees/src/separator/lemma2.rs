@@ -103,7 +103,7 @@ fn invert(piece: Vec<NodeId>, sep: Separation) -> Separation {
 fn main_split(
     tree: &BinaryTree,
     placed: &[bool],
-    o: &Orientation,
+    o: &mut Orientation,
     o2: &mut Orientation,
     o3: &mut Orientation,
     r1: NodeId,
@@ -141,7 +141,7 @@ fn main_split(
 fn case_both_in_s1(
     tree: &BinaryTree,
     placed: &[bool],
-    o: &Orientation,
+    o: &mut Orientation,
     o2: &mut Orientation,
     r1: NodeId,
     r2: NodeId,

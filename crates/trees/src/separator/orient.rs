@@ -24,6 +24,9 @@ pub struct Orientation {
     par: Vec<u32>,
     size: Vec<u32>,
     order: Vec<u32>,
+    /// Root-path stamps for [`Self::junction`], on their own epoch.
+    jstamp: Vec<u32>,
+    jepoch: u32,
 }
 
 impl Orientation {
@@ -35,6 +38,8 @@ impl Orientation {
             par: vec![NONE; n],
             size: vec![0; n],
             order: Vec::new(),
+            jstamp: vec![0; n],
+            jepoch: 0,
         }
     }
 
@@ -164,18 +169,23 @@ impl Orientation {
 
     /// The deepest node common to the root paths of `a` and `b` — the
     /// junction point where the two paths from the orientation root part.
-    pub fn junction(&self, a: NodeId, b: NodeId) -> NodeId {
-        // Mark a's root path, then climb from b — O(depth) with a set
-        // (a Vec scan would be quadratic on path-shaped pieces).
-        let mut pa = std::collections::HashSet::new();
+    pub fn junction(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        // Mark a's root path with a fresh stamp epoch, then climb from b —
+        // O(depth) and allocation-free (a Vec scan would be quadratic on
+        // path-shaped pieces; the old HashSet allocated per call).
+        self.jepoch += 1;
+        if self.jepoch == u32::MAX {
+            self.jstamp.fill(0);
+            self.jepoch = 1;
+        }
         let mut cur = Some(a);
         while let Some(v) = cur {
-            pa.insert(v);
+            self.jstamp[v.index()] = self.jepoch;
             cur = self.parent(v);
         }
         let mut cur = b;
         loop {
-            if pa.contains(&cur) {
+            if self.jstamp[cur.index()] == self.jepoch {
                 return cur;
             }
             cur = self.parent(cur).expect("nodes are in the same piece");
@@ -195,6 +205,14 @@ pub struct SeparatorScratch {
     pub(crate) o1: Orientation,
     pub(crate) o2: Orientation,
     pub(crate) o3: Orientation,
+}
+
+impl Default for SeparatorScratch {
+    /// An empty scratch; `ensure` (called by every lemma entry point)
+    /// grows it on first use.
+    fn default() -> Self {
+        SeparatorScratch::new(0)
+    }
 }
 
 impl SeparatorScratch {

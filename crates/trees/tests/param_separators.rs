@@ -1,0 +1,134 @@
+//! Parametric verification of the separator lemmas on the printed-seed
+//! harness ([`xtree_trees::paramtest`]): for *arbitrary* binary trees,
+//! designated nodes, targets, and pre-placed regions, every post-condition
+//! of Lemmas 1 and 2 must hold. `check_separation` verifies designated
+//! coverage, the size bound, the cut structure (every boundary edge runs
+//! S1–S2) and collinearity of both boundary sets.
+//!
+//! Each iteration prints its seed before running; a failure reproduces
+//! with `XTREE_PARAM_SEED=<seed> cargo test -p xtree-trees --test
+//! param_separators <name>`. Seeds that ever failed go into the test's
+//! `regressions` slice so they are replayed on every run.
+
+use rand::Rng;
+use xtree_trees::paramtest::{arbitrary_tree, designated_node, start_parametric_test};
+use xtree_trees::{check_separation, lemma1, lemma2, NodeId, Separation};
+
+const ITERS: usize = 256;
+
+#[test]
+fn lemma1_always_within_bound() {
+    start_parametric_test("lemma1_always_within_bound", &[], ITERS, |rng| {
+        let t = arbitrary_tree(rng, 800);
+        let (r1, r2) = (designated_node(rng, &t), designated_node(rng, &t));
+        let n = t.len() as u32;
+        // Any Δ with 3n > 4Δ, Δ ≥ 1.
+        let max_delta = (3 * n - 1) / 4;
+        if max_delta < 1 {
+            return;
+        }
+        let delta = rng.random_range(1..=max_delta);
+        let placed = vec![false; t.len()];
+        let sep = lemma1(&t, &placed, r1, r2, delta);
+        check_separation(
+            &t,
+            &placed,
+            &[],
+            r1,
+            r2,
+            delta,
+            &sep,
+            Separation::lemma1_bound(delta),
+            4,
+            2,
+        );
+        // Lemma 1 cuts exactly one edge.
+        assert_eq!(sep.cut.len(), 1);
+    });
+}
+
+#[test]
+fn lemma2_always_within_bound() {
+    start_parametric_test("lemma2_always_within_bound", &[], ITERS, |rng| {
+        let t = arbitrary_tree(rng, 800);
+        let (r1, r2) = (designated_node(rng, &t), designated_node(rng, &t));
+        let n = t.len() as u32;
+        let delta = rng.random_range(1..=n);
+        let placed = vec![false; t.len()];
+        let sep = lemma2(&t, &placed, r1, r2, delta);
+        check_separation(
+            &t,
+            &placed,
+            &[],
+            r1,
+            r2,
+            delta,
+            &sep,
+            Separation::lemma2_bound(delta),
+            5,
+            5,
+        );
+        // Lemma 2 cuts at most three edges (base cut + two carvings).
+        assert!(sep.cut.len() <= 3, "cut {:?}", sep.cut.len());
+    });
+}
+
+#[test]
+fn lemma2_respects_placed_regions() {
+    start_parametric_test("lemma2_respects_placed_regions", &[], ITERS, |rng| {
+        let t = arbitrary_tree(rng, 800);
+        let (r1, r2) = (designated_node(rng, &t), designated_node(rng, &t));
+        // Pre-place a random subtree and split what remains around r1.
+        let mut placed = vec![false; t.len()];
+        let victim = NodeId(rng.random_range(0..t.len() as u32));
+        // Mark victim's subtree (in the rooted orientation) as placed,
+        // unless that would swallow r1 or r2.
+        let mut stack = vec![victim];
+        let mut marked = Vec::new();
+        while let Some(v) = stack.pop() {
+            marked.push(v);
+            stack.extend(t.children(v));
+        }
+        if marked.contains(&r1) || marked.contains(&r2) {
+            return;
+        }
+        for &v in &marked {
+            placed[v.index()] = true;
+        }
+        // The piece of r1 after blocking; r2 must still be reachable.
+        let reach = {
+            use std::collections::HashSet;
+            let mut seen = HashSet::from([r1]);
+            let mut q = vec![r1];
+            while let Some(v) = q.pop() {
+                for w in t.neighbors(v) {
+                    if !placed[w.index()] && seen.insert(w) {
+                        q.push(w);
+                    }
+                }
+            }
+            seen
+        };
+        if !reach.contains(&r2) || reach.len() < 2 {
+            return;
+        }
+        let delta = rng.random_range(1..=reach.len() as u32);
+        let sep = lemma2(&t, &placed, r1, r2, delta);
+        check_separation(
+            &t,
+            &placed,
+            &[],
+            r1,
+            r2,
+            delta,
+            &sep,
+            Separation::lemma2_bound(delta),
+            5,
+            5,
+        );
+        // Nothing placed may appear in the output.
+        for &v in sep.part2.iter().chain(&sep.s1).chain(&sep.s2) {
+            assert!(!placed[v.index()]);
+        }
+    });
+}
