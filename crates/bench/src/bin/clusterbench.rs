@@ -1,0 +1,319 @@
+//! Cluster benchmark: shard-scaling curve plus a kill-a-shard failover
+//! probe, written to `results/BENCH_cluster.json`.
+//!
+//! **Scaling.** For each roster size in {1, 2, 4} the bench spawns that
+//! many in-process shard daemons (2 workers each) behind a
+//! consistent-hash router and pushes a compute-bound workload through
+//! it: every request a *distinct* `(family, nodes, seed)` key, so each
+//! one costs a Theorem-1 construction and the cluster's throughput
+//! tracks its aggregate worker count rather than its cache.
+//!
+//! **Failover.** A 2-shard cluster with test-speed detection (25 ms
+//! probes, two-strike ejection) serves concurrent clients while one
+//! shard is shut down a quarter of the way in. The probe asserts the
+//! robustness contract — zero client-visible errors — and records the
+//! failover column: replays, transport failures observed, and the p99
+//! end-to-end latency of the requests that needed a replay.
+//!
+//! `--smoke` shrinks the workload and skips the results file.
+//!
+//! Run with: cargo run --release -p xtree-bench --bin clusterbench
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+use xtree_json::Value;
+use xtree_server::{
+    Client, ReconnectPolicy, Request, Response, Router, RouterConfig, Server, ServerConfig,
+};
+use xtree_sim::Backoff;
+
+/// `random-bst` in `TreeFamily::ALL`.
+const FAMILY: u8 = 4;
+/// 16(2^(r+1) - 1) with r = 6 — one Theorem-1 build per distinct key is
+/// expensive enough that throughput measures compute, not framing.
+const NODES: u64 = 2032;
+const SEED_BASE: u64 = 7_000;
+
+struct Opts {
+    conns: usize,
+    requests: usize,
+    smoke: bool,
+    out: String,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        conns: 8,
+        requests: 32,
+        smoke: false,
+        out: "results/BENCH_cluster.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--conns" => opts.conns = value("--conns").parse().expect("--conns"),
+            "--requests" => opts.requests = value("--requests").parse().expect("--requests"),
+            "--out" => opts.out = value("--out"),
+            "--smoke" => opts.smoke = true,
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    if opts.smoke {
+        opts.conns = opts.conns.min(4);
+        opts.requests = opts.requests.min(6);
+    }
+    assert!(opts.conns >= 1 && opts.requests >= 1, "need work to do");
+    opts
+}
+
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// One measured run through a router: counts and client-side latency.
+struct Run {
+    requests: usize,
+    ok: usize,
+    errors: usize,
+    wall_s: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+}
+
+impl Run {
+    fn throughput_rps(&self) -> f64 {
+        self.requests as f64 / self.wall_s
+    }
+}
+
+/// Drive `conns` concurrent clients through `addr`, every request a
+/// distinct embed key (`key_base` offsets the seed space so no phase
+/// reuses another's keys). `mid_kill` — if given — fires exactly once, a
+/// quarter of the way through the first connection's sequence.
+fn drive(
+    addr: SocketAddr,
+    conns: usize,
+    count: usize,
+    key_base: u64,
+    mid_kill: Option<&(dyn Fn() + Sync)>,
+) -> Run {
+    let fired = AtomicBool::new(false);
+    let start = Instant::now();
+    let per_conn: Vec<(usize, usize, Vec<u64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|conn| {
+                let fired = &fired;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let (mut ok, mut errors) = (0, 0);
+                    let mut latencies = Vec::with_capacity(count);
+                    for i in 0..count {
+                        if let Some(kill) = mid_kill {
+                            if conn == 0 && i == count / 4 && !fired.swap(true, Ordering::SeqCst) {
+                                kill();
+                            }
+                        }
+                        let req = Request::Embed {
+                            family: FAMILY,
+                            nodes: NODES,
+                            seed: key_base + (conn * count + i) as u64,
+                            theorem: 1,
+                        };
+                        let sent = Instant::now();
+                        let resp = client.call(&req).expect("call");
+                        latencies.push(sent.elapsed().as_micros() as u64);
+                        match resp {
+                            Response::EmbedOk { .. } => ok += 1,
+                            other => {
+                                errors += 1;
+                                eprintln!("clusterbench: unexpected response: {other:?}");
+                            }
+                        }
+                    }
+                    (ok, errors, latencies)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+    let mut latencies: Vec<u64> = per_conn.iter().flat_map(|p| p.2.iter().copied()).collect();
+    latencies.sort_unstable();
+    Run {
+        requests: conns * count,
+        ok: per_conn.iter().map(|p| p.0).sum(),
+        errors: per_conn.iter().map(|p| p.1).sum(),
+        wall_s,
+        p50_us: quantile(&latencies, 0.50),
+        p95_us: quantile(&latencies, 0.95),
+        p99_us: quantile(&latencies, 0.99),
+    }
+}
+
+fn shard_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_cap: 64,
+        cache_cap: 256,
+    }
+}
+
+fn spawn_cluster(shards: usize, config: &RouterConfig) -> (Vec<Server>, Router) {
+    let servers: Vec<Server> = (0..shards)
+        .map(|_| Server::spawn(&shard_config()).expect("bind shard"))
+        .collect();
+    let router = Router::spawn(&RouterConfig {
+        shards: servers.iter().map(Server::local_addr).collect(),
+        ..config.clone()
+    })
+    .expect("bind router");
+    (servers, router)
+}
+
+fn drain_cluster(mut servers: Vec<Server>, mut router: Router) {
+    let mut client = Client::connect(router.local_addr()).expect("connect for shutdown");
+    client.call(&Request::Shutdown).expect("cluster shutdown");
+    router.wait();
+    for s in &mut servers {
+        s.wait();
+    }
+}
+
+/// One point of the scaling curve: `shards` shards, all healthy.
+fn scaling_point(shards: usize, conns: usize, count: usize) -> Value {
+    let (servers, router) = spawn_cluster(shards, &RouterConfig::default());
+    let run = drive(
+        router.local_addr(),
+        conns,
+        count,
+        SEED_BASE + ((shards as u64) << 32),
+        None,
+    );
+    assert_eq!(run.errors, 0, "{shards}-shard run must not error");
+    assert_eq!(run.ok, run.requests, "{shards}-shard run must serve all");
+    let metrics = router.metrics();
+    eprintln!(
+        "{shards} shard(s): {} reqs in {:.2}s — {:.0} req/s, p50 {}us p95 {}us p99 {}us",
+        run.requests,
+        run.wall_s,
+        run.throughput_rps(),
+        run.p50_us,
+        run.p95_us,
+        run.p99_us
+    );
+    let point = Value::object()
+        .with("shards", shards)
+        .with("requests", run.requests)
+        .with("wall_s", run.wall_s)
+        .with("throughput_rps", run.throughput_rps())
+        .with("latency_p50_us", run.p50_us)
+        .with("latency_p95_us", run.p95_us)
+        .with("latency_p99_us", run.p99_us)
+        .with("routed", metrics.routed_total())
+        .with("replayed", metrics.replayed_total());
+    drain_cluster(servers, router);
+    point
+}
+
+/// The kill-a-shard probe: 2 shards, one dies under load, nothing may
+/// be lost. Returns the failover column.
+fn failover_probe(conns: usize, count: usize) -> Value {
+    let config = RouterConfig {
+        probe_interval: Duration::from_millis(25),
+        fail_after: 2,
+        replay: ReconnectPolicy {
+            max_retries: 10,
+            backoff: Backoff::Fixed(20),
+        },
+        ..RouterConfig::default()
+    };
+    let (servers, router) = spawn_cluster(2, &config);
+    let victim = &servers[0];
+    let run = drive(
+        router.local_addr(),
+        conns,
+        count,
+        SEED_BASE + (101u64 << 32),
+        Some(&|| victim.shutdown()),
+    );
+    assert_eq!(
+        run.errors, 0,
+        "failover must be invisible to clients (got {} errors)",
+        run.errors
+    );
+    assert_eq!(run.ok, run.requests, "every request must be served");
+    let metrics = router.metrics();
+    let shard_set = router.shard_set();
+    assert_eq!(shard_set.live_count(), 1, "the victim must be ejected");
+    assert_eq!(metrics.unreachable_total(), 0);
+    assert_eq!(metrics.exhausted_total(), 0);
+    let (failover_p99_us, failovers) = metrics.failover_quantile_us(0.99);
+    eprintln!(
+        "failover: {} reqs, {} replayed, {} transport failures, {} failovers, p99 {}us",
+        run.requests,
+        metrics.replayed_total(),
+        metrics.failed_total(),
+        failovers,
+        failover_p99_us
+    );
+    let column = Value::object()
+        .with("shards", 2)
+        .with("requests", run.requests)
+        .with("errors", run.errors)
+        .with("wall_s", run.wall_s)
+        .with("throughput_rps", run.throughput_rps())
+        .with("latency_p99_us", run.p99_us)
+        .with("failed", metrics.failed_total())
+        .with("replayed", metrics.replayed_total())
+        .with("unreachable", metrics.unreachable_total())
+        .with("exhausted", metrics.exhausted_total())
+        .with("failovers", failovers)
+        .with("failover_p99_us", failover_p99_us);
+    drain_cluster(servers, router);
+    column
+}
+
+fn main() {
+    let opts = parse_opts();
+    let rosters: &[usize] = if opts.smoke { &[1, 2] } else { &[1, 2, 4] };
+
+    let curve: Vec<Value> = rosters
+        .iter()
+        .map(|&m| scaling_point(m, opts.conns, opts.requests))
+        .collect();
+    let failover = failover_probe(opts.conns.max(4), opts.requests);
+
+    let doc = Value::object()
+        .with("bench", "cluster")
+        .with("family", "random-bst")
+        .with("nodes", NODES)
+        .with("conns", opts.conns)
+        .with("requests_per_conn", opts.requests)
+        .with("workers_per_shard", 2)
+        // Shard scaling is core scaling: on a 1-core host the curve is
+        // honestly flat, so record what the curve had to work with.
+        .with(
+            "host_cores",
+            std::thread::available_parallelism().map_or(0, usize::from),
+        )
+        .with("scaling", curve.into_iter().collect::<Value>())
+        .with("failover", failover);
+
+    if opts.smoke {
+        eprintln!("smoke mode: skipping results file");
+    } else {
+        xtree_json::write_pretty_file(&opts.out, &doc).expect("write results");
+        eprintln!("wrote {}", opts.out);
+    }
+}

@@ -9,8 +9,14 @@
 //!   that must bounce requests as `Overloaded`. It asserts the serving
 //!   layer's contract: warm hit rate > 90%, warm throughput strictly
 //!   above cold, and saturation observably answered — never a hang.
-//! * **`--addr HOST:PORT`**: drives an already-running daemon (the CI
-//!   smoke job does this) with one bounded phase and leaves it up.
+//! * **`--addr HOST:PORT`**: drives an already-running daemon — or a
+//!   cluster router, which speaks the same wire protocol (the CI smoke
+//!   jobs do both) — with one bounded phase and leaves it up.
+//!
+//! `--via-router M` adds a phase that spawns M in-process shards behind
+//! a consistent-hash router and drives the workload through it, folding
+//! the router's failover column (routed/failed/replayed, failover p99)
+//! into the results doc.
 //!
 //! Both modes report throughput and client-side p50/p95/p99 latency and
 //! write `results/BENCH_server.json`. `--smoke` shrinks the workload and
@@ -22,7 +28,9 @@ use std::net::SocketAddr;
 use std::time::Instant;
 use xtree_bench::seeded_batches;
 use xtree_json::Value;
-use xtree_server::{Client, Request, Response, Server, ServerConfig, WireStats};
+use xtree_server::{
+    Client, Request, Response, Router, RouterConfig, Server, ServerConfig, WireStats,
+};
 
 /// Key pool: `random-bst` in `TreeFamily::ALL`.
 const FAMILY: u8 = 4;
@@ -46,6 +54,8 @@ struct Opts {
     smoke: bool,
     /// Zipf exponent `s` for the skewed-key phase (`None` = uniform only).
     zipf: Option<f64>,
+    /// Shard count for the `--via-router` phase (`None` = skip it).
+    via_router: Option<usize>,
     out: String,
 }
 
@@ -56,6 +66,7 @@ fn parse_opts() -> Opts {
         requests: 64,
         smoke: false,
         zipf: None,
+        via_router: None,
         out: "results/BENCH_server.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -72,6 +83,11 @@ fn parse_opts() -> Opts {
                 let s: f64 = value("--zipf").parse().expect("--zipf");
                 assert!(s > 0.0 && s.is_finite(), "--zipf needs s > 0");
                 opts.zipf = Some(s);
+            }
+            "--via-router" => {
+                let m: usize = value("--via-router").parse().expect("--via-router");
+                assert!((1..=64).contains(&m), "--via-router needs 1..=64 shards");
+                opts.via_router = Some(m);
             }
             "--out" => opts.out = value("--out"),
             "--smoke" => opts.smoke = true,
@@ -285,6 +301,53 @@ fn fetch_stats(addr: SocketAddr) -> WireStats {
     }
 }
 
+/// Run one phase through a consistent-hash router fronting `shards`
+/// throwaway in-process daemons, then drain the whole cluster via a wire
+/// `Shutdown`. Returns the phase plus the router's failover column
+/// (routed/failed/replayed counts and failover-latency tail) for the
+/// results doc.
+fn spawn_cluster_and_drive(
+    shards: usize,
+    conns: usize,
+    count: usize,
+    nodes: u64,
+) -> (Phase, Value) {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_cap: 64,
+        cache_cap: 256,
+    };
+    let mut servers: Vec<Server> = (0..shards)
+        .map(|_| Server::spawn(&config).expect("bind shard"))
+        .collect();
+    let mut router = Router::spawn(&RouterConfig {
+        shards: servers.iter().map(Server::local_addr).collect(),
+        ..RouterConfig::default()
+    })
+    .expect("bind router");
+    let phase = drive("via-router", router.local_addr(), conns, count, nodes, None);
+    let metrics = router.metrics();
+    let (failover_p99_us, failovers) = metrics.failover_quantile_us(0.99);
+    let column = Value::object()
+        .with("shards", shards)
+        .with("routed", metrics.routed_total())
+        .with("failed", metrics.failed_total())
+        .with("replayed", metrics.replayed_total())
+        .with("unreachable", metrics.unreachable_total())
+        .with("exhausted", metrics.exhausted_total())
+        .with("restarts", metrics.restarts_total())
+        .with("failovers", failovers)
+        .with("failover_p99_us", failover_p99_us);
+    let mut client = Client::connect(router.local_addr()).expect("connect for shutdown");
+    client.call(&Request::Shutdown).expect("cluster shutdown");
+    router.wait();
+    for s in &mut servers {
+        s.wait();
+    }
+    (phase, column)
+}
+
 /// Run one phase against a throwaway in-process server and tear it down.
 fn spawn_and_drive(
     name: &'static str,
@@ -460,6 +523,19 @@ fn main() {
         doc.set("distributions", dists.into_iter().collect::<Value>());
         phases.extend([warm, cold, saturation]);
         phases.extend(warm_zipf);
+    }
+
+    if let Some(shards) = opts.via_router {
+        // Cluster phase: the same workload through a consistent-hash
+        // router over a fresh shard roster. A healthy roster must serve
+        // everything with zero failovers; the column records the
+        // counters either way.
+        let (phase, column) = spawn_cluster_and_drive(shards, opts.conns, opts.requests, NODES);
+        print_phase(&phase);
+        assert_eq!(phase.errors, 0, "via-router run must not error");
+        assert_eq!(phase.ok, phase.requests, "router must serve every request");
+        doc.set("cluster", column);
+        phases.push(phase);
     }
 
     doc.set(

@@ -8,6 +8,7 @@
 //! xtree-cli info     --height 3 [--network xtree|hypercube|ccc|butterfly|mesh]
 //! xtree-cli sizes    --max-r 10
 //! xtree-cli serve    [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] [--metrics FILE --metrics-format jsonl|prom]
+//! xtree-cli cluster  [--shards M] [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] [--vnodes V] [--ring-seed S] [--probe-interval-ms I] [--fail-after K] [--max-retries N] [--backoff fixed:K|exp:B:C] [--restart-backoff fixed:K|exp:B:C] [--metrics FILE --metrics-format jsonl|prom]
 //! xtree-cli request  OP --addr HOST:PORT [--family F --nodes N --seed S --theorem 1|2 --workload W|all] [--json]
 //! ```
 
@@ -16,9 +17,14 @@ mod args;
 use args::Args;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
 use xtree_core::{evaluate, hypercube, metrics, theorem1, theorem2};
 use xtree_json::Value;
-use xtree_server::{Client, Request, Response, Server, ServerConfig};
+use xtree_server::cluster::{spawn_shard, ShardCommand};
+use xtree_server::{
+    Client, HashRing, ReconnectPolicy, Request, Response, Router, RouterConfig, Server,
+    ServerConfig, Supervisor,
+};
 use xtree_sim::telemetry::{Event, MetricsSink, NopSink, Sink, Tee, TraceRecorder};
 use xtree_sim::workload::WORKLOADS;
 use xtree_sim::{
@@ -107,6 +113,7 @@ const USAGE: &str = "usage:
   xtree-cli sizes    [--max-r R]
   xtree-cli trace    --family F --nodes N [--seed S]
   xtree-cli serve    [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] [--metrics FILE] [--metrics-format jsonl|prom]
+  xtree-cli cluster  [--shards M] [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] [--vnodes V] [--ring-seed S] [--probe-interval-ms I] [--fail-after K] [--max-retries N] [--backoff fixed:K|exp:B:C] [--restart-backoff fixed:K|exp:B:C] [--metrics FILE] [--metrics-format jsonl|prom]
   xtree-cli request  OP --addr HOST:PORT [--family F] [--nodes N] [--seed S] [--theorem 1|2] [--workload W|all] [--json]
                      (OP: embed simulate stats health shutdown)
 families: path complete caterpillar broom random-bst random-attach random-split leaning";
@@ -133,6 +140,7 @@ fn run(mut argv: Vec<String>) -> Result<String, CliError> {
         "sizes" => cmd_sizes(&a),
         "trace" => cmd_trace(&a),
         "serve" => cmd_serve(&a),
+        "cluster" => cmd_cluster(&a),
         "request" => cmd_request(&a),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
@@ -1131,6 +1139,130 @@ fn cmd_serve(a: &Args) -> Result<String, CliError> {
     ))
 }
 
+/// `cluster`: spawn M shard daemons as child processes on ephemeral
+/// ports, put the consistent-hash router in front of them, and supervise
+/// until a wire `Shutdown` drains the whole tier. Readiness lines (one
+/// per shard, then the router's) go to stdout flushed *before* blocking,
+/// so scripts — and the CI kill-a-shard smoke — can scrape pids, shard
+/// addresses, and the router address.
+fn cmd_cluster(a: &Args) -> Result<String, CliError> {
+    let shards: usize = a.num_or("shards", 2usize)?;
+    if !(1..=64).contains(&shards) {
+        return Err("--shards must be within 1..=64".into());
+    }
+    let workers: usize = a.num_or("workers", 4usize)?;
+    let queue_cap: usize = a.num_or("queue-cap", 64usize)?;
+    let cache_cap: usize = a.num_or("cache-cap", 256usize)?;
+    if workers == 0 {
+        return Err("--workers must be ≥ 1".into());
+    }
+    if queue_cap == 0 {
+        return Err("--queue-cap must be ≥ 1".into());
+    }
+    let probe_ms: u64 = a.num_or("probe-interval-ms", 100u64)?;
+    if probe_ms == 0 {
+        return Err("--probe-interval-ms must be ≥ 1".into());
+    }
+    let fail_after: u32 = a.num_or("fail-after", 3u32)?;
+    if fail_after == 0 {
+        return Err("--fail-after must be ≥ 1".into());
+    }
+    let replay = ReconnectPolicy {
+        max_retries: a.num_or("max-retries", 8u32)?,
+        backoff: parse_backoff(a.get_or("backoff", "exp:25:800"))?,
+    };
+    let restart_backoff = parse_backoff(a.get_or("restart-backoff", "fixed:100"))?;
+    let format = a.get_or("metrics-format", "jsonl");
+    if !["jsonl", "prom"].contains(&format) {
+        return Err(format!("--metrics-format: `{format}` is not one of jsonl|prom").into());
+    }
+    let metrics_path = a.get("metrics");
+
+    let exe = std::env::current_exe()
+        .map_err(|e| CliError::Io(format!("cluster: cannot locate own binary: {e}")))?;
+    let cmd = ShardCommand {
+        program: exe,
+        args: [
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            &workers.to_string(),
+            "--queue-cap",
+            &queue_cap.to_string(),
+            "--cache-cap",
+            &cache_cap.to_string(),
+        ]
+        .map(String::from)
+        .to_vec(),
+    };
+    let readiness = Duration::from_secs(10);
+    let mut children = Vec::with_capacity(shards);
+    {
+        use std::io::Write;
+        let mut stdout = std::io::stdout().lock();
+        for i in 0..shards {
+            let child = spawn_shard(&cmd, readiness)
+                .map_err(|e| CliError::Io(format!("cluster: shard {i}: {e}")))?;
+            let _ = writeln!(
+                stdout,
+                "shard {i}: pid {} listening on {}",
+                child.pid, child.addr
+            );
+            children.push(child);
+        }
+        let _ = stdout.flush();
+    }
+    let config = RouterConfig {
+        addr: a.get_or("addr", "127.0.0.1:7170").to_string(),
+        shards: children.iter().map(|c| c.addr).collect(),
+        ring_seed: a.num_or("ring-seed", 1991u64)?,
+        vnodes: a.num_or("vnodes", HashRing::DEFAULT_VNODES)?,
+        probe_interval: Duration::from_millis(probe_ms),
+        fail_after,
+        replay,
+    };
+    let mut router = Router::spawn(&config)
+        .map_err(|e| CliError::Io(format!("cluster: bind {}: {e}", config.addr)))?;
+    let supervisor = Supervisor::spawn(
+        children,
+        cmd,
+        router.shard_set(),
+        router.metrics(),
+        restart_backoff,
+        readiness,
+    );
+    router.attach_supervisor(supervisor);
+    {
+        use std::io::Write;
+        let mut stdout = std::io::stdout().lock();
+        let _ = writeln!(
+            stdout,
+            "xtree-cluster router listening on {} ({} shards, {} vnodes, fail after {})",
+            router.local_addr(),
+            shards,
+            config.vnodes,
+            fail_after
+        );
+        let _ = stdout.flush();
+    }
+    let metrics = router.metrics();
+    router.wait();
+    if let Some(path) = metrics_path {
+        let body = match format {
+            "prom" => metrics.to_prometheus(),
+            _ => metrics.to_jsonl(),
+        };
+        std::fs::write(path, body).map_err(|e| CliError::Io(format!("--metrics {path}: {e}")))?;
+    }
+    Ok(format!(
+        "xtree-cluster drained and stopped ({} replayed, {} restarts, {} unreachable)",
+        metrics.replayed_total(),
+        metrics.restarts_total(),
+        metrics.unreachable_total()
+    ))
+}
+
 /// Resolves `--workload W|all` to the wire's workload byte.
 fn wire_workload(name: &str) -> Result<u8, CliError> {
     if name == "all" {
@@ -1295,7 +1427,26 @@ fn render_response(a: &Args, resp: &Response) -> Result<String, CliError> {
                 ))
             }
         }
-        Response::HealthOk => Ok("ok".into()),
+        Response::HealthOk { info } => {
+            if a.flag("json") {
+                let mut obj = Value::object().with("ok", true);
+                if let Some(i) = info {
+                    obj.set("queue_depth", i.queue_depth);
+                    obj.set("cache_hits", i.cache_hits);
+                    obj.set("cache_misses", i.cache_misses);
+                    obj.set("uptime_s", i.uptime_s);
+                }
+                Ok(xtree_json::to_string_pretty(&obj))
+            } else {
+                Ok(match info {
+                    Some(i) => format!(
+                        "ok (queue {}, cache {} hits / {} misses, up {}s)",
+                        i.queue_depth, i.cache_hits, i.cache_misses, i.uptime_s
+                    ),
+                    None => "ok".into(),
+                })
+            }
+        }
         Response::ShutdownOk { pending } => {
             Ok(format!("shutting down ({pending} requests draining)"))
         }
@@ -1349,9 +1500,10 @@ mod tests {
     fn request_round_trip_against_spawned_server() {
         let mut server = Server::spawn(&ServerConfig::default()).unwrap();
         let addr = server.local_addr();
-        assert_eq!(
-            run_str(&format!("request health --addr {addr}")).unwrap(),
-            "ok"
+        let health = run_str(&format!("request health --addr {addr}")).unwrap();
+        assert!(
+            health.starts_with("ok (queue 0,"),
+            "health must report the load signals: {health}"
         );
         let out = run_str(&format!(
             "request embed --addr {addr} --family path --nodes 240"

@@ -1,18 +1,72 @@
 //! A minimal blocking client: one connection, one request in flight.
 //!
-//! This is what the CLI `request` subcommand, the load generator, and the
-//! integration tests all speak through — so client-side framing bugs
-//! would show up everywhere at once.
+//! This is what the CLI `request` subcommand, the load generator, the
+//! cluster router, and the integration tests all speak through — so
+//! client-side framing bugs would show up everywhere at once.
+//!
+//! Transport failures come in two typed flavours ([`WireError::Refused`]
+//! — nobody listening, e.g. mid-restart — and [`WireError::Reset`] — the
+//! peer died under an established connection), and
+//! [`Client::call_retrying`] closes the loop over both: because every
+//! `Embed`/`Simulate`/`Stats`/`Health` request is a pure function of its
+//! fields, a request the peer never answered can be re-sent verbatim
+//! after reconnecting, under the same Fixed/Exponential [`Backoff`]
+//! shapes the simulation's `RecoveryPolicy` uses (interpreted here as
+//! milliseconds of wall clock instead of simulated cycles).
 
 use crate::wire::{read_frame, write_request, Request, Response, WireError};
 use std::io::BufReader;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+use xtree_sim::Backoff;
+
+/// How a client heals a broken connection: the client-side analogue of
+/// the simulator's `RecoveryPolicy` (same retry-budget + backoff shape,
+/// no repair step — reconnecting *is* the repair).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// Reconnect attempts after the initial failure (0 = fail fast).
+    pub max_retries: u32,
+    /// Wall-clock wait schedule between attempts, in milliseconds.
+    pub backoff: Backoff,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            max_retries: 5,
+            backoff: Backoff::Exponential { base: 25, cap: 400 },
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    /// A policy that never reconnects: `call_retrying` degenerates to
+    /// `call`.
+    pub fn none() -> Self {
+        ReconnectPolicy {
+            max_retries: 0,
+            backoff: Backoff::Fixed(0),
+        }
+    }
+}
 
 /// A connected client. Requests are strictly serial per connection; open
 /// several clients for concurrency.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Where the connection points, kept for reconnects.
+    peer: SocketAddr,
+    /// Requests re-sent after a reconnect over this client's lifetime.
+    replays: u64,
+}
+
+fn open(addr: SocketAddr) -> std::io::Result<(BufReader<TcpStream>, TcpStream)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let writer = stream.try_clone()?;
+    Ok((BufReader::new(stream), writer))
 }
 
 impl Client {
@@ -21,25 +75,90 @@ impl Client {
     /// # Errors
     /// Propagates the connect failure.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        let writer = stream.try_clone()?;
+        let peer = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+        let (reader, writer) = open(peer)?;
         Ok(Client {
-            reader: BufReader::new(stream),
+            reader,
             writer,
+            peer,
+            replays: 0,
         })
+    }
+
+    /// The address this client (re)connects to.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Requests re-sent after a reconnect so far — the client-side replay
+    /// accounting `call_retrying` accumulates.
+    pub fn replays(&self) -> u64 {
+        self.replays
     }
 
     /// Sends one request and blocks for its response.
     ///
     /// # Errors
     /// Any wire error, including [`WireError::Closed`] when the server
-    /// hangs up without answering.
+    /// hangs up without answering and the typed [`WireError::Refused`] /
+    /// [`WireError::Reset`] transport classes.
     pub fn call(&mut self, req: &Request) -> Result<Response, WireError> {
         write_request(&mut self.writer, req)?;
         match read_frame(&mut self.reader)? {
             Some(bytes) => crate::wire::decode_response(&bytes),
             None => Err(WireError::Closed),
         }
+    }
+
+    /// Drops the broken connection and dials the peer again.
+    ///
+    /// # Errors
+    /// The classified connect failure ([`WireError::Refused`] while the
+    /// peer is still down).
+    pub fn reconnect(&mut self) -> Result<(), WireError> {
+        let (reader, writer) = open(self.peer)?;
+        self.reader = reader;
+        self.writer = writer;
+        Ok(())
+    }
+
+    /// [`Client::call`], but transport failures (refused / reset / closed
+    /// / raw socket errors) trigger reconnect-and-resend under `policy`
+    /// instead of failing the first request after a peer restart.
+    /// Protocol-level errors (malformed frames, bad fields) are returned
+    /// immediately — replaying them would fail identically.
+    ///
+    /// # Errors
+    /// The last transport error once the retry budget is spent, or any
+    /// non-transport wire error as soon as it occurs.
+    pub fn call_retrying(
+        &mut self,
+        req: &Request,
+        policy: &ReconnectPolicy,
+    ) -> Result<Response, WireError> {
+        let mut last = match self.call(req) {
+            Ok(resp) => return Ok(resp),
+            Err(e) if e.is_transport() => e,
+            Err(e) => return Err(e),
+        };
+        for attempt in 0..policy.max_retries {
+            std::thread::sleep(Duration::from_millis(u64::from(
+                policy.backoff.delay(attempt),
+            )));
+            if let Err(e) = self.reconnect() {
+                last = e;
+                continue;
+            }
+            self.replays += 1;
+            match self.call(req) {
+                Ok(resp) => return Ok(resp),
+                Err(e) if e.is_transport() => last = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
     }
 }

@@ -1,0 +1,240 @@
+//! Router-side observability: who got routed where, what failed, what
+//! was replayed, and how long failovers cost.
+//!
+//! Per-shard counters are plain `Vec<AtomicU64>` indexed by shard id
+//! (the roster is fixed at spawn, so no locking). The failover histogram
+//! records end-to-end latency *only* for requests that needed at least
+//! one replay — the tail the kill-a-shard bench probe reads back.
+//! Exports reuse the telemetry crate's exposition helpers with a
+//! `shard="i"` label, so `xtree_cluster_*` series sit next to the
+//! established `xtree_server_*` ones in the same scrape.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+use xtree_json::Value;
+use xtree_telemetry::{histogram_jsonl, histogram_prometheus, Histogram};
+
+/// Failover-latency buckets: pow-2 microseconds up to ~134 s.
+const FAILOVER_BUCKETS: u32 = 28;
+
+/// All metrics one router accumulates over its lifetime.
+pub struct ClusterMetrics {
+    /// Forward attempts dispatched to each shard.
+    routed: Vec<AtomicU64>,
+    /// Transport failures observed talking to each shard.
+    failed: Vec<AtomicU64>,
+    /// Re-dispatches after a failure, by the shard that *received* the
+    /// replay.
+    replayed: Vec<AtomicU64>,
+    /// Requests failed with `Unreachable` (no live shard at any attempt).
+    unreachable: AtomicU64,
+    /// Requests failed with `Exhausted` (replay budget spent).
+    exhausted: AtomicU64,
+    /// Shard processes the supervisor restarted.
+    restarts: AtomicU64,
+    /// Client requests accepted by the router, of any type.
+    requests: AtomicU64,
+    /// End-to-end latency of requests that needed ≥ 1 replay.
+    failover_us: Mutex<Histogram>,
+}
+
+impl ClusterMetrics {
+    /// Fresh, zeroed metrics for a roster of `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        ClusterMetrics {
+            routed: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            failed: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            replayed: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            unreachable: AtomicU64::new(0),
+            exhausted: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            failover_us: Mutex::new(Histogram::pow2(FAILOVER_BUCKETS)),
+        }
+    }
+
+    /// Counts one client request of any type.
+    pub fn count_request(&self) {
+        self.requests.fetch_add(1, Relaxed);
+    }
+
+    /// Counts one forward attempt dispatched to `shard`.
+    pub fn count_routed(&self, shard: u16) {
+        self.routed[usize::from(shard)].fetch_add(1, Relaxed);
+    }
+
+    /// Counts one transport failure observed talking to `shard`.
+    pub fn count_failed(&self, shard: u16) {
+        self.failed[usize::from(shard)].fetch_add(1, Relaxed);
+    }
+
+    /// Counts one replay re-dispatched to `shard` after a failure
+    /// elsewhere (or a reconnect to the same shard).
+    pub fn count_replayed(&self, shard: u16) {
+        self.replayed[usize::from(shard)].fetch_add(1, Relaxed);
+    }
+
+    /// Counts one request abandoned because no shard was live.
+    pub fn count_unreachable(&self) {
+        self.unreachable.fetch_add(1, Relaxed);
+    }
+
+    /// Counts one request abandoned with the replay budget spent.
+    pub fn count_exhausted(&self) {
+        self.exhausted.fetch_add(1, Relaxed);
+    }
+
+    /// Counts one supervisor restart of a crashed shard.
+    pub fn count_restart(&self) {
+        self.restarts.fetch_add(1, Relaxed);
+    }
+
+    /// Records the end-to-end latency of a request that needed at least
+    /// one replay.
+    pub fn observe_failover_us(&self, us: u64) {
+        self.failover_us
+            .lock()
+            .expect("failover poisoned")
+            .observe(us);
+    }
+
+    /// Total forward attempts across all shards.
+    pub fn routed_total(&self) -> u64 {
+        self.routed.iter().map(|c| c.load(Relaxed)).sum()
+    }
+
+    /// Total transport failures across all shards.
+    pub fn failed_total(&self) -> u64 {
+        self.failed.iter().map(|c| c.load(Relaxed)).sum()
+    }
+
+    /// Total replays across all shards.
+    pub fn replayed_total(&self) -> u64 {
+        self.replayed.iter().map(|c| c.load(Relaxed)).sum()
+    }
+
+    /// Requests abandoned as `Unreachable`.
+    pub fn unreachable_total(&self) -> u64 {
+        self.unreachable.load(Relaxed)
+    }
+
+    /// Requests abandoned as `Exhausted`.
+    pub fn exhausted_total(&self) -> u64 {
+        self.exhausted.load(Relaxed)
+    }
+
+    /// Shard restarts the supervisor performed.
+    pub fn restarts_total(&self) -> u64 {
+        self.restarts.load(Relaxed)
+    }
+
+    /// Client requests accepted.
+    pub fn requests_total(&self) -> u64 {
+        self.requests.load(Relaxed)
+    }
+
+    /// A quantile (upper bucket bound, microseconds) of the
+    /// failover-latency histogram, and how many failovers it summarises.
+    pub fn failover_quantile_us(&self, q: f64) -> (u64, u64) {
+        let h = self.failover_us.lock().expect("failover poisoned");
+        (h.quantile(q), h.count())
+    }
+
+    /// Prometheus text exposition: per-shard labelled counters, the
+    /// cluster-level outcome counters, and the failover-latency
+    /// histogram.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, per_shard) in [
+            ("routed", &self.routed),
+            ("failed", &self.failed),
+            ("replayed", &self.replayed),
+        ] {
+            out.push_str(&format!("# TYPE xtree_cluster_{name}_total counter\n"));
+            for (shard, c) in per_shard.iter().enumerate() {
+                out.push_str(&format!(
+                    "xtree_cluster_{name}_total{{shard=\"{shard}\"}} {}\n",
+                    c.load(Relaxed)
+                ));
+            }
+        }
+        for (name, v) in [
+            ("requests", self.requests.load(Relaxed)),
+            ("unreachable", self.unreachable.load(Relaxed)),
+            ("exhausted", self.exhausted.load(Relaxed)),
+            ("restarts", self.restarts.load(Relaxed)),
+        ] {
+            out.push_str(&format!(
+                "# TYPE xtree_cluster_{name}_total counter\nxtree_cluster_{name}_total {v}\n"
+            ));
+        }
+        histogram_prometheus(
+            &mut out,
+            "xtree_cluster_failover_latency_us",
+            &self.failover_us.lock().expect("failover poisoned"),
+        );
+        out
+    }
+
+    /// JSONL export: one counters object (per-shard arrays), then the
+    /// failover histogram in the workspace's standard record shape.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let loads = |v: &[AtomicU64]| v.iter().map(|c| c.load(Relaxed)).collect::<Value>();
+        let counters = Value::object()
+            .with("type", "cluster_counters")
+            .with("requests", self.requests.load(Relaxed))
+            .with("routed", loads(&self.routed))
+            .with("failed", loads(&self.failed))
+            .with("replayed", loads(&self.replayed))
+            .with("unreachable", self.unreachable.load(Relaxed))
+            .with("exhausted", self.exhausted.load(Relaxed))
+            .with("restarts", self.restarts.load(Relaxed));
+        out.push_str(&xtree_json::to_string(&counters));
+        out.push('\n');
+        let h = self.failover_us.lock().expect("failover poisoned");
+        out.push_str(&xtree_json::to_string(&histogram_jsonl(
+            "failover_latency_us",
+            &h,
+        )));
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exports_render_per_shard_series() {
+        let m = ClusterMetrics::new(2);
+        m.count_request();
+        m.count_routed(0);
+        m.count_routed(1);
+        m.count_routed(1);
+        m.count_failed(1);
+        m.count_replayed(0);
+        m.count_restart();
+        m.observe_failover_us(1500);
+        assert_eq!(m.routed_total(), 3);
+        assert_eq!(m.failed_total(), 1);
+        assert_eq!(m.replayed_total(), 1);
+        let prom = m.to_prometheus();
+        assert!(
+            prom.contains("xtree_cluster_routed_total{shard=\"1\"} 2"),
+            "{prom}"
+        );
+        assert!(prom.contains("xtree_cluster_restarts_total 1"), "{prom}");
+        assert!(
+            prom.contains("# TYPE xtree_cluster_failover_latency_us histogram"),
+            "{prom}"
+        );
+        let jsonl = m.to_jsonl();
+        for line in jsonl.lines() {
+            assert!(xtree_json::from_str(line).is_ok(), "bad JSONL: {line}");
+        }
+        assert!(jsonl.contains("\"replayed\":[1,0]"), "{jsonl}");
+        assert!(jsonl.contains("\"name\":\"failover_latency_us\""));
+    }
+}

@@ -1,0 +1,222 @@
+//! The seeded consistent-hash ring the router places requests with.
+//!
+//! Every shard contributes [`HashRing::vnodes`] pseudo-random points on a
+//! `u64` circle; a request key hashes to a point and is owned by the
+//! first shard point clockwise from it. The payoff is *stability*: when a
+//! shard joins or leaves, only the keys whose successor point changed
+//! move — in expectation `1/M` of the key space for `M` shards — while
+//! every other key keeps its shard, and with it that shard's warm LRU
+//! entry. The ring key is exactly the embedding-cache key
+//! `(family, nodes, seed, theorem)`, so routing locality *is* cache
+//! locality (the demand-aware placement framing of Çela et al.).
+//!
+//! Everything is seeded and deterministic: two rings built from the same
+//! `(seed, vnodes)` and the same member set place every key identically,
+//! regardless of the order shards were added — pinned by the proptests in
+//! `tests/ring_proptest.rs`.
+//!
+//! Liveness is intentionally *not* the ring's concern. Ejecting a dead
+//! shard is done by filtering at lookup time ([`HashRing::route_live`]),
+//! which is equivalent to removing its points (the successor among live
+//! points is the successor after removal) without mutating shared state
+//! on the failure path.
+
+use crate::cache::EmbeddingKey;
+
+/// SplitMix64's finalizer: a cheap, well-mixed `u64 -> u64` permutation.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A consistent-hash ring over shard ids, with virtual nodes.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    seed: u64,
+    vnodes: u32,
+    /// All member vnode points, sorted by `(point, shard)`.
+    points: Vec<(u64, u16)>,
+}
+
+impl HashRing {
+    /// Default virtual nodes per shard: enough that ownership imbalance
+    /// stays within a few percent, cheap enough that a ring rebuild is
+    /// microseconds.
+    pub const DEFAULT_VNODES: u32 = 64;
+
+    /// An empty ring. `vnodes` is clamped to ≥ 1.
+    pub fn new(seed: u64, vnodes: u32) -> Self {
+        HashRing {
+            seed,
+            vnodes: vnodes.max(1),
+            points: Vec::new(),
+        }
+    }
+
+    /// A ring holding shards `0..count`.
+    pub fn with_shards(seed: u64, vnodes: u32, count: u16) -> Self {
+        let mut ring = HashRing::new(seed, vnodes);
+        for id in 0..count {
+            ring.add_shard(id);
+        }
+        ring
+    }
+
+    /// Virtual nodes per shard.
+    pub fn vnodes(&self) -> u32 {
+        self.vnodes
+    }
+
+    /// The point of shard `id`'s `replica`-th virtual node.
+    fn point(&self, id: u16, replica: u32) -> u64 {
+        mix(self.seed ^ mix((u64::from(id) << 32) | u64::from(replica)))
+    }
+
+    /// True when `id` is a member.
+    pub fn contains(&self, id: u16) -> bool {
+        self.points.iter().any(|&(_, s)| s == id)
+    }
+
+    /// Member count (shards, not points).
+    pub fn len(&self) -> usize {
+        let mut ids: Vec<u16> = self.points.iter().map(|&(_, s)| s).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// True when no shard is a member.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Adds shard `id`'s virtual nodes. Idempotent.
+    pub fn add_shard(&mut self, id: u16) {
+        if self.contains(id) {
+            return;
+        }
+        for replica in 0..self.vnodes {
+            let p = (self.point(id, replica), id);
+            let at = self.points.partition_point(|q| *q < p);
+            self.points.insert(at, p);
+        }
+    }
+
+    /// Removes shard `id`'s virtual nodes. Idempotent.
+    pub fn remove_shard(&mut self, id: u16) {
+        self.points.retain(|&(_, s)| s != id);
+    }
+
+    /// The seeded hash of a request key — the position on the circle.
+    /// Mixing the ring seed in means distinct clusters place the same key
+    /// space differently (no accidental cross-cluster hot spots).
+    pub fn key_hash(&self, key: &EmbeddingKey) -> u64 {
+        let mut h = self.seed ^ 0x5EED_C0DE_5EED_C0DE;
+        for v in [
+            u64::from(key.family),
+            key.nodes,
+            key.seed,
+            u64::from(key.theorem),
+        ] {
+            h = mix(h ^ v);
+        }
+        h
+    }
+
+    /// The shard owning `hash`: the first point clockwise (wrapping).
+    pub fn route(&self, hash: u64) -> Option<u16> {
+        self.route_live(hash, |_| true)
+    }
+
+    /// The first *live* shard clockwise from `hash` — equivalent to
+    /// routing on a ring with every dead shard's points removed, without
+    /// mutating the ring.
+    pub fn route_live<F: Fn(u16) -> bool>(&self, hash: u64, alive: F) -> Option<u16> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let start = self.points.partition_point(|&(p, _)| p < hash);
+        for i in 0..self.points.len() {
+            let (_, shard) = self.points[(start + i) % self.points.len()];
+            if alive(shard) {
+                return Some(shard);
+            }
+        }
+        None
+    }
+
+    /// The shard for a request key among live shards.
+    pub fn route_key<F: Fn(u16) -> bool>(&self, key: &EmbeddingKey, alive: F) -> Option<u16> {
+        self.route_live(self.key_hash(key), alive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seed: u64) -> EmbeddingKey {
+        EmbeddingKey {
+            family: (seed % 8) as u8,
+            nodes: 496 + seed % 1000,
+            seed,
+            theorem: 1 + (seed % 2) as u8,
+        }
+    }
+
+    #[test]
+    fn routes_are_deterministic_and_order_independent() {
+        let mut a = HashRing::new(7, 64);
+        for id in [0u16, 1, 2, 3] {
+            a.add_shard(id);
+        }
+        let mut b = HashRing::new(7, 64);
+        for id in [3u16, 1, 0, 2] {
+            b.add_shard(id);
+        }
+        for s in 0..500 {
+            let k = key(s);
+            assert_eq!(a.route_key(&k, |_| true), b.route_key(&k, |_| true));
+        }
+    }
+
+    #[test]
+    fn skipping_dead_equals_removing() {
+        let full = HashRing::with_shards(42, 64, 4);
+        let mut removed = full.clone();
+        removed.remove_shard(2);
+        for s in 0..500 {
+            let k = key(s);
+            assert_eq!(
+                full.route_key(&k, |id| id != 2),
+                removed.route_key(&k, |_| true),
+                "lookup-time filtering must equal point removal"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_all_dead_route_nowhere() {
+        let ring = HashRing::new(1, 8);
+        assert_eq!(ring.route(123), None);
+        let ring = HashRing::with_shards(1, 8, 3);
+        assert_eq!(ring.route_live(123, |_| false), None);
+    }
+
+    #[test]
+    fn load_spreads_over_shards() {
+        let ring = HashRing::with_shards(9, 64, 4);
+        let mut counts = [0usize; 4];
+        for s in 0..4000 {
+            counts[usize::from(ring.route_key(&key(s), |_| true).unwrap())] += 1;
+        }
+        for (id, &c) in counts.iter().enumerate() {
+            assert!(
+                (400..=2000).contains(&c),
+                "shard {id} owns {c}/4000 keys — vnode placement is badly skewed"
+            );
+        }
+    }
+}

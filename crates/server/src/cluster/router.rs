@@ -1,0 +1,569 @@
+//! The cluster front door: one XWIRE1 listener that owns no compute.
+//!
+//! A router handler decodes each client request just far enough to learn
+//! its routing key — the embedding-cache key `(family, nodes, seed,
+//! theorem)` — hashes it onto the [`HashRing`], and forwards the
+//! re-encoded frame to the owning shard, relaying the shard's response
+//! payload back verbatim. Keeping the routing key equal to the cache key
+//! means every shard's LRU only ever sees its own slice of the key
+//! space: the cluster's aggregate cache is partitioned, not replicated.
+//!
+//! Failover is *replay*, and replay is safe by construction: `Embed` and
+//! `Simulate` are pure functions of their request fields (the daemon
+//! computes the same bytes for the same request, cache hit or not), so a
+//! request whose shard died mid-flight can be re-sent — to the same
+//! shard after reconnecting, or to the next live shard clockwise once
+//! the failure detector ejects the dead one — without any risk of
+//! double-applied effects. The only observable difference is the
+//! response's `cached` convenience flag, which reports *which shard's*
+//! cache answered; the integration tests normalise it before comparing
+//! bytes. Budget and pacing reuse the client's [`ReconnectPolicy`]
+//! (`max_retries` + Fixed/Exponential [`xtree_sim::Backoff`] in milliseconds — the
+//! simulator's `RecoveryPolicy` shape). When every attempt found no live
+//! shard the client gets `ERR_UNREACHABLE`; when the budget dies on live
+//! shards it gets `ERR_EXHAUSTED`.
+//!
+//! Control requests never cross the ring: `Health` answers with the
+//! router's own load signal, `Stats` aggregates a snapshot from every
+//! live shard, and `Shutdown` drains the whole cluster — stop the
+//! prober, tell the supervisor the coming exits are intentional, forward
+//! `Shutdown` to every shard, then let `wait()` reap.
+
+use super::health::{HealthMonitor, ShardSet};
+use super::metrics::ClusterMetrics;
+use super::ring::HashRing;
+use super::supervisor::Supervisor;
+use crate::cache::EmbeddingKey;
+use crate::client::{Client, ReconnectPolicy};
+use crate::wire::{
+    decode_request, decode_response, encode_request, frame, read_frame, write_request,
+    write_response, HealthInfo, Request, Response, WireError, WireStats, ERR_BAD_REQUEST,
+    ERR_EXHAUSTED, ERR_SHUTTING_DOWN, ERR_UNREACHABLE,
+};
+use std::collections::HashMap;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a router is shaped: where it listens, who its shards are, and how
+/// it detects and rides over their failures.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Listen address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Shard daemon addresses; index = shard id on the ring.
+    pub shards: Vec<SocketAddr>,
+    /// Seed for the consistent-hash ring (placement is a pure function
+    /// of this and the roster).
+    pub ring_seed: u64,
+    /// Virtual nodes per shard.
+    pub vnodes: u32,
+    /// Health-probe period.
+    pub probe_interval: Duration,
+    /// Consecutive failures (probe or forward) that eject a shard.
+    pub fail_after: u32,
+    /// Replay budget and pacing for failed forwards.
+    pub replay: ReconnectPolicy,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: Vec::new(),
+            ring_seed: 1991,
+            vnodes: HashRing::DEFAULT_VNODES,
+            probe_interval: Duration::from_millis(100),
+            fail_after: 3,
+            replay: ReconnectPolicy {
+                max_retries: 8,
+                backoff: xtree_sim::Backoff::Exponential { base: 25, cap: 800 },
+            },
+        }
+    }
+}
+
+/// Dialing a shard that stops answering its accept queue must not hang a
+/// client forever.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
+
+struct RouterShared {
+    ring: HashRing,
+    shards: Arc<ShardSet>,
+    metrics: Arc<ClusterMetrics>,
+    replay: ReconnectPolicy,
+    shutdown: AtomicBool,
+    started: Instant,
+    /// Present when the shards are child processes the router owns.
+    supervisor: Mutex<Option<Supervisor>>,
+}
+
+/// A running router. Send it a wire `Shutdown` (or call
+/// [`Router::shutdown`]) and then [`Router::wait`].
+pub struct Router {
+    local_addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    monitor: HealthMonitor,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Binds `config.addr`, builds the ring over `config.shards`, and
+    /// starts the acceptor and health monitor.
+    ///
+    /// # Errors
+    /// The bind failure, or `InvalidInput` for an empty shard roster.
+    pub fn spawn(config: &RouterConfig) -> std::io::Result<Router> {
+        if config.shards.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a cluster needs at least one shard",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shards = ShardSet::new(&config.shards, config.fail_after);
+        let shared = Arc::new(RouterShared {
+            ring: HashRing::with_shards(
+                config.ring_seed,
+                config.vnodes,
+                config.shards.len() as u16,
+            ),
+            shards: Arc::clone(&shards),
+            metrics: Arc::new(ClusterMetrics::new(config.shards.len())),
+            replay: config.replay,
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            supervisor: Mutex::new(None),
+        });
+        let monitor = HealthMonitor::spawn(shards, config.probe_interval);
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("xtree-cluster-acceptor".into())
+                .spawn(move || acceptor_loop(&listener, &shared))
+                .expect("spawn cluster acceptor")
+        };
+        Ok(Router {
+            local_addr,
+            shared,
+            monitor,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the ephemeral port picked).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared shard roster (liveness, addresses) — what a supervisor
+    /// pushes restarted addresses into.
+    pub fn shard_set(&self) -> Arc<ShardSet> {
+        Arc::clone(&self.shared.shards)
+    }
+
+    /// The shared cluster metrics — what a supervisor counts restarts
+    /// into.
+    pub fn metrics(&self) -> Arc<ClusterMetrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Hands the router the supervisor owning the shard processes, so a
+    /// wire `Shutdown` can drain them too.
+    pub fn attach_supervisor(&self, sup: Supervisor) {
+        *self.shared.supervisor.lock().expect("supervisor lock") = Some(sup);
+    }
+
+    /// Initiates the same cluster-wide drain a wire `Shutdown` does.
+    pub fn shutdown(&self) {
+        begin_cluster_shutdown(&self.shared, self.local_addr);
+    }
+
+    /// Blocks until the acceptor has exited, then stops the prober and
+    /// reaps any supervised shard processes. Idempotent; metrics remain
+    /// readable afterwards.
+    pub fn wait(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.monitor.stop();
+        if let Some(mut sup) = self
+            .shared
+            .supervisor
+            .lock()
+            .expect("supervisor lock")
+            .take()
+        {
+            sup.wait();
+        }
+    }
+
+    /// Prometheus exposition of the cluster metrics at this instant.
+    pub fn prometheus(&self) -> String {
+        self.shared.metrics.to_prometheus()
+    }
+
+    /// JSONL export of the cluster metrics at this instant.
+    pub fn jsonl(&self) -> String {
+        self.shared.metrics.to_jsonl()
+    }
+}
+
+/// Flips the flag, tells the supervisor the coming exits are
+/// intentional, forwards `Shutdown` to every shard (best effort), and
+/// self-connects to kick the acceptor out of `accept()`.
+fn begin_cluster_shutdown(shared: &RouterShared, addr: SocketAddr) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return; // already draining
+    }
+    if let Some(sup) = shared.supervisor.lock().expect("supervisor lock").as_ref() {
+        sup.begin_drain();
+    }
+    for id in 0..shared.shards.len() as u16 {
+        let shard_addr = shared.shards.addr(id);
+        let drain = (|| -> Result<(), WireError> {
+            let stream = TcpStream::connect_timeout(&shard_addr, CONNECT_TIMEOUT)?;
+            stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+            let mut writer = stream.try_clone()?;
+            let mut reader = BufReader::new(stream);
+            write_request(&mut writer, &Request::Shutdown)?;
+            read_frame(&mut reader)?;
+            Ok(())
+        })();
+        if drain.is_err() && shared.shards.is_alive(id) {
+            eprintln!("xtree-cluster: shard {id} did not acknowledge shutdown");
+        }
+    }
+    let _ = TcpStream::connect(addr);
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<RouterShared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let shared = Arc::clone(shared);
+        let addr = listener.local_addr().ok();
+        let _ = std::thread::Builder::new()
+            .name("xtree-cluster-conn".into())
+            .spawn(move || {
+                let local = addr.unwrap_or_else(|| "0.0.0.0:0".parse().expect("literal addr"));
+                handle_connection(stream, &shared, local);
+            });
+    }
+}
+
+/// A shard connection a handler keeps warm, tagged with the roster
+/// generation it was dialed under — a supervisor restart bumps the
+/// generation and the stale socket is dropped instead of written to.
+struct CachedConn {
+    generation: u64,
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+type ConnCache = HashMap<u16, CachedConn>;
+
+fn open_shard_conn(addr: SocketAddr, generation: u64) -> Result<CachedConn, WireError> {
+    let stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
+    stream.set_nodelay(true).ok();
+    let writer = stream.try_clone()?;
+    Ok(CachedConn {
+        generation,
+        reader: BufReader::new(stream),
+        writer,
+    })
+}
+
+/// One forward attempt: write the framed request to `shard`, read one
+/// response frame back. Any failure invalidates the cached connection.
+fn try_forward(
+    shared: &RouterShared,
+    conns: &mut ConnCache,
+    shard: u16,
+    framed: &[u8],
+) -> Result<Vec<u8>, WireError> {
+    let generation = shared.shards.generation(shard);
+    let needs_dial = match conns.get(&shard) {
+        Some(c) => c.generation != generation,
+        None => true,
+    };
+    if needs_dial {
+        let conn = open_shard_conn(shared.shards.addr(shard), generation)?;
+        conns.insert(shard, conn);
+    }
+    let conn = conns.get_mut(&shard).expect("just inserted");
+    let result = (|| {
+        conn.writer.write_all(framed)?;
+        conn.writer.flush()?;
+        match read_frame(&mut conn.reader)? {
+            Some(payload) => Ok(payload),
+            None => Err(WireError::Closed),
+        }
+    })();
+    if result.is_err() {
+        conns.remove(&shard);
+    }
+    result
+}
+
+/// Whether a shard's response payload is the typed "server is draining"
+/// refusal — a shard answering that cannot serve this request and is
+/// about to close its listener, so the router treats it like a transport
+/// failure and replays elsewhere.
+fn is_draining_error(payload: &[u8]) -> bool {
+    matches!(
+        decode_response(payload),
+        Ok(Response::Error {
+            code: ERR_SHUTTING_DOWN,
+            ..
+        })
+    )
+}
+
+/// The relay-or-respond result of routing: either raw shard payload
+/// bytes to copy to the client verbatim, or a response the router built
+/// itself.
+enum Outcome {
+    Raw(Vec<u8>),
+    Built(Response),
+}
+
+/// Routes one compute request with replay: pick the closest live shard,
+/// forward, and on transport failure feed the detector, wait out the
+/// backoff, and re-route — the ring may eject the shard meanwhile,
+/// sliding the key to its clockwise successor. Returns the raw response
+/// payload to relay, or the typed terminal error.
+fn forward_with_replay(
+    shared: &RouterShared,
+    conns: &mut ConnCache,
+    key: &EmbeddingKey,
+    req: &Request,
+) -> Outcome {
+    let mut payload = Vec::new();
+    encode_request(req, &mut payload);
+    let framed = frame(&payload);
+    let hash = shared.ring.key_hash(key);
+    let start = Instant::now();
+    let mut found_live = false;
+    for attempt in 0..=shared.replay.max_retries {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(u64::from(
+                shared.replay.backoff.delay(attempt - 1),
+            )));
+        }
+        let Some(shard) = shared
+            .ring
+            .route_live(hash, |id| shared.shards.is_alive(id))
+        else {
+            // Nobody is live right now; the supervisor may be mid-restart,
+            // so spend the budget waiting rather than failing fast.
+            continue;
+        };
+        found_live = true;
+        shared.metrics.count_routed(shard);
+        if attempt > 0 {
+            shared.metrics.count_replayed(shard);
+        }
+        match try_forward(shared, conns, shard, &framed) {
+            Ok(resp_payload) => {
+                // A shard that answers "I am draining" is as gone as one
+                // that dropped the connection — its listener closes next.
+                // Fail over instead of relaying the refusal.
+                if is_draining_error(&resp_payload) {
+                    conns.remove(&shard);
+                    shared.metrics.count_failed(shard);
+                    shared.shards.report_failure(shard);
+                    continue;
+                }
+                shared.shards.report_success(shard, None);
+                if attempt > 0 {
+                    shared
+                        .metrics
+                        .observe_failover_us(start.elapsed().as_micros() as u64);
+                }
+                return Outcome::Raw(resp_payload);
+            }
+            Err(e) if e.is_transport() => {
+                shared.metrics.count_failed(shard);
+                shared.shards.report_failure(shard);
+            }
+            Err(_) => {
+                // Protocol-level trouble on the shard link (bad frame,
+                // oversized declaration): not the shard being dead, and
+                // not retryable — the shard would answer identically.
+                shared.metrics.count_failed(shard);
+                return Outcome::Built(Response::Error {
+                    code: ERR_BAD_REQUEST,
+                    message: "shard returned an unreadable frame".into(),
+                });
+            }
+        }
+    }
+    Outcome::Built(if found_live {
+        shared.metrics.count_exhausted();
+        Response::Error {
+            code: ERR_EXHAUSTED,
+            message: format!(
+                "replay budget exhausted after {} attempts",
+                shared.replay.max_retries + 1
+            ),
+        }
+    } else {
+        shared.metrics.count_unreachable();
+        Response::Error {
+            code: ERR_UNREACHABLE,
+            message: "no live shard".into(),
+        }
+    })
+}
+
+/// Aggregates a `Stats` snapshot across every live shard: counters sum;
+/// percentiles and depths take the max (a conservative cluster-wide
+/// tail).
+fn aggregate_stats(shared: &RouterShared) -> WireStats {
+    let mut total = WireStats::default();
+    for id in 0..shared.shards.len() as u16 {
+        if !shared.shards.is_alive(id) {
+            continue;
+        }
+        let Ok(mut client) = Client::connect(shared.shards.addr(id)) else {
+            continue;
+        };
+        let Ok(Response::StatsOk(s)) = client.call(&Request::Stats) else {
+            continue;
+        };
+        total.requests += s.requests;
+        total.embeds += s.embeds;
+        total.simulates += s.simulates;
+        total.overloaded += s.overloaded;
+        total.errors += s.errors;
+        total.cache_hits += s.cache_hits;
+        total.cache_misses += s.cache_misses;
+        total.cache_entries += s.cache_entries;
+        total.queue_depth += s.queue_depth;
+        total.latency_count += s.latency_count;
+        total.latency_p50_us = total.latency_p50_us.max(s.latency_p50_us);
+        total.latency_p95_us = total.latency_p95_us.max(s.latency_p95_us);
+        total.latency_p99_us = total.latency_p99_us.max(s.latency_p99_us);
+        total.sim_hops += s.sim_hops;
+        total.sim_delivered += s.sim_delivered;
+    }
+    total
+}
+
+/// The router's own `Health` payload: live-shard count as queue depth
+/// proxy is wrong — instead report the aggregate cache totals from the
+/// last probes and the router's uptime; queue depth is the number of
+/// *dead* shards (0 = all healthy), which is the one scalar a cluster
+/// health check actually wants.
+fn router_health(shared: &RouterShared) -> HealthInfo {
+    let mut hits = 0;
+    let mut misses = 0;
+    for id in 0..shared.shards.len() as u16 {
+        if let Some(info) = shared.shards.last_info(id) {
+            hits += info.cache_hits;
+            misses += info.cache_misses;
+        }
+    }
+    HealthInfo {
+        queue_depth: (shared.shards.len() - shared.shards.live_count()) as u64,
+        cache_hits: hits,
+        cache_misses: misses,
+        uptime_s: shared.started.elapsed().as_secs(),
+    }
+}
+
+fn wire_reject(e: &WireError) -> Response {
+    Response::Error {
+        code: ERR_BAD_REQUEST,
+        message: format!("bad request: {e}"),
+    }
+}
+
+/// Serves one client connection until EOF, a wire error, or shutdown.
+fn handle_connection(stream: TcpStream, shared: &RouterShared, local: SocketAddr) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut conns = ConnCache::new();
+    loop {
+        let req = match read_frame(&mut reader) {
+            Ok(Some(bytes)) => match decode_request(&bytes) {
+                Ok(req) => req,
+                Err(e) => {
+                    shared.metrics.count_request();
+                    let _ = write_response(&mut writer, &wire_reject(&e));
+                    return;
+                }
+            },
+            Ok(None) => return,
+            Err(WireError::Io(_) | WireError::Reset | WireError::Closed) => return,
+            Err(e) => {
+                shared.metrics.count_request();
+                let _ = write_response(&mut writer, &wire_reject(&e));
+                return;
+            }
+        };
+        shared.metrics.count_request();
+        let outcome = match &req {
+            Request::Health => Outcome::Built(Response::HealthOk {
+                info: Some(router_health(shared)),
+            }),
+            Request::Stats => Outcome::Built(Response::StatsOk(aggregate_stats(shared))),
+            Request::Shutdown => Outcome::Built(Response::ShutdownOk {
+                pending: (shared.shards.len() - shared.shards.live_count()) as u64,
+            }),
+            Request::Embed {
+                family,
+                nodes,
+                seed,
+                theorem,
+            }
+            | Request::Simulate {
+                family,
+                nodes,
+                seed,
+                theorem,
+                ..
+            } => {
+                let key = EmbeddingKey {
+                    family: *family,
+                    nodes: *nodes,
+                    seed: *seed,
+                    theorem: *theorem,
+                };
+                forward_with_replay(shared, &mut conns, &key, &req)
+            }
+        };
+        let written = match &outcome {
+            Outcome::Raw(payload) => writer
+                .write_all(&frame(payload))
+                .and_then(|()| writer.flush())
+                .is_ok(),
+            Outcome::Built(resp) => write_response(&mut writer, resp).is_ok(),
+        };
+        if !written {
+            return;
+        }
+        if matches!(req, Request::Shutdown) {
+            begin_cluster_shutdown(shared, local);
+            return;
+        }
+    }
+}

@@ -19,7 +19,10 @@
 //! * [`server`] — the daemon itself (acceptor + handler threads + worker
 //!   pool + graceful drain);
 //! * [`client`] — the blocking client the CLI, load generator, and tests
-//!   all use.
+//!   all use, with reconnect-and-replay under a [`ReconnectPolicy`];
+//! * [`cluster`] — the sharded tier: a consistent-hash [`Router`] over M
+//!   daemons, a shared failure detector, in-flight replay on shard
+//!   death, and a process [`Supervisor`] that restarts crashed shards.
 //!
 //! ```no_run
 //! use xtree_server::{Client, Request, Response, Server, ServerConfig};
@@ -36,6 +39,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod cluster;
 pub mod metrics;
 pub mod queue;
 pub mod server;
@@ -43,9 +47,13 @@ pub mod service;
 pub mod wire;
 
 pub use cache::{EmbeddingCache, EmbeddingKey};
-pub use client::Client;
+pub use client::{Client, ReconnectPolicy};
+pub use cluster::{ClusterMetrics, HashRing, Router, RouterConfig, ShardSet, Supervisor};
 pub use metrics::ServerMetrics;
 pub use queue::{BoundedQueue, PushError};
 pub use server::{Server, ServerConfig};
 pub use service::MAX_NODES;
-pub use wire::{Request, Response, WireError, WireReport, WireStats, WORKLOAD_ALL};
+pub use wire::{
+    HealthInfo, Request, Response, WireError, WireReport, WireStats, ERR_EXHAUSTED,
+    ERR_UNREACHABLE, WORKLOAD_ALL,
+};

@@ -19,8 +19,8 @@ use crate::metrics::ServerMetrics;
 use crate::queue::{BoundedQueue, PushError};
 use crate::service::handle_compute;
 use crate::wire::{
-    decode_request, read_frame, write_response, Request, Response, WireError, ERR_BAD_REQUEST,
-    ERR_SHUTTING_DOWN,
+    decode_request, read_frame, write_response, HealthInfo, Request, Response, WireError,
+    ERR_BAD_REQUEST, ERR_SHUTTING_DOWN,
 };
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
@@ -66,6 +66,8 @@ struct Shared {
     cache: EmbeddingCache,
     metrics: ServerMetrics,
     shutdown: AtomicBool,
+    /// When the daemon came up — `Health` reports whole seconds since.
+    started: Instant,
 }
 
 /// A running daemon. Dropping the handle does not stop it — send a
@@ -92,6 +94,7 @@ impl Server {
             cache: EmbeddingCache::new(config.cache_cap),
             metrics: ServerMetrics::new(),
             shutdown: AtomicBool::new(false),
+            started: Instant::now(),
         });
 
         let workers = (0..config.workers)
@@ -253,7 +256,17 @@ fn handle_connection(stream: TcpStream, shared: &Shared, local: std::net::Socket
         let resp = match req {
             Request::Health => {
                 shared.metrics.count_health();
-                Response::HealthOk
+                // The liveness probe doubles as a load signal: queue
+                // depth, cache totals, and uptime ride along as the
+                // protocol's optional trailing fields.
+                Response::HealthOk {
+                    info: Some(HealthInfo {
+                        queue_depth: shared.queue.len() as u64,
+                        cache_hits: shared.cache.hits(),
+                        cache_misses: shared.cache.misses(),
+                        uptime_s: shared.started.elapsed().as_secs(),
+                    }),
+                }
             }
             Request::Stats => {
                 shared.metrics.count_stats();

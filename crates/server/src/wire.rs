@@ -60,8 +60,28 @@ pub enum WireError {
     },
     /// The peer closed the connection mid-frame or before replying.
     Closed,
-    /// An underlying socket error.
+    /// The peer actively refused the connection: nothing is listening
+    /// there (daemon gone, or a restart has not finished binding yet).
+    Refused,
+    /// An established connection was torn down mid-stream (peer killed,
+    /// TCP reset, broken pipe).
+    Reset,
+    /// Any other underlying socket error.
     Io(std::io::Error),
+}
+
+impl WireError {
+    /// True for transport-level failures a pure request can safely be
+    /// replayed after (the peer never sent a response): connection
+    /// refused/reset/closed and raw socket errors. Protocol-level errors
+    /// (bad frames, bad fields) are *not* transport errors — replaying
+    /// the same bytes would fail the same way.
+    pub fn is_transport(&self) -> bool {
+        matches!(
+            self,
+            WireError::Closed | WireError::Refused | WireError::Reset | WireError::Io(_)
+        )
+    }
 }
 
 impl std::fmt::Display for WireError {
@@ -77,6 +97,8 @@ impl std::fmt::Display for WireError {
             WireError::BadUtf8 => write!(f, "string field is not UTF-8"),
             WireError::BadField { field } => write!(f, "field `{field}` out of range"),
             WireError::Closed => write!(f, "connection closed"),
+            WireError::Refused => write!(f, "connection refused (peer not listening)"),
+            WireError::Reset => write!(f, "connection reset mid-stream"),
             WireError::Io(e) => write!(f, "socket error: {e}"),
         }
     }
@@ -85,8 +107,19 @@ impl std::fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 impl From<std::io::Error> for WireError {
+    /// Classifies the socket error: refused and reset/aborted/broken-pipe
+    /// kinds get their own typed variants (the client's reconnect logic
+    /// tells "peer not up yet" from "peer died under me"), everything
+    /// else stays an opaque [`WireError::Io`].
     fn from(e: std::io::Error) -> Self {
-        WireError::Io(e)
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::ConnectionRefused => WireError::Refused,
+            ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted | ErrorKind::BrokenPipe => {
+                WireError::Reset
+            }
+            _ => WireError::Io(e),
+        }
     }
 }
 
@@ -138,6 +171,24 @@ pub struct WireReport {
     pub ideal_cycles: u64,
     /// Maximum traffic over a single directed link in any round.
     pub max_link_traffic: u64,
+}
+
+/// Load-signal fields carried by a [`Response::HealthOk`] since the
+/// cluster tier landed: the router's liveness probe doubles as a load
+/// probe, so one `Health` round-trip tells it both "alive" and "how
+/// busy". Encoded as trailing LEB128 fields after the bare tag —
+/// decoders that predate them stop at the tag, decoders from this
+/// version on accept both shapes, so XWIRE1 stays one protocol.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthInfo {
+    /// Request-queue depth at probe time.
+    pub queue_depth: u64,
+    /// Embedding-cache hits so far.
+    pub cache_hits: u64,
+    /// Embedding-cache misses so far.
+    pub cache_misses: u64,
+    /// Whole seconds since the daemon started.
+    pub uptime_s: u64,
 }
 
 /// The server-stats snapshot on the wire.
@@ -202,8 +253,13 @@ pub enum Response {
     },
     /// Result of a [`Request::Stats`].
     StatsOk(WireStats),
-    /// The daemon is alive.
-    HealthOk,
+    /// The daemon is alive. `info` carries the optional trailing load
+    /// fields (`None` when the peer predates them — the protocol accepts
+    /// both shapes, see [`HealthInfo`]).
+    HealthOk {
+        /// Queue/cache/uptime load signals, when the peer sends them.
+        info: Option<HealthInfo>,
+    },
     /// Shutdown accepted; the queue is draining.
     ShutdownOk {
         /// Requests still queued when shutdown was accepted (they will be
@@ -233,6 +289,12 @@ pub const ERR_BAD_REQUEST: u8 = 1;
 pub const ERR_INTERNAL: u8 = 2;
 /// Error code for work refused because the daemon is draining.
 pub const ERR_SHUTTING_DOWN: u8 = 3;
+/// Error code the cluster router returns when *no* shard is live to take
+/// a request (every attempt found an empty ring).
+pub const ERR_UNREACHABLE: u8 = 4;
+/// Error code the cluster router returns when the replay budget ran out
+/// before any shard answered (some shards were live but kept failing).
+pub const ERR_EXHAUSTED: u8 = 5;
 
 const TAG_EMBED: u8 = 1;
 const TAG_SIMULATE: u8 = 2;
@@ -399,7 +461,14 @@ pub fn encode_response(resp: &Response, buf: &mut Vec<u8>) {
                 encode_u64(buf, v);
             }
         }
-        Response::HealthOk => buf.push(TAG_HEALTH_OK),
+        Response::HealthOk { info } => {
+            buf.push(TAG_HEALTH_OK);
+            if let Some(i) = info {
+                for v in [i.queue_depth, i.cache_hits, i.cache_misses, i.uptime_s] {
+                    encode_u64(buf, v);
+                }
+            }
+        }
         Response::ShutdownOk { pending } => {
             buf.push(TAG_SHUTDOWN_OK);
             encode_u64(buf, *pending);
@@ -475,7 +544,20 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, WireError> {
             }
             Response::StatsOk(s)
         }
-        TAG_HEALTH_OK => Response::HealthOk,
+        // A bare tag is the pre-cluster shape; trailing fields are the
+        // load signals. Both are valid XWIRE1.
+        TAG_HEALTH_OK => Response::HealthOk {
+            info: if rest.is_empty() {
+                None
+            } else {
+                Some(HealthInfo {
+                    queue_depth: word(rest, &mut pos)?,
+                    cache_hits: word(rest, &mut pos)?,
+                    cache_misses: word(rest, &mut pos)?,
+                    uptime_s: word(rest, &mut pos)?,
+                })
+            },
+        },
         TAG_SHUTDOWN_OK => Response::ShutdownOk {
             pending: word(rest, &mut pos)?,
         },
@@ -546,7 +628,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, WireError> {
             Ok(0) => return Err(WireError::Truncated),
             Ok(n) => got += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(WireError::Io(e)),
+            Err(e) => return Err(e.into()),
         }
     }
     if &magic != MAGIC {
@@ -569,7 +651,7 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, WireError> {
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(WireError::Io(e)),
+            Err(e) => return Err(e.into()),
         }
     };
     if len > MAX_PAYLOAD {
@@ -655,7 +737,15 @@ mod tests {
             latency_p99_us: 1 << 40,
             ..WireStats::default()
         }));
-        round_trip_response(Response::HealthOk);
+        round_trip_response(Response::HealthOk { info: None });
+        round_trip_response(Response::HealthOk {
+            info: Some(HealthInfo {
+                queue_depth: 3,
+                cache_hits: 1 << 40,
+                cache_misses: 0,
+                uptime_s: 86400,
+            }),
+        });
         round_trip_response(Response::ShutdownOk { pending: 4 });
         round_trip_response(Response::Overloaded { depth: 64, cap: 64 });
         round_trip_response(Response::Error {
@@ -722,6 +812,20 @@ mod tests {
             decode_response(&[TAG_ERROR, 1, 200]),
             Err(WireError::Truncated) | Err(WireError::TooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn bare_health_ok_still_decodes() {
+        // A peer running the pre-cluster protocol sends just the tag; the
+        // trailing load fields are optional by construction.
+        assert_eq!(
+            decode_response(&[TAG_HEALTH_OK]).unwrap(),
+            Response::HealthOk { info: None }
+        );
+        // Partial trailing fields are a truncation, not a silent None.
+        let mut buf = vec![TAG_HEALTH_OK];
+        encode_u64(&mut buf, 3);
+        assert!(matches!(decode_response(&buf), Err(WireError::Truncated)));
     }
 
     #[test]

@@ -204,10 +204,14 @@ fn garbage_bytes_get_a_typed_error_and_valid_clients_continue() {
 
     // The daemon is still healthy for honest clients.
     let mut c = Client::connect(addr).unwrap();
-    assert!(matches!(
-        c.call(&Request::Health).unwrap(),
-        Response::HealthOk
-    ));
+    let health = c.call(&Request::Health).unwrap();
+    let Response::HealthOk { info } = health else {
+        panic!("expected HealthOk, got {health:?}");
+    };
+    assert!(
+        info.is_some_and(|i| i.queue_depth == 0),
+        "health must carry the load signals: {info:?}"
+    );
     c.call(&Request::Shutdown).unwrap();
     server.wait();
 }

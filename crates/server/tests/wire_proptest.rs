@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use xtree_server::wire::{
     decode_request, decode_response, encode_request, encode_response, frame, read_frame,
-    write_request, MAGIC, MAX_PAYLOAD,
+    write_request, HealthInfo, MAGIC, MAX_PAYLOAD,
 };
 use xtree_server::{Request, Response, WireError, WireReport, WireStats};
 
@@ -99,7 +99,16 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 },
                 1 => Response::SimulateOk { cached, reports },
                 2 => Response::StatsOk(stats_from(&words)),
-                3 => Response::HealthOk,
+                // Both health shapes: bare (pre-cluster peers) and with
+                // the trailing load fields.
+                3 => Response::HealthOk {
+                    info: cached.then(|| HealthInfo {
+                        queue_depth: words[0],
+                        cache_hits: words[1],
+                        cache_misses: words[2],
+                        uptime_s: words[3],
+                    }),
+                },
                 4 => Response::ShutdownOk { pending: words[0] },
                 5 => Response::Overloaded {
                     depth: words[0],
