@@ -2,17 +2,14 @@
 //! pieces — the inner loop of algorithm X-TREE.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
-use xtree_trees::{generate, lemma1, lemma2, NodeId};
+use xtree_trees::{generate, lemma1, lemma2, NodeId, TreeFamily};
 
 fn bench_separators(c: &mut Criterion) {
     let mut group = c.benchmark_group("separator_lemmas");
     for n in [1024usize, 16384, 131072] {
         group.throughput(Throughput::Elements(n as u64));
-        let mut rng = ChaCha8Rng::seed_from_u64(7);
-        let tree = generate::random_bst(n, &mut rng);
+        let tree = TreeFamily::RandomBst.generate_seeded(n, 7);
         let placed = vec![false; n];
         let leaf = tree.nodes().find(|&v| tree.degree(v) == 1).unwrap();
         let delta = (n / 3) as u32;

@@ -33,12 +33,14 @@ const FAMILY: u8 = 4;
 /// 16(2^(r+1) - 1) with r = 6 — one Theorem-1 build per distinct key is
 /// expensive enough that throughput measures compute, not framing.
 const NODES: u64 = 2032;
+/// Default key-space base; `--seed` moves it (DESIGN.md §15 convention).
 const SEED_BASE: u64 = 7_000;
 
 struct Opts {
     conns: usize,
     requests: usize,
     smoke: bool,
+    seed: u64,
     out: String,
 }
 
@@ -47,6 +49,7 @@ fn parse_opts() -> Opts {
         conns: 8,
         requests: 32,
         smoke: false,
+        seed: SEED_BASE,
         out: "results/BENCH_cluster.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -58,6 +61,7 @@ fn parse_opts() -> Opts {
         match arg.as_str() {
             "--conns" => opts.conns = value("--conns").parse().expect("--conns"),
             "--requests" => opts.requests = value("--requests").parse().expect("--requests"),
+            "--seed" => opts.seed = value("--seed").parse().expect("--seed"),
             "--out" => opts.out = value("--out"),
             "--smoke" => opts.smoke = true,
             other => panic!("unknown argument: {other}"),
@@ -191,13 +195,13 @@ fn drain_cluster(mut servers: Vec<Server>, mut router: Router) {
 }
 
 /// One point of the scaling curve: `shards` shards, all healthy.
-fn scaling_point(shards: usize, conns: usize, count: usize) -> Value {
+fn scaling_point(shards: usize, conns: usize, count: usize, seed: u64) -> Value {
     let (servers, router) = spawn_cluster(shards, &RouterConfig::default());
     let run = drive(
         router.local_addr(),
         conns,
         count,
-        SEED_BASE + ((shards as u64) << 32),
+        seed + ((shards as u64) << 32),
         None,
     );
     assert_eq!(run.errors, 0, "{shards}-shard run must not error");
@@ -228,7 +232,7 @@ fn scaling_point(shards: usize, conns: usize, count: usize) -> Value {
 
 /// The kill-a-shard probe: 2 shards, one dies under load, nothing may
 /// be lost. Returns the failover column.
-fn failover_probe(conns: usize, count: usize) -> Value {
+fn failover_probe(conns: usize, count: usize, seed: u64) -> Value {
     let config = RouterConfig {
         probe_interval: Duration::from_millis(25),
         fail_after: 2,
@@ -244,7 +248,7 @@ fn failover_probe(conns: usize, count: usize) -> Value {
         router.local_addr(),
         conns,
         count,
-        SEED_BASE + (101u64 << 32),
+        seed + (101u64 << 32),
         Some(&|| victim.shutdown()),
     );
     assert_eq!(
@@ -290,14 +294,15 @@ fn main() {
 
     let curve: Vec<Value> = rosters
         .iter()
-        .map(|&m| scaling_point(m, opts.conns, opts.requests))
+        .map(|&m| scaling_point(m, opts.conns, opts.requests, opts.seed))
         .collect();
-    let failover = failover_probe(opts.conns.max(4), opts.requests);
+    let failover = failover_probe(opts.conns.max(4), opts.requests, opts.seed);
 
     let doc = Value::object()
         .with("bench", "cluster")
         .with("family", "random-bst")
         .with("nodes", NODES)
+        .with("seed", opts.seed)
         .with("conns", opts.conns)
         .with("requests_per_conn", opts.requests)
         .with("workers_per_shard", 2)

@@ -28,8 +28,6 @@
 //!
 //! Run with: `cargo run --release -p xtree-bench --bin embedbench`
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Instant;
@@ -121,14 +119,14 @@ impl SizeResult {
     }
 }
 
-fn serving_tree(r: u8) -> BinaryTree {
-    // Match the serving layer's key shape: random-bst, fixed seed.
-    let mut rng = ChaCha8Rng::seed_from_u64(0x5EED_E3B3 + u64::from(r));
-    TreeFamily::RandomBst.generate(theorem1_size(r), &mut rng)
+fn serving_tree(r: u8, base_seed: u64) -> BinaryTree {
+    // Match the serving layer's key shape: random-bst, per-rank seed
+    // derived from the base (default base = the historical constant).
+    TreeFamily::RandomBst.generate_seeded(theorem1_size(r), base_seed + u64::from(r))
 }
 
-fn bench_size(r: u8, reps: usize) -> SizeResult {
-    let tree = serving_tree(r);
+fn bench_size(r: u8, reps: usize, base_seed: u64) -> SizeResult {
+    let tree = serving_tree(r, base_seed);
     let nodes = tree.len();
     let serial = EmbedOptions {
         parallel: Parallel::Off,
@@ -214,6 +212,7 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let gate = args.iter().any(|a| a == "--gate");
     let write_baseline = args.iter().any(|a| a == "--write-baseline");
+    let base_seed = xtree_bench::seed_from_args(0x5EED_E3B3);
     let baseline_path = "results/BENCH_embed_baseline.json";
 
     let (sizes, reps): (&[u8], usize) = if smoke {
@@ -227,7 +226,7 @@ fn main() {
     let mut results = Vec::new();
     for &r in sizes {
         let reps = if r >= 11 { 3.min(reps) } else { reps };
-        let s = bench_size(r, reps);
+        let s = bench_size(r, reps, base_seed);
         print_size(&s);
         results.push(s);
     }
@@ -238,6 +237,7 @@ fn main() {
 
     let doc = Value::object()
         .with("bench", "embed-cold-path")
+        .with("seed", base_seed)
         .with(
             "workload",
             "seeded random-bst guests, one Theorem-1 build per rep; legacy (frozen pre-refactor \

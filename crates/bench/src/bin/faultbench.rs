@@ -131,6 +131,7 @@ fn run_recovered(
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let base_seed = xtree_bench::seed_from_args(0x5EED_FA17);
     let heights: &[u8] = if smoke { &[5, 6] } else { &[8, 9, 10, 11, 12] };
     let rates = [0.0, 0.01, 0.02, 0.05, 0.1];
     let mut hosts = Vec::new();
@@ -140,7 +141,7 @@ fn main() {
         let net = Network::xtree(&x);
         let batches = if smoke { 2 } else { 4 };
         let per_batch = (n / 2).min(512);
-        let rounds = seeded_batches(0x5EED_FA17, n as u64, batches, per_batch);
+        let rounds = seeded_batches(base_seed, n as u64, batches, per_batch);
         // Every host vertex doubles as a guest under the heap-order
         // (identity) embedding, which gives the random host-level batches
         // guest semantics for the recovery sweep.
@@ -154,7 +155,9 @@ fn main() {
 
         let mut curve = Vec::new();
         for &rate in &rates {
-            let seed = 0xFA17 + u64::from(r);
+            // Fault-plan seed derived from the base: the default base
+            // reproduces the historical `0xFA17 + r` plans exactly.
+            let seed = base_seed.wrapping_sub(0x5EED_0000) + u64::from(r);
             let repaired = run_degraded(
                 &mut engine,
                 &net,
@@ -252,6 +255,7 @@ fn main() {
     }
     let doc = Value::object()
         .with("bench", "fault-degradation")
+        .with("seed", base_seed)
         .with(
             "workload",
             "seeded uniform-random batches under random link failures; repaired runs \

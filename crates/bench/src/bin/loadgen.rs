@@ -18,8 +18,17 @@
 //! the router's failover column (routed/failed/replayed, failover p99)
 //! into the results doc.
 //!
-//! Both modes report throughput and client-side p50/p95/p99 latency and
-//! write `results/BENCH_server.json`. `--smoke` shrinks the workload and
+//! Key distribution knobs: `--key-pool N` sets the distinct-key pool
+//! (default 4 uniform / 64 skewed, preserving the historical workload);
+//! `--traffic MODEL` draws keys from an `xtree-scenario` traffic model
+//! (`zipf:1.1`, `hotspot:25:16`, `diurnal:4:8`, …) in an extra warm
+//! phase; `--zipf s` is back-compat sugar for `--traffic zipf:s`;
+//! `--seed N` moves every request stream (default = the historical
+//! constant, DESIGN.md §15).
+//!
+//! Both modes report throughput, client-side p50/p95/p99 latency, and
+//! the cache hit rate per (distribution, pool size), and write
+//! `results/BENCH_server.json`. `--smoke` shrinks the workload and
 //! skips the results file.
 //!
 //! Run with: cargo run --release -p xtree-bench --bin loadgen
@@ -28,6 +37,7 @@ use std::net::SocketAddr;
 use std::time::Instant;
 use xtree_bench::seeded_batches;
 use xtree_json::Value;
+use xtree_scenario::TrafficModel;
 use xtree_server::{
     Client, Request, Response, Router, RouterConfig, Server, ServerConfig, WireStats,
 };
@@ -37,26 +47,47 @@ const FAMILY: u8 = 4;
 /// 16(2^(r+1) - 1) with r = 6 — a mid-size guest, so one Theorem-1
 /// construction is expensive enough for the cache to matter.
 const NODES: u64 = 2032;
-/// Distinct seeds in the repeated-key workload. Every request maps to
-/// one of these keys, so a warm cache serves all but the first builds.
-const SEED_POOL: u64 = 4;
+/// Default distinct keys in the repeated-key workload (override with
+/// `--key-pool`). Every request maps to one of these keys, so a warm
+/// cache serves all but the first builds.
+const DEFAULT_POOL: u64 = 4;
 const SEED_BASE: u64 = 1000;
 
-/// Distinct keys the skewed (`--zipf`) workload draws from — much larger
-/// than the uniform `SEED_POOL`, so the distribution's tail actually
+/// Default key pool for the skewed (`--traffic`/`--zipf`) phase — much
+/// larger than the uniform pool, so the distribution's tail actually
 /// misses the cache and the hit rate tracks the head's skew.
-const ZIPF_POOL: usize = 64;
+const DEFAULT_TRAFFIC_POOL: u64 = 64;
+
+/// Historical batch seed; `--seed` moves it (DESIGN.md §15 convention).
+const DEFAULT_SEED: u64 = 0x5EED_10AD;
 
 struct Opts {
     addr: Option<String>,
     conns: usize,
     requests: usize,
     smoke: bool,
-    /// Zipf exponent `s` for the skewed-key phase (`None` = uniform only).
-    zipf: Option<f64>,
+    /// Key distribution for the skewed phase (`None` = uniform only).
+    traffic: Option<TrafficModel>,
+    /// `--key-pool`: distinct keys per phase. `None` keeps the
+    /// historical defaults (4 uniform / 64 skewed).
+    key_pool: Option<u64>,
+    seed: u64,
     /// Shard count for the `--via-router` phase (`None` = skip it).
     via_router: Option<usize>,
     out: String,
+}
+
+impl Opts {
+    /// Key-pool size of the uniform phases (default preserves the
+    /// historical 4-key pool and its 99% warm hit rate).
+    fn uniform_pool(&self) -> u64 {
+        self.key_pool.unwrap_or(DEFAULT_POOL)
+    }
+
+    /// Key-pool size of the skewed-traffic phase.
+    fn traffic_pool(&self) -> u64 {
+        self.key_pool.unwrap_or(DEFAULT_TRAFFIC_POOL)
+    }
 }
 
 fn parse_opts() -> Opts {
@@ -65,7 +96,9 @@ fn parse_opts() -> Opts {
         conns: 8,
         requests: 64,
         smoke: false,
-        zipf: None,
+        traffic: None,
+        key_pool: None,
+        seed: DEFAULT_SEED,
         via_router: None,
         out: "results/BENCH_server.json".to_string(),
     };
@@ -80,10 +113,23 @@ fn parse_opts() -> Opts {
             "--conns" => opts.conns = value("--conns").parse().expect("--conns"),
             "--requests" => opts.requests = value("--requests").parse().expect("--requests"),
             "--zipf" => {
+                // Back-compat sugar for `--traffic zipf:s`.
                 let s: f64 = value("--zipf").parse().expect("--zipf");
                 assert!(s > 0.0 && s.is_finite(), "--zipf needs s > 0");
-                opts.zipf = Some(s);
+                opts.traffic = Some(TrafficModel::Zipf { s });
             }
+            "--traffic" => {
+                let label = value("--traffic");
+                let model = TrafficModel::parse(&label)
+                    .unwrap_or_else(|| panic!("--traffic: unknown model `{label}`"));
+                opts.traffic = Some(model);
+            }
+            "--key-pool" => {
+                let n: u64 = value("--key-pool").parse().expect("--key-pool");
+                assert!(n >= 1, "--key-pool needs at least one key");
+                opts.key_pool = Some(n);
+            }
+            "--seed" => opts.seed = value("--seed").parse().expect("--seed"),
             "--via-router" => {
                 let m: usize = value("--via-router").parse().expect("--via-router");
                 assert!((1..=64).contains(&m), "--via-router needs 1..=64 shards");
@@ -102,44 +148,42 @@ fn parse_opts() -> Opts {
     opts
 }
 
-/// Zipf(s) over ranks `0..n` by inverse CDF — the workspace `rand` has no
-/// float distributions, so the cumulative weights are precomputed and a
-/// deterministic uniform draw is pushed through `partition_point`.
-struct Zipf {
-    cum: Vec<f64>,
+/// One phase's key distribution: pool size plus an optional skew model
+/// from `xtree-scenario` (which also drives the scenario matrix, so "the
+/// bench saw Zipf traffic" means the same thing on both axes).
+#[derive(Clone)]
+struct KeyDist {
+    pool: u64,
+    traffic: Option<TrafficModel>,
+    seed: u64,
 }
 
-impl Zipf {
-    fn new(s: f64, n: usize) -> Self {
-        let mut cum = Vec::with_capacity(n);
-        let mut total = 0.0;
-        for k in 1..=n {
-            total += (k as f64).powf(-s);
-            cum.push(total);
+impl KeyDist {
+    fn uniform(opts: &Opts) -> KeyDist {
+        KeyDist {
+            pool: opts.uniform_pool(),
+            traffic: None,
+            seed: opts.seed,
         }
-        for c in &mut cum {
-            *c /= total;
-        }
-        Zipf { cum }
     }
 
-    fn sample(&self, u: f64) -> usize {
-        self.cum.partition_point(|&c| c < u).min(self.cum.len() - 1)
+    fn skewed(opts: &Opts, traffic: TrafficModel) -> KeyDist {
+        KeyDist {
+            pool: opts.traffic_pool(),
+            traffic: Some(traffic),
+            seed: opts.seed,
+        }
     }
-}
 
-/// SplitMix64: a deterministic per-request uniform draw (the finalizer of
-/// `java.util.SplittableRandom`), keyed by connection and request index.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
+    fn label(&self) -> String {
+        self.traffic
+            .map_or_else(|| "uniform".to_string(), |t| t.label())
+    }
 }
 
 /// What one phase of driving measured, client side plus server stats.
 struct Phase {
-    name: &'static str,
+    name: String,
     requests: usize,
     ok: usize,
     overloaded: usize,
@@ -167,7 +211,7 @@ impl Phase {
 
     fn report(&self) -> Value {
         Value::object()
-            .with("phase", self.name)
+            .with("phase", self.name.as_str())
             .with("requests", self.requests)
             .with("ok", self.ok)
             .with("overloaded", self.overloaded)
@@ -185,28 +229,32 @@ impl Phase {
 }
 
 /// The deterministic request sequence for connection `conn`: repeated
-/// keys drawn from the seed pool — uniformly, or Zipf-skewed over the
-/// larger [`ZIPF_POOL`] when `zipf` is set — mixed 3:1 simulate:embed,
-/// cycling through the engine's four workloads.
+/// keys drawn from the distribution's pool — uniformly, or through the
+/// scenario subsystem's `KeySampler` when a traffic model is set —
+/// mixed 3:1 simulate:embed, cycling through the engine's four
+/// workloads.
 fn requests_for(
     conn: usize,
     conns: usize,
     count: usize,
     nodes: u64,
-    zipf: Option<f64>,
+    dist: &KeyDist,
 ) -> Vec<Request> {
-    let batches = seeded_batches(0x5EED_10AD, SEED_POOL, conns, count);
-    let dist = zipf.map(|s| Zipf::new(s, ZIPF_POOL));
+    let batches = seeded_batches(dist.seed, dist.pool, conns, count);
+    // Per-connection sampler stream; the default base seed reproduces
+    // the historical `0x21BF_0000 ^ (conn << 32)` zipf stream exactly.
+    let sampler = dist.traffic.map(|t| {
+        t.key_sampler(
+            dist.pool as usize,
+            0x21BF_0000 ^ ((conn as u64) << 32) ^ (dist.seed ^ DEFAULT_SEED),
+        )
+    });
     batches[conn]
         .iter()
         .enumerate()
         .map(|(i, m)| {
-            let seed = match &dist {
-                Some(z) => {
-                    let bits = splitmix64(0x21BF_0000 ^ ((conn as u64) << 32) ^ i as u64);
-                    let u = (bits >> 11) as f64 / (1u64 << 53) as f64;
-                    SEED_BASE + z.sample(u) as u64
-                }
+            let seed = match &sampler {
+                Some(s) => SEED_BASE + s.rank(i as u64) as u64,
                 None => SEED_BASE + u64::from(m.src),
             };
             if m.dst % 4 == 3 {
@@ -240,12 +288,12 @@ fn quantile(sorted: &[u64], q: f64) -> u64 {
 /// Drive `conns` concurrent connections, `count` requests each, against
 /// `addr`; fetch the server's stats afterwards through a fresh client.
 fn drive(
-    name: &'static str,
+    name: &str,
     addr: SocketAddr,
     conns: usize,
     count: usize,
     nodes: u64,
-    zipf: Option<f64>,
+    dist: &KeyDist,
 ) -> Phase {
     let start = Instant::now();
     let per_conn: Vec<(usize, usize, usize, Vec<u64>)> = std::thread::scope(|scope| {
@@ -255,7 +303,7 @@ fn drive(
                     let mut client = Client::connect(addr).expect("connect");
                     let (mut ok, mut overloaded, mut errors) = (0, 0, 0);
                     let mut latencies = Vec::with_capacity(count);
-                    for req in requests_for(conn, conns, count, nodes, zipf) {
+                    for req in requests_for(conn, conns, count, nodes, dist) {
                         let sent = Instant::now();
                         let resp = client.call(&req).expect("call");
                         latencies.push(sent.elapsed().as_micros() as u64);
@@ -280,7 +328,7 @@ fn drive(
     latencies.sort_unstable();
     let stats = fetch_stats(addr);
     Phase {
-        name,
+        name: name.to_string(),
         requests: conns * count,
         ok: per_conn.iter().map(|p| p.0).sum(),
         overloaded: per_conn.iter().map(|p| p.1).sum(),
@@ -311,6 +359,7 @@ fn spawn_cluster_and_drive(
     conns: usize,
     count: usize,
     nodes: u64,
+    dist: &KeyDist,
 ) -> (Phase, Value) {
     let config = ServerConfig {
         addr: "127.0.0.1:0".into(),
@@ -326,7 +375,7 @@ fn spawn_cluster_and_drive(
         ..RouterConfig::default()
     })
     .expect("bind router");
-    let phase = drive("via-router", router.local_addr(), conns, count, nodes, None);
+    let phase = drive("via-router", router.local_addr(), conns, count, nodes, dist);
     let metrics = router.metrics();
     let (failover_p99_us, failovers) = metrics.failover_quantile_us(0.99);
     let column = Value::object()
@@ -350,16 +399,16 @@ fn spawn_cluster_and_drive(
 
 /// Run one phase against a throwaway in-process server and tear it down.
 fn spawn_and_drive(
-    name: &'static str,
+    name: &str,
     config: &ServerConfig,
     conns: usize,
     count: usize,
     nodes: u64,
-    zipf: Option<f64>,
+    dist: &KeyDist,
 ) -> Phase {
     let mut server = Server::spawn(config).expect("bind ephemeral server");
     let addr = server.local_addr();
-    let phase = drive(name, addr, conns, count, nodes, zipf);
+    let phase = drive(name, addr, conns, count, nodes, dist);
     let mut client = Client::connect(addr).expect("connect for shutdown");
     client.call(&Request::Shutdown).expect("shutdown");
     server.wait();
@@ -385,13 +434,16 @@ fn print_phase(phase: &Phase) {
 
 fn main() {
     let opts = parse_opts();
+    let uniform = KeyDist::uniform(&opts);
+    let skewed = opts.traffic.map(|t| KeyDist::skewed(&opts, t));
     let mut doc = Value::object()
         .with("bench", "server")
         .with("conns", opts.conns)
         .with("requests_per_conn", opts.requests)
         .with("family", "random-bst")
         .with("nodes", NODES)
-        .with("seed_pool", SEED_POOL);
+        .with("seed", opts.seed)
+        .with("seed_pool", uniform.pool);
 
     let mut phases = Vec::new();
     if let Some(addr) = &opts.addr {
@@ -404,7 +456,7 @@ fn main() {
             opts.conns,
             opts.requests,
             NODES,
-            opts.zipf,
+            skewed.as_ref().unwrap_or(&uniform),
         );
         print_phase(&phase);
         assert_eq!(phase.errors, 0, "external run must not error");
@@ -422,22 +474,37 @@ fn main() {
             ..warm_config.clone()
         };
 
-        let warm = spawn_and_drive("warm", &warm_config, opts.conns, opts.requests, NODES, None);
+        let warm = spawn_and_drive(
+            "warm",
+            &warm_config,
+            opts.conns,
+            opts.requests,
+            NODES,
+            &uniform,
+        );
         print_phase(&warm);
-        let cold = spawn_and_drive("cold", &cold_config, opts.conns, opts.requests, NODES, None);
+        let cold = spawn_and_drive(
+            "cold",
+            &cold_config,
+            opts.conns,
+            opts.requests,
+            NODES,
+            &uniform,
+        );
         print_phase(&cold);
 
-        // Skewed-key phase: same warm server, keys Zipf(s) over a pool
-        // 16x the uniform one — the hit rate now measures how much of the
-        // distribution's head the cache captures.
-        let warm_zipf = opts.zipf.map(|s| {
+        // Skewed-key phase: same warm server, keys drawn by the traffic
+        // model over a (by default) 16x larger pool — the hit rate now
+        // measures how much of the distribution's head the cache
+        // captures instead of being a pool-size artifact.
+        let warm_skewed = skewed.as_ref().map(|dist| {
             let p = spawn_and_drive(
-                "warm-zipf",
+                &format!("warm-{}", dist.label()),
                 &warm_config,
                 opts.conns,
                 opts.requests,
                 NODES,
-                Some(s),
+                dist,
             );
             print_phase(&p);
             p
@@ -452,7 +519,7 @@ fn main() {
             cache_cap: 0,
         };
         let burst_conns = opts.conns.max(8);
-        let saturation = spawn_and_drive("saturation", &tight, burst_conns, 2, NODES, None);
+        let saturation = spawn_and_drive("saturation", &tight, burst_conns, 2, NODES, &uniform);
         print_phase(&saturation);
 
         // The contract the serving layer was built around. In --smoke the
@@ -465,11 +532,16 @@ fn main() {
             "sized queue must not bounce the throughput phases"
         );
         if !opts.smoke {
-            assert!(
-                warm.hit_rate() > 0.9,
-                "repeated-key workload must hit the cache: {:.3}",
-                warm.hit_rate()
-            );
+            // The 90% contract is stated for the default 4-key pool;
+            // larger --key-pool runs exist precisely to measure how the
+            // hit rate decays with pool size.
+            if opts.key_pool.is_none() {
+                assert!(
+                    warm.hit_rate() > 0.9,
+                    "repeated-key workload must hit the cache: {:.3}",
+                    warm.hit_rate()
+                );
+            }
             assert!(
                 warm.throughput_rps() > cold.throughput_rps(),
                 "warm cache must out-run cold: {:.0} vs {:.0} req/s",
@@ -499,30 +571,30 @@ fn main() {
                 .with("speedup", warm.throughput_rps() / cold.throughput_rps())
                 .with("warm_hit_rate", warm.hit_rate()),
         );
-        // Hit rate per key distribution, side by side.
+        // Hit rate per (distribution, pool size), side by side — the
+        // warm-cache number is only meaningful next to the pool it was
+        // measured against.
         let mut dists = vec![Value::object()
             .with("distribution", "uniform")
-            .with("keys", SEED_POOL)
+            .with("keys", uniform.pool)
             .with("hit_rate", warm.hit_rate())];
-        if let Some(z) = &warm_zipf {
-            let s = opts.zipf.unwrap();
+        if let (Some(p), Some(dist)) = (&warm_skewed, &skewed) {
             if !opts.smoke {
                 assert!(
-                    z.hit_rate() > 0.0,
-                    "zipf head keys must repeat enough to hit"
+                    p.hit_rate() > 0.0,
+                    "skewed head keys must repeat enough to hit"
                 );
             }
             dists.push(
                 Value::object()
-                    .with("distribution", "zipf")
-                    .with("s", s)
-                    .with("keys", ZIPF_POOL)
-                    .with("hit_rate", z.hit_rate()),
+                    .with("distribution", dist.label())
+                    .with("keys", dist.pool)
+                    .with("hit_rate", p.hit_rate()),
             );
         }
         doc.set("distributions", dists.into_iter().collect::<Value>());
         phases.extend([warm, cold, saturation]);
-        phases.extend(warm_zipf);
+        phases.extend(warm_skewed);
     }
 
     if let Some(shards) = opts.via_router {
@@ -530,7 +602,8 @@ fn main() {
         // router over a fresh shard roster. A healthy roster must serve
         // everything with zero failovers; the column records the
         // counters either way.
-        let (phase, column) = spawn_cluster_and_drive(shards, opts.conns, opts.requests, NODES);
+        let (phase, column) =
+            spawn_cluster_and_drive(shards, opts.conns, opts.requests, NODES, &uniform);
         print_phase(&phase);
         assert_eq!(phase.errors, 0, "via-router run must not error");
         assert_eq!(phase.ok, phase.requests, "router must serve every request");

@@ -1,0 +1,101 @@
+//! `scenariobench` — the scenario-matrix sweep, written to
+//! `results/BENCH_scenarios.json`.
+//!
+//! Every cell of a (tree family × traffic model × size) matrix is scored
+//! by `xtree-scenario`: seeded tree, Theorem-1 embedding, and both the
+//! classic unweighted congestion and the traffic-weighted congestion
+//! (demand units crossing the busiest host link). The run is serial and
+//! free of wall-clock data, so the output file is byte-identical across
+//! runs of the same spec and seed — CI diffs it to catch silent
+//! non-determinism.
+//!
+//! * default: the published matrix (`ScenarioSpec::default_matrix`);
+//! * `--smoke`: the small CI matrix — still ≥ 4 families × ≥ 3 traffic
+//!   models, and it still writes the results file (the smoke job asserts
+//!   its contents);
+//! * `--spec FILE`: a plain-text or JSON spec (see `xtree-scenario`'s
+//!   `spec` module docs for the format);
+//! * `--seed N`: overrides the spec's base seed;
+//! * `--out FILE`: overrides the output path.
+//!
+//! Run with: cargo run --release -p xtree-bench --bin scenariobench
+
+use xtree_scenario::{matrix_to_json, run_matrix, ScenarioSpec};
+
+struct Opts {
+    spec: ScenarioSpec,
+    seed: Option<u64>,
+    out: String,
+}
+
+fn parse_opts() -> Opts {
+    let mut spec = None;
+    let mut smoke = false;
+    let mut opts = Opts {
+        spec: ScenarioSpec::default_matrix(),
+        seed: None,
+        out: "results/BENCH_scenarios.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--spec" => {
+                let path = value("--spec");
+                let text =
+                    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+                spec = Some(ScenarioSpec::parse(&text).unwrap_or_else(|e| panic!("{path}: {e}")));
+            }
+            "--seed" => opts.seed = Some(value("--seed").parse().expect("--seed")),
+            "--out" => opts.out = value("--out"),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    assert!(
+        !(smoke && spec.is_some()),
+        "--smoke and --spec are mutually exclusive"
+    );
+    if let Some(spec) = spec {
+        opts.spec = spec;
+    } else if smoke {
+        opts.spec = ScenarioSpec::smoke();
+    }
+    if let Some(seed) = opts.seed {
+        opts.spec.seed = seed;
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_opts();
+    let reports = run_matrix(&opts.spec).expect("scenario cell failed");
+    assert!(!reports.is_empty(), "matrix must have cells");
+
+    eprintln!(
+        "{:<14} {:<12} {:>2} {:>6} {:>6} {:>9} {:>9} {:>4} {:>4}",
+        "family", "traffic", "r", "nodes", "cong", "weighted", "demand", "dil", "load"
+    );
+    for c in &reports {
+        eprintln!(
+            "{:<14} {:<12} {:>2} {:>6} {:>6} {:>9} {:>9} {:>4} {:>4}",
+            c.family,
+            c.traffic,
+            c.r,
+            c.nodes,
+            c.congestion,
+            c.weighted_congestion,
+            c.demand_total,
+            c.dilation,
+            c.max_load
+        );
+    }
+
+    let doc = matrix_to_json(&opts.spec, &reports);
+    xtree_json::write_pretty_file(&opts.out, &doc)
+        .unwrap_or_else(|e| panic!("write {}: {e}", opts.out));
+    eprintln!("wrote {} ({} cells)", opts.out, reports.len());
+}

@@ -104,12 +104,13 @@ fn measure(rounds: &[Vec<Message>], mut run: impl FnMut(&[Message]) -> BatchStat
 }
 
 fn main() {
+    let seed = xtree_bench::seed_from_args(0x5EED_BEEF);
     let mut hosts = Vec::new();
     for (r, batches) in [(8u8, 192usize), (10, 64), (13, 16)] {
         let x = XTree::new(r);
         let n = x.node_count();
         let per_batch = n / 2;
-        let rounds = seeded_batches(0x5EED_BEEF, n as u64, batches, per_batch);
+        let rounds = seeded_batches(seed, n as u64, batches, per_batch);
 
         let net = Network::xtree(&x);
         let mut engine = Engine::new();
@@ -159,6 +160,7 @@ fn main() {
     }
     let doc = Value::object()
         .with("bench", "simulation-engine")
+        .with("seed", seed)
         .with(
             "workload",
             "seeded uniform-random batches, reusable engine, structured X-tree router vs \

@@ -165,6 +165,7 @@ const MODES: [&str; 5] = ["baseline", "noop", "counters", "metrics", "trace"];
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let seed = xtree_bench::seed_from_args(0x5EED_7E1E);
     let heights: &[(u8, usize)] = if smoke {
         &[(5, 2), (6, 2)]
     } else {
@@ -178,7 +179,7 @@ fn main() {
         let n = x.node_count();
         let net = Network::xtree(&x);
         let per_batch = n / 2;
-        let rounds = seeded_batches(0x5EED_7E1E, n as u64, batches, per_batch);
+        let rounds = seeded_batches(seed, n as u64, batches, per_batch);
 
         let mut baseline = Baseline::default();
         let mut engine = Engine::new();
@@ -267,6 +268,7 @@ fn main() {
     }
     let mut doc = Value::object()
         .with("bench", "telemetry-overhead")
+        .with("seed", seed)
         .with(
             "workload",
             "seeded uniform-random batches; pre-instrumentation loop vs the Sink-parameterised \

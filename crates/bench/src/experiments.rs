@@ -21,12 +21,7 @@ const SEEDS: u64 = 10;
 fn trees_for(n: usize, seed_count: u64) -> Vec<(TreeFamily, u64, BinaryTree)> {
     TreeFamily::ALL
         .iter()
-        .flat_map(|&f| {
-            seeds(seed_count).map(move |s| {
-                let mut rng = ChaCha8Rng::seed_from_u64(s);
-                (f, s, f.generate(n, &mut rng))
-            })
-        })
+        .flat_map(|&f| seeds(seed_count).map(move |s| (f, s, f.generate_seeded(n, s))))
         .collect()
 }
 
@@ -267,8 +262,7 @@ fn lemma_sweep(
             let (mut s1m, mut s2m) = (0usize, 0usize);
             let mut cases = 0usize;
             for s in seeds(5) {
-                let mut rng = ChaCha8Rng::seed_from_u64(s);
-                let t = f.generate(n, &mut rng);
+                let t = f.generate_seeded(n, s);
                 let placed = vec![false; n];
                 let cands: Vec<NodeId> = t.nodes().filter(|&v| t.degree(v) <= 2).collect();
                 for frac in [10u32, 4, 3, 2] {
@@ -501,8 +495,7 @@ pub fn f2() -> Table {
 /// D — the Δ(j, i) convergence trace vs the paper's estimate.
 pub fn delta() -> Table {
     let r = 7u8;
-    let mut rng = ChaCha8Rng::seed_from_u64(0x5EED_0001);
-    let t = TreeFamily::Path.generate(generate::theorem1_size(r), &mut rng);
+    let t = TreeFamily::Path.generate_seeded(generate::theorem1_size(r), 0x5EED_0001);
     let res = theorem1::embed(&t);
     let mut rows = Vec::new();
     let mut all_ok = true;

@@ -2,8 +2,8 @@
 //! hosts from the command line.
 //!
 //! ```text
-//! xtree-cli embed    --family random-bst --nodes 1008 [--target xtree|xtree-injective|hypercube|hypercube-injective] [--seed N] [--json] [--map]
-//! xtree-cli simulate --family caterpillar --nodes 496 [--host xtree|hypercube] [--workload broadcast|reduce|exchange|dnc|all] [--seed N] [--fault-rate P --node-fault-rate P --fault-seed S --repair-after K] [--recover --max-retries N --backoff fixed:K|exp:B:C] [--checkpoint FILE --checkpoint-after K] [--trace FILE] [--verify-trace FILE] [--metrics FILE --metrics-format jsonl|prom] [--json]
+//! xtree-cli embed    --family random-bst --nodes 1008 [--target xtree|xtree-injective|hypercube|hypercube-injective] [--seed N] [--traffic MODEL] [--json] [--map]
+//! xtree-cli simulate --family caterpillar --nodes 496 [--host xtree|hypercube] [--workload broadcast|reduce|exchange|dnc|all] [--seed N] [--traffic MODEL] [--fault-rate P --node-fault-rate P --fault-seed S --repair-after K] [--recover --max-retries N --backoff fixed:K|exp:B:C] [--checkpoint FILE --checkpoint-after K] [--trace FILE] [--verify-trace FILE] [--metrics FILE --metrics-format jsonl|prom] [--json]
 //! xtree-cli resume   FILE [--workload W|all] [--trace FILE] [--verify-trace FILE] [--metrics FILE] [--json]
 //! xtree-cli info     --height 3 [--network xtree|hypercube|ccc|butterfly|mesh]
 //! xtree-cli sizes    --max-r 10
@@ -15,11 +15,10 @@
 mod args;
 
 use args::Args;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use std::time::Duration;
 use xtree_core::{evaluate, hypercube, metrics, theorem1, theorem2};
 use xtree_json::Value;
+use xtree_scenario::TrafficModel;
 use xtree_server::cluster::{spawn_shard, ShardCommand};
 use xtree_server::{
     Client, HashRing, ReconnectPolicy, Request, Response, Router, RouterConfig, Server,
@@ -28,9 +27,9 @@ use xtree_server::{
 use xtree_sim::telemetry::{Event, MetricsSink, NopSink, Sink, Tee, TraceRecorder};
 use xtree_sim::workload::WORKLOADS;
 use xtree_sim::{
-    decode_checkpoint, encode_checkpoint, simulate_all_faulted_with, simulate_all_with, Backoff,
-    Checkpoint, FaultPlan, FaultSimReport, HostMap, Network, RecoveryPolicy, RecoveryTotals,
-    Session, SessionStatus, SimReport,
+    decode_checkpoint, encode_checkpoint, simulate_all_faulted_with, simulate_all_with,
+    weighted_congestion, Backoff, Checkpoint, FaultPlan, FaultSimReport, HostMap, Network,
+    RecoveryPolicy, RecoveryTotals, Session, SessionStatus, SimReport,
 };
 use xtree_topology::{Butterfly, Csr, CubeConnectedCycles, Graph, Hypercube, Mesh2D, XTree};
 use xtree_trees::{generate, BinaryTree, TreeFamily};
@@ -106,8 +105,8 @@ fn main() {
 }
 
 const USAGE: &str = "usage:
-  xtree-cli embed    --family F --nodes N [--target xtree|xtree-injective|hypercube|hypercube-injective] [--seed S] [--json] [--map]
-  xtree-cli simulate --family F --nodes N [--host xtree|hypercube] [--workload W|all] [--seed S] [--fault-rate P] [--node-fault-rate P] [--fault-seed S] [--repair-after K] [--recover] [--max-retries N] [--backoff fixed:K|exp:B:C] [--checkpoint FILE] [--checkpoint-after K] [--trace FILE] [--verify-trace FILE] [--metrics FILE] [--metrics-format jsonl|prom] [--json]
+  xtree-cli embed    --family F --nodes N [--target xtree|xtree-injective|hypercube|hypercube-injective] [--seed S] [--traffic MODEL] [--json] [--map]
+  xtree-cli simulate --family F --nodes N [--host xtree|hypercube] [--workload W|all] [--seed S] [--traffic MODEL] [--fault-rate P] [--node-fault-rate P] [--fault-seed S] [--repair-after K] [--recover] [--max-retries N] [--backoff fixed:K|exp:B:C] [--checkpoint FILE] [--checkpoint-after K] [--trace FILE] [--verify-trace FILE] [--metrics FILE] [--metrics-format jsonl|prom] [--json]
   xtree-cli resume   FILE [--workload W|all] [--trace FILE] [--verify-trace FILE] [--metrics FILE] [--metrics-format jsonl|prom] [--json]
   xtree-cli info     --height R [--network xtree|hypercube|ccc|butterfly|mesh]
   xtree-cli sizes    [--max-r R]
@@ -116,7 +115,9 @@ const USAGE: &str = "usage:
   xtree-cli cluster  [--shards M] [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] [--vnodes V] [--ring-seed S] [--probe-interval-ms I] [--fail-after K] [--max-retries N] [--backoff fixed:K|exp:B:C] [--restart-backoff fixed:K|exp:B:C] [--metrics FILE] [--metrics-format jsonl|prom]
   xtree-cli request  OP --addr HOST:PORT [--family F] [--nodes N] [--seed S] [--theorem 1|2] [--workload W|all] [--json]
                      (OP: embed simulate stats health shutdown)
-families: path complete caterpillar broom random-bst random-attach random-split leaning";
+families: path complete caterpillar broom random-bst random-attach random-split leaning
+          balanced uniform bst-insertion skewed[:BIAS]
+traffic:  uniform broadcast reduce exchange dnc zipf[:S] hotspot[:PCT:MULT] diurnal[:PERIODS:PEAK]";
 
 fn run(mut argv: Vec<String>) -> Result<String, CliError> {
     // `resume FILE` and `request OP` take a positional argument; rewrite
@@ -146,23 +147,31 @@ fn run(mut argv: Vec<String>) -> Result<String, CliError> {
     }
 }
 
-fn make_tree(a: &Args) -> Result<(BinaryTree, &'static str), String> {
+fn make_tree(a: &Args) -> Result<(BinaryTree, String), String> {
     let name = a.get_or("family", "random-bst");
-    let family = TreeFamily::ALL
-        .into_iter()
-        .find(|f| f.name() == name)
-        .ok_or_else(|| format!("unknown family `{name}`"))?;
+    let family = TreeFamily::parse(name).ok_or_else(|| format!("unknown family `{name}`"))?;
     let n: usize = a.num_or("nodes", 1008usize)?;
     if n == 0 {
         return Err("--nodes must be ≥ 1".into());
     }
     let seed: u64 = a.num_or("seed", 7u64)?;
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    Ok((family.generate(n, &mut rng), family.name()))
+    Ok((family.generate_seeded(n, seed), family.label()))
+}
+
+/// `--traffic MODEL` on `embed`/`simulate`: a scenario traffic model, or
+/// `None` when the flag is absent.
+fn parse_traffic(a: &Args) -> Result<Option<TrafficModel>, String> {
+    match a.get("traffic") {
+        Some(label) => TrafficModel::parse(label)
+            .ok_or_else(|| format!("unknown traffic model `{label}`"))
+            .map(Some),
+        None => Ok(None),
+    }
 }
 
 fn cmd_embed(a: &Args) -> Result<String, CliError> {
     let (tree, family) = make_tree(a)?;
+    let traffic = parse_traffic(a)?;
     let target = a.get_or("target", "xtree");
     let n = tree.len();
     match target {
@@ -176,6 +185,18 @@ fn cmd_embed(a: &Args) -> Result<String, CliError> {
             let stats = evaluate(&tree, &emb);
             let host = XTree::new(emb.height);
             let congestion = metrics::edge_congestion(&tree, &emb, &host);
+            // Traffic-weighted congestion over the same host links: each
+            // guest edge counts with its scenario demand instead of 1.
+            let weighted = match &traffic {
+                Some(t) => {
+                    let net = Network::xtree(&host);
+                    let demand = t.edge_demand(&tree, a.num_or("seed", 7u64)?);
+                    let w = weighted_congestion(&net, &tree, &emb, &demand)
+                        .map_err(|e| CliError::Runtime(e.to_string()))?;
+                    Some((t.label(), w))
+                }
+                None => None,
+            };
             if a.flag("json") {
                 let mut obj = Value::object()
                     .with(
@@ -189,6 +210,10 @@ fn cmd_embed(a: &Args) -> Result<String, CliError> {
                     .with("injective", stats.injective)
                     .with("congestion", congestion)
                     .with("condition3_violations", stats.condition3_violations);
+                if let Some((label, w)) = &weighted {
+                    obj.set("traffic", label.as_str());
+                    obj.set("weighted_congestion", *w);
+                }
                 if a.flag("map") {
                     obj.set(
                         "map",
@@ -200,14 +225,21 @@ fn cmd_embed(a: &Args) -> Result<String, CliError> {
                 }
                 Ok(xtree_json::to_string_pretty(&obj))
             } else {
-                Ok(format!(
+                let mut out = format!(
                     "guest: {family} ({n} nodes)\nhost: X({})\ndilation: {}\nload: {}\nexpansion: {:.4}\ninjective: {}\ncongestion: {}",
                     emb.height, stats.dilation, stats.max_load, stats.expansion,
                     stats.injective, congestion
-                ))
+                );
+                if let Some((label, w)) = &weighted {
+                    out.push_str(&format!("\ntraffic: {label}\nweighted congestion: {w}"));
+                }
+                Ok(out)
             }
         }
         "hypercube" | "hypercube-injective" => {
+            if traffic.is_some() {
+                return Err("--traffic supports --target xtree|xtree-injective only".into());
+            }
             let q = if target == "hypercube" {
                 hypercube::embed_theorem3(&tree)
             } else {
@@ -563,23 +595,37 @@ fn cmd_simulate(a: &Args) -> Result<String, CliError> {
     if !["all", "broadcast", "reduce", "exchange", "dnc"].contains(&workload) {
         return Err(format!("unknown workload `{workload}`").into());
     }
+    let traffic = parse_traffic(a)?;
     let faults = FaultArgs::parse(a)?;
     let tel = TelemetryArgs::parse(a)?;
     if let Some(rec) = RecoveryArgs::parse(a)? {
         if host != "xtree" {
             return Err("--recover/--checkpoint currently support --host xtree only".into());
         }
-        return cmd_simulate_session(a, &tree, family, &faults, &tel, &rec);
+        if traffic.is_some() {
+            return Err("--traffic is not supported with --recover/--checkpoint".into());
+        }
+        return cmd_simulate_session(a, &tree, &family, &faults, &tel, &rec);
     }
     // Both hosts route in closed form (no routing tables), so there is no
     // host-size cap here: the guest size is limited only by memory.
+    let mut weighted: Option<(String, u64)> = None;
     let (reports, telemetry) = match host {
         "xtree" => {
             let emb = theorem1::embed(&tree).emb;
             let net = Network::xtree(&XTree::new(emb.height));
+            if let Some(t) = &traffic {
+                let demand = t.edge_demand(&tree, a.num_or("seed", 7u64)?);
+                let w = weighted_congestion(&net, &tree, &emb, &demand)
+                    .map_err(|e| CliError::Runtime(e.to_string()))?;
+                weighted = Some((t.label(), w));
+            }
             simulate_telemetry(&net, &tree, &emb, &faults, &tel)?
         }
         "hypercube" => {
+            if traffic.is_some() {
+                return Err("--traffic supports --host xtree only".into());
+            }
             let q = hypercube::embed_theorem3(&tree);
             let net = Network::hypercube(&Hypercube::new(q.dim));
             simulate_telemetry(&net, &tree, &q, &faults, &tel)?
@@ -609,17 +655,24 @@ fn cmd_simulate(a: &Args) -> Result<String, CliError> {
                     .with(
                         "guest",
                         Value::object()
-                            .with("family", family)
+                            .with("family", family.as_str())
                             .with("nodes", tree.len()),
                     )
                     .with("host", host)
                     .with("reports", rows);
+                if let Some((label, w)) = &weighted {
+                    doc.set("traffic", label.as_str());
+                    doc.set("weighted_congestion", *w);
+                }
                 if let Some(s) = &telemetry {
                     doc.set("telemetry", s.to_json());
                 }
                 Ok(xtree_json::to_string_pretty(&doc))
             } else {
                 let mut out = format!("guest: {family} ({} nodes) on {host}\n", tree.len());
+                if let Some((label, w)) = &weighted {
+                    out.push_str(&format!("traffic {label}: weighted congestion {w}\n"));
+                }
                 out.push_str(&format!(
                     "{:<10} {:>8} {:>8} {:>9} {:>13}\n",
                     "workload", "cycles", "ideal", "slowdown", "link traffic"
@@ -677,12 +730,16 @@ fn cmd_simulate(a: &Args) -> Result<String, CliError> {
                     .with(
                         "guest",
                         Value::object()
-                            .with("family", family)
+                            .with("family", family.as_str())
                             .with("nodes", tree.len()),
                     )
                     .with("host", host)
                     .with("fault", fault)
                     .with("reports", rows);
+                if let Some((label, w)) = &weighted {
+                    doc.set("traffic", label.as_str());
+                    doc.set("weighted_congestion", *w);
+                }
                 if let Some(s) = &telemetry {
                     doc.set("telemetry", s.to_json());
                 }
@@ -693,6 +750,9 @@ fn cmd_simulate(a: &Args) -> Result<String, CliError> {
                     tree.len(),
                     f.describe()
                 );
+                if let Some((label, w)) = &weighted {
+                    out.push_str(&format!("traffic {label}: weighted congestion {w}\n"));
+                }
                 out.push_str(&format!(
                     "{:<10} {:>8} {:>8} {:>9} {:>11} {:>9} {:>8}\n",
                     "workload", "cycles", "ideal", "slowdown", "delivered", "stranded", "stalled"
@@ -725,7 +785,7 @@ fn cmd_simulate(a: &Args) -> Result<String, CliError> {
 fn cmd_simulate_session(
     a: &Args,
     tree: &BinaryTree,
-    family: &'static str,
+    family: &str,
     faults: &Option<FaultArgs>,
     tel: &Option<TelemetryArgs>,
     rec: &RecoveryArgs,
@@ -943,12 +1003,9 @@ fn cmd_resume(a: &Args) -> Result<String, CliError> {
     } else {
         None
     };
-    let family = TreeFamily::ALL
-        .into_iter()
-        .find(|f| f.name() == family_name)
+    let family = TreeFamily::parse(&family_name)
         .ok_or_else(|| format!("resume: unknown family `{family_name}` in checkpoint"))?;
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let tree = family.generate(nodes, &mut rng);
+    let tree = family.generate_seeded(nodes, seed);
     let net = Network::xtree(&XTree::new(ck.embedding.height));
     let mut trace = TraceRecorder::resume(ck.trace)
         .map_err(|e| CliError::Runtime(format!("resume {path}: trace: {e}")))?;
@@ -966,7 +1023,7 @@ fn cmd_resume(a: &Args) -> Result<String, CliError> {
     let origin = format!("resumed from {path}");
     session_output(
         a,
-        family.name(),
+        &family.label(),
         nodes,
         &origin,
         session.reports(),

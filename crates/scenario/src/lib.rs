@@ -1,0 +1,39 @@
+//! Scenario subsystem: the workload zoo on two axes.
+//!
+//! Every bench and test used to draw uniform-random guest trees and
+//! uniform message batches, so published numbers said little about
+//! adversarial or realistic load. This crate opens the scenario space:
+//!
+//! * **Tree-shape axis** — [`xtree_trees::TreeFamily`] (paths,
+//!   caterpillars, perfectly balanced, uniform-random shapes,
+//!   insertion-order BSTs, skewed attachment with a configurable bias),
+//!   addressed by round-trippable labels like `skewed:240`.
+//! * **Traffic axis** — [`TrafficModel`]: per-guest-edge communication
+//!   demand derived from the canonical workload generators
+//!   (broadcast/reduce/exchange/dnc), Zipf-skewed demand, hot-spot
+//!   subtrees, and diurnal ramp profiles; plus the matching cache-key
+//!   distributions for the serving-layer load generator.
+//!
+//! The two axes meet in [`score`]: embeddings are scored by
+//! *traffic-weighted* congestion (the demand crossing each host link,
+//! following the data-arrangement-problem objective of Çela et al.)
+//! alongside the classic unweighted number, and [`spec`] turns a small
+//! plain-text/JSON scenario spec into the full families × traffic ×
+//! sizes matrix that `scenariobench` sweeps.
+
+pub mod score;
+pub mod spec;
+pub mod traffic;
+
+pub use score::{matrix_to_json, run_cell, run_matrix, CellReport};
+pub use spec::{ScenarioCell, ScenarioSpec, SpecError};
+pub use traffic::{KeySampler, TrafficModel};
+
+/// SplitMix64 — the crate's cheap stateless mixer for per-cell seeds and
+/// per-request key draws (the finalizer of `java.util.SplittableRandom`).
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}

@@ -1,0 +1,355 @@
+//! Scenario-matrix specs: a small plain-text or JSON description of
+//! which (tree family × traffic model × size) cells to sweep.
+//!
+//! The plain-text form is line-oriented (`#` starts a comment):
+//!
+//! ```text
+//! # families are TreeFamily labels, traffic are TrafficModel labels
+//! families = path, balanced, uniform, skewed:240
+//! traffic  = uniform, dnc, zipf:1.1
+//! r        = 3, 4
+//! seed     = 7
+//! ```
+//!
+//! The JSON form mirrors it (`{"families": [...], "traffic": [...],
+//! "r": [...], "seed": 7}`); [`ScenarioSpec::parse`] dispatches on the
+//! leading `{`. Missing keys fall back to the defaults of
+//! [`ScenarioSpec::default_matrix`].
+
+use crate::splitmix64;
+use crate::traffic::TrafficModel;
+use xtree_trees::{TreeFamily, DEFAULT_SKEW_BIAS};
+
+/// The full scenario matrix: every family crossed with every traffic
+/// model at every size `r` (guest trees have `theorem1_size(r) / 16`
+/// nodes and embed into an X-tree of height derived from `r`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Tree-shape axis.
+    pub families: Vec<TreeFamily>,
+    /// Traffic axis.
+    pub traffic: Vec<TrafficModel>,
+    /// Size axis: Theorem-1 ranks.
+    pub heights: Vec<u8>,
+    /// Base seed; each cell derives its own via [`ScenarioCell::seed`].
+    pub seed: u64,
+}
+
+/// One point of the matrix, with its derived per-cell seed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScenarioCell {
+    /// Tree-shape family of this cell.
+    pub family: TreeFamily,
+    /// Traffic model of this cell.
+    pub traffic: TrafficModel,
+    /// Theorem-1 rank (sets guest and host sizes).
+    pub r: u8,
+    /// Per-cell seed, mixed from the spec seed and the cell coordinates
+    /// so reordering the spec's lists never silently reuses a stream.
+    pub seed: u64,
+}
+
+/// Parse failure: the offending line (or JSON key) and what was wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scenario spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        Self::default_matrix()
+    }
+}
+
+impl ScenarioSpec {
+    /// The published sweep: six families (one per shape regime) × the
+    /// five canonical traffic models × two sizes.
+    pub fn default_matrix() -> ScenarioSpec {
+        ScenarioSpec {
+            families: vec![
+                TreeFamily::Path,
+                TreeFamily::Caterpillar,
+                TreeFamily::Balanced,
+                TreeFamily::UniformRandom,
+                TreeFamily::BstInsertion,
+                TreeFamily::Skewed {
+                    bias: DEFAULT_SKEW_BIAS,
+                },
+            ],
+            traffic: TrafficModel::canonical(),
+            heights: vec![4, 6],
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// The CI smoke matrix: small trees, one size, still covering four
+    /// families and three traffic models (the acceptance floor).
+    pub fn smoke() -> ScenarioSpec {
+        ScenarioSpec {
+            families: vec![
+                TreeFamily::Path,
+                TreeFamily::Balanced,
+                TreeFamily::UniformRandom,
+                TreeFamily::Skewed {
+                    bias: DEFAULT_SKEW_BIAS,
+                },
+            ],
+            traffic: vec![
+                TrafficModel::Uniform,
+                TrafficModel::Workload(3),
+                TrafficModel::Zipf {
+                    s: crate::traffic::DEFAULT_ZIPF_S,
+                },
+            ],
+            heights: vec![3],
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Parses a spec in either format: JSON when the first
+    /// non-whitespace byte is `{`, the line-oriented text form otherwise.
+    pub fn parse(text: &str) -> Result<ScenarioSpec, SpecError> {
+        if text.trim_start().starts_with('{') {
+            Self::parse_json(text)
+        } else {
+            Self::parse_text(text)
+        }
+    }
+
+    fn parse_text(text: &str) -> Result<ScenarioSpec, SpecError> {
+        let mut spec = ScenarioSpec::default_matrix();
+        for raw in text.lines() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| SpecError(format!("expected `key = values`, got `{line}`")))?;
+            let items: Vec<&str> = value
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            match key.trim() {
+                "families" => spec.families = parse_families(&items)?,
+                "traffic" => spec.traffic = parse_traffic(&items)?,
+                "r" => spec.heights = parse_ranks(&items)?,
+                "seed" => {
+                    spec.seed = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| SpecError(format!("bad seed `{}`", value.trim())))?
+                }
+                other => return Err(SpecError(format!("unknown key `{other}`"))),
+            }
+        }
+        spec.validate()
+    }
+
+    fn parse_json(text: &str) -> Result<ScenarioSpec, SpecError> {
+        let v = xtree_json::from_str(text).map_err(|e| SpecError(format!("bad JSON: {e}")))?;
+        let mut spec = ScenarioSpec::default_matrix();
+        let strings = |key: &str| -> Option<Vec<String>> {
+            v.get(key).as_array().map(|a| {
+                a.iter()
+                    .map(|x| match x.as_str() {
+                        Some(s) => s.to_string(),
+                        None => xtree_json::to_string(x),
+                    })
+                    .collect()
+            })
+        };
+        if let Some(items) = strings("families") {
+            let refs: Vec<&str> = items.iter().map(String::as_str).collect();
+            spec.families = parse_families(&refs)?;
+        }
+        if let Some(items) = strings("traffic") {
+            let refs: Vec<&str> = items.iter().map(String::as_str).collect();
+            spec.traffic = parse_traffic(&refs)?;
+        }
+        if let Some(items) = strings("r") {
+            let refs: Vec<&str> = items.iter().map(String::as_str).collect();
+            spec.heights = parse_ranks(&refs)?;
+        }
+        if !matches!(v.get("seed"), xtree_json::Value::Null) {
+            spec.seed = v
+                .get("seed")
+                .as_u64()
+                .ok_or_else(|| SpecError("seed must be a non-negative integer".into()))?;
+        }
+        spec.validate()
+    }
+
+    fn validate(self) -> Result<ScenarioSpec, SpecError> {
+        if self.families.is_empty() {
+            return Err(SpecError("families list is empty".into()));
+        }
+        if self.traffic.is_empty() {
+            return Err(SpecError("traffic list is empty".into()));
+        }
+        if self.heights.is_empty() {
+            return Err(SpecError("r list is empty".into()));
+        }
+        Ok(self)
+    }
+
+    /// Expands the matrix into cells in deterministic row-major order
+    /// (family-major, then traffic, then rank), each with its derived
+    /// seed.
+    pub fn cells(&self) -> Vec<ScenarioCell> {
+        let mut out = Vec::with_capacity(self.families.len() * self.traffic.len());
+        for (fi, &family) in self.families.iter().enumerate() {
+            for (ti, &traffic) in self.traffic.iter().enumerate() {
+                for (ri, &r) in self.heights.iter().enumerate() {
+                    let seed = splitmix64(
+                        self.seed
+                            ^ splitmix64(fi as u64)
+                            ^ splitmix64((ti as u64) << 20)
+                            ^ splitmix64((ri as u64) << 40),
+                    );
+                    out.push(ScenarioCell {
+                        family,
+                        traffic,
+                        r,
+                        seed,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+fn parse_families(items: &[&str]) -> Result<Vec<TreeFamily>, SpecError> {
+    items
+        .iter()
+        .map(|s| TreeFamily::parse(s).ok_or_else(|| SpecError(format!("unknown family `{s}`"))))
+        .collect()
+}
+
+fn parse_traffic(items: &[&str]) -> Result<Vec<TrafficModel>, SpecError> {
+    items
+        .iter()
+        .map(|s| {
+            TrafficModel::parse(s).ok_or_else(|| SpecError(format!("unknown traffic model `{s}`")))
+        })
+        .collect()
+}
+
+fn parse_ranks(items: &[&str]) -> Result<Vec<u8>, SpecError> {
+    items
+        .iter()
+        .map(|s| {
+            let r: u8 = s
+                .parse()
+                .map_err(|_| SpecError(format!("bad rank `{s}`")))?;
+            // r ≥ 11 would mean >65k-node hosts — a config typo, not a sweep.
+            (1..=10)
+                .contains(&r)
+                .then_some(r)
+                .ok_or_else(|| SpecError(format!("rank {r} out of range 1..=10")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_spec_round_trips() {
+        let spec = ScenarioSpec::parse(
+            "# comment\n\
+             families = path, balanced, skewed:200\n\
+             traffic  = uniform, dnc, hotspot:50:4   # trailing comment\n\
+             r        = 3, 4\n\
+             seed     = 99\n",
+        )
+        .unwrap();
+        assert_eq!(
+            spec.families,
+            vec![
+                TreeFamily::Path,
+                TreeFamily::Balanced,
+                TreeFamily::Skewed { bias: 200 }
+            ]
+        );
+        assert_eq!(
+            spec.traffic,
+            vec![
+                TrafficModel::Uniform,
+                TrafficModel::Workload(3),
+                TrafficModel::HotSpot { share: 50, mult: 4 }
+            ]
+        );
+        assert_eq!(spec.heights, vec![3, 4]);
+        assert_eq!(spec.seed, 99);
+        assert_eq!(spec.cells().len(), 3 * 3 * 2);
+    }
+
+    #[test]
+    fn json_spec_parses() {
+        let spec = ScenarioSpec::parse(
+            r#"{"families": ["path", "uniform"], "traffic": ["zipf:2"], "r": ["3"], "seed": 5}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            spec.families,
+            vec![TreeFamily::Path, TreeFamily::UniformRandom]
+        );
+        assert_eq!(spec.traffic, vec![TrafficModel::Zipf { s: 2.0 }]);
+        assert_eq!(spec.heights, vec![3]);
+        assert_eq!(spec.seed, 5);
+    }
+
+    #[test]
+    fn missing_keys_take_defaults() {
+        let spec = ScenarioSpec::parse("seed = 1\n").unwrap();
+        let dflt = ScenarioSpec::default_matrix();
+        assert_eq!(spec.families, dflt.families);
+        assert_eq!(spec.traffic, dflt.traffic);
+        assert_eq!(spec.heights, dflt.heights);
+        assert_eq!(spec.seed, 1);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(ScenarioSpec::parse("families = warthog\n").is_err());
+        assert!(ScenarioSpec::parse("traffic = zipf:-2\n").is_err());
+        assert!(ScenarioSpec::parse("r = 0\n").is_err());
+        assert!(ScenarioSpec::parse("r = 11\n").is_err());
+        assert!(ScenarioSpec::parse("volume = 11\n").is_err());
+        assert!(ScenarioSpec::parse("families =\n").is_err());
+        assert!(ScenarioSpec::parse("{not json").is_err());
+    }
+
+    #[test]
+    fn cell_seeds_depend_on_every_coordinate() {
+        let spec = ScenarioSpec::default_matrix();
+        let cells = spec.cells();
+        let mut seeds: Vec<u64> = cells.iter().map(|c| c.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), cells.len(), "per-cell seeds must be distinct");
+        // And the base seed moves all of them.
+        let other = ScenarioSpec {
+            seed: spec.seed + 1,
+            ..spec.clone()
+        };
+        assert_ne!(cells[0].seed, other.cells()[0].seed);
+    }
+
+    #[test]
+    fn smoke_meets_the_acceptance_floor() {
+        let s = ScenarioSpec::smoke();
+        assert!(s.families.len() >= 4);
+        assert!(s.traffic.len() >= 3);
+    }
+}

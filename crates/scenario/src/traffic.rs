@@ -1,0 +1,563 @@
+//! Traffic models: how much communication each guest edge carries, and
+//! which cache keys a serving workload draws.
+//!
+//! A traffic model has two faces:
+//!
+//! * [`TrafficModel::edge_demand`] — per-guest-edge demand weights for
+//!   traffic-weighted congestion scoring
+//!   ([`xtree_sim::weighted_congestion`]). Demand is indexed by the
+//!   child endpoint of each edge (`demand[v]` weights `parent(v) → v`,
+//!   the root slot stays 0), so a demand vector always has exactly
+//!   `tree.len()` entries.
+//! * [`TrafficModel::key_sampler`] — the matching cache-key distribution
+//!   for the serving-layer load generator, so "the bench saw Zipf
+//!   traffic" means the same model on both the scoring and serving axes.
+
+use crate::splitmix64;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use xtree_sim::workload::{self, HostMap, WORKLOADS};
+use xtree_trees::{BinaryTree, NodeId};
+
+/// Default Zipf exponent: the classic "just past harmonic" skew of web
+/// caches.
+pub const DEFAULT_ZIPF_S: f64 = 1.1;
+
+/// Default hot-spot share (percent of guest nodes inside the hot
+/// subtree) and demand multiplier.
+pub const DEFAULT_HOTSPOT: (u8, u32) = (25, 16);
+
+/// Default diurnal profile: cycles across the depth/time axis, and the
+/// peak-to-trough demand ratio.
+pub const DEFAULT_DIURNAL: (u32, u32) = (4, 8);
+
+/// How traffic distributes over the guest tree (for congestion scoring)
+/// and over cache keys (for the load generator).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TrafficModel {
+    /// Unit demand on every guest edge; uniform keys. The baseline —
+    /// weighting with it reproduces the unweighted congestion score.
+    Uniform,
+    /// Demand = how many messages the canonical workload (an index into
+    /// [`WORKLOADS`]: broadcast, reduce, exchange, dnc) actually sends
+    /// across each guest edge, counted from the generated rounds.
+    Workload(usize),
+    /// Zipf(`s`)-distributed demand over a seeded random ranking of the
+    /// guest edges (head edges carry hundreds of times the tail's
+    /// demand); Zipf-distributed cache keys on the serving side.
+    Zipf {
+        /// Zipf exponent; larger is more skewed.
+        s: f64,
+    },
+    /// A seeded hot subtree covering ≈`share`% of the guest nodes whose
+    /// edges carry `mult`× demand; on the serving side, hot request
+    /// windows that hammer a single key.
+    HotSpot {
+        /// Percent (1..=100) of guest nodes inside the hot subtree.
+        share: u8,
+        /// Demand multiplier on hot edges.
+        mult: u32,
+    },
+    /// Diurnal ramp: demand oscillates between 1 and `peak` along the
+    /// round/depth axis with `periods` full cycles; on the serving side,
+    /// the effective key-pool breathes between 1 key and the full pool.
+    Diurnal {
+        /// Full ramp cycles across the axis.
+        periods: u32,
+        /// Peak-to-trough demand ratio.
+        peak: u32,
+    },
+}
+
+impl TrafficModel {
+    /// A sweep-friendly canonical set: the baseline, one program-derived
+    /// model, and the three skewed serving models at their defaults.
+    pub fn canonical() -> Vec<TrafficModel> {
+        vec![
+            TrafficModel::Uniform,
+            TrafficModel::Workload(3), // dnc — the paper's motivating program
+            TrafficModel::Zipf { s: DEFAULT_ZIPF_S },
+            TrafficModel::HotSpot {
+                share: DEFAULT_HOTSPOT.0,
+                mult: DEFAULT_HOTSPOT.1,
+            },
+            TrafficModel::Diurnal {
+                periods: DEFAULT_DIURNAL.0,
+                peak: DEFAULT_DIURNAL.1,
+            },
+        ]
+    }
+
+    /// Round-trippable label (`uniform`, `dnc`, `zipf:1.1`,
+    /// `hotspot:25:16`, `diurnal:4:8`), accepted back by [`Self::parse`].
+    pub fn label(&self) -> String {
+        match *self {
+            TrafficModel::Uniform => "uniform".into(),
+            TrafficModel::Workload(idx) => WORKLOADS[idx].into(),
+            TrafficModel::Zipf { s } => format!("zipf:{s}"),
+            TrafficModel::HotSpot { share, mult } => format!("hotspot:{share}:{mult}"),
+            TrafficModel::Diurnal { periods, peak } => format!("diurnal:{periods}:{peak}"),
+        }
+    }
+
+    /// Parses a traffic label: `uniform`, a workload name
+    /// (`broadcast`/`reduce`/`exchange`/`dnc`), `zipf[:s]`,
+    /// `hotspot[:share:mult]`, or `diurnal[:periods:peak]` (bare names
+    /// take the documented defaults). Returns `None` for anything else,
+    /// including out-of-range parameters.
+    pub fn parse(s: &str) -> Option<TrafficModel> {
+        if s == "uniform" {
+            return Some(TrafficModel::Uniform);
+        }
+        if let Some(idx) = WORKLOADS.iter().position(|w| *w == s) {
+            return Some(TrafficModel::Workload(idx));
+        }
+        let mut parts = s.split(':');
+        let head = parts.next()?;
+        let rest: Vec<&str> = parts.collect();
+        match (head, rest.as_slice()) {
+            ("zipf", []) => Some(TrafficModel::Zipf { s: DEFAULT_ZIPF_S }),
+            ("zipf", [s]) => {
+                let s: f64 = s.parse().ok()?;
+                (s > 0.0 && s.is_finite()).then_some(TrafficModel::Zipf { s })
+            }
+            ("hotspot", []) => Some(TrafficModel::HotSpot {
+                share: DEFAULT_HOTSPOT.0,
+                mult: DEFAULT_HOTSPOT.1,
+            }),
+            ("hotspot", [share, mult]) => {
+                let share: u8 = share.parse().ok()?;
+                let mult: u32 = mult.parse().ok()?;
+                ((1..=100).contains(&share) && mult >= 1)
+                    .then_some(TrafficModel::HotSpot { share, mult })
+            }
+            ("diurnal", []) => Some(TrafficModel::Diurnal {
+                periods: DEFAULT_DIURNAL.0,
+                peak: DEFAULT_DIURNAL.1,
+            }),
+            ("diurnal", [periods, peak]) => {
+                let periods: u32 = periods.parse().ok()?;
+                let peak: u32 = peak.parse().ok()?;
+                (periods >= 1 && peak >= 1).then_some(TrafficModel::Diurnal { periods, peak })
+            }
+            _ => None,
+        }
+    }
+
+    /// Per-guest-edge demand under this model, indexed by the child
+    /// endpoint (`demand[v]` weights the edge `parent(v) → v`; the root
+    /// slot stays 0). Deterministic in `(tree, seed)`.
+    pub fn edge_demand(&self, tree: &BinaryTree, seed: u64) -> Vec<u64> {
+        match *self {
+            TrafficModel::Uniform => {
+                let mut d = vec![1u64; tree.len()];
+                d[tree.root().index()] = 0;
+                d
+            }
+            TrafficModel::Workload(idx) => workload_demand(tree, idx),
+            TrafficModel::Zipf { s } => zipf_demand(tree, s, seed),
+            TrafficModel::HotSpot { share, mult } => hotspot_demand(tree, share, mult, seed),
+            TrafficModel::Diurnal { periods, peak } => diurnal_demand(tree, periods, peak),
+        }
+    }
+
+    /// The matching cache-key distribution over `pool` keys for the
+    /// serving-layer load generator. Communication-shape models
+    /// ([`Self::Uniform`], [`Self::Workload`]) draw keys uniformly.
+    pub fn key_sampler(&self, pool: usize, seed: u64) -> KeySampler {
+        assert!(pool >= 1, "key pool must be non-empty");
+        let cum = match *self {
+            TrafficModel::Zipf { s } => zipf_cumulative(s, pool),
+            _ => Vec::new(),
+        };
+        KeySampler {
+            model: *self,
+            pool,
+            seed,
+            cum,
+        }
+    }
+}
+
+/// Guest nodes as their own hosts: lets the workload generators run
+/// without an embedding, so demand derivation sees pure guest traffic.
+struct GuestIdentity;
+
+impl HostMap for GuestIdentity {
+    fn host_of(&self, v: NodeId) -> u32 {
+        v.index() as u32
+    }
+}
+
+/// Counts, per guest edge, the messages the canonical workload program
+/// sends across it (broadcast/reduce cross each edge once, exchange and
+/// dnc twice — but counted from the actual rounds, not assumed).
+fn workload_demand(tree: &BinaryTree, idx: usize) -> Vec<u64> {
+    let mut demand = vec![0u64; tree.len()];
+    for round in workload::rounds_for(tree, &GuestIdentity, idx) {
+        for m in round {
+            // Each message travels one guest edge; charge its child side.
+            let (src, dst) = (NodeId(m.src), NodeId(m.dst));
+            let child = if tree.parent(dst) == Some(src) {
+                dst
+            } else {
+                debug_assert_eq!(
+                    tree.parent(src),
+                    Some(dst),
+                    "workload message must follow a guest edge"
+                );
+                src
+            };
+            demand[child.index()] += 1;
+        }
+    }
+    demand
+}
+
+/// The Zipf cumulative distribution over ranks `0..n`.
+fn zipf_cumulative(s: f64, n: usize) -> Vec<f64> {
+    let mut cum = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for k in 1..=n {
+        total += (k as f64).powf(-s);
+        cum.push(total);
+    }
+    for c in &mut cum {
+        *c /= total;
+    }
+    cum
+}
+
+/// Zipf demand: guest edges are ranked by a seeded shuffle, and rank `k`
+/// carries `max(1, round(1000 · (k+1)^{-s}))` units — the head edge gets
+/// 1000, the tail decays polynomially but never below 1.
+fn zipf_demand(tree: &BinaryTree, s: f64, seed: u64) -> Vec<u64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut edges: Vec<NodeId> = tree.nodes().filter(|&v| tree.parent(v).is_some()).collect();
+    for i in (1..edges.len()).rev() {
+        let j = rng.random_range(0..=i);
+        edges.swap(i, j);
+    }
+    let mut demand = vec![0u64; tree.len()];
+    for (rank, v) in edges.into_iter().enumerate() {
+        let w = (1000.0 * ((rank + 1) as f64).powf(-s)).round() as u64;
+        demand[v.index()] = w.max(1);
+    }
+    demand
+}
+
+/// Hot-spot demand: a seeded proper subtree covering at least `share`%
+/// of the guest nodes (when one exists) has all its edges multiplied by
+/// `mult`. The root never qualifies, so a cold edge always remains.
+fn hotspot_demand(tree: &BinaryTree, share: u8, mult: u32, seed: u64) -> Vec<u64> {
+    let n = tree.len();
+    if n <= 1 {
+        return vec![0; n];
+    }
+    let sizes = tree.subtree_sizes();
+    let want = (n * usize::from(share)).div_ceil(100).max(1);
+    let mut cands: Vec<NodeId> = tree
+        .nodes()
+        .filter(|&v| tree.parent(v).is_some() && sizes[v.index()] as usize >= want)
+        .collect();
+    if cands.is_empty() {
+        // `share` outgrows every proper subtree: best effort, take the
+        // largest one (deterministic — nodes() order breaks ties).
+        let best = tree
+            .nodes()
+            .filter(|&v| tree.parent(v).is_some())
+            .max_by_key(|&v| sizes[v.index()])
+            .expect("n ≥ 2 has a non-root node");
+        cands.push(best);
+    }
+    let hot = cands[(splitmix64(seed) % cands.len() as u64) as usize];
+    // Mark the hot subtree.
+    let mut demand = vec![1u64; n];
+    demand[tree.root().index()] = 0;
+    let mut stack = vec![hot];
+    while let Some(v) = stack.pop() {
+        if tree.parent(v).is_some() {
+            demand[v.index()] = u64::from(mult);
+        }
+        stack.extend(tree.children(v));
+    }
+    demand
+}
+
+/// The triangle ramp shared by the demand and key faces of
+/// [`TrafficModel::Diurnal`]: position `t` of a cycle of length `cycle`
+/// mapped to `0..=1000` (0 at the trough, 1000 at mid-cycle peak).
+fn ramp_milli(t: u64, cycle: u64) -> u64 {
+    let t = t % cycle;
+    1000 * 2 * t.min(cycle - t) / cycle
+}
+
+/// Diurnal demand: edges at depth `d` carry the intensity of their round
+/// in a broadcast-like program whose traffic ramps between 1 and `peak`
+/// with `periods` cycles across the depth axis.
+fn diurnal_demand(tree: &BinaryTree, periods: u32, peak: u32) -> Vec<u64> {
+    let mut depth = vec![0u64; tree.len()];
+    let mut max_depth = 0;
+    for v in tree.preorder() {
+        if let Some(p) = tree.parent(v) {
+            depth[v.index()] = depth[p.index()] + 1;
+            max_depth = max_depth.max(depth[v.index()]);
+        }
+    }
+    // An even cycle makes the triangle ramp actually reach the peak.
+    let cycle = (max_depth + 1).div_ceil(u64::from(periods)).max(2);
+    let cycle = cycle + (cycle & 1);
+    let mut demand = vec![0u64; tree.len()];
+    for v in tree.nodes() {
+        if tree.parent(v).is_some() {
+            let m = ramp_milli(depth[v.index()], cycle);
+            demand[v.index()] = 1 + u64::from(peak - 1) * m / 1000;
+        }
+    }
+    demand
+}
+
+/// Requests per hot/cold window of the [`TrafficModel::HotSpot`] key
+/// stream: long enough that a hot window visibly hammers its key, short
+/// enough that a bench of a few hundred requests sees several windows.
+const HOTSPOT_WINDOW: u64 = 32;
+
+/// Requests per full diurnal cycle of the [`TrafficModel::Diurnal`] key
+/// stream.
+const DIURNAL_CYCLE: u64 = 256;
+
+/// A deterministic cache-key stream: `rank(i)` is the key index of the
+/// `i`-th request, a pure function of `(model, pool, seed, i)` so
+/// concurrent connections can each walk their own slice of the stream.
+#[derive(Clone, Debug)]
+pub struct KeySampler {
+    model: TrafficModel,
+    pool: usize,
+    seed: u64,
+    /// Precomputed Zipf CDF (empty for other models).
+    cum: Vec<f64>,
+}
+
+impl KeySampler {
+    /// Number of distinct keys this stream draws from.
+    pub fn pool(&self) -> usize {
+        self.pool
+    }
+
+    /// The key index (in `0..pool`) of request `i`.
+    pub fn rank(&self, i: u64) -> usize {
+        let uniform = |x: u64| (splitmix64(self.seed ^ x) % self.pool as u64) as usize;
+        match self.model {
+            TrafficModel::Uniform | TrafficModel::Workload(_) => uniform(i),
+            TrafficModel::Zipf { .. } => {
+                let bits = splitmix64(self.seed ^ i);
+                let u = (bits >> 11) as f64 / (1u64 << 53) as f64;
+                self.cum.partition_point(|&c| c < u).min(self.pool - 1)
+            }
+            TrafficModel::HotSpot { share, .. } => {
+                let w = i / HOTSPOT_WINDOW;
+                let dice = splitmix64(self.seed ^ 0x1407_5B07 ^ w);
+                if dice % 100 < u64::from(share) {
+                    // A hot window: every request hits the window's key.
+                    (splitmix64(self.seed ^ w) % self.pool as u64) as usize
+                } else {
+                    uniform(i)
+                }
+            }
+            TrafficModel::Diurnal { periods, .. } => {
+                let t = i.wrapping_mul(u64::from(periods));
+                let m = ramp_milli(t, DIURNAL_CYCLE);
+                // The effective pool breathes between 1 key and all of
+                // them: daytime traffic is concentrated, nighttime flat.
+                let eff = 1 + (self.pool as u64 - 1) * m / 1000;
+                (splitmix64(self.seed ^ i) % eff) as usize
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xtree_trees::TreeFamily;
+
+    fn tree() -> BinaryTree {
+        TreeFamily::RandomBst.generate_seeded(200, 11)
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for m in TrafficModel::canonical() {
+            assert_eq!(TrafficModel::parse(&m.label()), Some(m), "{m:?}");
+        }
+        assert_eq!(
+            TrafficModel::parse("zipf"),
+            Some(TrafficModel::Zipf { s: DEFAULT_ZIPF_S })
+        );
+        assert_eq!(
+            TrafficModel::parse("hotspot:50:4"),
+            Some(TrafficModel::HotSpot { share: 50, mult: 4 })
+        );
+        assert_eq!(TrafficModel::parse("hotspot:0:4"), None);
+        assert_eq!(TrafficModel::parse("zipf:-1"), None);
+        assert_eq!(TrafficModel::parse("diurnal:0:8"), None);
+        assert_eq!(TrafficModel::parse("weird"), None);
+        assert_eq!(
+            TrafficModel::parse("broadcast"),
+            Some(TrafficModel::Workload(0))
+        );
+    }
+
+    #[test]
+    fn uniform_demand_is_all_ones_off_root() {
+        let t = tree();
+        let d = TrafficModel::Uniform.edge_demand(&t, 3);
+        assert_eq!(d.len(), t.len());
+        assert_eq!(d[t.root().index()], 0);
+        for v in t.nodes() {
+            if t.parent(v).is_some() {
+                assert_eq!(d[v.index()], 1);
+            }
+        }
+    }
+
+    #[test]
+    fn workload_demand_counts_real_messages() {
+        let t = tree();
+        // Broadcast and reduce cross every edge exactly once; exchange
+        // and dnc exactly twice.
+        for (idx, per_edge) in [(0u64, 1u64), (1, 1), (2, 2), (3, 2)] {
+            let d = TrafficModel::Workload(idx as usize).edge_demand(&t, 0);
+            for v in t.nodes() {
+                let want = if t.parent(v).is_some() { per_edge } else { 0 };
+                assert_eq!(d[v.index()], want, "workload {idx} node {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_demand_head_beats_tail() {
+        let t = tree();
+        let d = TrafficModel::Zipf { s: 1.1 }.edge_demand(&t, 9);
+        let max = d.iter().max().unwrap();
+        let min_edge = t
+            .nodes()
+            .filter(|&v| t.parent(v).is_some())
+            .map(|v| d[v.index()])
+            .min()
+            .unwrap();
+        assert_eq!(*max, 1000, "head edge carries the full unit");
+        assert!(min_edge >= 1, "tail never drops to zero");
+        assert!(*max / min_edge.max(1) >= 100, "three decades of skew");
+        // Deterministic in the seed.
+        assert_eq!(d, TrafficModel::Zipf { s: 1.1 }.edge_demand(&t, 9));
+        assert_ne!(d, TrafficModel::Zipf { s: 1.1 }.edge_demand(&t, 10));
+    }
+
+    #[test]
+    fn hotspot_demand_marks_a_subtree() {
+        let t = tree();
+        let model = TrafficModel::HotSpot {
+            share: 25,
+            mult: 16,
+        };
+        let d = model.edge_demand(&t, 4);
+        let hot: Vec<NodeId> = t.nodes().filter(|&v| d[v.index()] == 16).collect();
+        assert!(!hot.is_empty(), "someone must be hot");
+        // Hot nodes form one connected subtree: each hot node's parent is
+        // hot or is the subtree's crown.
+        let crowns: Vec<&NodeId> = hot
+            .iter()
+            .filter(|&&v| t.parent(v).map(|p| d[p.index()] != 16).unwrap_or(true))
+            .collect();
+        assert_eq!(crowns.len(), 1, "exactly one hot crown");
+        // Coverage is in the right ballpark: ≥ share% of nodes, not all.
+        assert!(hot.len() + 1 >= t.len() / 4, "hot covers ≈ share%");
+        assert!(hot.len() < t.len() - 1, "cold edges remain");
+    }
+
+    #[test]
+    fn diurnal_demand_stays_in_band_and_oscillates() {
+        let t = TreeFamily::Path.generate_seeded(100, 0);
+        let model = TrafficModel::Diurnal {
+            periods: 4,
+            peak: 8,
+        };
+        let d = model.edge_demand(&t, 0);
+        let edges: Vec<u64> = t
+            .nodes()
+            .filter(|&v| t.parent(v).is_some())
+            .map(|v| d[v.index()])
+            .collect();
+        assert!(edges.iter().all(|&w| (1..=8).contains(&w)));
+        assert!(edges.contains(&1), "trough reached");
+        assert!(edges.contains(&8), "peak reached");
+        // More than one cycle: the peak appears at several depths.
+        assert!(edges.iter().filter(|&&w| w == 8).count() >= 3);
+    }
+
+    #[test]
+    fn key_streams_are_deterministic_and_in_range() {
+        for m in TrafficModel::canonical() {
+            let a = m.key_sampler(64, 42);
+            let b = m.key_sampler(64, 42);
+            for i in 0..2000 {
+                let k = a.rank(i);
+                assert!(k < 64, "{m:?} rank {k}");
+                assert_eq!(k, b.rank(i), "{m:?} must be stateless");
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_keys_skew_toward_the_head() {
+        let s = TrafficModel::Zipf { s: 1.1 }.key_sampler(64, 7);
+        let mut counts = vec![0usize; 64];
+        for i in 0..4000 {
+            counts[s.rank(i)] += 1;
+        }
+        let head: usize = counts[..4].iter().sum();
+        let tail: usize = counts[32..].iter().sum();
+        assert!(
+            head > tail,
+            "top-4 keys ({head}) must out-draw the bottom half ({tail})"
+        );
+    }
+
+    #[test]
+    fn hotspot_keys_have_hot_windows() {
+        let s = TrafficModel::HotSpot {
+            share: 50,
+            mult: 16,
+        }
+        .key_sampler(64, 7);
+        // In a hot window all 32 requests agree on one key.
+        let hot_windows = (0..100u64)
+            .filter(|w| {
+                let base = w * HOTSPOT_WINDOW;
+                let first = s.rank(base);
+                (1..HOTSPOT_WINDOW).all(|j| s.rank(base + j) == first)
+            })
+            .count();
+        assert!(
+            (20..=80).contains(&hot_windows),
+            "≈50% of windows hot, saw {hot_windows}"
+        );
+    }
+
+    #[test]
+    fn diurnal_keys_breathe() {
+        let s = TrafficModel::Diurnal {
+            periods: 1,
+            peak: 8,
+        }
+        .key_sampler(64, 7);
+        // Troughs pin to key 0; peaks spread across the pool.
+        assert_eq!(s.rank(0), 0, "trough concentrates on one key");
+        let mid: Vec<usize> = (120..136).map(|i| s.rank(i)).collect();
+        assert!(
+            mid.iter().any(|&k| k >= 8),
+            "mid-cycle spreads out: {mid:?}"
+        );
+    }
+}

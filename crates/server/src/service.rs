@@ -10,8 +10,6 @@
 use crate::cache::{EmbeddingCache, EmbeddingKey};
 use crate::metrics::ServerMetrics;
 use crate::wire::{Request, Response, WireReport, ERR_BAD_REQUEST, ERR_INTERNAL, WORKLOAD_ALL};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Instant;
@@ -44,8 +42,7 @@ fn make_tree(family: u8, nodes: u64, seed: u64) -> Result<(TreeFamily, BinaryTre
             "nodes must be in 1..={MAX_NODES}, got {nodes}"
         )));
     }
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    Ok((fam, fam.generate(nodes as usize, &mut rng)))
+    Ok((fam, fam.generate_seeded(nodes as usize, seed)))
 }
 
 thread_local! {

@@ -53,8 +53,8 @@ pub use router::Router;
 pub use session::{RecoveryTotals, Session, SessionSnapshot, SessionStatus};
 pub use stats::{
     compute_load, congestion, simulate_all, simulate_all_faulted, simulate_all_faulted_with,
-    simulate_all_with, simulate_one_with, simulate_step, sweep, sweep_counted, FaultSimReport,
-    SimReport, StepReport,
+    simulate_all_with, simulate_one_with, simulate_step, sweep, sweep_counted, weighted_congestion,
+    FaultSimReport, SimReport, StepReport,
 };
 pub use workload::HostMap;
 pub use xtree_telemetry as telemetry;

@@ -76,6 +76,50 @@ pub fn congestion<M: workload::HostMap>(
     Ok(usage.into_iter().max().unwrap_or(0))
 }
 
+/// Traffic-weighted edge congestion: route every guest edge along the
+/// network's deterministic shortest path, accumulating that edge's
+/// communication *demand* on each directed host link it crosses, and
+/// return the hottest link's total. With all-ones demand this equals
+/// [`congestion`] — the pinned contract that keeps the two scores
+/// comparable. Demand is indexed by the child endpoint of each guest
+/// edge (`demand[v]` weights the edge `parent(v) → v`; the root's slot
+/// is ignored), the indexing `xtree_scenario` traffic models produce.
+///
+/// # Panics
+/// If `demand.len() != tree.len()` — a construction bug in the caller,
+/// not a data condition.
+///
+/// # Errors
+/// [`SimError::RouterInvariant`] if the network's router proposes a
+/// non-neighbour — a routing bug, reported instead of panicking.
+pub fn weighted_congestion<M: workload::HostMap>(
+    net: &Network,
+    tree: &BinaryTree,
+    emb: &M,
+    demand: &[u64],
+) -> Result<u64, SimError> {
+    assert_eq!(
+        demand.len(),
+        tree.len(),
+        "demand must have one weight per guest node (edge = node → parent)"
+    );
+    let mut usage = vec![0u64; net.graph().directed_edge_count()];
+    for (u, v) in tree.edges() {
+        let w = demand[v.index()];
+        let (mut at, dst) = (emb.host_of(u), emb.host_of(v));
+        while at != dst {
+            let next = net.next_hop(at, dst);
+            let e = net
+                .graph()
+                .directed_edge_index(at, next)
+                .ok_or(SimError::RouterInvariant { at, to: next })?;
+            usage[e as usize] += w;
+            at = next;
+        }
+    }
+    Ok(usage.into_iter().max().unwrap_or(0))
+}
+
 /// Maximum number of guest nodes mapped to one host processor — the
 /// paper's *load factor*, "the computation work which has to be done by a
 /// single processor of the X-tree network".
@@ -368,6 +412,54 @@ mod tests {
         let t = generate::path(15);
         let e = heap_order_embedding(&t, 3);
         assert!(congestion(&net, &t, &e).unwrap() >= 2);
+    }
+
+    #[test]
+    fn all_ones_demand_equals_unweighted_congestion() {
+        // The pinned contract: traffic weighting with unit demand is the
+        // plain congestion score, for every family and both host sizes.
+        for r in [3u8, 4] {
+            let x = XTree::new(r);
+            let net = Network::new(x.graph().clone()).unwrap();
+            for family in xtree_trees::TreeFamily::ALL {
+                let t = family.generate_seeded(generate::theorem1_size(r) / 16, 77);
+                let e = heap_order_embedding(&t, r);
+                let ones = vec![1u64; t.len()];
+                assert_eq!(
+                    weighted_congestion(&net, &t, &e, &ones).unwrap(),
+                    u64::from(congestion(&net, &t, &e).unwrap()),
+                    "family {family:?} r {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_congestion_scales_with_demand() {
+        let x = XTree::new(3);
+        let net = Network::new(x.graph().clone()).unwrap();
+        let t = generate::path(15);
+        let e = heap_order_embedding(&t, 3);
+        let ones = vec![1u64; t.len()];
+        let tens = vec![10u64; t.len()];
+        assert_eq!(
+            weighted_congestion(&net, &t, &e, &tens).unwrap(),
+            10 * weighted_congestion(&net, &t, &e, &ones).unwrap()
+        );
+    }
+
+    #[test]
+    fn hot_edge_dominates_weighted_score() {
+        // Put all the demand on one deep edge: the weighted score must
+        // track that edge's path, not the structurally hottest link.
+        let x = XTree::new(3);
+        let net = Network::new(x.graph().clone()).unwrap();
+        let t = generate::path(15);
+        let e = heap_order_embedding(&t, 3);
+        let mut demand = vec![1u64; t.len()];
+        demand[14] = 1000;
+        let got = weighted_congestion(&net, &t, &e, &demand).unwrap();
+        assert!(got >= 1000, "hot edge must show: {got}");
     }
 
     #[test]

@@ -7,7 +7,13 @@
 
 use crate::tree::{BinaryTree, NodeId};
 use rand::seq::IndexedRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Default lean of [`TreeFamily::Skewed`]: noticeably deeper than the
+/// random models, not yet a path (the [`TreeFamily::Leaning`] preset sits
+/// at 224).
+pub const DEFAULT_SKEW_BIAS: u8 = 240;
 
 /// The tree families used across the experiment sweeps.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -22,8 +28,8 @@ pub enum TreeFamily {
     /// A long path ending in a complete binary tree — sweeps from the
     /// path extreme to the bushy extreme inside one tree.
     Broom,
-    /// Random binary search tree shape: insert a uniformly random
-    /// permutation into a BST.
+    /// Random binary search tree shape: recursive uniform budget splits,
+    /// distribution-equivalent to inserting a random permutation.
     RandomBst,
     /// Random attachment: repeatedly attach a new leaf to a uniformly
     /// chosen node that still has a free child slot.
@@ -35,11 +41,33 @@ pub enum TreeFamily {
     /// Biased attachment leaning hard toward the most recent slot
     /// (lean 224/256): long vine-like runs with occasional branching.
     Leaning,
+    /// Perfectly height-balanced: every budget is split as evenly as
+    /// possible, so the height is exactly `⌈log2(n+1)⌉ − 1`.
+    Balanced,
+    /// Uniformly random over *all* binary-tree shapes with `n` nodes
+    /// (each of the `Catalan(n)` shapes equally likely), via Rémy's
+    /// algorithm on `n + 1` leaves and the leaf-contraction bijection.
+    UniformRandom,
+    /// Literal insertion-order BST: a seeded uniform permutation is
+    /// inserted key by key, so the shape is checkable against a reference
+    /// insertion of the same permutation (unlike [`Self::RandomBst`],
+    /// which only matches in distribution).
+    BstInsertion,
+    /// Biased attachment with a configurable lean `bias`/256 toward the
+    /// most recent open slot — the generalisation of [`Self::Leaning`],
+    /// sweeping from bushy (`bias = 0`) to a path (`bias = 255`).
+    Skewed {
+        /// Probability (out of 256) of attaching at the newest slot.
+        bias: u8,
+    },
 }
 
 impl TreeFamily {
-    /// All families, for sweep loops.
-    pub const ALL: [TreeFamily; 8] = [
+    /// All families, for sweep loops. The order is a wire/cache contract:
+    /// `family` bytes in the serving protocol index this array, so new
+    /// entries are only ever appended ([`Self::Skewed`] appears with its
+    /// default bias).
+    pub const ALL: [TreeFamily; 12] = [
         TreeFamily::Path,
         TreeFamily::LeftComplete,
         TreeFamily::Caterpillar,
@@ -48,9 +76,16 @@ impl TreeFamily {
         TreeFamily::RandomAttach,
         TreeFamily::RandomSplit,
         TreeFamily::Leaning,
+        TreeFamily::Balanced,
+        TreeFamily::UniformRandom,
+        TreeFamily::BstInsertion,
+        TreeFamily::Skewed {
+            bias: DEFAULT_SKEW_BIAS,
+        },
     ];
 
-    /// Short machine-readable name for report rows.
+    /// Short machine-readable name for report rows. Parameters are not
+    /// encoded — see [`Self::label`] for the round-trippable form.
     pub fn name(self) -> &'static str {
         match self {
             TreeFamily::Path => "path",
@@ -61,7 +96,30 @@ impl TreeFamily {
             TreeFamily::RandomAttach => "random-attach",
             TreeFamily::RandomSplit => "random-split",
             TreeFamily::Leaning => "leaning",
+            TreeFamily::Balanced => "balanced",
+            TreeFamily::UniformRandom => "uniform",
+            TreeFamily::BstInsertion => "bst-insertion",
+            TreeFamily::Skewed { .. } => "skewed",
         }
+    }
+
+    /// Round-trippable label: [`Self::name`] plus parameters
+    /// (`skewed:200`), accepted back by [`Self::parse`].
+    pub fn label(self) -> String {
+        match self {
+            TreeFamily::Skewed { bias } => format!("skewed:{bias}"),
+            other => other.name().to_string(),
+        }
+    }
+
+    /// Parses a family label: any [`Self::name`], or `skewed:<bias>` with
+    /// a bias in `0..=255` (`skewed` alone uses [`DEFAULT_SKEW_BIAS`]).
+    pub fn parse(s: &str) -> Option<TreeFamily> {
+        if let Some(found) = Self::ALL.into_iter().find(|f| f.name() == s) {
+            return Some(found);
+        }
+        let bias = s.strip_prefix("skewed:")?.parse().ok()?;
+        Some(TreeFamily::Skewed { bias })
     }
 
     /// Generates a tree of this family with exactly `n ≥ 1` nodes.
@@ -75,7 +133,19 @@ impl TreeFamily {
             TreeFamily::RandomAttach => random_attach(n, rng),
             TreeFamily::RandomSplit => random_split(n, rng),
             TreeFamily::Leaning => random_leaning(n, 224, rng),
+            TreeFamily::Balanced => balanced(n),
+            TreeFamily::UniformRandom => uniform_random(n, rng),
+            TreeFamily::BstInsertion => bst_insertion(n, rng),
+            TreeFamily::Skewed { bias } => random_leaning(n, bias, rng),
         }
+    }
+
+    /// The canonical seeded generation path: every CLI flag, bench
+    /// workload, and serving-layer request that turns `(family, n, seed)`
+    /// into a tree goes through here, so a given triple means the same
+    /// tree everywhere.
+    pub fn generate_seeded(self, n: usize, seed: u64) -> BinaryTree {
+        self.generate(n, &mut ChaCha8Rng::seed_from_u64(seed))
     }
 }
 
@@ -275,19 +345,16 @@ pub fn random_leaning<R: Rng + ?Sized>(n: usize, lean: u8, rng: &mut R) -> Binar
     t
 }
 
-/// Uniformly random *full* binary tree (every node has 0 or 2 children)
-/// with `leaves` leaves — `2·leaves − 1` nodes — via **Rémy's algorithm**:
-/// repeatedly pick a uniform node (or the root position), splice a new
-/// internal node above it, and hang a fresh leaf on a uniform side. Each
-/// of the `Catalan(leaves−1)` shapes is produced with equal probability.
-pub fn remy_full<R: Rng + ?Sized>(leaves: usize, rng: &mut R) -> BinaryTree {
-    assert!(leaves >= 1);
-    // Work on a parent/child scratch representation that allows splicing,
-    // then convert to the arena form.
+/// The Rémy scaffold shared by [`remy_full`] and [`uniform_random`]: the
+/// parent/child scratch arrays of a uniformly random full binary tree
+/// with `leaves` leaves (`2·leaves − 1` nodes).
+fn remy_scaffold<R: Rng + ?Sized>(
+    leaves: usize,
+    rng: &mut R,
+) -> (Vec<Option<usize>>, Vec<[Option<usize>; 2]>) {
     let n = 2 * leaves - 1;
     let mut parent: Vec<Option<usize>> = vec![None; n];
     let mut used = 1usize; // node 0 is the initial single leaf / root
-    let mut root = 0usize;
     let mut children: Vec<[Option<usize>; 2]> = vec![[None, None]; n];
     for _ in 1..leaves {
         // Pick a uniform existing node to graft above.
@@ -297,16 +364,13 @@ pub fn remy_full<R: Rng + ?Sized>(leaves: usize, rng: &mut R) -> BinaryTree {
         used += 2;
         let side = rng.random_range(0..2usize);
         // Splice `internal` into target's parent slot.
-        match parent[target] {
-            None => root = internal,
-            Some(p) => {
-                let slot = children[p]
-                    .iter()
-                    .position(|&c| c == Some(target))
-                    .expect("consistent links");
-                children[p][slot] = Some(internal);
-                parent[internal] = Some(p);
-            }
+        if let Some(p) = parent[target] {
+            let slot = children[p]
+                .iter()
+                .position(|&c| c == Some(target))
+                .expect("consistent links");
+            children[p][slot] = Some(internal);
+            parent[internal] = Some(p);
         }
         children[internal][side] = Some(target);
         children[internal][1 - side] = Some(leaf);
@@ -314,8 +378,114 @@ pub fn remy_full<R: Rng + ?Sized>(leaves: usize, rng: &mut R) -> BinaryTree {
         parent[leaf] = Some(internal);
     }
     debug_assert_eq!(used, n);
-    let _ = root;
+    (parent, children)
+}
+
+/// Uniformly random *full* binary tree (every node has 0 or 2 children)
+/// with `leaves` leaves — `2·leaves − 1` nodes — via **Rémy's algorithm**:
+/// repeatedly pick a uniform node (or the root position), splice a new
+/// internal node above it, and hang a fresh leaf on a uniform side. Each
+/// of the `Catalan(leaves−1)` shapes is produced with equal probability.
+pub fn remy_full<R: Rng + ?Sized>(leaves: usize, rng: &mut R) -> BinaryTree {
+    assert!(leaves >= 1);
+    let (parent, _) = remy_scaffold(leaves, rng);
     BinaryTree::from_parents(&parent)
+}
+
+/// Uniformly random binary tree with exactly `n` nodes: each of the
+/// `Catalan(n)` shapes is equally likely. Uses the classic bijection —
+/// a uniform *full* tree with `n + 1` leaves (Rémy), with the leaves
+/// contracted away, is a uniform binary tree on the `n` internal nodes.
+pub fn uniform_random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> BinaryTree {
+    assert!(n >= 1);
+    let (parent, children) = remy_scaffold(n + 1, rng);
+    // Internal nodes (those with children) survive; the parent of an
+    // internal node is always internal, so they form a tree by themselves.
+    let mut new_id = vec![usize::MAX; parent.len()];
+    let mut next = 0usize;
+    for (v, kids) in children.iter().enumerate() {
+        if kids[0].is_some() {
+            new_id[v] = next;
+            next += 1;
+        }
+    }
+    debug_assert_eq!(next, n);
+    let mut contracted = vec![None; n];
+    for (v, &p) in parent.iter().enumerate() {
+        if new_id[v] != usize::MAX {
+            contracted[new_id[v]] = p.map(|p| new_id[p]);
+        }
+    }
+    BinaryTree::from_parents(&contracted)
+}
+
+/// Perfectly height-balanced tree: every node budget is split as evenly
+/// as possible (left gets the larger half), so the height is exactly
+/// `⌈log2(n + 1)⌉ − 1` and sibling subtrees differ by at most one node.
+pub fn balanced(n: usize) -> BinaryTree {
+    assert!(n >= 1);
+    let mut t = BinaryTree::singleton();
+    let mut stack = vec![(t.root(), n - 1)];
+    while let Some((v, budget)) = stack.pop() {
+        if budget == 0 {
+            continue;
+        }
+        let left = budget - budget / 2;
+        let right = budget / 2;
+        let c = t.add_child(v);
+        stack.push((c, left - 1));
+        if right > 0 {
+            let c = t.add_child(v);
+            stack.push((c, right - 1));
+        }
+    }
+    t
+}
+
+/// A uniformly random permutation of `0..n`, by Fisher–Yates. Exposed so
+/// tests can replay the exact permutation [`bst_insertion`] consumed.
+pub fn random_permutation<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// The BST shape of inserting `keys` in order (duplicates go right).
+/// Node `i` of the result is the `i`-th inserted key, so the shape is a
+/// pure function of the key sequence — the reference the insertion-order
+/// family is pinned against.
+pub fn bst_shape(keys: &[u32]) -> BinaryTree {
+    assert!(!keys.is_empty());
+    let mut parent: Vec<Option<usize>> = vec![None; keys.len()];
+    // (left child, right child) per node, walked like a real BST insert.
+    let mut kids: Vec<[Option<usize>; 2]> = vec![[None, None]; keys.len()];
+    for (i, &key) in keys.iter().enumerate().skip(1) {
+        let mut at = 0usize;
+        loop {
+            let side = usize::from(key >= keys[at]);
+            match kids[at][side] {
+                Some(next) => at = next,
+                None => {
+                    kids[at][side] = Some(i);
+                    parent[i] = Some(at);
+                    break;
+                }
+            }
+        }
+    }
+    BinaryTree::from_parents(&parent)
+}
+
+/// Literal insertion-order BST: draws a uniform permutation of `0..n`
+/// with [`random_permutation`] and inserts it with [`bst_shape`]. Same
+/// distribution as [`random_bst`], but per-seed checkable against a
+/// reference insertion.
+pub fn bst_insertion<R: Rng + ?Sized>(n: usize, rng: &mut R) -> BinaryTree {
+    assert!(n >= 1);
+    bst_shape(&random_permutation(n, rng))
 }
 
 /// Picks a uniformly random node of `t`.
@@ -476,6 +646,133 @@ mod tests {
             (expect * 8 / 10..=expect * 12 / 10).contains(&over_root),
             "graft-over-root count {over_root}, expected ≈ {expect}"
         );
+    }
+
+    #[test]
+    fn balanced_height_is_optimal() {
+        for n in [1usize, 2, 3, 4, 7, 10, 15, 16, 100, 1023, 1024] {
+            let t = balanced(n);
+            t.validate();
+            assert_eq!(t.len(), n);
+            // `⌈log2(n+1)⌉ − 1`, with ⌈log2 m⌉ = trailing_zeros(next_pow2(m)).
+            let want = (n + 1).next_power_of_two().trailing_zeros() as usize - 1;
+            assert_eq!(t.height(), want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn balanced_subtrees_differ_by_at_most_one() {
+        let t = balanced(500);
+        let sizes = t.subtree_sizes();
+        for v in t.nodes() {
+            let kids = t.children(v);
+            let (l, r) = match kids.as_slice() {
+                [l, r] => (sizes[l.index()], sizes[r.index()]),
+                [l] => (sizes[l.index()], 0),
+                _ => continue,
+            };
+            assert!(l >= r && l - r <= 1, "node {v:?}: {l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn uniform_random_exact_sizes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        for n in [1usize, 2, 3, 5, 10, 100, 777] {
+            let t = uniform_random(n, &mut rng);
+            assert_eq!(t.len(), n);
+            t.validate();
+        }
+    }
+
+    #[test]
+    fn uniform_random_matches_catalan_statistics() {
+        // n = 3 has Catalan(3) = 5 ordered shapes: one balanced, four
+        // chains. Uniform over ordered shapes ⇒ the balanced one appears
+        // with probability exactly 1/5.
+        let mut rng = ChaCha8Rng::seed_from_u64(43);
+        let trials = 5000;
+        let mut bal = 0usize;
+        for _ in 0..trials {
+            let t = uniform_random(3, &mut rng);
+            if t.children(t.root()).len() == 2 {
+                bal += 1;
+            }
+        }
+        let expect = trials / 5;
+        assert!(
+            (expect * 8 / 10..=expect * 12 / 10).contains(&bal),
+            "balanced count {bal}, expected ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn bst_insertion_matches_reference_insertion() {
+        for seed in 0..10u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let t = bst_insertion(200, &mut rng);
+            // Replay the same permutation and insert it naively.
+            let perm = random_permutation(200, &mut ChaCha8Rng::seed_from_u64(seed));
+            let r = bst_shape(&perm);
+            for v in t.nodes() {
+                assert_eq!(t.parent(v), r.parent(v), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn bst_shape_sorted_keys_make_a_path() {
+        let keys: Vec<u32> = (0..50).collect();
+        let t = bst_shape(&keys);
+        assert_eq!(t.height(), 49);
+        assert_eq!(t.leaf_count(), 1);
+    }
+
+    #[test]
+    fn skewed_family_bias_sweeps_depth() {
+        let shallow = TreeFamily::Skewed { bias: 0 }.generate_seeded(300, 9);
+        let deep = TreeFamily::Skewed { bias: 255 }.generate_seeded(300, 9);
+        assert_eq!(deep.height(), 299);
+        assert!(shallow.height() < 150);
+    }
+
+    #[test]
+    fn parse_round_trips_every_family() {
+        for f in TreeFamily::ALL {
+            assert_eq!(TreeFamily::parse(&f.label()), Some(f), "{f:?}");
+            assert_eq!(TreeFamily::parse(f.name()), Some(f), "{f:?}");
+        }
+        assert_eq!(
+            TreeFamily::parse("skewed:13"),
+            Some(TreeFamily::Skewed { bias: 13 })
+        );
+        assert_eq!(
+            TreeFamily::parse("skewed"),
+            Some(TreeFamily::Skewed {
+                bias: DEFAULT_SKEW_BIAS
+            })
+        );
+        assert_eq!(TreeFamily::parse("skewed:300"), None);
+        assert_eq!(TreeFamily::parse("no-such"), None);
+    }
+
+    #[test]
+    fn generate_seeded_matches_manual_rng() {
+        let a = TreeFamily::UniformRandom.generate_seeded(97, 5);
+        let b = TreeFamily::UniformRandom.generate(97, &mut ChaCha8Rng::seed_from_u64(5));
+        for v in a.nodes() {
+            assert_eq!(a.parent(v), b.parent(v));
+        }
+    }
+
+    #[test]
+    fn wire_indices_are_stable() {
+        // The serving protocol indexes ALL by byte; the first eight
+        // entries are frozen (old clients), new ones only append.
+        assert_eq!(TreeFamily::ALL[4], TreeFamily::RandomBst);
+        assert_eq!(TreeFamily::ALL[7], TreeFamily::Leaning);
+        assert_eq!(TreeFamily::ALL[8], TreeFamily::Balanced);
+        assert_eq!(TreeFamily::ALL[11].name(), "skewed");
     }
 
     #[test]

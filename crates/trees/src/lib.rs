@@ -12,7 +12,7 @@ pub mod paramtest;
 pub mod separator;
 pub mod tree;
 
-pub use generate::{theorem1_size, theorem3_size, TreeFamily};
+pub use generate::{theorem1_size, theorem3_size, TreeFamily, DEFAULT_SKEW_BIAS};
 pub use separator::{
     check_separation, find1, lemma1, lemma1_with, lemma2, lemma2_with, Orientation, Separation,
     SeparatorScratch,

@@ -1,0 +1,240 @@
+//! Parametric shape invariants for every [`TreeFamily`], on the
+//! printed-seed harness ([`xtree_trees::paramtest`]): each iteration draws
+//! a size and checks the family's structural contract — the path is a
+//! chain of depth `n − 1`, the balanced family hits exactly
+//! `⌈log2(n + 1)⌉ − 1`, the insertion-order BST reproduces a naive
+//! reference insertion of the same permutation, and so on. Every family
+//! also round-trips through [`TreeFamily::parse`] and regenerates
+//! byte-identically from the same `(n, seed)` via `generate_seeded` — the
+//! contract the CLI, benches, and serving layer all lean on.
+//!
+//! A failing iteration reproduces with
+//! `XTREE_PARAM_SEED=<seed> cargo test -p xtree-trees --test
+//! param_families <name>`.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use xtree_trees::generate::{self, DEFAULT_SKEW_BIAS};
+use xtree_trees::paramtest::start_parametric_test;
+use xtree_trees::{BinaryTree, TreeFamily};
+
+const ITERS: usize = 128;
+
+/// Depth of every node (root = 0), walked parent-first in preorder.
+fn depths(t: &BinaryTree) -> Vec<usize> {
+    let mut d = vec![0usize; t.len()];
+    for v in t.preorder() {
+        if let Some(p) = t.parent(v) {
+            d[v.index()] = d[p.index()] + 1;
+        }
+    }
+    d
+}
+
+fn depth(t: &BinaryTree) -> usize {
+    depths(t).into_iter().max().unwrap_or(0)
+}
+
+/// The parent vector — the whole shape, used to compare trees for
+/// byte-identity ([`BinaryTree`] itself carries no `PartialEq`).
+fn parents(t: &BinaryTree) -> Vec<Option<usize>> {
+    t.nodes().map(|v| t.parent(v).map(|p| p.index())).collect()
+}
+
+fn draw_n(rng: &mut ChaCha8Rng) -> usize {
+    rng.random_range(1..600)
+}
+
+#[test]
+fn every_family_is_sized_valid_and_seed_deterministic() {
+    start_parametric_test(
+        "every_family_is_sized_valid_and_seed_deterministic",
+        &[],
+        ITERS,
+        |rng| {
+            let n = draw_n(rng);
+            let seed = rng.next_u64();
+            for family in TreeFamily::ALL {
+                let t = family.generate_seeded(n, seed);
+                assert_eq!(t.len(), n, "{family:?} must hit the exact size");
+                t.validate();
+                let again = family.generate_seeded(n, seed);
+                assert_eq!(
+                    parents(&t),
+                    parents(&again),
+                    "{family:?} must regenerate byte-identically from (n, seed)"
+                );
+                assert_eq!(
+                    TreeFamily::parse(&family.label()),
+                    Some(family),
+                    "{family:?} label must round-trip through parse"
+                );
+            }
+        },
+    );
+}
+
+#[test]
+fn path_family_is_a_chain() {
+    start_parametric_test("path_family_is_a_chain", &[], ITERS, |rng| {
+        let n = draw_n(rng);
+        let t = TreeFamily::Path.generate_seeded(n, rng.next_u64());
+        assert_eq!(depth(&t), n - 1, "a path of {n} nodes has depth n − 1");
+        assert!(t.nodes().all(|v| t.children(v).len() <= 1));
+    });
+}
+
+#[test]
+fn complete_family_is_heap_shaped() {
+    start_parametric_test("complete_family_is_heap_shaped", &[], ITERS, |rng| {
+        let n = draw_n(rng);
+        let t = TreeFamily::LeftComplete.generate_seeded(n, rng.next_u64());
+        for v in t.nodes() {
+            let i = v.index();
+            assert_eq!(
+                t.parent(v).map(|p| p.index()),
+                if i == 0 { None } else { Some((i - 1) / 2) },
+                "node {i} must sit at its heap slot"
+            );
+        }
+    });
+}
+
+#[test]
+fn caterpillar_internal_nodes_form_a_spine() {
+    start_parametric_test(
+        "caterpillar_internal_nodes_form_a_spine",
+        &[],
+        ITERS,
+        |rng| {
+            let n = draw_n(rng);
+            let t = TreeFamily::Caterpillar.generate_seeded(n, rng.next_u64());
+            // Contracting the leaves must leave a path: every internal
+            // node has at most one internal child.
+            for v in t.nodes() {
+                let internal_kids = t
+                    .children(v)
+                    .into_iter()
+                    .filter(|&c| !t.children(c).is_empty())
+                    .count();
+                assert!(
+                    internal_kids <= 1,
+                    "caterpillar spine must be a path (node {} branches)",
+                    v.index()
+                );
+            }
+        },
+    );
+}
+
+#[test]
+fn balanced_family_has_minimum_depth_and_even_splits() {
+    start_parametric_test(
+        "balanced_family_has_minimum_depth_and_even_splits",
+        &[],
+        ITERS,
+        |rng| {
+            let n = draw_n(rng);
+            let t = TreeFamily::Balanced.generate_seeded(n, rng.next_u64());
+            // ⌈log2(n + 1)⌉ − 1, with the n = 1 root-only tree at depth 0.
+            let want = ((n + 1).next_power_of_two().trailing_zeros() as usize).saturating_sub(1);
+            assert_eq!(
+                depth(&t),
+                want,
+                "balanced tree of {n} nodes must have depth ⌈log2(n + 1)⌉ − 1"
+            );
+            // Sibling subtrees differ by at most one node everywhere.
+            let sizes = t.subtree_sizes();
+            for v in t.nodes() {
+                let kids = t.children(v);
+                if let [a, b] = kids[..] {
+                    let (sa, sb) = (sizes[a.index()], sizes[b.index()]);
+                    assert!(
+                        sa.abs_diff(sb) <= 1,
+                        "siblings under node {} differ by {}",
+                        v.index(),
+                        sa.abs_diff(sb)
+                    );
+                }
+            }
+        },
+    );
+}
+
+/// Naive O(n²) reference BST insertion: node `i` is the `i`-th key.
+fn reference_bst(keys: &[u32]) -> Vec<Option<usize>> {
+    let mut parent = vec![None; keys.len()];
+    let mut left = vec![None; keys.len()];
+    let mut right = vec![None; keys.len()];
+    for i in 1..keys.len() {
+        let mut at = 0usize;
+        loop {
+            let slot = if keys[i] < keys[at] {
+                &mut left[at]
+            } else {
+                &mut right[at]
+            };
+            match *slot {
+                Some(next) => at = next,
+                None => {
+                    *slot = Some(i);
+                    parent[i] = Some(at);
+                    break;
+                }
+            }
+        }
+    }
+    parent
+}
+
+#[test]
+fn bst_insertion_matches_reference_insertion() {
+    start_parametric_test(
+        "bst_insertion_matches_reference_insertion",
+        &[],
+        ITERS,
+        |rng| {
+            let n = draw_n(rng);
+            let seed = rng.next_u64();
+            let t = TreeFamily::BstInsertion.generate_seeded(n, seed);
+            // The family consumes exactly one permutation from the seeded
+            // stream; replay it and insert naively.
+            let perm = generate::random_permutation(n, &mut ChaCha8Rng::seed_from_u64(seed));
+            let reference = reference_bst(&perm);
+            for v in t.nodes() {
+                assert_eq!(
+                    t.parent(v).map(|p| p.index()),
+                    reference[v.index()],
+                    "node {} must hang where a real BST insert puts key {}",
+                    v.index(),
+                    perm[v.index()]
+                );
+            }
+        },
+    );
+}
+
+#[test]
+fn skewed_family_generalises_leaning() {
+    start_parametric_test("skewed_family_generalises_leaning", &[], ITERS, |rng| {
+        let n = draw_n(rng);
+        let seed = rng.next_u64();
+        // The legacy `leaning` family is exactly bias 224 of the sweep.
+        assert_eq!(
+            parents(&TreeFamily::Skewed { bias: 224 }.generate_seeded(n, seed)),
+            parents(&TreeFamily::Leaning.generate_seeded(n, seed)),
+            "skewed:224 must reproduce the leaning family byte for byte"
+        );
+        // The wire slot ALL[11] carries the default bias.
+        assert_eq!(
+            parents(
+                &TreeFamily::Skewed {
+                    bias: DEFAULT_SKEW_BIAS
+                }
+                .generate_seeded(n, seed)
+            ),
+            parents(&TreeFamily::ALL[11].generate_seeded(n, seed)),
+            "ALL[11] must carry the default bias"
+        );
+    });
+}
