@@ -170,6 +170,8 @@ fn shard_config() -> ServerConfig {
         workers: 2,
         queue_cap: 64,
         cache_cap: 256,
+        io_timeout: None,
+        chaos: None,
     }
 }
 

@@ -26,6 +26,15 @@
 //! `--seed N` moves every request stream (default = the historical
 //! constant, DESIGN.md §15).
 //!
+//! Resilience knobs: `--deadline-ms T` runs every request under a
+//! deadline budget (expired budgets come back as typed `ERR_DEADLINE`,
+//! counted, never hung); `--chaos-seed S [--chaos-profile P]` wraps every
+//! *client-side* connection in the seeded chaos transport, so the driver
+//! itself delivers delays, short reads, corruption, and resets;
+//! `--allow-typed-errors` switches the drive loop from "any failure
+//! panics" to "every failure must land in a typed bucket" — the
+//! invariant being that nothing is ever unclassified.
+//!
 //! Both modes report throughput, client-side p50/p95/p99 latency, and
 //! the cache hit rate per (distribution, pool size), and write
 //! `results/BENCH_server.json`. `--smoke` shrinks the workload and
@@ -34,12 +43,14 @@
 //! Run with: cargo run --release -p xtree-bench --bin loadgen
 
 use std::net::SocketAddr;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use xtree_bench::seeded_batches;
 use xtree_json::Value;
 use xtree_scenario::TrafficModel;
 use xtree_server::{
-    Client, Request, Response, Router, RouterConfig, Server, ServerConfig, WireStats,
+    ChaosPlan, ChaosProfile, Client, ReconnectPolicy, Request, Response, Router, RouterConfig,
+    Server, ServerConfig, WireStats, ERR_BAD_REQUEST, ERR_DEADLINE, ERR_EXHAUSTED,
+    ERR_SHUTTING_DOWN, ERR_UNREACHABLE,
 };
 
 /// Key pool: `random-bst` in `TreeFamily::ALL`.
@@ -75,6 +86,13 @@ struct Opts {
     /// Shard count for the `--via-router` phase (`None` = skip it).
     via_router: Option<usize>,
     out: String,
+    /// Client-side seeded fault injection (`--chaos-seed`).
+    chaos_seed: Option<u64>,
+    chaos_profile: String,
+    /// Per-request deadline budget (`--deadline-ms`).
+    deadline_ms: Option<u64>,
+    /// Tolerate failures as long as every one lands in a typed bucket.
+    allow_typed_errors: bool,
 }
 
 impl Opts {
@@ -88,6 +106,34 @@ impl Opts {
     fn traffic_pool(&self) -> u64 {
         self.key_pool.unwrap_or(DEFAULT_TRAFFIC_POOL)
     }
+
+    /// How the drive loop should ride over trouble, from the resilience
+    /// flags.
+    fn resilience(&self) -> Resilience {
+        let chaos = self.chaos_seed.map(|seed| {
+            let profile = ChaosProfile::parse(&self.chaos_profile)
+                .unwrap_or_else(|e| panic!("--chaos-profile: {e}"));
+            ChaosPlan::new(seed, profile)
+        });
+        Resilience {
+            chaos,
+            deadline: self.deadline_ms.map(Duration::from_millis),
+            tolerant: self.allow_typed_errors || chaos.is_some() || self.deadline_ms.is_some(),
+        }
+    }
+}
+
+/// The drive loop's failure posture: which chaos plan wraps the client
+/// sockets, what deadline budget each request carries, and whether typed
+/// failures are survivable or fatal.
+#[derive(Clone, Copy, Default)]
+struct Resilience {
+    chaos: Option<ChaosPlan>,
+    deadline: Option<Duration>,
+    /// `false` = historical behavior (any failure panics); `true` = every
+    /// failure must classify into a typed bucket, and the phase asserts
+    /// zero *unclassified* errors instead of zero errors.
+    tolerant: bool,
 }
 
 fn parse_opts() -> Opts {
@@ -101,6 +147,10 @@ fn parse_opts() -> Opts {
         seed: DEFAULT_SEED,
         via_router: None,
         out: "results/BENCH_server.json".to_string(),
+        chaos_seed: None,
+        chaos_profile: "medium".to_string(),
+        deadline_ms: None,
+        allow_typed_errors: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -136,6 +186,16 @@ fn parse_opts() -> Opts {
                 opts.via_router = Some(m);
             }
             "--out" => opts.out = value("--out"),
+            "--chaos-seed" => {
+                opts.chaos_seed = Some(value("--chaos-seed").parse().expect("--chaos-seed"));
+            }
+            "--chaos-profile" => opts.chaos_profile = value("--chaos-profile"),
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms").parse().expect("--deadline-ms");
+                assert!(ms >= 1, "--deadline-ms needs at least 1ms");
+                opts.deadline_ms = Some(ms);
+            }
+            "--allow-typed-errors" => opts.allow_typed_errors = true,
             "--smoke" => opts.smoke = true,
             other => panic!("unknown argument: {other}"),
         }
@@ -181,12 +241,36 @@ impl KeyDist {
     }
 }
 
+/// Per-connection tally of where every request landed. Buckets are
+/// mutually exclusive; `unclassified` is the one that must stay zero.
+#[derive(Default)]
+struct Tally {
+    ok: usize,
+    overloaded: usize,
+    /// Typed `ERR_DEADLINE`: the budget died before an answer.
+    deadline: usize,
+    /// Typed `ERR_UNREACHABLE`/`ERR_EXHAUSTED`/`ERR_SHUTTING_DOWN`.
+    unavailable: usize,
+    /// Transport failures surviving the retry budget (refused / reset /
+    /// timed out / closed), tolerated only under chaos or a deadline.
+    transport: usize,
+    /// Stream desync from injected byte corruption: a frame that decoded
+    /// to garbage, or the peer bouncing our garbled bytes.
+    corrupted: usize,
+    /// Anything else — asserted zero in every mode.
+    unclassified: usize,
+}
+
 /// What one phase of driving measured, client side plus server stats.
 struct Phase {
     name: String,
     requests: usize,
     ok: usize,
     overloaded: usize,
+    deadline: usize,
+    unavailable: usize,
+    transport: usize,
+    corrupted: usize,
     errors: usize,
     wall_s: f64,
     p50_us: u64,
@@ -215,6 +299,10 @@ impl Phase {
             .with("requests", self.requests)
             .with("ok", self.ok)
             .with("overloaded", self.overloaded)
+            .with("deadline_rejected", self.deadline)
+            .with("unavailable", self.unavailable)
+            .with("transport_errors", self.transport)
+            .with("corrupted", self.corrupted)
             .with("errors", self.errors)
             .with("wall_s", self.wall_s)
             .with("throughput_rps", self.throughput_rps())
@@ -285,6 +373,84 @@ fn quantile(sorted: &[u64], q: f64) -> u64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
+/// One connection's request loop. In the historical (intolerant) mode any
+/// failure panics, exactly as before. In tolerant mode — chaos, a
+/// deadline budget, or `--allow-typed-errors` — every outcome must land
+/// in a typed [`Tally`] bucket: transport failures ride the retrying
+/// client, decode errors and bounced garbage reconnect (the stream is
+/// desynced), and only genuinely unexplained outcomes count as
+/// `unclassified`.
+fn drive_conn(
+    conn: usize,
+    addr: SocketAddr,
+    reqs: Vec<Request>,
+    resil: &Resilience,
+) -> (Tally, Vec<u64>) {
+    let chaos_conn = resil.chaos.map(|plan| plan.conn(conn as u64));
+    let mut client = loop {
+        match Client::connect_with_chaos(addr, chaos_conn.clone()) {
+            Ok(c) => break c,
+            // An injected connect refusal; the fault is consumed, dial again.
+            Err(_) if chaos_conn.is_some() => continue,
+            Err(e) => panic!("connect: {e}"),
+        }
+    };
+    let policy = ReconnectPolicy::default();
+    let mut tally = Tally::default();
+    let mut latencies = Vec::with_capacity(reqs.len());
+    for req in reqs {
+        let sent = Instant::now();
+        let result = client.call_retrying_deadline(&req, &policy, resil.deadline);
+        latencies.push(sent.elapsed().as_micros() as u64);
+        if !resil.tolerant {
+            match result.expect("call") {
+                Response::EmbedOk { .. } | Response::SimulateOk { .. } => tally.ok += 1,
+                Response::Overloaded { .. } => tally.overloaded += 1,
+                other => {
+                    tally.unclassified += 1;
+                    eprintln!("loadgen: unexpected response: {other:?}");
+                }
+            }
+            continue;
+        }
+        match result {
+            Ok(Response::EmbedOk { .. } | Response::SimulateOk { .. }) => tally.ok += 1,
+            Ok(Response::Overloaded { .. }) => tally.overloaded += 1,
+            Ok(Response::Error { code, .. }) if code == ERR_DEADLINE => tally.deadline += 1,
+            Ok(Response::Error { code, .. })
+                if [ERR_UNREACHABLE, ERR_EXHAUSTED, ERR_SHUTTING_DOWN].contains(&code) =>
+            {
+                tally.unavailable += 1;
+            }
+            Ok(Response::Error { code, .. })
+                if code == ERR_BAD_REQUEST && resil.chaos.is_some() =>
+            {
+                // The peer bounced our chaos-garbled bytes and is closing
+                // the connection; resync with a fresh dial.
+                tally.corrupted += 1;
+                let _ = client.reconnect();
+            }
+            Ok(other) => {
+                tally.unclassified += 1;
+                eprintln!("loadgen: unexpected response: {other:?}");
+            }
+            Err(e) if e.is_transport() => tally.transport += 1,
+            Err(e) if resil.chaos.is_some() => {
+                // A decode failure under injected corruption: the stream
+                // position is untrustworthy, so resync.
+                tally.corrupted += 1;
+                let _ = e;
+                let _ = client.reconnect();
+            }
+            Err(e) => {
+                tally.unclassified += 1;
+                eprintln!("loadgen: unexpected error: {e}");
+            }
+        }
+    }
+    (tally, latencies)
+}
+
 /// Drive `conns` concurrent connections, `count` requests each, against
 /// `addr`; fetch the server's stats afterwards through a fresh client.
 fn drive(
@@ -294,29 +460,15 @@ fn drive(
     count: usize,
     nodes: u64,
     dist: &KeyDist,
+    resil: &Resilience,
 ) -> Phase {
     let start = Instant::now();
-    let per_conn: Vec<(usize, usize, usize, Vec<u64>)> = std::thread::scope(|scope| {
+    let per_conn: Vec<(Tally, Vec<u64>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..conns)
             .map(|conn| {
                 scope.spawn(move || {
-                    let mut client = Client::connect(addr).expect("connect");
-                    let (mut ok, mut overloaded, mut errors) = (0, 0, 0);
-                    let mut latencies = Vec::with_capacity(count);
-                    for req in requests_for(conn, conns, count, nodes, dist) {
-                        let sent = Instant::now();
-                        let resp = client.call(&req).expect("call");
-                        latencies.push(sent.elapsed().as_micros() as u64);
-                        match resp {
-                            Response::EmbedOk { .. } | Response::SimulateOk { .. } => ok += 1,
-                            Response::Overloaded { .. } => overloaded += 1,
-                            other => {
-                                errors += 1;
-                                eprintln!("loadgen: unexpected response: {other:?}");
-                            }
-                        }
-                    }
-                    (ok, overloaded, errors, latencies)
+                    let reqs = requests_for(conn, conns, count, nodes, dist);
+                    drive_conn(conn, addr, reqs, resil)
                 })
             })
             .collect();
@@ -324,15 +476,19 @@ fn drive(
     });
     let wall_s = start.elapsed().as_secs_f64().max(1e-9);
 
-    let mut latencies: Vec<u64> = per_conn.iter().flat_map(|p| p.3.iter().copied()).collect();
+    let mut latencies: Vec<u64> = per_conn.iter().flat_map(|p| p.1.iter().copied()).collect();
     latencies.sort_unstable();
-    let stats = fetch_stats(addr);
+    let stats = fetch_stats(addr, resil);
     Phase {
         name: name.to_string(),
         requests: conns * count,
-        ok: per_conn.iter().map(|p| p.0).sum(),
-        overloaded: per_conn.iter().map(|p| p.1).sum(),
-        errors: per_conn.iter().map(|p| p.2).sum(),
+        ok: per_conn.iter().map(|p| p.0.ok).sum(),
+        overloaded: per_conn.iter().map(|p| p.0.overloaded).sum(),
+        deadline: per_conn.iter().map(|p| p.0.deadline).sum(),
+        unavailable: per_conn.iter().map(|p| p.0.unavailable).sum(),
+        transport: per_conn.iter().map(|p| p.0.transport).sum(),
+        corrupted: per_conn.iter().map(|p| p.0.corrupted).sum(),
+        errors: per_conn.iter().map(|p| p.0.unclassified).sum(),
         wall_s,
         p50_us: quantile(&latencies, 0.50),
         p95_us: quantile(&latencies, 0.95),
@@ -341,12 +497,27 @@ fn drive(
     }
 }
 
-fn fetch_stats(addr: SocketAddr) -> WireStats {
-    let mut client = Client::connect(addr).expect("connect for stats");
-    match client.call(&Request::Stats).expect("stats call") {
-        Response::StatsOk(stats) => stats,
-        other => panic!("expected StatsOk, got {other:?}"),
+/// Stats snapshot over a clean (chaos-free) connection. Under a
+/// server-side chaos profile even this clean dial can be disturbed, so
+/// tolerant runs retry a few times and fall back to empty stats rather
+/// than sinking the whole bench.
+fn fetch_stats(addr: SocketAddr, resil: &Resilience) -> WireStats {
+    for _ in 0..3 {
+        let Ok(mut client) = Client::connect(addr) else {
+            continue;
+        };
+        match client.call_retrying(&Request::Stats, &ReconnectPolicy::default()) {
+            Ok(Response::StatsOk(stats)) => return stats,
+            Ok(other) if !resil.tolerant => panic!("expected StatsOk, got {other:?}"),
+            Err(e) if !resil.tolerant => panic!("stats call: {e}"),
+            _ => continue,
+        }
     }
+    if !resil.tolerant {
+        panic!("stats connection failed");
+    }
+    eprintln!("loadgen: stats snapshot unavailable under chaos; reporting zeros");
+    WireStats::default()
 }
 
 /// Run one phase through a consistent-hash router fronting `shards`
@@ -360,12 +531,15 @@ fn spawn_cluster_and_drive(
     count: usize,
     nodes: u64,
     dist: &KeyDist,
+    resil: &Resilience,
 ) -> (Phase, Value) {
     let config = ServerConfig {
         addr: "127.0.0.1:0".into(),
         workers: 2,
         queue_cap: 64,
         cache_cap: 256,
+        io_timeout: None,
+        chaos: None,
     };
     let mut servers: Vec<Server> = (0..shards)
         .map(|_| Server::spawn(&config).expect("bind shard"))
@@ -375,17 +549,28 @@ fn spawn_cluster_and_drive(
         ..RouterConfig::default()
     })
     .expect("bind router");
-    let phase = drive("via-router", router.local_addr(), conns, count, nodes, dist);
+    let phase = drive(
+        "via-router",
+        router.local_addr(),
+        conns,
+        count,
+        nodes,
+        dist,
+        resil,
+    );
     let metrics = router.metrics();
     let (failover_p99_us, failovers) = metrics.failover_quantile_us(0.99);
     let column = Value::object()
         .with("shards", shards)
         .with("routed", metrics.routed_total())
         .with("failed", metrics.failed_total())
+        .with("timeouts", metrics.timeouts_total())
         .with("replayed", metrics.replayed_total())
         .with("unreachable", metrics.unreachable_total())
         .with("exhausted", metrics.exhausted_total())
+        .with("deadline_rejects", metrics.deadline_rejects_total())
         .with("restarts", metrics.restarts_total())
+        .with("warmup_keys", metrics.warmup_keys_total())
         .with("failovers", failovers)
         .with("failover_p99_us", failover_p99_us);
     let mut client = Client::connect(router.local_addr()).expect("connect for shutdown");
@@ -405,10 +590,11 @@ fn spawn_and_drive(
     count: usize,
     nodes: u64,
     dist: &KeyDist,
+    resil: &Resilience,
 ) -> Phase {
     let mut server = Server::spawn(config).expect("bind ephemeral server");
     let addr = server.local_addr();
-    let phase = drive(name, addr, conns, count, nodes, dist);
+    let phase = drive(name, addr, conns, count, nodes, dist, resil);
     let mut client = Client::connect(addr).expect("connect for shutdown");
     client.call(&Request::Shutdown).expect("shutdown");
     server.wait();
@@ -418,7 +604,8 @@ fn spawn_and_drive(
 fn print_phase(phase: &Phase) {
     eprintln!(
         "{:>10}: {} reqs in {:.2}s — {:.0} req/s, p50 {}us p95 {}us p99 {}us, \
-         hit rate {:.1}%, {} overloaded, {} errors",
+         hit rate {:.1}%, {} overloaded, {} deadline, {} unavailable, \
+         {} transport, {} corrupted, {} errors",
         phase.name,
         phase.requests,
         phase.wall_s,
@@ -428,12 +615,17 @@ fn print_phase(phase: &Phase) {
         phase.p99_us,
         phase.hit_rate() * 100.0,
         phase.overloaded,
+        phase.deadline,
+        phase.unavailable,
+        phase.transport,
+        phase.corrupted,
         phase.errors,
     );
 }
 
 fn main() {
     let opts = parse_opts();
+    let resil = opts.resilience();
     let uniform = KeyDist::uniform(&opts);
     let skewed = opts.traffic.map(|t| KeyDist::skewed(&opts, t));
     let mut doc = Value::object()
@@ -444,6 +636,17 @@ fn main() {
         .with("nodes", NODES)
         .with("seed", opts.seed)
         .with("seed_pool", uniform.pool);
+    if resil.tolerant {
+        let mut r = Value::object().with("allow_typed_errors", true);
+        if let Some(seed) = opts.chaos_seed {
+            r.set("chaos_seed", seed);
+            r.set("chaos_profile", opts.chaos_profile.as_str());
+        }
+        if let Some(ms) = opts.deadline_ms {
+            r.set("deadline_ms", ms);
+        }
+        doc.set("resilience", r);
+    }
 
     let mut phases = Vec::new();
     if let Some(addr) = &opts.addr {
@@ -457,10 +660,16 @@ fn main() {
             opts.requests,
             NODES,
             skewed.as_ref().unwrap_or(&uniform),
+            &resil,
         );
         print_phase(&phase);
-        assert_eq!(phase.errors, 0, "external run must not error");
-        assert!(phase.ok >= 1, "external run must serve something");
+        assert_eq!(
+            phase.errors, 0,
+            "external run must have zero unclassified errors"
+        );
+        if !resil.tolerant {
+            assert!(phase.ok >= 1, "external run must serve something");
+        }
         phases.push(phase);
     } else {
         let warm_config = ServerConfig {
@@ -468,6 +677,8 @@ fn main() {
             workers: 4,
             queue_cap: 64,
             cache_cap: 256,
+            io_timeout: None,
+            chaos: None,
         };
         let cold_config = ServerConfig {
             cache_cap: 0,
@@ -481,6 +692,7 @@ fn main() {
             opts.requests,
             NODES,
             &uniform,
+            &resil,
         );
         print_phase(&warm);
         let cold = spawn_and_drive(
@@ -490,6 +702,7 @@ fn main() {
             opts.requests,
             NODES,
             &uniform,
+            &resil,
         );
         print_phase(&cold);
 
@@ -505,6 +718,7 @@ fn main() {
                 opts.requests,
                 NODES,
                 dist,
+                &resil,
             );
             print_phase(&p);
             p
@@ -517,21 +731,39 @@ fn main() {
             workers: 1,
             queue_cap: 2,
             cache_cap: 0,
+            io_timeout: None,
+            chaos: None,
         };
         let burst_conns = opts.conns.max(8);
-        let saturation = spawn_and_drive("saturation", &tight, burst_conns, 2, NODES, &uniform);
+        let saturation = spawn_and_drive(
+            "saturation",
+            &tight,
+            burst_conns,
+            2,
+            NODES,
+            &uniform,
+            &resil,
+        );
         print_phase(&saturation);
 
         // The contract the serving layer was built around. In --smoke the
         // workload is too small to promise a hit-rate or a speedup, but
-        // backpressure must hold at any size.
-        assert_eq!(warm.errors + cold.errors, 0, "no request may error");
+        // backpressure must hold at any size. Under injected chaos or a
+        // deadline budget the exact ok/overloaded split is fault-schedule
+        // dependent, so only the zero-unclassified invariant stays hard.
         assert_eq!(
-            warm.overloaded + cold.overloaded,
+            warm.errors + cold.errors,
             0,
-            "sized queue must not bounce the throughput phases"
+            "no request may fail unclassified"
         );
-        if !opts.smoke {
+        if !resil.tolerant {
+            assert_eq!(
+                warm.overloaded + cold.overloaded,
+                0,
+                "sized queue must not bounce the throughput phases"
+            );
+        }
+        if !opts.smoke && !resil.tolerant {
             // The 90% contract is stated for the default 4-key pool;
             // larger --key-pool runs exist precisely to measure how the
             // hit rate decays with pool size.
@@ -549,14 +781,16 @@ fn main() {
                 cold.throughput_rps()
             );
         }
-        assert!(
-            saturation.overloaded >= 1,
-            "saturation probe must observe Overloaded"
-        );
-        assert_eq!(
-            saturation.overloaded as u64, saturation.stats.overloaded,
-            "client-observed bounces must match server telemetry"
-        );
+        if !resil.tolerant {
+            assert!(
+                saturation.overloaded >= 1,
+                "saturation probe must observe Overloaded"
+            );
+            assert_eq!(
+                saturation.overloaded as u64, saturation.stats.overloaded,
+                "client-observed bounces must match server telemetry"
+            );
+        }
 
         eprintln!(
             "warm/cold speedup: {:.2}x (hit rate {:.1}%)",
@@ -579,7 +813,7 @@ fn main() {
             .with("keys", uniform.pool)
             .with("hit_rate", warm.hit_rate())];
         if let (Some(p), Some(dist)) = (&warm_skewed, &skewed) {
-            if !opts.smoke {
+            if !opts.smoke && !resil.tolerant {
                 assert!(
                     p.hit_rate() > 0.0,
                     "skewed head keys must repeat enough to hit"
@@ -603,10 +837,12 @@ fn main() {
         // everything with zero failovers; the column records the
         // counters either way.
         let (phase, column) =
-            spawn_cluster_and_drive(shards, opts.conns, opts.requests, NODES, &uniform);
+            spawn_cluster_and_drive(shards, opts.conns, opts.requests, NODES, &uniform, &resil);
         print_phase(&phase);
-        assert_eq!(phase.errors, 0, "via-router run must not error");
-        assert_eq!(phase.ok, phase.requests, "router must serve every request");
+        assert_eq!(phase.errors, 0, "via-router run must not fail unclassified");
+        if !resil.tolerant {
+            assert_eq!(phase.ok, phase.requests, "router must serve every request");
+        }
         doc.set("cluster", column);
         phases.push(phase);
     }

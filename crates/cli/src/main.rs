@@ -7,9 +7,9 @@
 //! xtree-cli resume   FILE [--workload W|all] [--trace FILE] [--verify-trace FILE] [--metrics FILE] [--json]
 //! xtree-cli info     --height 3 [--network xtree|hypercube|ccc|butterfly|mesh]
 //! xtree-cli sizes    --max-r 10
-//! xtree-cli serve    [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] [--metrics FILE --metrics-format jsonl|prom]
-//! xtree-cli cluster  [--shards M] [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] [--vnodes V] [--ring-seed S] [--probe-interval-ms I] [--fail-after K] [--max-retries N] [--backoff fixed:K|exp:B:C] [--restart-backoff fixed:K|exp:B:C] [--metrics FILE --metrics-format jsonl|prom]
-//! xtree-cli request  OP --addr HOST:PORT [--family F --nodes N --seed S --theorem 1|2 --workload W|all] [--json]
+//! xtree-cli serve    [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] [--io-timeout-ms T] [--chaos-seed S --chaos-profile P] [--metrics FILE --metrics-format jsonl|prom]
+//! xtree-cli cluster  [--shards M] [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] [--vnodes V] [--ring-seed S] [--probe-interval-ms I] [--fail-after K] [--max-retries N] [--backoff fixed:K|exp:B:C] [--restart-backoff fixed:K|exp:B:C] [--io-timeout-ms T] [--chaos-seed S --chaos-profile P] [--metrics FILE --metrics-format jsonl|prom]
+//! xtree-cli request  OP --addr HOST:PORT [--family F --nodes N --seed S --theorem 1|2 --workload W|all] [--deadline-ms T] [--json]
 //! ```
 
 mod args;
@@ -111,13 +111,15 @@ const USAGE: &str = "usage:
   xtree-cli info     --height R [--network xtree|hypercube|ccc|butterfly|mesh]
   xtree-cli sizes    [--max-r R]
   xtree-cli trace    --family F --nodes N [--seed S]
-  xtree-cli serve    [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] [--metrics FILE] [--metrics-format jsonl|prom]
-  xtree-cli cluster  [--shards M] [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] [--vnodes V] [--ring-seed S] [--probe-interval-ms I] [--fail-after K] [--max-retries N] [--backoff fixed:K|exp:B:C] [--restart-backoff fixed:K|exp:B:C] [--metrics FILE] [--metrics-format jsonl|prom]
-  xtree-cli request  OP --addr HOST:PORT [--family F] [--nodes N] [--seed S] [--theorem 1|2] [--workload W|all] [--json]
+  xtree-cli serve    [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] [--io-timeout-ms T] [--chaos-seed S] [--chaos-profile P] [--metrics FILE] [--metrics-format jsonl|prom]
+  xtree-cli cluster  [--shards M] [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] [--vnodes V] [--ring-seed S] [--probe-interval-ms I] [--fail-after K] [--max-retries N] [--backoff fixed:K|exp:B:C] [--restart-backoff fixed:K|exp:B:C] [--io-timeout-ms T] [--chaos-seed S] [--chaos-profile P] [--metrics FILE] [--metrics-format jsonl|prom]
+  xtree-cli request  OP --addr HOST:PORT [--family F] [--nodes N] [--seed S] [--theorem 1|2] [--workload W|all] [--deadline-ms T] [--json]
                      (OP: embed simulate stats health shutdown)
 families: path complete caterpillar broom random-bst random-attach random-split leaning
           balanced uniform bst-insertion skewed[:BIAS]
-traffic:  uniform broadcast reduce exchange dnc zipf[:S] hotspot[:PCT:MULT] diurnal[:PERIODS:PEAK]";
+traffic:  uniform broadcast reduce exchange dnc zipf[:S] hotspot[:PCT:MULT] diurnal[:PERIODS:PEAK]
+chaos:    off light medium heavy, or clauses kind:rate[:arg] joined by commas
+          (delay:PERMILLE:MAX_US short:PERMILLE corrupt:PERMILLE reset:PERMILLE truncate:PERMILLE refuse:PERMILLE)";
 
 fn run(mut argv: Vec<String>) -> Result<String, CliError> {
     // `resume FILE` and `request OP` take a positional argument; rewrite
@@ -1145,6 +1147,30 @@ fn cmd_trace(a: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `--chaos-seed S [--chaos-profile P]` on `serve`/`cluster`: the seeded
+/// fault-injection plan, or `None` when the seed flag is absent.
+fn parse_chaos(a: &Args) -> Result<Option<xtree_server::ChaosPlan>, CliError> {
+    let Some(seed) = a.get("chaos-seed") else {
+        if a.get("chaos-profile").is_some() {
+            return Err("--chaos-profile requires --chaos-seed".into());
+        }
+        return Ok(None);
+    };
+    let seed: u64 = seed
+        .parse()
+        .map_err(|_| format!("--chaos-seed: `{seed}` is not a number"))?;
+    let profile = xtree_server::ChaosProfile::parse(a.get_or("chaos-profile", "medium"))
+        .map_err(|e| CliError::Usage(format!("--chaos-profile: {e}")))?;
+    Ok(Some(xtree_server::ChaosPlan::new(seed, profile)))
+}
+
+/// `--io-timeout-ms T`: per-direction socket timeout for server-side
+/// connections; 0 (the default) keeps blocking I/O.
+fn parse_io_timeout(a: &Args) -> Result<Option<Duration>, CliError> {
+    let ms: u64 = a.num_or("io-timeout-ms", 0u64)?;
+    Ok((ms > 0).then(|| Duration::from_millis(ms)))
+}
+
 /// `serve`: run the daemon until a wire `Shutdown` request drains it.
 /// The listening line goes to stdout (flushed) *before* blocking, so
 /// scripts can wait for readiness; the returned summary prints after the
@@ -1155,6 +1181,8 @@ fn cmd_serve(a: &Args) -> Result<String, CliError> {
         workers: a.num_or("workers", 4usize)?,
         queue_cap: a.num_or("queue-cap", 64usize)?,
         cache_cap: a.num_or("cache-cap", 256usize)?,
+        io_timeout: parse_io_timeout(a)?,
+        chaos: parse_chaos(a)?,
     };
     if config.workers == 0 {
         return Err("--workers must be ≥ 1".into());
@@ -1235,23 +1263,44 @@ fn cmd_cluster(a: &Args) -> Result<String, CliError> {
     }
     let metrics_path = a.get("metrics");
 
+    // Validate the chaos/timeout flags up front, then forward them
+    // verbatim into every shard child: the *shards'* transports misbehave
+    // while the router stays honest, which is the failover scenario the
+    // cluster tier exists for.
+    let chaos = parse_chaos(a)?;
+    let io_timeout = parse_io_timeout(a)?;
     let exe = std::env::current_exe()
         .map_err(|e| CliError::Io(format!("cluster: cannot locate own binary: {e}")))?;
+    let mut shard_args: Vec<String> = [
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--workers",
+        &workers.to_string(),
+        "--queue-cap",
+        &queue_cap.to_string(),
+        "--cache-cap",
+        &cache_cap.to_string(),
+    ]
+    .map(String::from)
+    .to_vec();
+    if io_timeout.is_some() {
+        shard_args.extend([
+            "--io-timeout-ms".into(),
+            a.get_or("io-timeout-ms", "0").to_string(),
+        ]);
+    }
+    if let Some(plan) = &chaos {
+        shard_args.extend([
+            "--chaos-seed".into(),
+            plan.seed.to_string(),
+            "--chaos-profile".into(),
+            a.get_or("chaos-profile", "medium").to_string(),
+        ]);
+    }
     let cmd = ShardCommand {
         program: exe,
-        args: [
-            "serve",
-            "--addr",
-            "127.0.0.1:0",
-            "--workers",
-            &workers.to_string(),
-            "--queue-cap",
-            &queue_cap.to_string(),
-            "--cache-cap",
-            &cache_cap.to_string(),
-        ]
-        .map(String::from)
-        .to_vec(),
+        args: shard_args,
     };
     let readiness = Duration::from_secs(10);
     let mut children = Vec::with_capacity(shards);
@@ -1288,6 +1337,7 @@ fn cmd_cluster(a: &Args) -> Result<String, CliError> {
         router.metrics(),
         restart_backoff,
         readiness,
+        Some(router.warmup_fn()),
     );
     router.attach_supervisor(supervisor);
     {
@@ -1367,10 +1417,12 @@ fn cmd_request(a: &Args) -> Result<String, CliError> {
         "shutdown" => Request::Shutdown,
         other => return Err(format!("unknown request op `{other}`").into()),
     };
+    let deadline_ms: u64 = a.num_or("deadline-ms", 0u64)?;
+    let budget = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
     let mut client =
         Client::connect(addr).map_err(|e| CliError::Io(format!("request: connect {addr}: {e}")))?;
     let resp = client
-        .call(&req)
+        .call_deadline(&req, budget)
         .map_err(|e| CliError::Runtime(format!("request: {e}")))?;
     render_response(a, &resp)
 }
@@ -1458,15 +1510,21 @@ fn render_response(a: &Args, resp: &Response) -> Result<String, CliError> {
                         .with("latency_p95_us", s.latency_p95_us)
                         .with("latency_p99_us", s.latency_p99_us)
                         .with("sim_hops", s.sim_hops)
-                        .with("sim_delivered", s.sim_delivered),
+                        .with("sim_delivered", s.sim_delivered)
+                        .with("partial", s.partial),
                 ))
             } else {
                 Ok(format!(
-                    "requests: {} ({} embed, {} simulate)\noverloaded: {}\nerrors: {}\n\
+                    "requests: {}{} ({} embed, {} simulate)\noverloaded: {}\nerrors: {}\n\
                      cache: {} hits / {} misses, {} entries\nqueue depth: {}\n\
                      latency: p50 {}us p95 {}us p99 {}us over {} requests\n\
                      sim: {} hops, {} delivered",
                     s.requests,
+                    if s.partial {
+                        " [partial: not every shard answered]"
+                    } else {
+                        ""
+                    },
                     s.embeds,
                     s.simulates,
                     s.overloaded,

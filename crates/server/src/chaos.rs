@@ -1,0 +1,846 @@
+//! Seeded chaos transport: deterministic fault injection for the wire.
+//!
+//! The same discipline `sim::fault` brings to the simulation engine,
+//! applied to sockets. A [`ChaosPlan`] is `(seed, profile)`; from it every
+//! connection derives an independent SplitMix64 stream, so the *entire*
+//! fault schedule — which bytes get delayed, shortened, corrupted, which
+//! connections get reset mid-frame or refused outright — is a pure
+//! function of `(seed, connection id)`. Run the same plan twice and the
+//! same faults hit the same bytes.
+//!
+//! Determinism survives the one thing a socket cannot promise: *chunking*.
+//! TCP may hand `read()` any prefix of what the peer sent, so fault
+//! decisions keyed on "the Nth read call" would differ run to run. Instead
+//! each direction of a connection is a *lane* measured in absolute byte
+//! positions, divided into fixed [`WINDOW`]-byte windows. Entering a
+//! window draws that window's faults once (five draws, always, so the
+//! stream never desynchronizes); each fault anchors to a byte position and
+//! fires when the lane crosses it. However the kernel slices the stream,
+//! positions — and therefore faults — are identical.
+//!
+//! A reset or truncation *poisons* the connection: every later operation
+//! fails instantly until the owner reconnects and calls
+//! [`ChaosConn::reconnected`], which clears the poison but keeps lane
+//! positions — a consumed fault never replays, so a reconnect loop cannot
+//! trip over the same reset forever.
+//!
+//! [`ChaosStream`] wraps a `TcpStream` and applies a lane per direction;
+//! with no chaos attached it delegates untouched (the production path pays
+//! one `Option` check).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Lane window size in bytes: fault draws happen once per window, and
+/// every injected fault anchors to a byte position inside its window.
+pub const WINDOW: u64 = 256;
+
+/// Per-window fault rates, each in events per thousand windows (‰), plus
+/// the delay magnitude cap. All-zero means the stream is untouched.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosProfile {
+    /// ‰ of windows whose first operation sleeps before moving bytes.
+    pub delay_per_mille: u16,
+    /// Upper bound on one injected delay, microseconds.
+    pub max_delay_us: u64,
+    /// ‰ of windows whose first operation is cut to half its length.
+    pub short_per_mille: u16,
+    /// ‰ of windows with one byte XOR-corrupted in transit.
+    pub corrupt_per_mille: u16,
+    /// ‰ of windows where the connection is reset on entry (no bytes).
+    pub reset_per_mille: u16,
+    /// ‰ of windows where the stream delivers a partial frame and then
+    /// dies — bytes flow up to an anchor position, then the conn resets.
+    pub truncate_per_mille: u16,
+    /// ‰ of connect attempts refused outright (synthetic `ECONNREFUSED`).
+    pub refuse_per_mille: u16,
+}
+
+impl ChaosProfile {
+    /// No faults at all; wrapping with this profile is inert.
+    pub fn off() -> Self {
+        ChaosProfile::default()
+    }
+
+    /// Mostly delays and short operations; rare kills.
+    pub fn light() -> Self {
+        ChaosProfile {
+            delay_per_mille: 50,
+            max_delay_us: 2_000,
+            short_per_mille: 100,
+            corrupt_per_mille: 2,
+            reset_per_mille: 2,
+            truncate_per_mille: 2,
+            refuse_per_mille: 5,
+        }
+    }
+
+    /// Noticeable fault pressure on every mechanism.
+    pub fn medium() -> Self {
+        ChaosProfile {
+            delay_per_mille: 100,
+            max_delay_us: 5_000,
+            short_per_mille: 200,
+            corrupt_per_mille: 10,
+            reset_per_mille: 10,
+            truncate_per_mille: 10,
+            refuse_per_mille: 20,
+        }
+    }
+
+    /// Hostile network: frequent kills, heavy delays.
+    pub fn heavy() -> Self {
+        ChaosProfile {
+            delay_per_mille: 200,
+            max_delay_us: 10_000,
+            short_per_mille: 400,
+            corrupt_per_mille: 30,
+            reset_per_mille: 30,
+            truncate_per_mille: 30,
+            refuse_per_mille: 60,
+        }
+    }
+
+    /// Parses a profile: a preset name (`off`, `light`, `medium`,
+    /// `heavy`) or a comma-joined list of `kind:rate` clauses where
+    /// `kind` is one of `delay` (with an optional `:max_us` third part),
+    /// `short`, `corrupt`, `reset`, `truncate`, `refuse`, and `rate` is
+    /// in ‰ (0..=1000). Unlisted kinds stay at zero.
+    ///
+    /// ```
+    /// use xtree_server::chaos::ChaosProfile;
+    /// let p = ChaosProfile::parse("delay:100:3000,reset:10").unwrap();
+    /// assert_eq!(p.delay_per_mille, 100);
+    /// assert_eq!(p.max_delay_us, 3000);
+    /// assert_eq!(p.reset_per_mille, 10);
+    /// assert_eq!(p.corrupt_per_mille, 0);
+    /// ```
+    ///
+    /// # Errors
+    /// A human-readable message naming the malformed clause.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        match spec {
+            "off" => return Ok(ChaosProfile::off()),
+            "light" => return Ok(ChaosProfile::light()),
+            "medium" => return Ok(ChaosProfile::medium()),
+            "heavy" => return Ok(ChaosProfile::heavy()),
+            _ => {}
+        }
+        let mut p = ChaosProfile::off();
+        for clause in spec.split(',') {
+            let mut parts = clause.split(':');
+            let kind = parts.next().unwrap_or("");
+            let rate: u16 = parts
+                .next()
+                .ok_or_else(|| format!("chaos clause `{clause}` is missing its rate"))?
+                .parse()
+                .map_err(|_| format!("chaos clause `{clause}` has a non-numeric rate"))?;
+            if rate > 1000 {
+                return Err(format!(
+                    "chaos clause `{clause}`: rate {rate}‰ exceeds 1000"
+                ));
+            }
+            let third = parts.next();
+            if parts.next().is_some() {
+                return Err(format!("chaos clause `{clause}` has too many parts"));
+            }
+            if third.is_some() && kind != "delay" {
+                return Err(format!(
+                    "chaos clause `{clause}`: only delay takes a third part"
+                ));
+            }
+            match kind {
+                "delay" => {
+                    p.delay_per_mille = rate;
+                    p.max_delay_us = match third {
+                        Some(us) => us.parse().map_err(|_| {
+                            format!("chaos clause `{clause}` has a non-numeric max_us")
+                        })?,
+                        None => 5_000,
+                    };
+                }
+                "short" => p.short_per_mille = rate,
+                "corrupt" => p.corrupt_per_mille = rate,
+                "reset" => p.reset_per_mille = rate,
+                "truncate" => p.truncate_per_mille = rate,
+                "refuse" => p.refuse_per_mille = rate,
+                other => return Err(format!("unknown chaos fault kind `{other}`")),
+            }
+        }
+        Ok(p)
+    }
+
+    /// True when every rate is zero — the plan injects nothing.
+    pub fn is_off(&self) -> bool {
+        *self == ChaosProfile::off()
+    }
+}
+
+/// The seeded chaos schedule for one process: hand [`ChaosPlan::conn`]
+/// a stable connection id and it derives that connection's independent
+/// fault stream. Same `(seed, profile, id)` → same faults, always.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosPlan {
+    /// Root seed; each connection's stream is split from it.
+    pub seed: u64,
+    /// Fault rates shared by every connection under this plan.
+    pub profile: ChaosProfile,
+}
+
+impl ChaosPlan {
+    /// A plan from a seed and profile.
+    pub fn new(seed: u64, profile: ChaosProfile) -> Self {
+        ChaosPlan { seed, profile }
+    }
+
+    /// The fault stream for connection `id`, ready to share between the
+    /// read and write halves of one socket.
+    pub fn conn(&self, id: u64) -> Arc<Mutex<ChaosConn>> {
+        Arc::new(Mutex::new(ChaosConn::new(self, id)))
+    }
+}
+
+/// SplitMix64 step — the workspace's standard seeded stream (the same
+/// generator `sim::fault` splits its plans from).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// How many times each injected fault fired on one connection. Counts are
+/// positional, so they are identical across runs of the same plan — the
+/// chaos bench writes them (not wall-clock) into its byte-compared JSON.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosCounts {
+    /// Injected sleeps.
+    pub delays: u64,
+    /// Operations cut short.
+    pub shorts: u64,
+    /// Bytes XOR-corrupted.
+    pub corrupts: u64,
+    /// Window-entry connection resets.
+    pub resets: u64,
+    /// Mid-frame truncation kills.
+    pub truncates: u64,
+    /// Connect attempts refused.
+    pub refusals: u64,
+}
+
+impl ChaosCounts {
+    /// Field-wise sum, for aggregating per-connection counts.
+    pub fn add(&mut self, other: &ChaosCounts) {
+        self.delays += other.delays;
+        self.shorts += other.shorts;
+        self.corrupts += other.corrupts;
+        self.resets += other.resets;
+        self.truncates += other.truncates;
+        self.refusals += other.refusals;
+    }
+
+    /// Total faults of every kind.
+    pub fn total(&self) -> u64 {
+        self.delays + self.shorts + self.corrupts + self.resets + self.truncates + self.refusals
+    }
+}
+
+/// One direction of a connection: an absolute byte position, a private
+/// SplitMix64 stream advanced once per window, and the current window's
+/// pending (not yet crossed) faults.
+struct Lane {
+    rng: u64,
+    /// Absolute bytes moved in this direction so far.
+    pos: u64,
+    /// Index of the last window whose faults were drawn (`u64::MAX` =
+    /// none yet).
+    drawn: u64,
+    /// Sleep pending for the first operation of the current window.
+    delay_us: Option<u64>,
+    /// The first operation of the current window is halved.
+    short_pending: bool,
+    /// Absolute position of a byte to XOR-corrupt, once crossed.
+    corrupt_at: Option<u64>,
+    /// Absolute position after which the connection dies mid-frame.
+    truncate_at: Option<u64>,
+    /// The current window resets the connection on entry.
+    reset_pending: bool,
+}
+
+impl Lane {
+    fn new(seed: u64) -> Self {
+        Lane {
+            rng: seed,
+            pos: 0,
+            drawn: u64::MAX,
+            delay_us: None,
+            short_pending: false,
+            corrupt_at: None,
+            truncate_at: None,
+            reset_pending: false,
+        }
+    }
+
+    /// Draws the faults for the window containing `pos`, exactly once per
+    /// window and always with five generator steps, so the stream stays
+    /// aligned no matter which faults the profile enables.
+    fn draw_window(&mut self, profile: &ChaosProfile) {
+        let window = self.pos / WINDOW;
+        if self.drawn == window {
+            return;
+        }
+        self.drawn = window;
+        let base = window * WINDOW;
+        let hit = |r: u64, per_mille: u16| (r % 1000) < u64::from(per_mille);
+        let anchor = |r: u64| base + (r >> 10) % WINDOW;
+
+        let r = splitmix64(&mut self.rng);
+        self.delay_us = hit(r, profile.delay_per_mille).then(|| {
+            let span = profile.max_delay_us.max(1);
+            1 + (r >> 10) % span
+        });
+        let r = splitmix64(&mut self.rng);
+        self.short_pending = hit(r, profile.short_per_mille);
+        let r = splitmix64(&mut self.rng);
+        self.corrupt_at = hit(r, profile.corrupt_per_mille).then(|| anchor(r));
+        let r = splitmix64(&mut self.rng);
+        self.truncate_at = hit(r, profile.truncate_per_mille).then(|| anchor(r));
+        let r = splitmix64(&mut self.rng);
+        self.reset_pending = hit(r, profile.reset_per_mille);
+    }
+}
+
+/// What one socket operation must do, decided under the lock and executed
+/// outside it.
+#[derive(Debug, Default)]
+struct OpPlan {
+    /// Sleep this long before touching the socket.
+    delay_us: u64,
+    /// Fail with a synthetic reset before moving any bytes.
+    fail: bool,
+    /// Move at most this many bytes (window- and fault-clamped).
+    allow: usize,
+    /// XOR-flip the byte at this offset of the transferred span.
+    corrupt_off: Option<usize>,
+}
+
+/// Which lane an operation runs in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Dir {
+    /// Bytes arriving from the peer.
+    Read,
+    /// Bytes leaving for the peer.
+    Write,
+}
+
+/// One connection's deterministic fault state: a lane per direction plus
+/// the connect-attempt stream and the poison flag.
+pub struct ChaosConn {
+    profile: ChaosProfile,
+    read: Lane,
+    write: Lane,
+    /// Private stream for connect-attempt refusals.
+    connect_rng: u64,
+    /// A reset/truncation killed the conn; cleared by [`reconnected`].
+    ///
+    /// [`reconnected`]: ChaosConn::reconnected
+    poisoned: bool,
+    counts: ChaosCounts,
+}
+
+impl ChaosConn {
+    fn new(plan: &ChaosPlan, id: u64) -> Self {
+        // Decorrelate connection streams from each other and from the
+        // root seed with one multiply-fold plus a burn-in draw.
+        let mut seed = plan.seed ^ id.wrapping_mul(0xA076_1D64_78BD_642F);
+        let _ = splitmix64(&mut seed);
+        let read_seed = splitmix64(&mut seed);
+        let write_seed = splitmix64(&mut seed);
+        let connect_rng = splitmix64(&mut seed);
+        ChaosConn {
+            profile: plan.profile,
+            read: Lane::new(read_seed),
+            write: Lane::new(write_seed),
+            connect_rng,
+            poisoned: false,
+            counts: ChaosCounts::default(),
+        }
+    }
+
+    /// Decides whether the next connect attempt on this connection is
+    /// refused. One draw per attempt — deterministic across runs.
+    pub fn refuse_connect(&mut self) -> bool {
+        let r = splitmix64(&mut self.connect_rng);
+        let refused = (r % 1000) < u64::from(self.profile.refuse_per_mille);
+        if refused {
+            self.counts.refusals += 1;
+        }
+        refused
+    }
+
+    /// The owner re-established the socket after a chaos kill: clear the
+    /// poison. Lane positions and consumed faults persist, so the stream
+    /// picks up where it died instead of replaying the fatal fault.
+    pub fn reconnected(&mut self) {
+        self.poisoned = false;
+    }
+
+    /// Fault totals so far (positional, hence run-to-run identical).
+    pub fn counts(&self) -> ChaosCounts {
+        self.counts
+    }
+
+    fn lane(&mut self, dir: Dir) -> &mut Lane {
+        match dir {
+            Dir::Read => &mut self.read,
+            Dir::Write => &mut self.write,
+        }
+    }
+
+    /// Plans one operation of up to `len` bytes in `dir`. Consumes
+    /// entry-anchored faults (delay, short, reset) now; position-anchored
+    /// faults (corrupt, truncate) are consumed by [`advance`] once the
+    /// bytes actually move.
+    ///
+    /// [`advance`]: ChaosConn::advance
+    fn plan(&mut self, dir: Dir, len: usize) -> OpPlan {
+        if self.poisoned {
+            return OpPlan {
+                fail: true,
+                ..OpPlan::default()
+            };
+        }
+        if len == 0 {
+            return OpPlan::default();
+        }
+        let profile = self.profile;
+        self.lane(dir).draw_window(&profile);
+        let lane = match dir {
+            Dir::Read => &mut self.read,
+            Dir::Write => &mut self.write,
+        };
+        let mut plan = OpPlan::default();
+        if lane.reset_pending {
+            lane.reset_pending = false;
+            self.counts.resets += 1;
+            self.poisoned = true;
+            plan.fail = true;
+            return plan;
+        }
+        if let Some(t) = lane.truncate_at {
+            if t <= lane.pos {
+                lane.truncate_at = None;
+                self.counts.truncates += 1;
+                self.poisoned = true;
+                plan.fail = true;
+                return plan;
+            }
+        }
+        if let Some(us) = lane.delay_us.take() {
+            self.counts.delays += 1;
+            plan.delay_us = us;
+        }
+        // Clamp to the window edge so every window is entered by exactly
+        // one `draw_window`, then to the truncation anchor if one is live.
+        let window_end = (lane.pos / WINDOW + 1) * WINDOW;
+        let mut allow = (len as u64).min(window_end - lane.pos);
+        if let Some(t) = lane.truncate_at {
+            allow = allow.min(t - lane.pos);
+        }
+        if lane.short_pending {
+            lane.short_pending = false;
+            self.counts.shorts += 1;
+            allow = (allow / 2).max(1);
+        }
+        if let Some(c) = lane.corrupt_at {
+            if c >= lane.pos && c < lane.pos + allow {
+                plan.corrupt_off = Some((c - lane.pos) as usize);
+            }
+        }
+        plan.allow = allow as usize;
+        plan
+    }
+
+    /// Records that `n` bytes actually moved in `dir`, consuming any
+    /// position-anchored fault the span crossed. Corruption is counted
+    /// here, not at plan time: a short read may stop before the anchored
+    /// byte, and then nothing was corrupted (the anchor stays pending for
+    /// the next operation) — counting on crossing keeps the totals a pure
+    /// function of byte positions.
+    fn advance(&mut self, dir: Dir, n: usize) {
+        let lane = self.lane(dir);
+        let end = lane.pos + n as u64;
+        let crossed_corrupt = matches!(lane.corrupt_at, Some(c) if c < end);
+        if crossed_corrupt {
+            lane.corrupt_at = None;
+        }
+        lane.pos = end;
+        if crossed_corrupt {
+            self.counts.corrupts += 1;
+        }
+    }
+}
+
+fn synthetic_reset() -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::ConnectionReset, "chaos: injected reset")
+}
+
+/// A `TcpStream` with an optional seeded fault stream in front of it.
+/// With `None` attached every call delegates straight through — the
+/// production path is one branch away from the raw socket. All the
+/// socket-level controls the serving path uses (`try_clone`, nodelay,
+/// read/write timeouts, `shutdown`) are forwarded, so `ChaosStream` is a
+/// drop-in stand-in for `TcpStream` in the client and both daemons.
+pub struct ChaosStream {
+    inner: TcpStream,
+    conn: Option<Arc<Mutex<ChaosConn>>>,
+}
+
+impl ChaosStream {
+    /// Wraps `inner` without any chaos: pure delegation.
+    pub fn passthrough(inner: TcpStream) -> Self {
+        ChaosStream { inner, conn: None }
+    }
+
+    /// Wraps `inner` under `conn`'s fault stream (or none).
+    pub fn wrap(inner: TcpStream, conn: Option<Arc<Mutex<ChaosConn>>>) -> Self {
+        ChaosStream { inner, conn }
+    }
+
+    /// The shared fault state, if chaos is attached.
+    pub fn chaos(&self) -> Option<&Arc<Mutex<ChaosConn>>> {
+        self.conn.as_ref()
+    }
+
+    /// Clones the socket handle; both clones share one fault stream (the
+    /// lanes are per-direction, so a reader half and a writer half never
+    /// contend over the same lane).
+    ///
+    /// # Errors
+    /// Propagates the OS `dup` failure.
+    pub fn try_clone(&self) -> std::io::Result<ChaosStream> {
+        Ok(ChaosStream {
+            inner: self.inner.try_clone()?,
+            conn: self.conn.clone(),
+        })
+    }
+
+    /// See [`TcpStream::set_nodelay`].
+    ///
+    /// # Errors
+    /// Propagates the socket option failure.
+    pub fn set_nodelay(&self, nodelay: bool) -> std::io::Result<()> {
+        self.inner.set_nodelay(nodelay)
+    }
+
+    /// See [`TcpStream::set_read_timeout`].
+    ///
+    /// # Errors
+    /// Propagates the socket option failure.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        self.inner.set_read_timeout(dur)
+    }
+
+    /// See [`TcpStream::set_write_timeout`].
+    ///
+    /// # Errors
+    /// Propagates the socket option failure.
+    pub fn set_write_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        self.inner.set_write_timeout(dur)
+    }
+
+    /// See [`TcpStream::shutdown`].
+    ///
+    /// # Errors
+    /// Propagates the socket failure.
+    pub fn shutdown(&self, how: std::net::Shutdown) -> std::io::Result<()> {
+        self.inner.shutdown(how)
+    }
+
+    /// See [`TcpStream::peer_addr`].
+    ///
+    /// # Errors
+    /// Propagates the socket failure.
+    pub fn peer_addr(&self) -> std::io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    fn plan(&self, dir: Dir, len: usize) -> Option<OpPlan> {
+        self.conn
+            .as_ref()
+            .map(|c| c.lock().expect("chaos poisoned").plan(dir, len))
+    }
+
+    fn advance(&self, dir: Dir, n: usize) {
+        if let Some(c) = &self.conn {
+            c.lock().expect("chaos poisoned").advance(dir, n);
+        }
+    }
+}
+
+impl Read for ChaosStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let Some(plan) = self.plan(Dir::Read, buf.len()) else {
+            return self.inner.read(buf);
+        };
+        if plan.fail {
+            return Err(synthetic_reset());
+        }
+        if plan.allow == 0 {
+            return Ok(0);
+        }
+        if plan.delay_us > 0 {
+            std::thread::sleep(Duration::from_micros(plan.delay_us));
+        }
+        let n = self.inner.read(&mut buf[..plan.allow])?;
+        if let Some(off) = plan.corrupt_off {
+            if off < n {
+                buf[off] ^= 0x20;
+            }
+        }
+        self.advance(Dir::Read, n);
+        Ok(n)
+    }
+}
+
+impl Write for ChaosStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let Some(plan) = self.plan(Dir::Write, buf.len()) else {
+            return self.inner.write(buf);
+        };
+        if plan.fail {
+            return Err(synthetic_reset());
+        }
+        if plan.allow == 0 {
+            return Ok(0);
+        }
+        if plan.delay_us > 0 {
+            std::thread::sleep(Duration::from_micros(plan.delay_us));
+        }
+        let n = match plan.corrupt_off {
+            Some(off) if off < plan.allow => {
+                let mut tainted = buf[..plan.allow].to_vec();
+                tainted[off] ^= 0x20;
+                self.inner.write(&tainted)?
+            }
+            _ => self.inner.write(&buf[..plan.allow])?,
+        };
+        self.advance(Dir::Write, n);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every fault a lane run produces, normalized to positions. Resets
+    /// and truncations both surface as `Kill` — the position tells them
+    /// apart when it matters, and both poison the connection identically.
+    #[derive(Debug, PartialEq, Eq)]
+    enum Event {
+        Delay { at: u64, us: u64 },
+        Short { at: u64 },
+        Corrupt { at: u64 },
+        Kill { at: u64 },
+    }
+
+    /// Drives `total` bytes through one lane with the given op sizes
+    /// (cycled), recording every fault with the position it fired at.
+    fn drive(conn: &mut ChaosConn, dir: Dir, total: u64, chunks: &[usize]) -> Vec<Event> {
+        let mut events = Vec::new();
+        let mut moved = 0u64;
+        let mut k = 0usize;
+        while moved < total {
+            let want = chunks[k % chunks.len()].min((total - moved) as usize);
+            k += 1;
+            if want == 0 {
+                continue;
+            }
+            let before = conn.counts();
+            let pos = match dir {
+                Dir::Read => conn.read.pos,
+                Dir::Write => conn.write.pos,
+            };
+            let plan = conn.plan(dir, want);
+            if plan.fail {
+                events.push(Event::Kill { at: pos });
+                conn.reconnected();
+                continue;
+            }
+            if plan.delay_us > 0 {
+                events.push(Event::Delay {
+                    at: pos,
+                    us: plan.delay_us,
+                });
+            }
+            if conn.counts().shorts > before.shorts {
+                events.push(Event::Short { at: pos });
+            }
+            if let Some(off) = plan.corrupt_off {
+                events.push(Event::Corrupt {
+                    at: pos + off as u64,
+                });
+            }
+            // Pretend the transport moved everything the plan allowed.
+            conn.advance(dir, plan.allow);
+            moved += plan.allow as u64;
+        }
+        events
+    }
+
+    #[test]
+    fn same_plan_same_faults_regardless_of_chunking() {
+        let plan = ChaosPlan::new(0xC0DE, ChaosProfile::heavy());
+        for id in 0..4u64 {
+            let mut a = ChaosConn::new(&plan, id);
+            let mut b = ChaosConn::new(&plan, id);
+            // Wildly different op sizes must see identical fault
+            // positions: decisions are positional, not per-call.
+            let ea = drive(&mut a, Dir::Write, 64 * WINDOW, &[1, 7, 3]);
+            let eb = drive(&mut b, Dir::Write, 64 * WINDOW, &[256, 13, 64, 999]);
+            assert_eq!(ea, eb, "conn {id}");
+            assert!(!ea.is_empty(), "heavy profile must inject something");
+            assert_eq!(a.counts(), b.counts());
+        }
+    }
+
+    #[test]
+    fn read_and_write_lanes_are_independent_streams() {
+        let plan = ChaosPlan::new(7, ChaosProfile::heavy());
+        let mut a = ChaosConn::new(&plan, 1);
+        let mut b = ChaosConn::new(&plan, 1);
+        // Interleaving order must not matter: a's writes all before its
+        // reads, b alternating, same totals.
+        let wa = drive(&mut a, Dir::Write, 16 * WINDOW, &[19]);
+        let ra = drive(&mut a, Dir::Read, 16 * WINDOW, &[19]);
+        let mut wb = Vec::new();
+        let mut rb = Vec::new();
+        for _ in 0..16 {
+            wb.extend(drive(&mut b, Dir::Write, WINDOW, &[19]));
+            rb.extend(drive(&mut b, Dir::Read, WINDOW, &[19]));
+        }
+        assert_eq!(wa, wb);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn different_conn_ids_get_different_streams() {
+        let plan = ChaosPlan::new(42, ChaosProfile::heavy());
+        let mut a = ChaosConn::new(&plan, 0);
+        let mut b = ChaosConn::new(&plan, 1);
+        let ea = drive(&mut a, Dir::Write, 64 * WINDOW, &[64]);
+        let eb = drive(&mut b, Dir::Write, 64 * WINDOW, &[64]);
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn off_profile_is_inert() {
+        let plan = ChaosPlan::new(99, ChaosProfile::off());
+        let mut c = ChaosConn::new(&plan, 3);
+        let events = drive(&mut c, Dir::Write, 64 * WINDOW, &[33]);
+        assert!(events.is_empty());
+        assert_eq!(c.counts().total(), 0);
+        for _ in 0..100 {
+            assert!(!c.refuse_connect());
+        }
+    }
+
+    #[test]
+    fn poison_fails_until_reconnected_and_faults_never_replay() {
+        // A profile that resets every window: the very first op dies.
+        let profile = ChaosProfile {
+            reset_per_mille: 1000,
+            ..ChaosProfile::off()
+        };
+        let mut c = ChaosConn::new(&ChaosPlan::new(5, profile), 0);
+        assert!(c.plan(Dir::Write, 10).fail);
+        // Poisoned: both lanes fail instantly now.
+        assert!(c.plan(Dir::Read, 10).fail);
+        assert_eq!(c.counts().resets, 1, "poisoned ops are not new resets");
+        c.reconnected();
+        // The window's reset is consumed; the same window now flows...
+        let p = c.plan(Dir::Write, 10);
+        assert!(!p.fail);
+        c.advance(Dir::Write, p.allow);
+        // ...until the lane enters the next window, which resets again.
+        let mut moved = p.allow as u64;
+        let mut died = false;
+        while moved < 2 * WINDOW {
+            let p = c.plan(Dir::Write, 64);
+            if p.fail {
+                died = true;
+                break;
+            }
+            c.advance(Dir::Write, p.allow);
+            moved += p.allow as u64;
+        }
+        assert!(died, "every window resets under a 1000‰ profile");
+    }
+
+    #[test]
+    fn refusal_stream_is_deterministic() {
+        let plan = ChaosPlan::new(0xBEEF, ChaosProfile::heavy());
+        let seq = |id: u64| -> Vec<bool> {
+            let mut c = ChaosConn::new(&plan, id);
+            (0..200).map(|_| c.refuse_connect()).collect()
+        };
+        assert_eq!(seq(0), seq(0));
+        assert!(seq(0).iter().any(|&r| r), "60‰ over 200 draws should hit");
+        assert_ne!(seq(0), seq(1));
+    }
+
+    #[test]
+    fn profile_grammar_parses_presets_and_clauses() {
+        assert_eq!(ChaosProfile::parse("off").unwrap(), ChaosProfile::off());
+        assert_eq!(ChaosProfile::parse("heavy").unwrap(), ChaosProfile::heavy());
+        let p = ChaosProfile::parse("delay:100:3000,short:250,refuse:15").unwrap();
+        assert_eq!(p.delay_per_mille, 100);
+        assert_eq!(p.max_delay_us, 3000);
+        assert_eq!(p.short_per_mille, 250);
+        assert_eq!(p.refuse_per_mille, 15);
+        assert_eq!(p.reset_per_mille, 0);
+        assert_eq!(
+            ChaosProfile::parse("delay:100").unwrap().max_delay_us,
+            5_000
+        );
+        for bad in [
+            "bogus:5",
+            "delay",
+            "reset:abc",
+            "reset:1001",
+            "short:5:9",
+            "delay:1:2:3",
+        ] {
+            assert!(ChaosProfile::parse(bad).is_err(), "{bad} must not parse");
+        }
+    }
+
+    #[test]
+    fn ops_never_cross_window_boundaries() {
+        let plan = ChaosPlan::new(1, ChaosProfile::light());
+        let mut c = ChaosConn::new(&plan, 0);
+        let mut pos = 0u64;
+        for _ in 0..200 {
+            let p = c.plan(Dir::Write, 10_000);
+            if p.fail {
+                c.reconnected();
+                continue;
+            }
+            let end = pos + p.allow as u64;
+            assert!(
+                end <= (pos / WINDOW + 1) * WINDOW,
+                "op from {pos} ran to {end}, crossing a window edge"
+            );
+            c.advance(Dir::Write, p.allow);
+            pos = end;
+        }
+    }
+}

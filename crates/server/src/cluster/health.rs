@@ -5,10 +5,17 @@
 //! the [`HealthMonitor`] thread, which probes every shard with a `Health`
 //! request on a fixed interval, and the router's own request handlers,
 //! which report transport failures they observe while forwarding. Both
-//! call the same [`ShardSet::report_failure`], so a shard that dies under
-//! load is ejected after `fail_after` *consecutive* failures no matter
-//! which path noticed first — and a single successful probe (or forward)
-//! readmits it and zeroes the streak.
+//! feed the same weighted strike counter, so a shard that dies under
+//! load is ejected no matter which path noticed first — and a single
+//! successful probe (or forward) readmits it and zeroes the streak.
+//!
+//! Strikes are weighted by [`FailureKind`]: a *disconnect* (refused,
+//! reset, closed — the peer is provably not serving this socket) scores
+//! double a *timeout* (the peer holds the connection but answered late —
+//! possibly just overloaded). Ejection triggers at `2 × fail_after`
+//! strike points, so `fail_after` consecutive disconnects keep their
+//! historical meaning while pure timeouts need twice the evidence; a
+//! slow-but-alive shard degrades, it does not flap.
 //!
 //! Ejection never mutates the hash ring; the router filters dead shards
 //! at lookup time, which `ring.rs` shows is equivalent. That keeps the
@@ -27,15 +34,50 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
+/// How a shard failed, for strike weighting and per-kind accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The peer answered too slowly (socket deadline elapsed). Weakest
+    /// evidence of death: an overloaded shard looks exactly like this.
+    Timeout,
+    /// The peer refused, reset, or closed the connection — it is provably
+    /// not serving on this socket.
+    Disconnect,
+}
+
+impl FailureKind {
+    /// Classifies a wire error: expired socket budgets are timeouts,
+    /// everything else (refused, reset, closed, protocol damage) counts
+    /// as a disconnect.
+    pub fn from_error(e: &WireError) -> FailureKind {
+        match e {
+            WireError::TimedOut => FailureKind::Timeout,
+            _ => FailureKind::Disconnect,
+        }
+    }
+
+    /// Strike points this failure adds to the shard's streak.
+    fn weight(self) -> u32 {
+        match self {
+            FailureKind::Timeout => 1,
+            FailureKind::Disconnect => 2,
+        }
+    }
+}
+
 struct ShardSlot {
     addr: Mutex<SocketAddr>,
     /// Bumped on every address change; invalidates cached connections.
     generation: AtomicU64,
     alive: AtomicBool,
-    /// Consecutive failures since the last success.
+    /// Weighted strike points since the last success.
     fails: AtomicU32,
     /// Times this shard has been ejected.
     deaths: AtomicU64,
+    /// Lifetime timeout-class failures (for the metrics exports).
+    timeouts: AtomicU64,
+    /// Lifetime disconnect-class failures.
+    disconnects: AtomicU64,
     /// The last `Health` payload the prober saw (load signal).
     last_info: Mutex<Option<HealthInfo>>,
 }
@@ -60,6 +102,8 @@ impl ShardSet {
                     alive: AtomicBool::new(true),
                     fails: AtomicU32::new(0),
                     deaths: AtomicU64::new(0),
+                    timeouts: AtomicU64::new(0),
+                    disconnects: AtomicU64::new(0),
                     last_info: Mutex::new(None),
                 })
                 .collect(),
@@ -128,17 +172,42 @@ impl ShardSet {
         }
     }
 
-    /// Records a failed probe or forward. Returns `true` when this
-    /// failure crossed the `fail_after` threshold and ejected the shard.
+    /// Records a disconnect-class failure (the historical behavior:
+    /// `fail_after` consecutive calls eject). Returns `true` when this
+    /// failure ejected the shard.
     pub fn report_failure(&self, id: u16) -> bool {
+        self.report_failure_kind(id, FailureKind::Disconnect)
+    }
+
+    /// Records a failed probe or forward of the given kind. Disconnects
+    /// add two strike points, timeouts one; the shard is ejected when the
+    /// streak reaches `2 × fail_after` points. Returns `true` when this
+    /// failure ejected the shard.
+    pub fn report_failure_kind(&self, id: u16, kind: FailureKind) -> bool {
         let slot = &self.slots[usize::from(id)];
-        let streak = slot.fails.fetch_add(1, Relaxed) + 1;
-        if streak >= self.fail_after && slot.alive.swap(false, Relaxed) {
+        match kind {
+            FailureKind::Timeout => slot.timeouts.fetch_add(1, Relaxed),
+            FailureKind::Disconnect => slot.disconnects.fetch_add(1, Relaxed),
+        };
+        let streak = slot.fails.fetch_add(kind.weight(), Relaxed) + kind.weight();
+        if streak >= 2 * self.fail_after && slot.alive.swap(false, Relaxed) {
             slot.deaths.fetch_add(1, Relaxed);
-            eprintln!("xtree-cluster: shard {id} marked dead after {streak} consecutive failures");
+            eprintln!(
+                "xtree-cluster: shard {id} marked dead at {streak} strike points ({kind:?} last)"
+            );
             return true;
         }
         false
+    }
+
+    /// Lifetime timeout-class failures recorded against shard `id`.
+    pub fn timeouts(&self, id: u16) -> u64 {
+        self.slots[usize::from(id)].timeouts.load(Relaxed)
+    }
+
+    /// Lifetime disconnect-class failures recorded against shard `id`.
+    pub fn disconnects(&self, id: u16) -> u64 {
+        self.slots[usize::from(id)].disconnects.load(Relaxed)
     }
 
     /// The most recent `Health` load signal the prober stored for `id`.
@@ -198,8 +267,8 @@ impl HealthMonitor {
                     for id in 0..shards.len() as u16 {
                         match probe(shards.addr(id), timeout) {
                             Ok(info) => shards.report_success(id, info),
-                            Err(_) => {
-                                shards.report_failure(id);
+                            Err(e) => {
+                                shards.report_failure_kind(id, FailureKind::from_error(&e));
                             }
                         }
                     }
@@ -259,6 +328,39 @@ mod tests {
         set.report_success(0, None);
         assert!(!set.report_failure(0), "streak was reset by the success");
         assert!(set.is_alive(0));
+    }
+
+    #[test]
+    fn timeouts_strike_at_half_the_weight_of_disconnects() {
+        let set = ShardSet::new(&[addr(1)], 2);
+        // 2 × fail_after = 4 points: three timeouts (3 points) keep the
+        // shard alive where two disconnects (4 points) would not.
+        assert!(!set.report_failure_kind(0, FailureKind::Timeout));
+        assert!(!set.report_failure_kind(0, FailureKind::Timeout));
+        assert!(!set.report_failure_kind(0, FailureKind::Timeout));
+        assert!(set.is_alive(0), "three timeouts are not enough evidence");
+        assert!(set.report_failure_kind(0, FailureKind::Timeout));
+        assert!(!set.is_alive(0));
+        set.report_success(0, None);
+        // Mixed evidence: a timeout plus a disconnect is 3 points, one
+        // more disconnect crosses 4.
+        assert!(!set.report_failure_kind(0, FailureKind::Timeout));
+        assert!(!set.report_failure_kind(0, FailureKind::Disconnect));
+        assert!(set.is_alive(0));
+        assert!(set.report_failure_kind(0, FailureKind::Disconnect));
+        assert_eq!(set.timeouts(0), 5);
+        assert_eq!(set.disconnects(0), 2);
+    }
+
+    #[test]
+    fn wire_errors_classify_into_failure_kinds() {
+        assert_eq!(
+            FailureKind::from_error(&WireError::TimedOut),
+            FailureKind::Timeout
+        );
+        for e in [WireError::Refused, WireError::Reset, WireError::Closed] {
+            assert_eq!(FailureKind::from_error(&e), FailureKind::Disconnect);
+        }
     }
 
     #[test]

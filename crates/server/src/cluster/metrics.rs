@@ -23,6 +23,9 @@ pub struct ClusterMetrics {
     routed: Vec<AtomicU64>,
     /// Transport failures observed talking to each shard.
     failed: Vec<AtomicU64>,
+    /// The subset of failures that were socket deadlines (the shard held
+    /// the connection but outran the budget) rather than disconnects.
+    timeouts: Vec<AtomicU64>,
     /// Re-dispatches after a failure, by the shard that *received* the
     /// replay.
     replayed: Vec<AtomicU64>,
@@ -30,8 +33,13 @@ pub struct ClusterMetrics {
     unreachable: AtomicU64,
     /// Requests failed with `Exhausted` (replay budget spent).
     exhausted: AtomicU64,
+    /// Requests rejected with `ERR_DEADLINE` (client budget spent before
+    /// a shard answered).
+    deadline_rejects: AtomicU64,
     /// Shard processes the supervisor restarted.
     restarts: AtomicU64,
+    /// Hot keys replayed into freshly restarted shards (cache warmup).
+    warmup_keys: AtomicU64,
     /// Client requests accepted by the router, of any type.
     requests: AtomicU64,
     /// End-to-end latency of requests that needed ≥ 1 replay.
@@ -44,10 +52,13 @@ impl ClusterMetrics {
         ClusterMetrics {
             routed: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             failed: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            timeouts: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             replayed: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             unreachable: AtomicU64::new(0),
             exhausted: AtomicU64::new(0),
+            deadline_rejects: AtomicU64::new(0),
             restarts: AtomicU64::new(0),
+            warmup_keys: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             failover_us: Mutex::new(Histogram::pow2(FAILOVER_BUCKETS)),
         }
@@ -68,6 +79,12 @@ impl ClusterMetrics {
         self.failed[usize::from(shard)].fetch_add(1, Relaxed);
     }
 
+    /// Counts one socket-deadline expiry talking to `shard` (also counted
+    /// as a failure by the caller).
+    pub fn count_timeout(&self, shard: u16) {
+        self.timeouts[usize::from(shard)].fetch_add(1, Relaxed);
+    }
+
     /// Counts one replay re-dispatched to `shard` after a failure
     /// elsewhere (or a reconnect to the same shard).
     pub fn count_replayed(&self, shard: u16) {
@@ -84,9 +101,20 @@ impl ClusterMetrics {
         self.exhausted.fetch_add(1, Relaxed);
     }
 
+    /// Counts one request rejected because its deadline budget expired
+    /// before any shard answered.
+    pub fn count_deadline_reject(&self) {
+        self.deadline_rejects.fetch_add(1, Relaxed);
+    }
+
     /// Counts one supervisor restart of a crashed shard.
     pub fn count_restart(&self) {
         self.restarts.fetch_add(1, Relaxed);
+    }
+
+    /// Counts `n` hot keys replayed into a freshly restarted shard.
+    pub fn count_warmup_keys(&self, n: u64) {
+        self.warmup_keys.fetch_add(n, Relaxed);
     }
 
     /// Records the end-to-end latency of a request that needed at least
@@ -108,6 +136,11 @@ impl ClusterMetrics {
         self.failed.iter().map(|c| c.load(Relaxed)).sum()
     }
 
+    /// Total socket-deadline expiries across all shards.
+    pub fn timeouts_total(&self) -> u64 {
+        self.timeouts.iter().map(|c| c.load(Relaxed)).sum()
+    }
+
     /// Total replays across all shards.
     pub fn replayed_total(&self) -> u64 {
         self.replayed.iter().map(|c| c.load(Relaxed)).sum()
@@ -123,9 +156,19 @@ impl ClusterMetrics {
         self.exhausted.load(Relaxed)
     }
 
+    /// Requests rejected with an expired deadline budget.
+    pub fn deadline_rejects_total(&self) -> u64 {
+        self.deadline_rejects.load(Relaxed)
+    }
+
     /// Shard restarts the supervisor performed.
     pub fn restarts_total(&self) -> u64 {
         self.restarts.load(Relaxed)
+    }
+
+    /// Hot keys replayed into restarted shards.
+    pub fn warmup_keys_total(&self) -> u64 {
+        self.warmup_keys.load(Relaxed)
     }
 
     /// Client requests accepted.
@@ -148,6 +191,7 @@ impl ClusterMetrics {
         for (name, per_shard) in [
             ("routed", &self.routed),
             ("failed", &self.failed),
+            ("timeouts", &self.timeouts),
             ("replayed", &self.replayed),
         ] {
             out.push_str(&format!("# TYPE xtree_cluster_{name}_total counter\n"));
@@ -162,7 +206,9 @@ impl ClusterMetrics {
             ("requests", self.requests.load(Relaxed)),
             ("unreachable", self.unreachable.load(Relaxed)),
             ("exhausted", self.exhausted.load(Relaxed)),
+            ("deadline_rejects", self.deadline_rejects.load(Relaxed)),
             ("restarts", self.restarts.load(Relaxed)),
+            ("warmup_keys", self.warmup_keys.load(Relaxed)),
         ] {
             out.push_str(&format!(
                 "# TYPE xtree_cluster_{name}_total counter\nxtree_cluster_{name}_total {v}\n"
@@ -186,10 +232,13 @@ impl ClusterMetrics {
             .with("requests", self.requests.load(Relaxed))
             .with("routed", loads(&self.routed))
             .with("failed", loads(&self.failed))
+            .with("timeouts", loads(&self.timeouts))
             .with("replayed", loads(&self.replayed))
             .with("unreachable", self.unreachable.load(Relaxed))
             .with("exhausted", self.exhausted.load(Relaxed))
-            .with("restarts", self.restarts.load(Relaxed));
+            .with("deadline_rejects", self.deadline_rejects.load(Relaxed))
+            .with("restarts", self.restarts.load(Relaxed))
+            .with("warmup_keys", self.warmup_keys.load(Relaxed));
         out.push_str(&xtree_json::to_string(&counters));
         out.push('\n');
         let h = self.failover_us.lock().expect("failover poisoned");
@@ -214,18 +263,29 @@ mod tests {
         m.count_routed(1);
         m.count_routed(1);
         m.count_failed(1);
+        m.count_timeout(1);
         m.count_replayed(0);
         m.count_restart();
+        m.count_deadline_reject();
+        m.count_warmup_keys(3);
         m.observe_failover_us(1500);
         assert_eq!(m.routed_total(), 3);
         assert_eq!(m.failed_total(), 1);
+        assert_eq!(m.timeouts_total(), 1);
         assert_eq!(m.replayed_total(), 1);
+        assert_eq!(m.deadline_rejects_total(), 1);
+        assert_eq!(m.warmup_keys_total(), 3);
         let prom = m.to_prometheus();
         assert!(
             prom.contains("xtree_cluster_routed_total{shard=\"1\"} 2"),
             "{prom}"
         );
+        assert!(
+            prom.contains("xtree_cluster_timeouts_total{shard=\"1\"} 1"),
+            "{prom}"
+        );
         assert!(prom.contains("xtree_cluster_restarts_total 1"), "{prom}");
+        assert!(prom.contains("xtree_cluster_warmup_keys_total 3"), "{prom}");
         assert!(
             prom.contains("# TYPE xtree_cluster_failover_latency_us histogram"),
             "{prom}"
@@ -235,6 +295,8 @@ mod tests {
             assert!(xtree_json::from_str(line).is_ok(), "bad JSONL: {line}");
         }
         assert!(jsonl.contains("\"replayed\":[1,0]"), "{jsonl}");
+        assert!(jsonl.contains("\"timeouts\":[0,1]"), "{jsonl}");
+        assert!(jsonl.contains("\"deadline_rejects\":1"), "{jsonl}");
         assert!(jsonl.contains("\"name\":\"failover_latency_us\""));
     }
 }

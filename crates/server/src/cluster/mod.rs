@@ -7,8 +7,9 @@
 //!   embedding-cache key, so each shard's LRU holds exactly its slice of
 //!   the key space and a roster change moves only ~`1/M` of the keys.
 //! - [`health`] — the shared failure detector: a probe thread plus the
-//!   router's own forward failures feed one K-consecutive-failures
-//!   ejection rule; a restarted shard readmits via the same path.
+//!   router's own forward failures feed one weighted-strike ejection
+//!   rule (timeouts strike at half the weight of disconnects); a
+//!   restarted shard readmits via the same path.
 //! - [`router`] — the XWIRE1 front door that forwards compute requests
 //!   to their owning shard and *replays* them (re-hash, re-dispatch,
 //!   backoff) when a shard dies mid-flight. Replay is safe because every
@@ -26,7 +27,7 @@ pub mod ring;
 pub mod router;
 pub mod supervisor;
 
-pub use health::{HealthMonitor, ShardSet};
+pub use health::{FailureKind, HealthMonitor, ShardSet};
 pub use metrics::ClusterMetrics;
 pub use ring::HashRing;
 pub use router::{Router, RouterConfig};

@@ -28,17 +28,29 @@
 //! live shard, and `Shutdown` drains the whole cluster — stop the
 //! prober, tell the supervisor the coming exits are intentional, forward
 //! `Shutdown` to every shard, then let `wait()` reap.
+//!
+//! Two robustness layers ride the forward path. *Deadline budgets*: a
+//! client's remaining budget arrives in the frame's trailing field; the
+//! router deducts elapsed time (including backoff sleeps) before every
+//! attempt, re-encodes the shrunken budget for the shard, bounds each
+//! attempt's socket I/O by it, and answers `ERR_DEADLINE` the moment the
+//! budget dies — so a replay storm can never out-spend the client's
+//! patience. *Cache warmup*: the router keeps a census of hot routing
+//! keys, and when the supervisor restarts a crashed shard it replays
+//! that shard's share of the hottest keys into the fresh cache before
+//! client traffic lands on it.
 
-use super::health::{HealthMonitor, ShardSet};
+use super::health::{FailureKind, HealthMonitor, ShardSet};
 use super::metrics::ClusterMetrics;
 use super::ring::HashRing;
 use super::supervisor::Supervisor;
 use crate::cache::EmbeddingKey;
-use crate::client::{Client, ReconnectPolicy};
+use crate::client::ReconnectPolicy;
+use crate::service::deadline_reject;
 use crate::wire::{
-    decode_request, decode_response, encode_request, frame, read_frame, write_request,
-    write_response, HealthInfo, Request, Response, WireError, WireStats, ERR_BAD_REQUEST,
-    ERR_EXHAUSTED, ERR_SHUTTING_DOWN, ERR_UNREACHABLE,
+    decode_request_budget, decode_response, encode_request, encode_request_budget, frame,
+    read_frame, write_request, write_response, HealthInfo, Request, Response, WireError, WireStats,
+    ERR_BAD_REQUEST, ERR_EXHAUSTED, ERR_SHUTTING_DOWN, ERR_UNREACHABLE,
 };
 use std::collections::HashMap;
 use std::io::{BufReader, Write};
@@ -63,7 +75,8 @@ pub struct RouterConfig {
     pub vnodes: u32,
     /// Health-probe period.
     pub probe_interval: Duration,
-    /// Consecutive failures (probe or forward) that eject a shard.
+    /// Consecutive disconnect-weight failures (probe or forward) that
+    /// eject a shard; timeouts strike at half this weight.
     pub fail_after: u32,
     /// Replay budget and pacing for failed forwards.
     pub replay: ReconnectPolicy,
@@ -90,6 +103,59 @@ impl Default for RouterConfig {
 /// client forever.
 const CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
 
+/// Per-attempt ceiling on shard I/O when the client supplied a deadline
+/// budget; without one the forward path stays blocking, as before.
+const FORWARD_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// `Stats` aggregation must answer even when one shard wedges.
+const STATS_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// I/O ceiling while warming a restarted shard's cache.
+const WARMUP_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Hot-key census capacity; crossing it evicts the coldest half.
+const HOT_KEYS_CAP: usize = 1024;
+
+/// Hot keys considered when warming one restarted shard.
+const WARMUP_TOP_K: usize = 8;
+
+/// The router's sliding census of hot routing keys: what the cluster has
+/// actually been asked for, used to pre-fill the cache of a freshly
+/// restarted shard.
+#[derive(Default)]
+struct HotKeys {
+    counts: HashMap<EmbeddingKey, u64>,
+}
+
+/// A total order on keys so hot-key ranking (and therefore warmup
+/// traffic) is deterministic under equal counts.
+fn key_rank(k: &EmbeddingKey) -> (u8, u64, u64, u8) {
+    (k.family, k.nodes, k.seed, k.theorem)
+}
+
+impl HotKeys {
+    fn touch(&mut self, key: EmbeddingKey) {
+        *self.counts.entry(key).or_insert(0) += 1;
+        if self.counts.len() > HOT_KEYS_CAP {
+            let mut by_heat: Vec<(EmbeddingKey, u64)> = self.counts.drain().collect();
+            by_heat.sort_unstable_by(|a, b| {
+                b.1.cmp(&a.1)
+                    .then_with(|| key_rank(&a.0).cmp(&key_rank(&b.0)))
+            });
+            by_heat.truncate(HOT_KEYS_CAP / 2);
+            self.counts = by_heat.into_iter().collect();
+        }
+    }
+
+    /// The `k` hottest keys, hottest first.
+    fn top(&self, k: usize) -> Vec<EmbeddingKey> {
+        let mut by_heat: Vec<(&EmbeddingKey, &u64)> = self.counts.iter().collect();
+        by_heat
+            .sort_unstable_by(|a, b| b.1.cmp(a.1).then_with(|| key_rank(a.0).cmp(&key_rank(b.0))));
+        by_heat.into_iter().take(k).map(|(key, _)| *key).collect()
+    }
+}
+
 struct RouterShared {
     ring: HashRing,
     shards: Arc<ShardSet>,
@@ -99,6 +165,8 @@ struct RouterShared {
     started: Instant,
     /// Present when the shards are child processes the router owns.
     supervisor: Mutex<Option<Supervisor>>,
+    /// Hot routing keys for restart cache warmup.
+    hot: Mutex<HotKeys>,
 }
 
 /// A running router. Send it a wire `Shutdown` (or call
@@ -138,6 +206,7 @@ impl Router {
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             supervisor: Mutex::new(None),
+            hot: Mutex::new(HotKeys::default()),
         });
         let monitor = HealthMonitor::spawn(shards, config.probe_interval);
         let acceptor = {
@@ -176,6 +245,14 @@ impl Router {
     /// wire `Shutdown` can drain them too.
     pub fn attach_supervisor(&self, sup: Supervisor) {
         *self.shared.supervisor.lock().expect("supervisor lock") = Some(sup);
+    }
+
+    /// The cache-warmup callback a supervisor should run after restarting
+    /// a shard: replays that shard's share of the router's hottest keys
+    /// into its fresh, empty cache (best effort, bounded I/O).
+    pub fn warmup_fn(&self) -> super::supervisor::WarmupFn {
+        let shared = Arc::clone(&self.shared);
+        Arc::new(move |id| warm_shard(&shared, id))
     }
 
     /// Initiates the same cluster-wide drain a wire `Shutdown` does.
@@ -290,11 +367,15 @@ fn open_shard_conn(addr: SocketAddr, generation: u64) -> Result<CachedConn, Wire
 
 /// One forward attempt: write the framed request to `shard`, read one
 /// response frame back. Any failure invalidates the cached connection.
+/// `io_timeout` bounds both socket directions for this attempt; `None`
+/// restores blocking I/O (cached connections may carry a previous
+/// budgeted request's timeouts, so it is applied every attempt).
 fn try_forward(
     shared: &RouterShared,
     conns: &mut ConnCache,
     shard: u16,
     framed: &[u8],
+    io_timeout: Option<Duration>,
 ) -> Result<Vec<u8>, WireError> {
     let generation = shared.shards.generation(shard);
     let needs_dial = match conns.get(&shard) {
@@ -306,6 +387,8 @@ fn try_forward(
         conns.insert(shard, conn);
     }
     let conn = conns.get_mut(&shard).expect("just inserted");
+    conn.writer.set_read_timeout(io_timeout).ok();
+    conn.writer.set_write_timeout(io_timeout).ok();
     let result = (|| {
         conn.writer.write_all(framed)?;
         conn.writer.flush()?;
@@ -318,6 +401,53 @@ fn try_forward(
         conns.remove(&shard);
     }
     result
+}
+
+/// Replays the hottest keys owned by `shard` into its freshly restarted
+/// cache. Safe because `Embed` is a pure function of the key — warmup is
+/// just asking the shard, ahead of time, what clients will ask it again.
+fn warm_shard(shared: &RouterShared, shard: u16) {
+    let keys = shared.hot.lock().expect("hot keys").top(WARMUP_TOP_K);
+    let owned: Vec<EmbeddingKey> = keys
+        .into_iter()
+        .filter(|key| {
+            let hash = shared.ring.key_hash(key);
+            // Route on the ring as it stands once this shard is back.
+            shared
+                .ring
+                .route_live(hash, |s| s == shard || shared.shards.is_alive(s))
+                == Some(shard)
+        })
+        .collect();
+    if owned.is_empty() {
+        return;
+    }
+    let mut warmed = 0u64;
+    let _ = (|| -> Result<(), WireError> {
+        let stream = TcpStream::connect_timeout(&shared.shards.addr(shard), CONNECT_TIMEOUT)?;
+        stream.set_read_timeout(Some(WARMUP_TIMEOUT))?;
+        stream.set_write_timeout(Some(WARMUP_TIMEOUT))?;
+        let mut writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        for key in &owned {
+            let req = Request::Embed {
+                family: key.family,
+                nodes: key.nodes,
+                seed: key.seed,
+                theorem: key.theorem,
+            };
+            write_request(&mut writer, &req)?;
+            match read_frame(&mut reader)? {
+                Some(_) => warmed += 1,
+                None => break,
+            }
+        }
+        Ok(())
+    })();
+    shared.metrics.count_warmup_keys(warmed);
+    if warmed > 0 {
+        eprintln!("xtree-cluster: shard {shard} cache warmed with {warmed} hot keys");
+    }
 }
 
 /// Whether a shard's response payload is the typed "server is draining"
@@ -347,24 +477,49 @@ enum Outcome {
 /// backoff, and re-route — the ring may eject the shard meanwhile,
 /// sliding the key to its clockwise successor. Returns the raw response
 /// payload to relay, or the typed terminal error.
+///
+/// When the client supplied a deadline budget, every attempt first
+/// deducts the time already spent (forwarding, backoff sleeps, dead
+/// shards): the frame is re-encoded carrying only the remaining budget,
+/// socket I/O is bounded by it, and an empty budget terminates the replay
+/// loop with `ERR_DEADLINE` instead of burning attempts the client has
+/// already given up on.
 fn forward_with_replay(
     shared: &RouterShared,
     conns: &mut ConnCache,
     key: &EmbeddingKey,
     req: &Request,
+    deadline: Option<Instant>,
 ) -> Outcome {
     let mut payload = Vec::new();
     encode_request(req, &mut payload);
-    let framed = frame(&payload);
+    let mut framed = frame(&payload);
     let hash = shared.ring.key_hash(key);
     let start = Instant::now();
     let mut found_live = false;
     for attempt in 0..=shared.replay.max_retries {
         if attempt > 0 {
-            std::thread::sleep(Duration::from_millis(u64::from(
-                shared.replay.backoff.delay(attempt - 1),
-            )));
+            let mut wait =
+                Duration::from_millis(u64::from(shared.replay.backoff.delay(attempt - 1)));
+            if let Some(d) = deadline {
+                wait = wait.min(d.saturating_duration_since(Instant::now()));
+            }
+            std::thread::sleep(wait);
         }
+        let io_timeout = match deadline {
+            None => None,
+            Some(d) => {
+                let remaining = d.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    shared.metrics.count_deadline_reject();
+                    return Outcome::Built(deadline_reject("router"));
+                }
+                payload.clear();
+                encode_request_budget(req, Some(remaining.as_micros() as u64), &mut payload);
+                framed = frame(&payload);
+                Some(remaining.max(Duration::from_millis(1)).min(FORWARD_TIMEOUT))
+            }
+        };
         let Some(shard) = shared
             .ring
             .route_live(hash, |id| shared.shards.is_alive(id))
@@ -378,7 +533,7 @@ fn forward_with_replay(
         if attempt > 0 {
             shared.metrics.count_replayed(shard);
         }
-        match try_forward(shared, conns, shard, &framed) {
+        match try_forward(shared, conns, shard, &framed, io_timeout) {
             Ok(resp_payload) => {
                 // A shard that answers "I am draining" is as gone as one
                 // that dropped the connection — its listener closes next.
@@ -399,17 +554,25 @@ fn forward_with_replay(
             }
             Err(e) if e.is_transport() => {
                 shared.metrics.count_failed(shard);
-                shared.shards.report_failure(shard);
+                if matches!(e, WireError::TimedOut) {
+                    shared.metrics.count_timeout(shard);
+                }
+                // A shard that outran its socket deadline is suspect, not
+                // dead: it strikes at half the weight of a disconnect.
+                shared
+                    .shards
+                    .report_failure_kind(shard, FailureKind::from_error(&e));
             }
             Err(_) => {
-                // Protocol-level trouble on the shard link (bad frame,
-                // oversized declaration): not the shard being dead, and
-                // not retryable — the shard would answer identically.
+                // Protocol-level trouble on the shard link (garbled or
+                // oversized frame). With fault injection in the picture
+                // this indicts the *link*, not the request — the request
+                // bytes we sent are known-well-formed — so strike the
+                // shard and replay on a fresh connection.
                 shared.metrics.count_failed(shard);
-                return Outcome::Built(Response::Error {
-                    code: ERR_BAD_REQUEST,
-                    message: "shard returned an unreadable frame".into(),
-                });
+                shared
+                    .shards
+                    .report_failure_kind(shard, FailureKind::Disconnect);
             }
         }
     }
@@ -431,21 +594,46 @@ fn forward_with_replay(
     })
 }
 
-/// Aggregates a `Stats` snapshot across every live shard: counters sum;
+/// Aggregates a `Stats` snapshot across the shard roster: counters sum;
 /// percentiles and depths take the max (a conservative cluster-wide
-/// tail).
+/// tail). Shards that are dead, unreachable, or slower than
+/// [`STATS_TIMEOUT`] are no longer silently absorbed into the sum: the
+/// snapshot comes back with `partial = true`, so a reader can tell a
+/// quiet cluster from a half-blind aggregation.
 fn aggregate_stats(shared: &RouterShared) -> WireStats {
     let mut total = WireStats::default();
-    for id in 0..shared.shards.len() as u16 {
+    let roster = shared.shards.len() as u16;
+    let mut answered = 0u16;
+    for id in 0..roster {
         if !shared.shards.is_alive(id) {
             continue;
         }
-        let Ok(mut client) = Client::connect(shared.shards.addr(id)) else {
-            continue;
+        let snap = (|| -> Result<WireStats, WireError> {
+            let stream = TcpStream::connect_timeout(&shared.shards.addr(id), CONNECT_TIMEOUT)?;
+            stream.set_read_timeout(Some(STATS_TIMEOUT))?;
+            stream.set_write_timeout(Some(STATS_TIMEOUT))?;
+            let mut writer = stream.try_clone()?;
+            let mut reader = BufReader::new(stream);
+            write_request(&mut writer, &Request::Stats)?;
+            match read_frame(&mut reader)? {
+                Some(bytes) => match decode_response(&bytes)? {
+                    Response::StatsOk(s) => Ok(s),
+                    _ => Err(WireError::Closed),
+                },
+                None => Err(WireError::Closed),
+            }
+        })();
+        let s = match snap {
+            Ok(s) => s,
+            Err(e) => {
+                if matches!(e, WireError::TimedOut) {
+                    shared.metrics.count_timeout(id);
+                }
+                continue;
+            }
         };
-        let Ok(Response::StatsOk(s)) = client.call(&Request::Stats) else {
-            continue;
-        };
+        answered += 1;
+        total.partial |= s.partial;
         total.requests += s.requests;
         total.embeds += s.embeds;
         total.simulates += s.simulates;
@@ -462,6 +650,7 @@ fn aggregate_stats(shared: &RouterShared) -> WireStats {
         total.sim_hops += s.sim_hops;
         total.sim_delivered += s.sim_delivered;
     }
+    total.partial |= answered < roster;
     total
 }
 
@@ -503,9 +692,9 @@ fn handle_connection(stream: TcpStream, shared: &RouterShared, local: SocketAddr
     let mut reader = BufReader::new(stream);
     let mut conns = ConnCache::new();
     loop {
-        let req = match read_frame(&mut reader) {
-            Ok(Some(bytes)) => match decode_request(&bytes) {
-                Ok(req) => req,
+        let (req, deadline_us) = match read_frame(&mut reader) {
+            Ok(Some(bytes)) => match decode_request_budget(&bytes) {
+                Ok(pair) => pair,
                 Err(e) => {
                     shared.metrics.count_request();
                     let _ = write_response(&mut writer, &wire_reject(&e));
@@ -521,6 +710,16 @@ fn handle_connection(stream: TcpStream, shared: &RouterShared, local: SocketAddr
             }
         };
         shared.metrics.count_request();
+        // The trailing budget is the client's *remaining* patience at
+        // send time; the clock for it starts at receipt.
+        let deadline = deadline_us.map(|us| Instant::now() + Duration::from_micros(us));
+        if deadline_us == Some(0) {
+            shared.metrics.count_deadline_reject();
+            if write_response(&mut writer, &deadline_reject("router admission")).is_err() {
+                return;
+            }
+            continue;
+        }
         let outcome = match &req {
             Request::Health => Outcome::Built(Response::HealthOk {
                 info: Some(router_health(shared)),
@@ -548,7 +747,8 @@ fn handle_connection(stream: TcpStream, shared: &RouterShared, local: SocketAddr
                     seed: *seed,
                     theorem: *theorem,
                 };
-                forward_with_replay(shared, &mut conns, &key, &req)
+                shared.hot.lock().expect("hot keys").touch(key);
+                forward_with_replay(shared, &mut conns, &key, &req, deadline)
             }
         };
         let written = match &outcome {

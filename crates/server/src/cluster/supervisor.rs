@@ -30,6 +30,12 @@ use std::thread;
 use std::time::{Duration, Instant};
 use xtree_sim::Backoff;
 
+/// Called with a shard id right after the supervisor restarts that shard
+/// and publishes its fresh address — the router installs its hot-key
+/// cache warmer here, so a replacement shard starts with the cluster's
+/// hottest embeddings instead of a cold LRU.
+pub type WarmupFn = Arc<dyn Fn(u16) + Send + Sync>;
+
 /// How to launch one shard: a program and its argument list. The address
 /// argument must request an ephemeral port (`127.0.0.1:0`); the actual
 /// port is read back from the readiness line.
@@ -157,6 +163,7 @@ struct SupervisorInner {
     draining: AtomicBool,
     restart_backoff: Backoff,
     readiness_timeout: Duration,
+    warmup: Option<WarmupFn>,
 }
 
 /// The background thread that keeps the shard roster populated.
@@ -172,7 +179,8 @@ impl Supervisor {
     /// Takes ownership of already-spawned `children` (index = shard id)
     /// and starts watching them. `restart_backoff` (milliseconds) paces
     /// restarts per slot: attempt `k` of the same slot waits
-    /// `backoff.delay(k)`.
+    /// `backoff.delay(k)`. `warmup`, when present, runs after each
+    /// restarted shard's address is published (router cache warmup).
     pub fn spawn(
         children: Vec<ShardChild>,
         cmd: ShardCommand,
@@ -180,6 +188,7 @@ impl Supervisor {
         metrics: Arc<ClusterMetrics>,
         restart_backoff: Backoff,
         readiness_timeout: Duration,
+        warmup: Option<WarmupFn>,
     ) -> Supervisor {
         let inner = Arc::new(SupervisorInner {
             children: Mutex::new(children),
@@ -189,6 +198,7 @@ impl Supervisor {
             draining: AtomicBool::new(false),
             restart_backoff,
             readiness_timeout,
+            warmup,
         });
         let inner2 = Arc::clone(&inner);
         let handle = thread::Builder::new()
@@ -263,6 +273,9 @@ fn supervise(inner: &SupervisorInner) {
                     inner.children.lock().expect("children lock")[id] = fresh;
                     restarts[id] = attempt + 1;
                     next_attempt[id] = Instant::now();
+                    if let Some(warm) = &inner.warmup {
+                        warm(id as u16);
+                    }
                 }
                 Err(e) => {
                     eprintln!("xtree-cluster: shard {id} restart failed: {e}");

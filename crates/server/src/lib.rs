@@ -8,6 +8,10 @@
 //!   `XCKPT1` checkpoint container is);
 //! * [`queue`] — the bounded MPMC job queue whose `try_push` failure *is*
 //!   the backpressure signal (`Overloaded`, never a hang);
+//! * [`chaos`] — the seeded chaos transport: a [`ChaosStream`] wrapper
+//!   over `TcpStream` whose delays, short ops, corruption, resets, and
+//!   refusals are a pure function of `(seed, connection id)`, so a fault
+//!   schedule replays byte-deterministically;
 //! * [`cache`] — the sharded-LRU embedding cache keyed on
 //!   `(family, nodes, seed, theorem)`, sharing `Arc<XEmbedding>`s so a
 //!   hit skips the Theorem-1 construction entirely;
@@ -38,6 +42,7 @@
 //! ```
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod cluster;
 pub mod metrics;
@@ -47,13 +52,16 @@ pub mod service;
 pub mod wire;
 
 pub use cache::{EmbeddingCache, EmbeddingKey};
+pub use chaos::{ChaosConn, ChaosCounts, ChaosPlan, ChaosProfile, ChaosStream};
 pub use client::{Client, ReconnectPolicy};
-pub use cluster::{ClusterMetrics, HashRing, Router, RouterConfig, ShardSet, Supervisor};
+pub use cluster::{
+    ClusterMetrics, FailureKind, HashRing, Router, RouterConfig, ShardSet, Supervisor,
+};
 pub use metrics::ServerMetrics;
 pub use queue::{BoundedQueue, PushError};
 pub use server::{Server, ServerConfig};
 pub use service::MAX_NODES;
 pub use wire::{
-    HealthInfo, Request, Response, WireError, WireReport, WireStats, ERR_EXHAUSTED,
-    ERR_UNREACHABLE, WORKLOAD_ALL,
+    HealthInfo, Request, Response, WireError, WireReport, WireStats, ERR_BAD_REQUEST, ERR_DEADLINE,
+    ERR_EXHAUSTED, ERR_SHUTTING_DOWN, ERR_UNREACHABLE, WORKLOAD_ALL,
 };

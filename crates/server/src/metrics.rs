@@ -31,6 +31,12 @@ pub struct ServerMetrics {
     healths: AtomicU64,
     overloaded: AtomicU64,
     errors: AtomicU64,
+    /// Requests rejected with `ERR_DEADLINE` (budget expired at
+    /// admission, in the queue, or before compute started).
+    deadline_rejects: AtomicU64,
+    /// Connections dropped because a socket read/write outran the
+    /// configured I/O timeout (idle or stalled peers).
+    io_timeouts: AtomicU64,
     latency_us: Mutex<Histogram>,
     /// Embed-construction latency on cache hits (lookup + evaluate).
     embed_hit_us: Mutex<Histogram>,
@@ -52,6 +58,8 @@ impl ServerMetrics {
             healths: AtomicU64::new(0),
             overloaded: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            deadline_rejects: AtomicU64::new(0),
+            io_timeouts: AtomicU64::new(0),
             latency_us: Mutex::new(Histogram::pow2(LATENCY_BUCKETS)),
             embed_hit_us: Mutex::new(Histogram::pow2(LATENCY_BUCKETS)),
             embed_miss_us: Mutex::new(Histogram::pow2(LATENCY_BUCKETS)),
@@ -93,6 +101,21 @@ impl ServerMetrics {
     /// Counts one request answered with `Error`.
     pub fn count_error(&self) {
         self.errors.fetch_add(1, Relaxed);
+    }
+
+    /// Counts one request rejected because its deadline budget expired.
+    pub fn count_deadline_reject(&self) {
+        self.deadline_rejects.fetch_add(1, Relaxed);
+    }
+
+    /// Counts one connection dropped on an I/O timeout.
+    pub fn count_io_timeout(&self) {
+        self.io_timeouts.fetch_add(1, Relaxed);
+    }
+
+    /// Requests rejected with `ERR_DEADLINE` so far.
+    pub fn deadline_rejects(&self) -> u64 {
+        self.deadline_rejects.load(Relaxed)
     }
 
     /// Records one completed pooled request's end-to-end latency
@@ -151,6 +174,9 @@ impl ServerMetrics {
             latency_p99_us: lat.quantile(0.99),
             sim_hops: sim.hops,
             sim_delivered: sim.delivered,
+            // A single daemon always has the complete picture; only the
+            // router's aggregate can be partial.
+            partial: false,
         }
     }
 
@@ -166,6 +192,8 @@ impl ServerMetrics {
             ("simulates", s.simulates),
             ("overloaded", s.overloaded),
             ("errors", s.errors),
+            ("deadline_rejects", self.deadline_rejects.load(Relaxed)),
+            ("io_timeouts", self.io_timeouts.load(Relaxed)),
             ("cache_hits", s.cache_hits),
             ("cache_misses", s.cache_misses),
             ("sim_hops", s.sim_hops),
@@ -218,6 +246,8 @@ impl ServerMetrics {
             .with("simulates", s.simulates)
             .with("overloaded", s.overloaded)
             .with("errors", s.errors)
+            .with("deadline_rejects", self.deadline_rejects.load(Relaxed))
+            .with("io_timeouts", self.io_timeouts.load(Relaxed))
             .with("cache_hits", s.cache_hits)
             .with("cache_misses", s.cache_misses)
             .with("cache_entries", s.cache_entries)

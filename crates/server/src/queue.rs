@@ -103,6 +103,35 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Like [`pop`](BoundedQueue::pop), but items failing `keep` are
+    /// handed to `reject` instead of returned — the worker pool uses this
+    /// to answer deadline-expired jobs with a typed error on the way past
+    /// rather than burning a worker on work nobody is waiting for. Blocks
+    /// until a keepable item arrives or the queue is closed and drained
+    /// (rejecting any expired stragglers first).
+    ///
+    /// Both callbacks run under the queue lock and must not touch the
+    /// queue re-entrantly; sending on an mpsc reply channel is fine.
+    pub fn pop_filtered<K, R>(&self, mut keep: K, mut reject: R) -> Option<T>
+    where
+        K: FnMut(&T) -> bool,
+        R: FnMut(T),
+    {
+        let mut st = self.state.lock().expect("queue poisoned");
+        loop {
+            while let Some(item) = st.items.pop_front() {
+                if keep(&item) {
+                    return Some(item);
+                }
+                reject(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("queue poisoned");
+        }
+    }
+
     /// Closes the queue: future pushes fail, queued items still drain,
     /// and blocked consumers wake (returning items until empty, then
     /// `None`).
@@ -156,6 +185,24 @@ mod tests {
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), None);
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_filtered_rejects_on_the_way_past() {
+        let q = BoundedQueue::new(8);
+        for v in [1, -2, -3, 4, -5] {
+            q.try_push(v).unwrap();
+        }
+        let mut rejected = Vec::new();
+        // Negative items are "expired": handed to the reject callback,
+        // never returned.
+        assert_eq!(q.pop_filtered(|v| *v > 0, |v| rejected.push(v)), Some(1));
+        assert_eq!(q.pop_filtered(|v| *v > 0, |v| rejected.push(v)), Some(4));
+        assert_eq!(rejected, vec![-2, -3]);
+        q.close();
+        // Draining rejects the final straggler before reporting the end.
+        assert_eq!(q.pop_filtered(|v| *v > 0, |v| rejected.push(v)), None);
+        assert_eq!(rejected, vec![-2, -3, -5]);
     }
 
     #[test]

@@ -15,19 +15,20 @@
 //! acceptor can observe the flag and leave.
 
 use crate::cache::EmbeddingCache;
+use crate::chaos::{ChaosPlan, ChaosStream};
 use crate::metrics::ServerMetrics;
 use crate::queue::{BoundedQueue, PushError};
-use crate::service::handle_compute;
+use crate::service::{deadline_reject, handle_compute};
 use crate::wire::{
-    decode_request, read_frame, write_response, HealthInfo, Request, Response, WireError,
+    decode_request_budget, read_frame, write_response, HealthInfo, Request, Response, WireError,
     ERR_BAD_REQUEST, ERR_SHUTTING_DOWN,
 };
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How a daemon is shaped: where it listens and how much it admits.
 #[derive(Clone, Debug)]
@@ -41,6 +42,14 @@ pub struct ServerConfig {
     pub queue_cap: usize,
     /// Total embedding-cache capacity; 0 disables caching.
     pub cache_cap: usize,
+    /// `SO_RCVTIMEO`/`SO_SNDTIMEO` for every connection: a peer that
+    /// stalls longer than this mid-frame is dropped instead of wedging
+    /// its handler thread forever. `None` (the default) keeps the
+    /// pre-deadline unbounded blocking behavior.
+    pub io_timeout: Option<Duration>,
+    /// Seeded fault injection on every accepted connection; `None` (the
+    /// default) serves raw sockets.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for ServerConfig {
@@ -50,14 +59,20 @@ impl Default for ServerConfig {
             workers: 4,
             queue_cap: 64,
             cache_cap: 256,
+            io_timeout: None,
+            chaos: None,
         }
     }
 }
 
-/// One pooled request: what to compute and where to send the answer.
+/// One pooled request: what to compute, where to send the answer, and
+/// how long anyone still cares.
 struct Job {
     req: Request,
     reply: mpsc::Sender<Response>,
+    /// The absolute instant after which the client's budget is spent and
+    /// the answer is worthless.
+    deadline: Option<Instant>,
 }
 
 /// State shared by the acceptor, every handler, and every worker.
@@ -68,6 +83,7 @@ struct Shared {
     shutdown: AtomicBool,
     /// When the daemon came up — `Health` reports whole seconds since.
     started: Instant,
+    io_timeout: Option<Duration>,
 }
 
 /// A running daemon. Dropping the handle does not stop it — send a
@@ -95,6 +111,7 @@ impl Server {
             metrics: ServerMetrics::new(),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
+            io_timeout: config.io_timeout,
         });
 
         let workers = (0..config.workers)
@@ -109,9 +126,10 @@ impl Server {
 
         let acceptor = {
             let shared = Arc::clone(&shared);
+            let chaos = config.chaos.filter(|p| !p.profile.is_off());
             std::thread::Builder::new()
                 .name("xtree-acceptor".into())
-                .spawn(move || acceptor_loop(&listener, &shared))
+                .spawn(move || acceptor_loop(&listener, &shared, chaos))
                 .expect("spawn acceptor")
         };
 
@@ -179,7 +197,16 @@ fn begin_shutdown(shared: &Shared, addr: std::net::SocketAddr) {
 }
 
 fn worker_loop(shared: &Shared) {
-    while let Some(job) = shared.queue.pop() {
+    // Deadline-expired jobs are answered with the typed rejection on the
+    // way past instead of burning compute on an answer nobody awaits.
+    while let Some(job) = shared.queue.pop_filtered(
+        |job| job.deadline.is_none_or(|d| Instant::now() < d),
+        |job| {
+            shared.metrics.count_deadline_reject();
+            shared.metrics.count_error();
+            let _ = job.reply.send(deadline_reject("queue"));
+        },
+    ) {
         let resp = handle_compute(&job.req, &shared.cache, &shared.metrics);
         if matches!(resp, Response::Error { .. }) {
             shared.metrics.count_error();
@@ -189,7 +216,10 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>, chaos: Option<ChaosPlan>) {
+    // Accepted connections number from 0; under chaos each index derives
+    // its own fault stream from the plan.
+    let conn_counter = AtomicU64::new(0);
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -203,6 +233,8 @@ fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         if shared.shutdown.load(Ordering::SeqCst) {
             break; // the wake-up connection (or a late client) during drain
         }
+        let conn_id = conn_counter.fetch_add(1, Ordering::Relaxed);
+        let stream = ChaosStream::wrap(stream, chaos.as_ref().map(|p| p.conn(conn_id)));
         let shared = Arc::clone(shared);
         let addr = listener.local_addr().ok();
         // Handlers are detached: they die with their connection (EOF /
@@ -225,17 +257,25 @@ fn wire_reject(e: &WireError) -> Response {
     }
 }
 
-/// Serves one connection until EOF, a wire error, or shutdown.
-fn handle_connection(stream: TcpStream, shared: &Shared, local: std::net::SocketAddr) {
+/// Serves one connection until EOF, a wire error, an I/O timeout, or
+/// shutdown.
+fn handle_connection(stream: ChaosStream, shared: &Shared, local: std::net::SocketAddr) {
+    // The socket-level budget: a peer that stalls longer than this
+    // mid-frame (or between the bytes of one) is dropped, not waited on.
+    if stream.set_read_timeout(shared.io_timeout).is_err()
+        || stream.set_write_timeout(shared.io_timeout).is_err()
+    {
+        return;
+    }
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
     loop {
-        let req = match read_frame(&mut reader) {
-            Ok(Some(bytes)) => match decode_request(&bytes) {
-                Ok(req) => req,
+        let (req, deadline_us) = match read_frame(&mut reader) {
+            Ok(Some(bytes)) => match decode_request_budget(&bytes) {
+                Ok(decoded) => decoded,
                 Err(e) => {
                     shared.metrics.count_request();
                     shared.metrics.count_error();
@@ -244,6 +284,12 @@ fn handle_connection(stream: TcpStream, shared: &Shared, local: std::net::Socket
                 }
             },
             Ok(None) => return, // clean EOF between frames
+            Err(WireError::TimedOut) => {
+                // Idle or stalled peer outran the I/O budget: close
+                // silently — there is no frame to answer.
+                shared.metrics.count_io_timeout();
+                return;
+            }
             Err(WireError::Io(_)) => return,
             Err(e) => {
                 shared.metrics.count_request();
@@ -253,6 +299,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared, local: std::net::Socket
             }
         };
         shared.metrics.count_request();
+        // The budget field is the client's *remaining* time at send
+        // time; receipt time is the closest clock-free approximation of
+        // when it started ticking here.
+        let deadline = deadline_us.map(|us| Instant::now() + Duration::from_micros(us));
         let resp = match req {
             Request::Health => {
                 shared.metrics.count_health();
@@ -283,10 +333,27 @@ fn handle_connection(stream: TcpStream, shared: &Shared, local: std::net::Socket
                 } else {
                     shared.metrics.count_simulate();
                 }
-                dispatch(shared, req)
+                dispatch(shared, req, deadline)
             }
         };
-        if write_response(&mut writer, &resp).is_err() {
+        // A budgeted response gets the remaining budget as its write
+        // timeout (a dead-slow reader cannot hold the handler past the
+        // client's own patience); budget-free traffic keeps io_timeout.
+        if let Some(d) = deadline {
+            let remaining = d
+                .saturating_duration_since(Instant::now())
+                .max(Duration::from_millis(1));
+            let budget = shared.io_timeout.map_or(remaining, |io| io.min(remaining));
+            let _ = writer.set_write_timeout(Some(budget));
+        }
+        let wrote = write_response(&mut writer, &resp);
+        if deadline.is_some() {
+            let _ = writer.set_write_timeout(shared.io_timeout);
+        }
+        if wrote.is_err() {
+            if matches!(wrote, Err(WireError::TimedOut)) {
+                shared.metrics.count_io_timeout();
+            }
             return;
         }
         if matches!(resp, Response::ShutdownOk { .. }) {
@@ -296,13 +363,20 @@ fn handle_connection(stream: TcpStream, shared: &Shared, local: std::net::Socket
 }
 
 /// Admits one compute request to the pool and blocks (I/O thread only)
-/// until its reply arrives.
-fn dispatch(shared: &Shared, req: Request) -> Response {
+/// until its reply arrives or the request's deadline budget runs out.
+fn dispatch(shared: &Shared, req: Request, deadline: Option<Instant>) -> Response {
     let start = Instant::now();
+    // Reject already-expired work before it costs a queue slot.
+    if deadline.is_some_and(|d| start >= d) {
+        shared.metrics.count_deadline_reject();
+        shared.metrics.count_error();
+        return deadline_reject("admission");
+    }
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
         req,
         reply: reply_tx,
+        deadline,
     };
     match shared.queue.try_push(job) {
         Ok(depth) => {
@@ -324,8 +398,24 @@ fn dispatch(shared: &Shared, req: Request) -> Response {
         }
     }
     // recv fails only if the worker died with the job; surface it as a
-    // typed error instead of hanging the connection.
-    let resp = reply_rx.recv().unwrap_or(Response::Error {
+    // typed error instead of hanging the connection. A budgeted request
+    // waits at most its remaining budget — the typed rejection replaces
+    // what used to be an unbounded block.
+    let resp = match deadline {
+        None => reply_rx.recv().ok(),
+        Some(d) => match reply_rx.recv_timeout(d.saturating_duration_since(Instant::now())) {
+            Ok(resp) => Some(resp),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                shared.metrics.count_deadline_reject();
+                shared.metrics.count_error();
+                // The worker (or the queue filter) will find a dead
+                // reply channel and drop its late answer.
+                Some(deadline_reject("compute"))
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => None,
+        },
+    };
+    let resp = resp.unwrap_or(Response::Error {
         code: crate::wire::ERR_INTERNAL,
         message: "worker dropped the request".into(),
     });

@@ -7,6 +7,11 @@
 //! request key, fetched from the shared cache or built via the Theorem-1
 //! construction (plus Theorem-2 injectivization) on a miss.
 
+// `Result<_, Response>` keeps the typed error frame as the error value
+// on the compute path; `Response` is as large as its biggest variant
+// (`StatsOk`) but these calls are per-request, not per-byte.
+#![allow(clippy::result_large_err)]
+
 use crate::cache::{EmbeddingCache, EmbeddingKey};
 use crate::metrics::ServerMetrics;
 use crate::wire::{Request, Response, WireReport, ERR_BAD_REQUEST, ERR_INTERNAL, WORKLOAD_ALL};
@@ -29,6 +34,16 @@ fn bad(message: impl Into<String>) -> Response {
     Response::Error {
         code: ERR_BAD_REQUEST,
         message: message.into(),
+    }
+}
+
+/// The typed reply for work whose deadline budget expired before it could
+/// run. `stage` names where the budget died (admission, the queue, the
+/// router's replay loop) so a client log pinpoints the bottleneck.
+pub fn deadline_reject(stage: &str) -> Response {
+    Response::Error {
+        code: crate::wire::ERR_DEADLINE,
+        message: format!("deadline budget expired ({stage})"),
     }
 }
 

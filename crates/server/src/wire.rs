@@ -66,6 +66,11 @@ pub enum WireError {
     /// An established connection was torn down mid-stream (peer killed,
     /// TCP reset, broken pipe).
     Reset,
+    /// A socket read/write ran past its `SO_RCVTIMEO`/`SO_SNDTIMEO`
+    /// budget: the peer is (still) connected but did not move bytes in
+    /// time. Distinct from [`WireError::Reset`] so failure accounting can
+    /// weigh "slow" differently from "dead".
+    TimedOut,
     /// Any other underlying socket error.
     Io(std::io::Error),
 }
@@ -79,7 +84,11 @@ impl WireError {
     pub fn is_transport(&self) -> bool {
         matches!(
             self,
-            WireError::Closed | WireError::Refused | WireError::Reset | WireError::Io(_)
+            WireError::Closed
+                | WireError::Refused
+                | WireError::Reset
+                | WireError::TimedOut
+                | WireError::Io(_)
         )
     }
 }
@@ -99,6 +108,7 @@ impl std::fmt::Display for WireError {
             WireError::Closed => write!(f, "connection closed"),
             WireError::Refused => write!(f, "connection refused (peer not listening)"),
             WireError::Reset => write!(f, "connection reset mid-stream"),
+            WireError::TimedOut => write!(f, "socket deadline elapsed (peer too slow)"),
             WireError::Io(e) => write!(f, "socket error: {e}"),
         }
     }
@@ -109,8 +119,10 @@ impl std::error::Error for WireError {}
 impl From<std::io::Error> for WireError {
     /// Classifies the socket error: refused and reset/aborted/broken-pipe
     /// kinds get their own typed variants (the client's reconnect logic
-    /// tells "peer not up yet" from "peer died under me"), everything
-    /// else stays an opaque [`WireError::Io`].
+    /// tells "peer not up yet" from "peer died under me"), expired
+    /// `SO_RCVTIMEO`/`SO_SNDTIMEO` budgets become [`WireError::TimedOut`]
+    /// (Unix reports them as `WouldBlock`, other platforms as `TimedOut`),
+    /// and everything else stays an opaque [`WireError::Io`].
     fn from(e: std::io::Error) -> Self {
         use std::io::ErrorKind;
         match e.kind() {
@@ -118,6 +130,7 @@ impl From<std::io::Error> for WireError {
             ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted | ErrorKind::BrokenPipe => {
                 WireError::Reset
             }
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => WireError::TimedOut,
             _ => WireError::Io(e),
         }
     }
@@ -224,6 +237,12 @@ pub struct WireStats {
     pub sim_hops: u64,
     /// Messages delivered by worker simulations.
     pub sim_delivered: u64,
+    /// True when this snapshot is an aggregate that could not reach every
+    /// contributor (a shard timed out or was down), so the counters
+    /// under-report. A single daemon always answers `false`. Encoded as a
+    /// trailing field only when set — the `false` encoding is
+    /// byte-identical to the pre-deadline protocol, like [`HealthInfo`].
+    pub partial: bool,
 }
 
 /// What the daemon answers.
@@ -295,6 +314,10 @@ pub const ERR_UNREACHABLE: u8 = 4;
 /// Error code the cluster router returns when the replay budget ran out
 /// before any shard answered (some shards were live but kept failing).
 pub const ERR_EXHAUSTED: u8 = 5;
+/// Error code for a request whose deadline budget expired before the work
+/// could run (rejected at admission, in the queue, or mid-replay). The
+/// typed reply replaces what would otherwise be an unbounded hang.
+pub const ERR_DEADLINE: u8 = 6;
 
 const TAG_EMBED: u8 = 1;
 const TAG_SIMULATE: u8 = 2;
@@ -375,38 +398,83 @@ pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
     }
 }
 
+/// Encodes a request payload with an optional deadline budget: the
+/// caller's remaining budget in microseconds, appended as one trailing
+/// LEB128 word. `None` produces bytes identical to [`encode_request`] —
+/// budget-free traffic stays on the pre-deadline encoding.
+pub fn encode_request_budget(req: &Request, deadline_us: Option<u64>, buf: &mut Vec<u8>) {
+    encode_request(req, buf);
+    if let Some(us) = deadline_us {
+        encode_u64(buf, us);
+    }
+}
+
+/// Parses the request body after the tag byte, advancing `pos`.
+fn request_body(tag: u8, rest: &[u8], pos: &mut usize) -> Result<Request, WireError> {
+    Ok(match tag {
+        TAG_EMBED => Request::Embed {
+            family: byte_field(rest, pos, "family")?,
+            nodes: word(rest, pos)?,
+            seed: word(rest, pos)?,
+            theorem: byte_field(rest, pos, "theorem")?,
+        },
+        TAG_SIMULATE => Request::Simulate {
+            family: byte_field(rest, pos, "family")?,
+            nodes: word(rest, pos)?,
+            seed: word(rest, pos)?,
+            theorem: byte_field(rest, pos, "theorem")?,
+            workload: byte_field(rest, pos, "workload")?,
+        },
+        TAG_STATS => Request::Stats,
+        TAG_HEALTH => Request::Health,
+        TAG_SHUTDOWN => Request::Shutdown,
+        tag => return Err(WireError::BadTag { tag }),
+    })
+}
+
 /// Decodes a request payload. The whole slice must be consumed.
+///
+/// This is the strict, pre-deadline shape: a frame carrying the trailing
+/// deadline field is rejected as [`WireError::Trailing`] here. Servers
+/// and routers use [`decode_request_budget`], which accepts both shapes.
 ///
 /// # Errors
 /// [`WireError`] on truncation, an unknown tag, or trailing bytes.
 pub fn decode_request(bytes: &[u8]) -> Result<Request, WireError> {
     let (&tag, rest) = bytes.split_first().ok_or(WireError::Truncated)?;
     let mut pos = 0usize;
-    let req = match tag {
-        TAG_EMBED => Request::Embed {
-            family: byte_field(rest, &mut pos, "family")?,
-            nodes: word(rest, &mut pos)?,
-            seed: word(rest, &mut pos)?,
-            theorem: byte_field(rest, &mut pos, "theorem")?,
-        },
-        TAG_SIMULATE => Request::Simulate {
-            family: byte_field(rest, &mut pos, "family")?,
-            nodes: word(rest, &mut pos)?,
-            seed: word(rest, &mut pos)?,
-            theorem: byte_field(rest, &mut pos, "theorem")?,
-            workload: byte_field(rest, &mut pos, "workload")?,
-        },
-        TAG_STATS => Request::Stats,
-        TAG_HEALTH => Request::Health,
-        TAG_SHUTDOWN => Request::Shutdown,
-        tag => return Err(WireError::BadTag { tag }),
-    };
+    let req = request_body(tag, rest, &mut pos)?;
     if pos != rest.len() {
         return Err(WireError::Trailing {
             extra: rest.len() - pos,
         });
     }
     Ok(req)
+}
+
+/// Decodes a request payload that may carry the optional trailing
+/// deadline field: the client's remaining budget in microseconds at send
+/// time. A bare request (every encoding before deadlines existed, and
+/// every current encoding with no budget set) decodes to `None` — the two
+/// shapes are one protocol, like [`HealthInfo`] on `HealthOk`.
+///
+/// # Errors
+/// [`WireError`] on truncation, an unknown tag, or bytes beyond the
+/// deadline field.
+pub fn decode_request_budget(bytes: &[u8]) -> Result<(Request, Option<u64>), WireError> {
+    let (&tag, rest) = bytes.split_first().ok_or(WireError::Truncated)?;
+    let mut pos = 0usize;
+    let req = request_body(tag, rest, &mut pos)?;
+    if pos == rest.len() {
+        return Ok((req, None));
+    }
+    let deadline_us = word(rest, &mut pos)?;
+    if pos != rest.len() {
+        return Err(WireError::Trailing {
+            extra: rest.len() - pos,
+        });
+    }
+    Ok((req, Some(deadline_us)))
 }
 
 /// Encodes a response payload (no frame header).
@@ -459,6 +527,11 @@ pub fn encode_response(resp: &Response, buf: &mut Vec<u8>) {
                 s.sim_delivered,
             ] {
                 encode_u64(buf, v);
+            }
+            // Trailing field, written only when set: the `false` encoding
+            // is byte-identical to the pre-deadline 15-word shape.
+            if s.partial {
+                encode_u64(buf, 1);
             }
         }
         Response::HealthOk { info } => {
@@ -542,6 +615,11 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, WireError> {
             ] {
                 *slot = word(rest, &mut pos)?;
             }
+            // Optional trailing `partial` marker (aggregates that missed
+            // a shard); absent means complete, the pre-deadline shape.
+            if pos != rest.len() {
+                s.partial = bool_field(rest, &mut pos, "partial")?;
+            }
             Response::StatsOk(s)
         }
         // A bare tag is the pre-cluster shape; trailing fields are the
@@ -595,6 +673,24 @@ pub fn frame(payload: &[u8]) -> Vec<u8> {
 pub fn write_request<W: Write>(w: &mut W, req: &Request) -> Result<(), WireError> {
     let mut payload = Vec::new();
     encode_request(req, &mut payload);
+    w.write_all(&frame(&payload))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes one framed request carrying an optional deadline budget
+/// (remaining microseconds at send time) to `w`. `None` writes the exact
+/// bytes [`write_request`] would.
+///
+/// # Errors
+/// [`WireError::Io`] on socket failure.
+pub fn write_request_budget<W: Write>(
+    w: &mut W,
+    req: &Request,
+    deadline_us: Option<u64>,
+) -> Result<(), WireError> {
+    let mut payload = Vec::new();
+    encode_request_budget(req, deadline_us, &mut payload);
     w.write_all(&frame(&payload))?;
     w.flush()?;
     Ok(())
@@ -826,6 +922,92 @@ mod tests {
         let mut buf = vec![TAG_HEALTH_OK];
         encode_u64(&mut buf, 3);
         assert!(matches!(decode_response(&buf), Err(WireError::Truncated)));
+    }
+
+    #[test]
+    fn deadline_budget_is_an_optional_trailing_field() {
+        let req = Request::Embed {
+            family: 4,
+            nodes: 2032,
+            seed: 11,
+            theorem: 1,
+        };
+        // No budget: byte-identical to the pre-deadline encoding, and the
+        // strict decoder still accepts it.
+        let mut bare = Vec::new();
+        encode_request(&req, &mut bare);
+        let mut none = Vec::new();
+        encode_request_budget(&req, None, &mut none);
+        assert_eq!(bare, none);
+        assert_eq!(decode_request_budget(&bare).unwrap(), (req.clone(), None));
+        // With a budget: round-trips through the lenient decoder, while
+        // the strict decoder reports exactly the trailing bytes.
+        let mut budgeted = Vec::new();
+        encode_request_budget(&req, Some(250_000), &mut budgeted);
+        assert_eq!(
+            decode_request_budget(&budgeted).unwrap(),
+            (req.clone(), Some(250_000))
+        );
+        assert!(matches!(
+            decode_request(&budgeted),
+            Err(WireError::Trailing { .. })
+        ));
+        // A zero budget (already expired at send time) is representable.
+        let mut expired = Vec::new();
+        encode_request_budget(&Request::Stats, Some(0), &mut expired);
+        assert_eq!(
+            decode_request_budget(&expired).unwrap(),
+            (Request::Stats, Some(0))
+        );
+        // Bytes after the deadline word are still a protocol violation.
+        budgeted.push(9);
+        assert!(matches!(
+            decode_request_budget(&budgeted),
+            Err(WireError::Trailing { extra: 1 })
+        ));
+    }
+
+    #[test]
+    fn stats_partial_marker_is_an_optional_trailing_field() {
+        let complete = WireStats {
+            requests: 10,
+            ..WireStats::default()
+        };
+        let mut bare = Vec::new();
+        encode_response(&Response::StatsOk(complete.clone()), &mut bare);
+        // A complete snapshot encodes to the pre-deadline 15-word shape
+        // and decodes with `partial: false`.
+        assert_eq!(
+            decode_response(&bare).unwrap(),
+            Response::StatsOk(complete.clone())
+        );
+        let partial = WireStats {
+            partial: true,
+            ..complete
+        };
+        let mut marked = Vec::new();
+        encode_response(&Response::StatsOk(partial.clone()), &mut marked);
+        assert_eq!(marked.len(), bare.len() + 1);
+        assert_eq!(
+            decode_response(&marked).unwrap(),
+            Response::StatsOk(partial)
+        );
+        // The marker is a bool: any other value is malformed.
+        *marked.last_mut().unwrap() = 7;
+        assert!(matches!(
+            decode_response(&marked),
+            Err(WireError::BadField { field: "partial" })
+        ));
+    }
+
+    #[test]
+    fn socket_timeouts_classify_as_timed_out() {
+        use std::io::{Error, ErrorKind};
+        for kind in [ErrorKind::WouldBlock, ErrorKind::TimedOut] {
+            let e: WireError = Error::from(kind).into();
+            assert!(matches!(e, WireError::TimedOut), "{kind:?}");
+            assert!(e.is_transport());
+        }
     }
 
     #[test]

@@ -45,6 +45,8 @@ fn shard_config() -> ServerConfig {
         workers: 2,
         queue_cap: 32,
         cache_cap: 64,
+        io_timeout: None,
+        chaos: None,
     }
 }
 

@@ -13,6 +13,8 @@ fn config(workers: usize, queue_cap: usize, cache_cap: usize) -> ServerConfig {
         workers,
         queue_cap,
         cache_cap,
+        io_timeout: None,
+        chaos: None,
     }
 }
 
@@ -276,4 +278,37 @@ fn shutdown_drains_queued_work_and_refuses_new() {
             )),
         "post-shutdown connections must fail"
     );
+}
+
+#[test]
+fn deadline_budgets_succeed_generous_and_fail_typed_when_spent() {
+    use std::time::Duration;
+
+    let mut server = Server::spawn(&config(2, 16, 16)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // A generous budget rides the trailing field end to end and the
+    // request completes normally.
+    let resp = client
+        .call_deadline(&embed_req(), Some(Duration::from_secs(10)))
+        .unwrap();
+    assert!(matches!(resp, Response::EmbedOk { .. }));
+
+    // A spent budget fails fast and typed — locally, before the frame
+    // ever reaches the wire.
+    let err = client
+        .call_deadline(&embed_req(), Some(Duration::ZERO))
+        .unwrap_err();
+    assert!(
+        matches!(err, WireError::TimedOut),
+        "spent budget must be TimedOut, got {err}"
+    );
+
+    // The connection survives the local rejection: budget-free calls on
+    // the same client still work (timeouts were restored to blocking).
+    let resp = client.call(&embed_req()).unwrap();
+    assert!(matches!(resp, Response::EmbedOk { .. }));
+
+    client.call(&Request::Shutdown).unwrap();
+    server.wait();
 }

@@ -5,8 +5,8 @@
 
 use proptest::prelude::*;
 use xtree_server::wire::{
-    decode_request, decode_response, encode_request, encode_response, frame, read_frame,
-    write_request, HealthInfo, MAGIC, MAX_PAYLOAD,
+    decode_request, decode_request_budget, decode_response, encode_request, encode_request_budget,
+    encode_response, frame, read_frame, write_request, HealthInfo, MAGIC, MAX_PAYLOAD,
 };
 use xtree_server::{Request, Response, WireError, WireReport, WireStats};
 
@@ -57,7 +57,7 @@ fn arb_report() -> impl Strategy<Value = WireReport> {
     )
 }
 
-fn stats_from(v: &[u64]) -> WireStats {
+fn stats_from(v: &[u64], partial: bool) -> WireStats {
     WireStats {
         requests: v[0],
         embeds: v[1],
@@ -74,6 +74,7 @@ fn stats_from(v: &[u64]) -> WireStats {
         latency_p99_us: v[12],
         sim_hops: v[13],
         sim_delivered: v[14],
+        partial,
     }
 }
 
@@ -83,12 +84,12 @@ fn arb_response() -> impl Strategy<Value = Response> {
     (
         any::<u8>(),
         proptest::collection::vec(any::<u64>(), 15..16),
-        (any::<bool>(), any::<bool>()),
+        (any::<bool>(), any::<bool>(), any::<bool>()),
         proptest::collection::vec(0u8..128, 0..48),
         proptest::collection::vec(arb_report(), 0..6),
     )
         .prop_map(
-            |(k, words, (injective, cached), msg, reports)| match k % 7 {
+            |(k, words, (injective, cached, partial), msg, reports)| match k % 7 {
                 0 => Response::EmbedOk {
                     height: words[0] as u8,
                     dilation: words[1],
@@ -98,7 +99,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     cached,
                 },
                 1 => Response::SimulateOk { cached, reports },
-                2 => Response::StatsOk(stats_from(&words)),
+                2 => Response::StatsOk(stats_from(&words, partial)),
                 // Both health shapes: bare (pre-cluster peers) and with
                 // the trailing load fields.
                 3 => Response::HealthOk {
@@ -154,6 +155,40 @@ proptest! {
         let got = read_frame(&mut cursor).unwrap().expect("one frame in");
         prop_assert_eq!(decode_request(&got).unwrap(), req);
         prop_assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF after");
+    }
+
+    // The optional deadline budget is a trailing LEB128 word: with a
+    // budget the pair round-trips byte-identically, and budgeted frames
+    // are rejected (typed, never misread) by the strict legacy decoder.
+    #[test]
+    fn deadline_budget_round_trips(req in arb_request(), budget_us in any::<u64>()) {
+        let mut bytes = Vec::new();
+        encode_request_budget(&req, Some(budget_us), &mut bytes);
+        let (back, got) = decode_request_budget(&bytes).expect("own encoding must decode");
+        prop_assert_eq!(&back, &req);
+        prop_assert_eq!(got, Some(budget_us));
+        let mut again = Vec::new();
+        encode_request_budget(&back, got, &mut again);
+        prop_assert_eq!(again, bytes);
+        // A pre-deadline decoder must refuse the extra field loudly.
+        let strict = decode_request(&bytes);
+        let refused = matches!(strict, Err(WireError::Trailing { .. }));
+        prop_assert!(refused, "strict decoder accepted a budgeted frame: {:?}", strict);
+    }
+
+    // Backward compatibility, both directions: a budget-less encoding is
+    // bit-for-bit the pre-deadline encoding, and every pre-deadline frame
+    // decodes unchanged (with no budget) through the new decoder.
+    #[test]
+    fn budgetless_frames_are_bit_identical_to_legacy(req in arb_request()) {
+        let mut legacy = Vec::new();
+        encode_request(&req, &mut legacy);
+        let mut budgetless = Vec::new();
+        encode_request_budget(&req, None, &mut budgetless);
+        prop_assert_eq!(&budgetless, &legacy);
+        let (back, budget) = decode_request_budget(&legacy).expect("legacy frame must decode");
+        prop_assert_eq!(back, req);
+        prop_assert_eq!(budget, None);
     }
 
     // Cutting an encoded message anywhere strictly inside it must yield a
