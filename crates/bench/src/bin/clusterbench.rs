@@ -172,6 +172,7 @@ fn shard_config() -> ServerConfig {
         cache_cap: 256,
         io_timeout: None,
         chaos: None,
+        ..ServerConfig::default()
     }
 }
 

@@ -24,7 +24,9 @@
 //! (`zipf:1.1`, `hotspot:25:16`, `diurnal:4:8`, …) in an extra warm
 //! phase; `--zipf s` is back-compat sugar for `--traffic zipf:s`;
 //! `--seed N` moves every request stream (default = the historical
-//! constant, DESIGN.md §15).
+//! constant, DESIGN.md §15); `--host xtree|hypercube|universal` stamps
+//! every request with a host-topology tag (absent = legacy frames,
+//! byte-identical on the wire).
 //!
 //! Resilience knobs: `--deadline-ms T` runs every request under a
 //! deadline budget (expired budgets come back as typed `ERR_DEADLINE`,
@@ -45,6 +47,7 @@
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 use xtree_bench::seeded_batches;
+use xtree_host::parse_host_label;
 use xtree_json::Value;
 use xtree_scenario::TrafficModel;
 use xtree_server::{
@@ -93,6 +96,9 @@ struct Opts {
     deadline_ms: Option<u64>,
     /// Tolerate failures as long as every one lands in a typed bucket.
     allow_typed_errors: bool,
+    /// Host topology tag every request is stamped with (`--host`);
+    /// `None` keeps the frames bit-identical to pre-host traffic.
+    host: Option<u8>,
 }
 
 impl Opts {
@@ -119,6 +125,7 @@ impl Opts {
             chaos,
             deadline: self.deadline_ms.map(Duration::from_millis),
             tolerant: self.allow_typed_errors || chaos.is_some() || self.deadline_ms.is_some(),
+            host: self.host,
         }
     }
 }
@@ -134,6 +141,8 @@ struct Resilience {
     /// failure must classify into a typed bucket, and the phase asserts
     /// zero *unclassified* errors instead of zero errors.
     tolerant: bool,
+    /// Host tag appended to every request frame (`None` = legacy bytes).
+    host: Option<u8>,
 }
 
 fn parse_opts() -> Opts {
@@ -151,6 +160,7 @@ fn parse_opts() -> Opts {
         chaos_profile: "medium".to_string(),
         deadline_ms: None,
         allow_typed_errors: false,
+        host: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -196,6 +206,13 @@ fn parse_opts() -> Opts {
                 opts.deadline_ms = Some(ms);
             }
             "--allow-typed-errors" => opts.allow_typed_errors = true,
+            "--host" => {
+                let label = value("--host");
+                let tag = parse_host_label(&label).unwrap_or_else(|| {
+                    panic!("--host: unknown host `{label}` (xtree|hypercube|universal)")
+                });
+                opts.host = Some(tag);
+            }
             "--smoke" => opts.smoke = true,
             other => panic!("unknown argument: {other}"),
         }
@@ -400,7 +417,7 @@ fn drive_conn(
     let mut latencies = Vec::with_capacity(reqs.len());
     for req in reqs {
         let sent = Instant::now();
-        let result = client.call_retrying_deadline(&req, &policy, resil.deadline);
+        let result = client.call_retrying_deadline_host(&req, &policy, resil.deadline, resil.host);
         latencies.push(sent.elapsed().as_micros() as u64);
         if !resil.tolerant {
             match result.expect("call") {
@@ -540,6 +557,7 @@ fn spawn_cluster_and_drive(
         cache_cap: 256,
         io_timeout: None,
         chaos: None,
+        ..ServerConfig::default()
     };
     let mut servers: Vec<Server> = (0..shards)
         .map(|_| Server::spawn(&config).expect("bind shard"))
@@ -679,6 +697,7 @@ fn main() {
             cache_cap: 256,
             io_timeout: None,
             chaos: None,
+            ..ServerConfig::default()
         };
         let cold_config = ServerConfig {
             cache_cap: 0,
@@ -733,6 +752,7 @@ fn main() {
             cache_cap: 0,
             io_timeout: None,
             chaos: None,
+            ..ServerConfig::default()
         };
         let burst_conns = opts.conns.max(8);
         let saturation = spawn_and_drive(

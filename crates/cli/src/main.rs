@@ -2,21 +2,21 @@
 //! hosts from the command line.
 //!
 //! ```text
-//! xtree-cli embed    --family random-bst --nodes 1008 [--target xtree|xtree-injective|hypercube|hypercube-injective] [--seed N] [--traffic MODEL] [--json] [--map]
-//! xtree-cli simulate --family caterpillar --nodes 496 [--host xtree|hypercube] [--workload broadcast|reduce|exchange|dnc|all] [--seed N] [--traffic MODEL] [--fault-rate P --node-fault-rate P --fault-seed S --repair-after K] [--recover --max-retries N --backoff fixed:K|exp:B:C] [--checkpoint FILE --checkpoint-after K] [--trace FILE] [--verify-trace FILE] [--metrics FILE --metrics-format jsonl|prom] [--json]
+//! xtree-cli embed    --family random-bst --nodes 1008 [--host xtree|hypercube|universal] [--target xtree|xtree-injective|hypercube|hypercube-injective] [--seed N] [--traffic MODEL] [--json] [--map]
+//! xtree-cli simulate --family caterpillar --nodes 496 [--host xtree|hypercube|universal] [--workload broadcast|reduce|exchange|dnc|all] [--seed N] [--traffic MODEL] [--fault-rate P --node-fault-rate P --fault-seed S --repair-after K] [--recover --max-retries N --backoff fixed:K|exp:B:C] [--checkpoint FILE --checkpoint-after K] [--trace FILE] [--verify-trace FILE] [--metrics FILE --metrics-format jsonl|prom] [--json]
 //! xtree-cli resume   FILE [--workload W|all] [--trace FILE] [--verify-trace FILE] [--metrics FILE] [--json]
 //! xtree-cli info     --height 3 [--network xtree|hypercube|ccc|butterfly|mesh]
 //! xtree-cli sizes    --max-r 10
-//! xtree-cli serve    [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] [--io-timeout-ms T] [--chaos-seed S --chaos-profile P] [--metrics FILE --metrics-format jsonl|prom]
+//! xtree-cli serve    [--addr HOST:PORT] [--host xtree|hypercube|universal] [--workers N] [--queue-cap N] [--cache-cap N] [--io-timeout-ms T] [--chaos-seed S --chaos-profile P] [--metrics FILE --metrics-format jsonl|prom]
 //! xtree-cli cluster  [--shards M] [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] [--vnodes V] [--ring-seed S] [--probe-interval-ms I] [--fail-after K] [--max-retries N] [--backoff fixed:K|exp:B:C] [--restart-backoff fixed:K|exp:B:C] [--io-timeout-ms T] [--chaos-seed S --chaos-profile P] [--metrics FILE --metrics-format jsonl|prom]
-//! xtree-cli request  OP --addr HOST:PORT [--family F --nodes N --seed S --theorem 1|2 --workload W|all] [--deadline-ms T] [--json]
+//! xtree-cli request  OP --addr HOST:PORT [--family F --nodes N --seed S --theorem 1|2 --workload W|all] [--host xtree|hypercube|universal] [--deadline-ms T] [--json]
 //! ```
 
 mod args;
 
 use args::Args;
 use std::time::Duration;
-use xtree_core::{evaluate, hypercube, metrics, theorem1, theorem2};
+use xtree_core::{evaluate, hypercube, metrics, theorem1, theorem2, XEmbedding};
 use xtree_json::Value;
 use xtree_scenario::TrafficModel;
 use xtree_server::cluster::{spawn_shard, ShardCommand};
@@ -24,12 +24,14 @@ use xtree_server::{
     Client, HashRing, ReconnectPolicy, Request, Response, Router, RouterConfig, Server,
     ServerConfig, Supervisor,
 };
+use xtree_sim::host::{guest_map, parse_host_label, HOST_LABELS, HOST_XTREE};
 use xtree_sim::telemetry::{Event, MetricsSink, NopSink, Sink, Tee, TraceRecorder};
 use xtree_sim::workload::WORKLOADS;
 use xtree_sim::{
-    decode_checkpoint, encode_checkpoint, simulate_all_faulted_with, simulate_all_with,
-    weighted_congestion, Backoff, Checkpoint, FaultPlan, FaultSimReport, HostMap, Network,
-    RecoveryPolicy, RecoveryTotals, Session, SessionStatus, SimReport,
+    compute_load, congestion, decode_checkpoint, encode_checkpoint, simulate_all_faulted_with,
+    simulate_all_with, weighted_congestion, AnyHost, Backoff, Checkpoint, FaultPlan,
+    FaultSimReport, Host, HostMap, Network, RecoveryPolicy, RecoveryTotals, Session, SessionStatus,
+    SimReport,
 };
 use xtree_topology::{Butterfly, Csr, CubeConnectedCycles, Graph, Hypercube, Mesh2D, XTree};
 use xtree_trees::{generate, BinaryTree, TreeFamily};
@@ -105,15 +107,15 @@ fn main() {
 }
 
 const USAGE: &str = "usage:
-  xtree-cli embed    --family F --nodes N [--target xtree|xtree-injective|hypercube|hypercube-injective] [--seed S] [--traffic MODEL] [--json] [--map]
-  xtree-cli simulate --family F --nodes N [--host xtree|hypercube] [--workload W|all] [--seed S] [--traffic MODEL] [--fault-rate P] [--node-fault-rate P] [--fault-seed S] [--repair-after K] [--recover] [--max-retries N] [--backoff fixed:K|exp:B:C] [--checkpoint FILE] [--checkpoint-after K] [--trace FILE] [--verify-trace FILE] [--metrics FILE] [--metrics-format jsonl|prom] [--json]
+  xtree-cli embed    --family F --nodes N [--host xtree|hypercube|universal] [--target xtree|xtree-injective|hypercube|hypercube-injective] [--seed S] [--traffic MODEL] [--json] [--map]
+  xtree-cli simulate --family F --nodes N [--host xtree|hypercube|universal] [--workload W|all] [--seed S] [--traffic MODEL] [--fault-rate P] [--node-fault-rate P] [--fault-seed S] [--repair-after K] [--recover] [--max-retries N] [--backoff fixed:K|exp:B:C] [--checkpoint FILE] [--checkpoint-after K] [--trace FILE] [--verify-trace FILE] [--metrics FILE] [--metrics-format jsonl|prom] [--json]
   xtree-cli resume   FILE [--workload W|all] [--trace FILE] [--verify-trace FILE] [--metrics FILE] [--metrics-format jsonl|prom] [--json]
   xtree-cli info     --height R [--network xtree|hypercube|ccc|butterfly|mesh]
   xtree-cli sizes    [--max-r R]
   xtree-cli trace    --family F --nodes N [--seed S]
-  xtree-cli serve    [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] [--io-timeout-ms T] [--chaos-seed S] [--chaos-profile P] [--metrics FILE] [--metrics-format jsonl|prom]
+  xtree-cli serve    [--addr HOST:PORT] [--host xtree|hypercube|universal] [--workers N] [--queue-cap N] [--cache-cap N] [--io-timeout-ms T] [--chaos-seed S] [--chaos-profile P] [--metrics FILE] [--metrics-format jsonl|prom]
   xtree-cli cluster  [--shards M] [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N] [--vnodes V] [--ring-seed S] [--probe-interval-ms I] [--fail-after K] [--max-retries N] [--backoff fixed:K|exp:B:C] [--restart-backoff fixed:K|exp:B:C] [--io-timeout-ms T] [--chaos-seed S] [--chaos-profile P] [--metrics FILE] [--metrics-format jsonl|prom]
-  xtree-cli request  OP --addr HOST:PORT [--family F] [--nodes N] [--seed S] [--theorem 1|2] [--workload W|all] [--deadline-ms T] [--json]
+  xtree-cli request  OP --addr HOST:PORT [--family F] [--nodes N] [--seed S] [--theorem 1|2] [--workload W|all] [--host xtree|hypercube|universal] [--deadline-ms T] [--json]
                      (OP: embed simulate stats health shutdown)
 families: path complete caterpillar broom random-bst random-attach random-split leaning
           balanced uniform bst-insertion skewed[:BIAS]
@@ -171,8 +173,108 @@ fn parse_traffic(a: &Args) -> Result<Option<TrafficModel>, String> {
     }
 }
 
+/// Resolves a `--host` backend for a Theorem-1 embedding: the servable
+/// topology sized for the embedding's height, plus the per-guest-node
+/// host-vertex map. Heights beyond a backend's cap (the universal graph
+/// precomputes a BFS table) are a usage error naming the limit.
+fn host_backend(tag: u8, hname: &str, emb: &XEmbedding) -> Result<(AnyHost, Vec<u32>), CliError> {
+    let net = AnyHost::for_xtree_height(tag, emb.height).ok_or_else(|| {
+        CliError::Usage(format!(
+            "--host {hname} is unavailable at X-tree height {} (try a smaller guest)",
+            emb.height
+        ))
+    })?;
+    let map = guest_map(tag, emb).expect("tag validated by AnyHost");
+    Ok((net, map))
+}
+
+/// The Theorem-4 universal-graph backend of `simulate --host universal`.
+fn universal_backend(emb: &XEmbedding) -> Result<(AnyHost, Vec<u32>), CliError> {
+    host_backend(xtree_sim::host::HOST_UNIVERSAL, "universal", emb)
+}
+
+/// `embed --host {xtree,hypercube,universal}`: one Theorem-1 embedding,
+/// measured on the selected servable host backend — the CLI face of the
+/// host subsystem (dilation = routed distance, congestion = shortest-path
+/// link crossings), mirroring what `serve` computes for the same tag.
+fn cmd_embed_on_host(
+    a: &Args,
+    tag: u8,
+    hname: &str,
+    tree: &BinaryTree,
+    family: &str,
+) -> Result<String, CliError> {
+    let emb = theorem1::embed(tree).emb;
+    let (net, map) = host_backend(tag, hname, &emb)?;
+    let dilation = tree
+        .edges()
+        .map(|(p, c)| net.distance(map[p.index()], map[c.index()]))
+        .max()
+        .unwrap_or(0);
+    let max_load = compute_load(&net, tree, &map);
+    let cong = congestion(&net, tree, &map).map_err(|e| CliError::Runtime(e.to_string()))?;
+    let weighted = match parse_traffic(a)? {
+        Some(t) => {
+            let demand = t.edge_demand(tree, a.num_or("seed", 7u64)?);
+            let w = weighted_congestion(&net, tree, &map, &demand)
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
+            Some((t.label(), w))
+        }
+        None => None,
+    };
+    let vertices = net.node_count();
+    let expansion = vertices as f64 / tree.len() as f64;
+    if a.flag("json") {
+        let mut obj = Value::object()
+            .with(
+                "guest",
+                Value::object()
+                    .with("family", family)
+                    .with("nodes", tree.len()),
+            )
+            .with("host", hname)
+            .with("host_vertices", vertices)
+            .with("degree_bound", net.degree_bound())
+            .with("dilation", dilation)
+            .with("max_load", max_load)
+            .with("expansion", expansion)
+            .with("injective", max_load <= 1)
+            .with("congestion", cong);
+        if let Some((label, w)) = &weighted {
+            obj.set("traffic", label.as_str());
+            obj.set("weighted_congestion", *w);
+        }
+        if a.flag("map") {
+            obj.set("map", map.iter().copied().collect::<Value>());
+        }
+        Ok(xtree_json::to_string_pretty(&obj))
+    } else {
+        let mut out = format!(
+            "guest: {family} ({} nodes)\nhost: {hname} ({vertices} vertices, degree ≤ {})\ndilation: {dilation}\nload: {max_load}\nexpansion: {expansion:.4}\ninjective: {}\ncongestion: {cong}",
+            tree.len(),
+            net.degree_bound(),
+            max_load <= 1
+        );
+        if let Some((label, w)) = &weighted {
+            out.push_str(&format!("\ntraffic: {label}\nweighted congestion: {w}"));
+        }
+        Ok(out)
+    }
+}
+
 fn cmd_embed(a: &Args) -> Result<String, CliError> {
     let (tree, family) = make_tree(a)?;
+    if let Some(hname) = a.get("host") {
+        if a.get("target").is_some() {
+            return Err("--host and --target are mutually exclusive".into());
+        }
+        let tag = parse_host_label(hname)
+            .ok_or_else(|| format!("unknown host `{hname}` (one of {})", HOST_LABELS.join("|")))?;
+        if tag != HOST_XTREE {
+            return cmd_embed_on_host(a, tag, hname, &tree, &family);
+        }
+        // `--host xtree` is the default target path below.
+    }
     let traffic = parse_traffic(a)?;
     let target = a.get_or("target", "xtree");
     let n = tree.len();
@@ -487,8 +589,8 @@ enum Reports {
     Faulted(Vec<FaultSimReport>),
 }
 
-fn simulate_reports<M: HostMap + Sync, S: Sink>(
-    net: &Network,
+fn simulate_reports<H: Host, M: HostMap + Sync, S: Sink>(
+    net: &H,
     tree: &BinaryTree,
     emb: &M,
     faults: &Option<FaultArgs>,
@@ -502,7 +604,7 @@ fn simulate_reports<M: HostMap + Sync, S: Sink>(
                 .map_err(|e| CliError::Runtime(e.to_string()))?,
         )),
         Some(f) => {
-            let plan = f.plan(net.graph())?;
+            let plan = f.plan(net.csr())?;
             Ok(Reports::Faulted(
                 simulate_all_faulted_with(net, tree, emb, &plan, sink)
                     .map_err(|e| CliError::Runtime(e.to_string()))?,
@@ -515,8 +617,8 @@ fn simulate_reports<M: HostMap + Sync, S: Sink>(
 /// the engine when any telemetry flag is present and writing/verifying the
 /// requested files afterwards. `Sink` dispatch is static, so the
 /// no-telemetry path monomorphizes to the uninstrumented loop.
-fn simulate_telemetry<M: HostMap + Sync>(
-    net: &Network,
+fn simulate_telemetry<H: Host, M: HostMap + Sync>(
+    net: &H,
     tree: &BinaryTree,
     emb: &M,
     faults: &Option<FaultArgs>,
@@ -538,8 +640,8 @@ fn simulate_telemetry<M: HostMap + Sync>(
 /// Writes/verifies the telemetry files a run asked for and distils the
 /// user-facing summary. Shared by the plain, supervised, and resumed
 /// simulation paths.
-fn finish_telemetry(
-    net: &Network,
+fn finish_telemetry<H: Host>(
+    net: &H,
     t: &TelemetryArgs,
     rec: &TraceRecorder,
     met: &mut MetricsSink,
@@ -570,7 +672,7 @@ fn finish_telemetry(
         std::fs::write(path, body).map_err(|e| CliError::Io(format!("--metrics {path}: {e}")))?;
     }
     // Resolve the hottest directed edge indices back to endpoint pairs.
-    let graph = net.graph();
+    let graph = net.csr();
     let mut ends = vec![(0u32, 0u32); graph.directed_edge_count()];
     for v in 0..graph.node_count() {
         for (e, to) in graph.out_edges(v) {
@@ -631,6 +733,14 @@ fn cmd_simulate(a: &Args) -> Result<String, CliError> {
             let q = hypercube::embed_theorem3(&tree);
             let net = Network::hypercube(&Hypercube::new(q.dim));
             simulate_telemetry(&net, &tree, &q, &faults, &tel)?
+        }
+        "universal" => {
+            if traffic.is_some() {
+                return Err("--traffic supports --host xtree only".into());
+            }
+            let emb = theorem1::embed(&tree).emb;
+            let (net, map) = universal_backend(&emb)?;
+            simulate_telemetry(&net, &tree, &map, &faults, &tel)?
         }
         other => return Err(format!("unknown host `{other}`").into()),
     };
@@ -1176,6 +1286,13 @@ fn parse_io_timeout(a: &Args) -> Result<Option<Duration>, CliError> {
 /// scripts can wait for readiness; the returned summary prints after the
 /// drain. `--metrics FILE` writes the final server metrics on the way out.
 fn cmd_serve(a: &Args) -> Result<String, CliError> {
+    let host_name = a.get_or("host", "xtree");
+    let default_host = parse_host_label(host_name).ok_or_else(|| {
+        format!(
+            "unknown host `{host_name}` (one of {})",
+            HOST_LABELS.join("|")
+        )
+    })?;
     let config = ServerConfig {
         addr: a.get_or("addr", "127.0.0.1:7171").to_string(),
         workers: a.num_or("workers", 4usize)?,
@@ -1183,6 +1300,7 @@ fn cmd_serve(a: &Args) -> Result<String, CliError> {
         cache_cap: a.num_or("cache-cap", 256usize)?,
         io_timeout: parse_io_timeout(a)?,
         chaos: parse_chaos(a)?,
+        default_host,
     };
     if config.workers == 0 {
         return Err("--workers must be ≥ 1".into());
@@ -1202,7 +1320,7 @@ fn cmd_serve(a: &Args) -> Result<String, CliError> {
         let mut stdout = std::io::stdout().lock();
         let _ = writeln!(
             stdout,
-            "xtree-server listening on {} ({} workers, queue {}, cache {})",
+            "xtree-server listening on {} ({} workers, queue {}, cache {}, host {host_name})",
             server.local_addr(),
             config.workers,
             config.queue_cap,
@@ -1419,10 +1537,19 @@ fn cmd_request(a: &Args) -> Result<String, CliError> {
     };
     let deadline_ms: u64 = a.num_or("deadline-ms", 0u64)?;
     let budget = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
+    // Absent flag = no trailing host field on the wire (the server picks
+    // its own default), so pre-host invocations send pre-host bytes.
+    let host = match a.get("host") {
+        Some(h) => Some(
+            parse_host_label(h)
+                .ok_or_else(|| format!("unknown host `{h}` (one of {})", HOST_LABELS.join("|")))?,
+        ),
+        None => None,
+    };
     let mut client =
         Client::connect(addr).map_err(|e| CliError::Io(format!("request: connect {addr}: {e}")))?;
     let resp = client
-        .call_deadline(&req, budget)
+        .call_host(&req, budget, host)
         .map_err(|e| CliError::Runtime(format!("request: {e}")))?;
     render_response(a, &resp)
 }
@@ -1442,10 +1569,16 @@ fn render_response(a: &Args, resp: &Response) -> Result<String, CliError> {
             injective,
             cached,
         } => {
+            // The server reports the X-tree height it embedded at; name
+            // the backend the request actually asked to be scored on.
+            let host = match a.get("host") {
+                Some(h) if h != "xtree" => format!("{h} (X({height}) embedding)"),
+                _ => format!("X({height})"),
+            };
             if a.flag("json") {
                 Ok(xtree_json::to_string_pretty(
                     &Value::object()
-                        .with("host", format!("X({height})"))
+                        .with("host", host)
                         .with("dilation", *dilation)
                         .with("max_load", *max_load)
                         .with("congestion", *congestion)
@@ -1454,7 +1587,7 @@ fn render_response(a: &Args, resp: &Response) -> Result<String, CliError> {
                 ))
             } else {
                 Ok(format!(
-                    "host: X({height})\ndilation: {dilation}\nload: {max_load}\ncongestion: {congestion}\ninjective: {injective}\ncached: {cached}"
+                    "host: {host}\ndilation: {dilation}\nload: {max_load}\ncongestion: {congestion}\ninjective: {injective}\ncached: {cached}"
                 ))
             }
         }

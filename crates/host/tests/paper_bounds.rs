@@ -1,0 +1,138 @@
+//! The paper's host-side bounds, asserted end to end on the servable
+//! backends at the exact guest sizes the theorems are stated for.
+//!
+//! Theorem 1 fills `X(r)` at `n = 16·(2^{r+1} − 1)` guests; composing
+//! with Lemma 3 (Theorem 3) the same guests land in `Q_{r+1}` with load
+//! ≤ 16 and dilation ≤ 4. Theorem 4's universal graph `G_n` has
+//! `16·(2^{r+1} − 1) = 2^{r+5} − 16` vertices — the `n = 2^t − 16` form —
+//! and hosts every `n`-node binary tree with degree ≤ 415, one guest per
+//! slot (so group load ≤ 16), and dilation ≤ 10.
+
+use xtree_core::theorem1;
+use xtree_host::{hypercube_guest_map, universal_guest_map, Host, HypercubeHost, UniversalHost};
+use xtree_topology::Graph;
+use xtree_trees::{theorem1_size, BinaryTree, TreeFamily};
+
+/// Families covering the shape extremes; random families are seeded, so
+/// the sweep is deterministic.
+const FAMILIES: [TreeFamily; 5] = [
+    TreeFamily::Path,
+    TreeFamily::LeftComplete,
+    TreeFamily::Caterpillar,
+    TreeFamily::RandomBst,
+    TreeFamily::Balanced,
+];
+
+/// Max routed distance over guest edges — the dilation the serving layer
+/// reports.
+fn dilation<H: Host>(net: &H, tree: &BinaryTree, map: &[u32]) -> u32 {
+    tree.edges()
+        .map(|(p, c)| net.distance(map[p.index()], map[c.index()]))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Max number of guests sharing one host vertex.
+fn max_load<H: Host>(net: &H, map: &[u32]) -> u32 {
+    let mut load = vec![0u32; net.node_count()];
+    for &h in map {
+        load[h as usize] += 1;
+    }
+    load.into_iter().max().unwrap_or(0)
+}
+
+#[test]
+fn theorem3_bounds_on_the_hypercube() {
+    for r in 2..=5u8 {
+        let n = theorem1_size(r);
+        for family in FAMILIES {
+            let tree = family.generate_seeded(n, 0x7E0_3000 + u64::from(r));
+            let emb = theorem1::embed(&tree).emb;
+            assert_eq!(emb.height, r, "{family:?} n={n} must fill X({r})");
+            let net = HypercubeHost::for_xtree_height(emb.height);
+            assert_eq!(
+                usize::from(net.dim()),
+                usize::from(r) + 1,
+                "Lemma 3: Q_(r+1)"
+            );
+            let map = hypercube_guest_map(&emb);
+            let load = max_load(&net, &map);
+            let dil = dilation(&net, &tree, &map);
+            assert!(
+                load <= 16,
+                "{family:?} n={n}: hypercube load {load} > 16 (Theorem 3)"
+            );
+            assert!(
+                dil <= 4,
+                "{family:?} n={n}: hypercube dilation {dil} > 4 (Theorem 3)"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem4_bounds_on_the_universal_graph() {
+    for r in 2..=5u8 {
+        // n = 16·(2^{r+1} − 1) = 2^{r+5} − 16: Theorem 4's 2^t − 16 form.
+        let n = theorem1_size(r);
+        assert_eq!(n, (1usize << (r + 5)) - 16);
+        for family in FAMILIES {
+            let tree = family.generate_seeded(n, 0x7E0_4000 + u64::from(r));
+            let emb = theorem1::embed(&tree).emb;
+            let net = UniversalHost::new(emb.height);
+            // G_n holds exactly n slots when the X-tree is full.
+            assert_eq!(net.node_count(), n);
+            assert_eq!(net.degree_bound(), 415);
+            assert!(
+                net.csr().max_degree() as u32 <= 415,
+                "built degree {} > 415 (Theorem 4)",
+                net.csr().max_degree()
+            );
+            let map = universal_guest_map(&emb);
+            // One guest per slot: the slot assignment is injective, so
+            // each 16-clique group carries at most the paper's load 16.
+            assert_eq!(max_load(&net, &map), 1, "{family:?} n={n}: slot reused");
+            let mut groups = vec![0u32; net.node_count() / 16];
+            for &h in &map {
+                groups[h as usize / 16] += 1;
+            }
+            let group_load = groups.into_iter().max().unwrap_or(0);
+            assert!(
+                group_load <= 16,
+                "{family:?} n={n}: group load {group_load}"
+            );
+            let dil = dilation(&net, &tree, &map);
+            assert!(
+                dil <= 10,
+                "{family:?} n={n}: universal dilation {dil} > 10 (Theorem 4)"
+            );
+        }
+    }
+}
+
+#[test]
+fn partial_guests_keep_the_bounds() {
+    // The theorems are stated at the exact filling sizes, but the serving
+    // layer embeds arbitrary n — the bounds must not degrade when the
+    // X-tree is only partially filled.
+    for n in [100usize, 241, 500, 1000] {
+        let tree = TreeFamily::RandomBst.generate_seeded(n, 0x7E0_5000 + n as u64);
+        let emb = theorem1::embed(&tree).emb;
+
+        let cube = HypercubeHost::for_xtree_height(emb.height);
+        let qmap = hypercube_guest_map(&emb);
+        assert!(max_load(&cube, &qmap) <= 16, "n={n}: hypercube load");
+        assert!(
+            dilation(&cube, &tree, &qmap) <= 4,
+            "n={n}: hypercube dilation"
+        );
+
+        let uni = UniversalHost::new(emb.height);
+        let umap = universal_guest_map(&emb);
+        assert_eq!(max_load(&uni, &umap), 1, "n={n}: slot reused");
+        assert!(
+            dilation(&uni, &tree, &umap) <= 10,
+            "n={n}: universal dilation"
+        );
+    }
+}

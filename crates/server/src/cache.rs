@@ -37,6 +37,12 @@ pub struct EmbeddingKey {
     pub seed: u64,
     /// 1 = Theorem 1, 2 = Theorem 2 (injectivized).
     pub theorem: u8,
+    /// Host-topology tag (`xtree_host::HOST_XTREE` etc.). The cached
+    /// `XEmbedding` is host-independent — it is always the Theorem-1/2
+    /// X-tree map that the host backends re-interpret — but the key keeps
+    /// the tag so per-host request populations stay distinguishable and a
+    /// future host-specific artifact can slot in without a format change.
+    pub host: u8,
 }
 
 struct Entry {
@@ -169,6 +175,7 @@ mod tests {
             nodes: 48,
             seed,
             theorem: 1,
+            host: 0,
         }
     }
 

@@ -28,7 +28,7 @@
 //! hop downstream inherit how much patience this client has left.
 
 use crate::chaos::{ChaosConn, ChaosStream};
-use crate::wire::{read_frame, write_request_budget, Request, Response, WireError};
+use crate::wire::{read_frame, write_request_host, Request, Response, WireError};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Mutex};
@@ -172,7 +172,24 @@ impl Client {
         req: &Request,
         budget: Option<Duration>,
     ) -> Result<Response, WireError> {
-        self.call_classified(req, budget.map(|b| Instant::now() + b))
+        self.call_classified(req, budget.map(|b| Instant::now() + b), None)
+            .map_err(|(e, _)| e)
+    }
+
+    /// [`Client::call_deadline`] with an explicit host-topology tag
+    /// (`xtree_host::HOST_HYPERCUBE`, …) stamped into the frame's
+    /// trailing host field. `None` sends the pre-host encoding byte for
+    /// byte, and the server applies its own default.
+    ///
+    /// # Errors
+    /// As [`Client::call_deadline`].
+    pub fn call_host(
+        &mut self,
+        req: &Request,
+        budget: Option<Duration>,
+        host: Option<u8>,
+    ) -> Result<Response, WireError> {
+        self.call_classified(req, budget.map(|b| Instant::now() + b), host)
             .map_err(|(e, _)| e)
     }
 
@@ -182,6 +199,7 @@ impl Client {
         &mut self,
         req: &Request,
         deadline: Option<Instant>,
+        host: Option<u8>,
     ) -> Result<Response, (WireError, bool)> {
         let budget_us = match deadline {
             None => None,
@@ -198,7 +216,7 @@ impl Client {
                 Some(remaining.as_micros() as u64)
             }
         };
-        let sent = write_request_budget(&mut self.writer, req, budget_us);
+        let sent = write_request_host(&mut self.writer, req, budget_us, host);
         let res = match sent {
             Err(e) => Err((e, false)),
             Ok(()) => match read_frame(&mut self.reader) {
@@ -262,11 +280,27 @@ impl Client {
         policy: &ReconnectPolicy,
         budget: Option<Duration>,
     ) -> Result<Response, WireError> {
+        self.call_retrying_deadline_host(req, policy, budget, None)
+    }
+
+    /// [`Client::call_retrying_deadline`] with an explicit host-topology
+    /// tag riding every attempt's frame (replays re-send it verbatim —
+    /// the request stays a pure function of its fields plus the tag).
+    ///
+    /// # Errors
+    /// As [`Client::call_retrying_deadline`].
+    pub fn call_retrying_deadline_host(
+        &mut self,
+        req: &Request,
+        policy: &ReconnectPolicy,
+        budget: Option<Duration>,
+        host: Option<u8>,
+    ) -> Result<Response, WireError> {
         let deadline = budget.map(|b| Instant::now() + b);
         // In-flight Shutdown is the one non-idempotent request: once the
         // frame was written, the peer may be draining — don't resend.
         let retryable = |sent: bool| !(sent && matches!(req, Request::Shutdown));
-        let mut last = match self.call_classified(req, deadline) {
+        let mut last = match self.call_classified(req, deadline, host) {
             Ok(resp) => return Ok(resp),
             Err((e, sent)) if e.is_transport() && retryable(sent) => e,
             Err((e, _)) => return Err(e),
@@ -286,7 +320,7 @@ impl Client {
                 continue;
             }
             self.replays += 1;
-            match self.call_classified(req, deadline) {
+            match self.call_classified(req, deadline, host) {
                 Ok(resp) => return Ok(resp),
                 Err((e, sent)) if e.is_transport() && retryable(sent) => last = e,
                 Err((e, _)) => return Err(e),

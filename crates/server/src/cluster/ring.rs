@@ -119,6 +119,7 @@ impl HashRing {
             key.nodes,
             key.seed,
             u64::from(key.theorem),
+            u64::from(key.host),
         ] {
             h = mix(h ^ v);
         }
@@ -163,6 +164,7 @@ mod tests {
             nodes: 496 + seed % 1000,
             seed,
             theorem: 1 + (seed % 2) as u8,
+            host: (seed % 3) as u8,
         }
     }
 

@@ -48,8 +48,8 @@ use crate::cache::EmbeddingKey;
 use crate::client::ReconnectPolicy;
 use crate::service::deadline_reject;
 use crate::wire::{
-    decode_request_budget, decode_response, encode_request, encode_request_budget, frame,
-    read_frame, write_request, write_response, HealthInfo, Request, Response, WireError, WireStats,
+    decode_request_host, decode_response, encode_request_host, frame, read_frame, write_request,
+    write_request_host, write_response, HealthInfo, Request, Response, WireError, WireStats,
     ERR_BAD_REQUEST, ERR_EXHAUSTED, ERR_SHUTTING_DOWN, ERR_UNREACHABLE,
 };
 use std::collections::HashMap;
@@ -59,6 +59,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use xtree_host::HOST_XTREE;
 
 /// How a router is shaped: where it listens, who its shards are, and how
 /// it detects and rides over their failures.
@@ -129,8 +130,8 @@ struct HotKeys {
 
 /// A total order on keys so hot-key ranking (and therefore warmup
 /// traffic) is deterministic under equal counts.
-fn key_rank(k: &EmbeddingKey) -> (u8, u64, u64, u8) {
-    (k.family, k.nodes, k.seed, k.theorem)
+fn key_rank(k: &EmbeddingKey) -> (u8, u64, u64, u8, u8) {
+    (k.family, k.nodes, k.seed, k.theorem, k.host)
 }
 
 impl HotKeys {
@@ -436,7 +437,10 @@ fn warm_shard(shared: &RouterShared, shard: u16) {
                 seed: key.seed,
                 theorem: key.theorem,
             };
-            write_request(&mut writer, &req)?;
+            // A key heated by host-tagged traffic is replayed with the
+            // same tag; X-tree keys keep the pre-host frame bytes.
+            let host = (key.host != HOST_XTREE).then_some(key.host);
+            write_request_host(&mut writer, &req, None, host)?;
             match read_frame(&mut reader)? {
                 Some(_) => warmed += 1,
                 None => break,
@@ -489,10 +493,11 @@ fn forward_with_replay(
     conns: &mut ConnCache,
     key: &EmbeddingKey,
     req: &Request,
+    host: Option<u8>,
     deadline: Option<Instant>,
 ) -> Outcome {
     let mut payload = Vec::new();
-    encode_request(req, &mut payload);
+    encode_request_host(req, None, host, &mut payload);
     let mut framed = frame(&payload);
     let hash = shared.ring.key_hash(key);
     let start = Instant::now();
@@ -515,7 +520,7 @@ fn forward_with_replay(
                     return Outcome::Built(deadline_reject("router"));
                 }
                 payload.clear();
-                encode_request_budget(req, Some(remaining.as_micros() as u64), &mut payload);
+                encode_request_host(req, Some(remaining.as_micros() as u64), host, &mut payload);
                 framed = frame(&payload);
                 Some(remaining.max(Duration::from_millis(1)).min(FORWARD_TIMEOUT))
             }
@@ -692,9 +697,9 @@ fn handle_connection(stream: TcpStream, shared: &RouterShared, local: SocketAddr
     let mut reader = BufReader::new(stream);
     let mut conns = ConnCache::new();
     loop {
-        let (req, deadline_us) = match read_frame(&mut reader) {
-            Ok(Some(bytes)) => match decode_request_budget(&bytes) {
-                Ok(pair) => pair,
+        let (req, deadline_us, host) = match read_frame(&mut reader) {
+            Ok(Some(bytes)) => match decode_request_host(&bytes) {
+                Ok(decoded) => decoded,
                 Err(e) => {
                     shared.metrics.count_request();
                     let _ = write_response(&mut writer, &wire_reject(&e));
@@ -746,9 +751,10 @@ fn handle_connection(stream: TcpStream, shared: &RouterShared, local: SocketAddr
                     nodes: *nodes,
                     seed: *seed,
                     theorem: *theorem,
+                    host: host.unwrap_or(HOST_XTREE),
                 };
                 shared.hot.lock().expect("hot keys").touch(key);
-                forward_with_replay(shared, &mut conns, &key, &req, deadline)
+                forward_with_replay(shared, &mut conns, &key, &req, host, deadline)
             }
         };
         let written = match &outcome {

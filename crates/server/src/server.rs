@@ -20,7 +20,7 @@ use crate::metrics::ServerMetrics;
 use crate::queue::{BoundedQueue, PushError};
 use crate::service::{deadline_reject, handle_compute};
 use crate::wire::{
-    decode_request_budget, read_frame, write_response, HealthInfo, Request, Response, WireError,
+    decode_request_host, read_frame, write_response, HealthInfo, Request, Response, WireError,
     ERR_BAD_REQUEST, ERR_SHUTTING_DOWN,
 };
 use std::io::BufReader;
@@ -29,6 +29,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use xtree_host::HOST_XTREE;
 
 /// How a daemon is shaped: where it listens and how much it admits.
 #[derive(Clone, Debug)]
@@ -50,6 +51,10 @@ pub struct ServerConfig {
     /// Seeded fault injection on every accepted connection; `None` (the
     /// default) serves raw sockets.
     pub chaos: Option<ChaosPlan>,
+    /// Host topology served to requests that don't carry the wire host
+    /// field (`xtree_host::HOST_XTREE` by default — old clients keep the
+    /// old behavior). A frame's own host field always wins.
+    pub default_host: u8,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +66,7 @@ impl Default for ServerConfig {
             cache_cap: 256,
             io_timeout: None,
             chaos: None,
+            default_host: HOST_XTREE,
         }
     }
 }
@@ -69,6 +75,9 @@ impl Default for ServerConfig {
 /// how long anyone still cares.
 struct Job {
     req: Request,
+    /// Resolved host tag: the frame's trailing host field, or the
+    /// server's `default_host` when the client sent none.
+    host: u8,
     reply: mpsc::Sender<Response>,
     /// The absolute instant after which the client's budget is spent and
     /// the answer is worthless.
@@ -84,6 +93,7 @@ struct Shared {
     /// When the daemon came up — `Health` reports whole seconds since.
     started: Instant,
     io_timeout: Option<Duration>,
+    default_host: u8,
 }
 
 /// A running daemon. Dropping the handle does not stop it — send a
@@ -112,6 +122,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             io_timeout: config.io_timeout,
+            default_host: config.default_host,
         });
 
         let workers = (0..config.workers)
@@ -207,7 +218,7 @@ fn worker_loop(shared: &Shared) {
             let _ = job.reply.send(deadline_reject("queue"));
         },
     ) {
-        let resp = handle_compute(&job.req, &shared.cache, &shared.metrics);
+        let resp = handle_compute(&job.req, job.host, &shared.cache, &shared.metrics);
         if matches!(resp, Response::Error { .. }) {
             shared.metrics.count_error();
         }
@@ -273,8 +284,8 @@ fn handle_connection(stream: ChaosStream, shared: &Shared, local: std::net::Sock
     };
     let mut reader = BufReader::new(stream);
     loop {
-        let (req, deadline_us) = match read_frame(&mut reader) {
-            Ok(Some(bytes)) => match decode_request_budget(&bytes) {
+        let (req, deadline_us, host) = match read_frame(&mut reader) {
+            Ok(Some(bytes)) => match decode_request_host(&bytes) {
                 Ok(decoded) => decoded,
                 Err(e) => {
                     shared.metrics.count_request();
@@ -303,6 +314,7 @@ fn handle_connection(stream: ChaosStream, shared: &Shared, local: std::net::Sock
         // time; receipt time is the closest clock-free approximation of
         // when it started ticking here.
         let deadline = deadline_us.map(|us| Instant::now() + Duration::from_micros(us));
+        let host = host.unwrap_or(shared.default_host);
         let resp = match req {
             Request::Health => {
                 shared.metrics.count_health();
@@ -333,7 +345,7 @@ fn handle_connection(stream: ChaosStream, shared: &Shared, local: std::net::Sock
                 } else {
                     shared.metrics.count_simulate();
                 }
-                dispatch(shared, req, deadline)
+                dispatch(shared, req, host, deadline)
             }
         };
         // A budgeted response gets the remaining budget as its write
@@ -364,7 +376,7 @@ fn handle_connection(stream: ChaosStream, shared: &Shared, local: std::net::Sock
 
 /// Admits one compute request to the pool and blocks (I/O thread only)
 /// until its reply arrives or the request's deadline budget runs out.
-fn dispatch(shared: &Shared, req: Request, deadline: Option<Instant>) -> Response {
+fn dispatch(shared: &Shared, req: Request, host: u8, deadline: Option<Instant>) -> Response {
     let start = Instant::now();
     // Reject already-expired work before it costs a queue slot.
     if deadline.is_some_and(|d| start >= d) {
@@ -375,6 +387,7 @@ fn dispatch(shared: &Shared, req: Request, deadline: Option<Instant>) -> Respons
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
         req,
+        host,
         reply: reply_tx,
         deadline,
     };

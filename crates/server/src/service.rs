@@ -20,8 +20,11 @@ use std::sync::Arc;
 use std::time::Instant;
 use xtree_core::theorem1::{EmbedOptions, Theorem1Scratch};
 use xtree_core::{evaluate, metrics::edge_congestion, theorem1, theorem2, XEmbedding};
+use xtree_host::{guest_map, host_label, AnyHost, Host, HOST_XTREE};
 use xtree_sim::workload::WORKLOADS;
-use xtree_sim::{simulate_all_with, simulate_one_with, Network, SimReport};
+use xtree_sim::{
+    compute_load, congestion, simulate_all_with, simulate_one_with, Network, SimReport,
+};
 use xtree_topology::XTree;
 use xtree_trees::{BinaryTree, TreeFamily};
 
@@ -120,11 +123,36 @@ fn wire_report(r: &SimReport) -> WireReport {
     }
 }
 
+/// Resolves the servable host backend for a non-X-tree request, or the
+/// typed rejection when the tag is unknown / the backend is unavailable at
+/// this height (the universal graph's BFS table is capped).
+fn host_net(host: u8, height: u8) -> Result<AnyHost, Response> {
+    AnyHost::for_xtree_height(host, height).ok_or_else(|| match host_label(host) {
+        Some(label) => bad(format!(
+            "host '{label}' is unavailable at X-tree height {height}"
+        )),
+        None => bad(format!("unknown host tag {host}")),
+    })
+}
+
 /// Executes one pooled request against the shared cache, reporting engine
 /// events and embed-construction latency to `metrics`. Only `Embed` and
 /// `Simulate` arrive here — control requests are answered inline by the
-/// connection handler.
-pub fn handle_compute(req: &Request, cache: &EmbeddingCache, metrics: &ServerMetrics) -> Response {
+/// connection handler. `host` selects the host topology the embedding is
+/// served on ([`HOST_XTREE`] is the wire default and the pre-host
+/// behavior, bit for bit).
+pub fn handle_compute(
+    req: &Request,
+    host: u8,
+    cache: &EmbeddingCache,
+    metrics: &ServerMetrics,
+) -> Response {
+    // Reject junk tags before any compute (and before they become cache
+    // keys); height-dependent availability is checked once the height is
+    // known.
+    if host_label(host).is_none() {
+        return bad(format!("unknown host tag {host}"));
+    }
     match *req {
         Request::Embed {
             family,
@@ -137,6 +165,7 @@ pub fn handle_compute(req: &Request, cache: &EmbeddingCache, metrics: &ServerMet
                 nodes,
                 seed,
                 theorem,
+                host,
             };
             let (_, tree) = match make_tree(family, nodes, seed) {
                 Ok(t) => t,
@@ -146,15 +175,47 @@ pub fn handle_compute(req: &Request, cache: &EmbeddingCache, metrics: &ServerMet
                 Ok(e) => e,
                 Err(resp) => return resp,
             };
-            let stats = evaluate(&tree, &emb);
-            let host = XTree::new(emb.height);
-            let congestion = edge_congestion(&tree, &emb, &host);
+            if host == HOST_XTREE {
+                let stats = evaluate(&tree, &emb);
+                let xt = XTree::new(emb.height);
+                let congestion = edge_congestion(&tree, &emb, &xt);
+                return Response::EmbedOk {
+                    height: emb.height,
+                    dilation: u64::from(stats.dilation),
+                    max_load: u64::from(stats.max_load),
+                    congestion: u64::from(congestion),
+                    injective: stats.injective,
+                    cached,
+                };
+            }
+            let net = match host_net(host, emb.height) {
+                Ok(n) => n,
+                Err(resp) => return resp,
+            };
+            let map = guest_map(host, &emb).expect("tag validated by host_net");
+            let dilation = tree
+                .edges()
+                .map(|(p, c)| net.distance(map[p.index()], map[c.index()]))
+                .max()
+                .unwrap_or(0);
+            let max_load = compute_load(&net, &tree, &map);
+            let cong = match congestion(&net, &tree, &map) {
+                Ok(c) => c,
+                Err(e) => {
+                    return Response::Error {
+                        code: ERR_INTERNAL,
+                        message: format!("host routing failed: {e}"),
+                    }
+                }
+            };
             Response::EmbedOk {
+                // The X-tree height the map was built for — the shared
+                // size parameter every host derives its own order from.
                 height: emb.height,
-                dilation: u64::from(stats.dilation),
-                max_load: u64::from(stats.max_load),
-                congestion: u64::from(congestion),
-                injective: stats.injective,
+                dilation: u64::from(dilation),
+                max_load: u64::from(max_load),
+                congestion: u64::from(cong),
+                injective: max_load <= 1,
                 cached,
             }
         }
@@ -173,6 +234,7 @@ pub fn handle_compute(req: &Request, cache: &EmbeddingCache, metrics: &ServerMet
                 nodes,
                 seed,
                 theorem,
+                host,
             };
             let (_, tree) = match make_tree(family, nodes, seed) {
                 Ok(t) => t,
@@ -182,13 +244,27 @@ pub fn handle_compute(req: &Request, cache: &EmbeddingCache, metrics: &ServerMet
                 Ok(e) => e,
                 Err(resp) => return resp,
             };
-            let net = Network::xtree(&XTree::new(emb.height));
             let mut sink = &metrics.sim;
-            let reports = if workload == WORKLOAD_ALL {
-                simulate_all_with(&net, &tree, &*emb, &mut sink)
+            let reports = if host == HOST_XTREE {
+                let net = Network::xtree(&XTree::new(emb.height));
+                if workload == WORKLOAD_ALL {
+                    simulate_all_with(&net, &tree, &*emb, &mut sink)
+                } else {
+                    simulate_one_with(&net, &tree, &*emb, usize::from(workload), &mut sink)
+                        .map(|r| vec![r])
+                }
             } else {
-                simulate_one_with(&net, &tree, &*emb, usize::from(workload), &mut sink)
-                    .map(|r| vec![r])
+                let net = match host_net(host, emb.height) {
+                    Ok(n) => n,
+                    Err(resp) => return resp,
+                };
+                let map = guest_map(host, &emb).expect("tag validated by host_net");
+                if workload == WORKLOAD_ALL {
+                    simulate_all_with(&net, &tree, &map, &mut sink)
+                } else {
+                    simulate_one_with(&net, &tree, &map, usize::from(workload), &mut sink)
+                        .map(|r| vec![r])
+                }
             };
             match reports {
                 Ok(reports) => Response::SimulateOk {
@@ -227,7 +303,7 @@ mod tests {
             theorem: 1,
         };
         let metrics = counters();
-        let resp = handle_compute(&req, &cache, &metrics);
+        let resp = handle_compute(&req, HOST_XTREE, &cache, &metrics);
         let Response::EmbedOk {
             height,
             dilation,
@@ -243,7 +319,7 @@ mod tests {
         assert_eq!(max_load, 16);
         assert!(!cached, "first request must miss");
         // Second identical request hits.
-        let resp = handle_compute(&req, &cache, &metrics);
+        let resp = handle_compute(&req, HOST_XTREE, &cache, &metrics);
         assert!(matches!(resp, Response::EmbedOk { cached: true, .. }));
         // One construction landed in each side of the split histogram.
         let prom = metrics.to_prometheus(&cache, 0);
@@ -261,13 +337,13 @@ mod tests {
             theorem: 1,
             workload,
         };
-        let all = handle_compute(&base(WORKLOAD_ALL), &cache, &counters());
+        let all = handle_compute(&base(WORKLOAD_ALL), HOST_XTREE, &cache, &counters());
         let Response::SimulateOk { reports: all, .. } = all else {
             panic!("expected SimulateOk");
         };
         assert_eq!(all.len(), 4);
         for (i, expect) in all.iter().enumerate() {
-            let one = handle_compute(&base(i as u8), &cache, &counters());
+            let one = handle_compute(&base(i as u8), HOST_XTREE, &cache, &counters());
             let Response::SimulateOk { reports: one, .. } = one else {
                 panic!("expected SimulateOk");
             };
@@ -286,6 +362,7 @@ mod tests {
                 seed: 7,
                 theorem: 2,
             },
+            HOST_XTREE,
             &cache,
             &counters(),
         );
@@ -338,7 +415,7 @@ mod tests {
                 workload: 4,
             },
         ] {
-            let resp = handle_compute(&req, &cache, &sim);
+            let resp = handle_compute(&req, HOST_XTREE, &cache, &sim);
             assert!(
                 matches!(
                     resp,
@@ -364,6 +441,7 @@ mod tests {
                 theorem: 1,
                 workload: 0,
             },
+            HOST_XTREE,
             &cache,
             &sim,
         );

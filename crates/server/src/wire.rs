@@ -409,6 +409,47 @@ pub fn encode_request_budget(req: &Request, deadline_us: Option<u64>, buf: &mut 
     }
 }
 
+/// Sentinel for "no deadline budget" in the two-word trailing encoding
+/// produced by [`encode_request_host`]: the host field can only be
+/// appended *after* a budget word (trailing fields decode positionally),
+/// so a host-tagged request without a budget carries this in the budget
+/// slot. Never a meaningful budget — a real `u64::MAX`-microsecond
+/// deadline is ~585 millennia, and the encoder clamps one word below.
+pub const NO_BUDGET: u64 = u64::MAX;
+
+/// Encodes a request payload with optional deadline-budget and host-tag
+/// trailing fields. The trailing encoding is positional, one word each:
+///
+/// * no budget, no host → the bare pre-deadline bytes ([`encode_request`]);
+/// * budget only → one trailing word (the PR-9 shape,
+///   [`encode_request_budget`]);
+/// * host set → two trailing words: the budget (or [`NO_BUDGET`]) then
+///   the host tag.
+///
+/// So every old frame stays byte-identical and every old decoder keeps
+/// working on host-free traffic.
+pub fn encode_request_host(
+    req: &Request,
+    deadline_us: Option<u64>,
+    host: Option<u8>,
+    buf: &mut Vec<u8>,
+) {
+    match host {
+        None => encode_request_budget(req, deadline_us, buf),
+        Some(h) => {
+            encode_request(req, buf);
+            let budget = match deadline_us {
+                None => NO_BUDGET,
+                // Clamp below the sentinel; a real u64::MAX budget is not
+                // representable (and not meaningful either).
+                Some(us) => us.min(NO_BUDGET - 1),
+            };
+            encode_u64(buf, budget);
+            encode_u64(buf, u64::from(h));
+        }
+    }
+}
+
 /// Parses the request body after the tag byte, advancing `pos`.
 fn request_body(tag: u8, rest: &[u8], pos: &mut usize) -> Result<Request, WireError> {
     Ok(match tag {
@@ -475,6 +516,37 @@ pub fn decode_request_budget(bytes: &[u8]) -> Result<(Request, Option<u64>), Wir
         });
     }
     Ok((req, Some(deadline_us)))
+}
+
+/// Decodes a request payload that may carry the optional trailing budget
+/// and host fields (see [`encode_request_host`] for the three shapes).
+/// This is the decoder servers and routers run: it accepts every XWIRE1
+/// request encoding ever produced, returning `None` for fields the peer
+/// did not send.
+///
+/// # Errors
+/// [`WireError`] on truncation, an unknown tag, a host tag beyond `u8`,
+/// or bytes beyond the host field.
+pub fn decode_request_host(bytes: &[u8]) -> Result<(Request, Option<u64>, Option<u8>), WireError> {
+    let (&tag, rest) = bytes.split_first().ok_or(WireError::Truncated)?;
+    let mut pos = 0usize;
+    let req = request_body(tag, rest, &mut pos)?;
+    if pos == rest.len() {
+        return Ok((req, None, None));
+    }
+    let budget = word(rest, &mut pos)?;
+    if pos == rest.len() {
+        // One-word shape: a plain PR-9 deadline budget, no host.
+        return Ok((req, Some(budget), None));
+    }
+    let host = byte_field(rest, &mut pos, "host")?;
+    if pos != rest.len() {
+        return Err(WireError::Trailing {
+            extra: rest.len() - pos,
+        });
+    }
+    let deadline_us = (budget != NO_BUDGET).then_some(budget);
+    Ok((req, deadline_us, Some(host)))
 }
 
 /// Encodes a response payload (no frame header).
@@ -691,6 +763,25 @@ pub fn write_request_budget<W: Write>(
 ) -> Result<(), WireError> {
     let mut payload = Vec::new();
     encode_request_budget(req, deadline_us, &mut payload);
+    w.write_all(&frame(&payload))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes one framed request carrying optional deadline-budget and host
+/// fields to `w`. With both `None` this writes the exact bytes
+/// [`write_request`] would.
+///
+/// # Errors
+/// [`WireError::Io`] on socket failure.
+pub fn write_request_host<W: Write>(
+    w: &mut W,
+    req: &Request,
+    deadline_us: Option<u64>,
+    host: Option<u8>,
+) -> Result<(), WireError> {
+    let mut payload = Vec::new();
+    encode_request_host(req, deadline_us, host, &mut payload);
     w.write_all(&frame(&payload))?;
     w.flush()?;
     Ok(())
@@ -965,6 +1056,72 @@ mod tests {
             decode_request_budget(&budgeted),
             Err(WireError::Trailing { extra: 1 })
         ));
+    }
+
+    #[test]
+    fn host_is_an_optional_trailing_field() {
+        let req = Request::Embed {
+            family: 4,
+            nodes: 2032,
+            seed: 11,
+            theorem: 1,
+        };
+        // No host: byte-identical to the budget-only encodings, whatever
+        // the budget, so host-free traffic never changes on the wire.
+        for budget in [None, Some(250_000)] {
+            let mut old = Vec::new();
+            encode_request_budget(&req, budget, &mut old);
+            let mut new = Vec::new();
+            encode_request_host(&req, budget, None, &mut new);
+            assert_eq!(old, new);
+            assert_eq!(
+                decode_request_host(&old).unwrap(),
+                (req.clone(), budget, None)
+            );
+        }
+        // Budget + host: both round-trip; older decoders reject cleanly.
+        let mut both = Vec::new();
+        encode_request_host(&req, Some(250_000), Some(2), &mut both);
+        assert_eq!(
+            decode_request_host(&both).unwrap(),
+            (req.clone(), Some(250_000), Some(2))
+        );
+        assert!(matches!(
+            decode_request(&both),
+            Err(WireError::Trailing { .. })
+        ));
+        assert!(matches!(
+            decode_request_budget(&both),
+            Err(WireError::Trailing { .. })
+        ));
+        // Host without a budget: the sentinel word keeps the positions.
+        let mut host_only = Vec::new();
+        encode_request_host(&req, None, Some(1), &mut host_only);
+        assert_eq!(
+            decode_request_host(&host_only).unwrap(),
+            (req.clone(), None, Some(1))
+        );
+        // A genuine u64::MAX budget is clamped rather than misread as
+        // "no budget".
+        let mut clamped = Vec::new();
+        encode_request_host(&req, Some(u64::MAX), Some(0), &mut clamped);
+        assert_eq!(
+            decode_request_host(&clamped).unwrap(),
+            (req.clone(), Some(u64::MAX - 1), Some(0))
+        );
+        // Bytes after the host word are still a protocol violation.
+        both.push(7);
+        assert!(matches!(
+            decode_request_host(&both),
+            Err(WireError::Trailing { extra: 1 })
+        ));
+        // A lone budget of u64::MAX (one-word shape) stays a real budget.
+        let mut max_budget = Vec::new();
+        encode_request_budget(&Request::Stats, Some(u64::MAX), &mut max_budget);
+        assert_eq!(
+            decode_request_host(&max_budget).unwrap(),
+            (Request::Stats, Some(u64::MAX), None)
+        );
     }
 
     #[test]

@@ -47,6 +47,7 @@ fn shard_config() -> ServerConfig {
         cache_cap: 64,
         io_timeout: None,
         chaos: None,
+        ..ServerConfig::default()
     }
 }
 

@@ -26,6 +26,7 @@ fn keys(pool_seed: u64, count: u64) -> Vec<EmbeddingKey> {
                 nodes: 496 + (x >> 3) % 4096,
                 seed: x,
                 theorem: 1 + (x % 2) as u8,
+                host: ((x >> 5) % 3) as u8,
             }
         })
         .collect()

@@ -15,6 +15,7 @@ fn config(workers: usize, queue_cap: usize, cache_cap: usize) -> ServerConfig {
         cache_cap,
         io_timeout: None,
         chaos: None,
+        ..ServerConfig::default()
     }
 }
 

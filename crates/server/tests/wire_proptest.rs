@@ -5,8 +5,9 @@
 
 use proptest::prelude::*;
 use xtree_server::wire::{
-    decode_request, decode_request_budget, decode_response, encode_request, encode_request_budget,
-    encode_response, frame, read_frame, write_request, HealthInfo, MAGIC, MAX_PAYLOAD,
+    decode_request, decode_request_budget, decode_request_host, decode_response, encode_request,
+    encode_request_budget, encode_request_host, encode_response, frame, read_frame, write_request,
+    HealthInfo, MAGIC, MAX_PAYLOAD, NO_BUDGET,
 };
 use xtree_server::{Request, Response, WireError, WireReport, WireStats};
 
@@ -189,6 +190,82 @@ proptest! {
         let (back, budget) = decode_request_budget(&legacy).expect("legacy frame must decode");
         prop_assert_eq!(back, req);
         prop_assert_eq!(budget, None);
+    }
+
+    // The optional host tag is a second trailing word behind the budget
+    // slot: any (budget, host) pair round-trips byte-identically through
+    // the host-aware codec, and host-tagged frames are rejected (typed,
+    // never misread) by both older decoders.
+    #[test]
+    fn host_field_round_trips(
+        req in arb_request(),
+        has_budget in any::<bool>(),
+        budget_word in 0..NO_BUDGET,
+        host in any::<u8>(),
+    ) {
+        let budget_us = has_budget.then_some(budget_word);
+        let mut bytes = Vec::new();
+        encode_request_host(&req, budget_us, Some(host), &mut bytes);
+        let (back, budget_back, host_back) =
+            decode_request_host(&bytes).expect("own encoding must decode");
+        prop_assert_eq!(&back, &req);
+        prop_assert_eq!(budget_back, budget_us);
+        prop_assert_eq!(host_back, Some(host));
+        let mut again = Vec::new();
+        encode_request_host(&back, budget_back, host_back, &mut again);
+        prop_assert_eq!(again, bytes);
+        // Both pre-host decoders must refuse the extra field loudly.
+        let strict = decode_request(&bytes);
+        prop_assert!(
+            matches!(strict, Err(WireError::Trailing { .. })),
+            "strict decoder accepted a host-tagged frame: {:?}", strict
+        );
+        let budget_only = decode_request_budget(&bytes);
+        prop_assert!(
+            matches!(budget_only, Err(WireError::Trailing { .. })),
+            "budget-era decoder accepted a host-tagged frame: {:?}", budget_only
+        );
+    }
+
+    // Backward compatibility, both directions: a host-free encoding is
+    // bit-for-bit the budget-era encoding (which is itself bit-for-bit
+    // legacy when the budget is also absent), and every pre-host frame
+    // decodes unchanged (no host) through the new decoder.
+    #[test]
+    fn hostless_frames_are_bit_identical_to_legacy(
+        req in arb_request(),
+        has_budget in any::<bool>(),
+        budget_word in any::<u64>(),
+    ) {
+        let budget_us = has_budget.then_some(budget_word);
+        let mut old = Vec::new();
+        encode_request_budget(&req, budget_us, &mut old);
+        let mut new = Vec::new();
+        encode_request_host(&req, budget_us, None, &mut new);
+        prop_assert_eq!(&new, &old);
+        let (back, budget_back, host_back) =
+            decode_request_host(&old).expect("pre-host frame must decode");
+        prop_assert_eq!(back, req);
+        prop_assert_eq!(budget_back, budget_us);
+        prop_assert_eq!(host_back, None);
+    }
+
+    // Bytes after the host word are a protocol violation: the lenient
+    // decoder accepts at most two trailing words, never arbitrarily many.
+    #[test]
+    fn garbage_after_the_host_field_is_refused(
+        req in arb_request(),
+        host in any::<u8>(),
+        junk in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let mut bytes = Vec::new();
+        encode_request_host(&req, Some(1), Some(host), &mut bytes);
+        bytes.extend_from_slice(&junk);
+        let got = decode_request_host(&bytes);
+        prop_assert!(
+            matches!(got, Err(WireError::Trailing { .. } | WireError::BadField { .. })),
+            "trailing garbage must be refused, got {:?}", got
+        );
     }
 
     // Cutting an encoded message anywhere strictly inside it must yield a

@@ -41,7 +41,7 @@
 
 use crate::error::SimError;
 use crate::fault::FaultState;
-use crate::network::Network;
+use xtree_host::Host;
 use xtree_telemetry::{Event, NopSink, Sink};
 use xtree_topology::{Csr, Graph};
 
@@ -227,9 +227,9 @@ impl Engine {
     /// non-neighbour, [`SimError::Diverged`] if the convergence bound is
     /// exceeded — both indicate a routing bug, reported instead of
     /// panicking.
-    pub fn run_batch(
+    pub fn run_batch<H: Host>(
         &mut self,
-        net: &Network,
+        net: &H,
         messages: &[Message],
     ) -> Result<BatchStats, SimError> {
         self.run_batch_with(net, messages, &mut NopSink)
@@ -241,13 +241,13 @@ impl Engine {
     ///
     /// # Errors
     /// See [`Engine::run_batch`].
-    pub fn run_batch_with<S: Sink>(
+    pub fn run_batch_with<H: Host, S: Sink>(
         &mut self,
-        net: &Network,
+        net: &H,
         messages: &[Message],
         sink: &mut S,
     ) -> Result<BatchStats, SimError> {
-        let graph: &Csr = net.graph();
+        let graph: &Csr = net.csr();
         self.reserve(graph.directed_edge_count(), messages.len());
         if S::ACTIVE {
             sink.record(Event::BatchStarted {
@@ -405,9 +405,9 @@ impl Engine {
     /// # Errors
     /// [`SimError::InvalidFault`] when `faults` was built for a different
     /// host, [`SimError::RouterInvariant`] on a survivor-routing bug.
-    pub fn run_batch_faulted(
+    pub fn run_batch_faulted<H: Host>(
         &mut self,
-        net: &Network,
+        net: &H,
         messages: &[Message],
         faults: &mut FaultState,
     ) -> Result<BatchOutcome, SimError> {
@@ -421,9 +421,9 @@ impl Engine {
     ///
     /// # Errors
     /// See [`Engine::run_batch_faulted`].
-    pub fn run_batch_faulted_with<S: Sink>(
+    pub fn run_batch_faulted_with<H: Host, S: Sink>(
         &mut self,
-        net: &Network,
+        net: &H,
         messages: &[Message],
         faults: &mut FaultState,
         sink: &mut S,
@@ -440,7 +440,7 @@ impl Engine {
             Stranded,
             Stalled(Option<u32>),
         }
-        let graph: &Csr = net.graph();
+        let graph: &Csr = net.csr();
         faults.check_host(graph)?;
         self.reserve(graph.directed_edge_count(), messages.len());
         if S::ACTIVE {
@@ -618,7 +618,7 @@ impl Engine {
 ///
 /// # Errors
 /// See [`Engine::run_batch`].
-pub fn run_batch(net: &Network, messages: &[Message]) -> Result<BatchStats, SimError> {
+pub fn run_batch<H: Host>(net: &H, messages: &[Message]) -> Result<BatchStats, SimError> {
     Engine::new().run_batch(net, messages)
 }
 
@@ -627,7 +627,7 @@ pub fn run_batch(net: &Network, messages: &[Message]) -> Result<BatchStats, SimE
 ///
 /// # Errors
 /// See [`Engine::run_batch`].
-pub fn run_rounds(net: &Network, rounds: &[Vec<Message>]) -> Result<Vec<BatchStats>, SimError> {
+pub fn run_rounds<H: Host>(net: &H, rounds: &[Vec<Message>]) -> Result<Vec<BatchStats>, SimError> {
     let mut engine = Engine::new();
     rounds.iter().map(|r| engine.run_batch(net, r)).collect()
 }
@@ -638,8 +638,8 @@ pub fn run_rounds(net: &Network, rounds: &[Vec<Message>]) -> Result<Vec<BatchSta
 ///
 /// # Errors
 /// See [`Engine::run_batch_faulted`].
-pub fn run_rounds_faulted(
-    net: &Network,
+pub fn run_rounds_faulted<H: Host>(
+    net: &H,
     rounds: &[Vec<Message>],
     faults: &mut FaultState,
 ) -> Result<Vec<BatchOutcome>, SimError> {
@@ -659,6 +659,7 @@ pub fn total_cycles(stats: &[BatchStats]) -> u32 {
 mod tests {
     use super::*;
     use crate::fault::{FaultPlan, FaultState, DEFAULT_MAX_IDLE_WAIT};
+    use crate::network::Network;
     use xtree_topology::{Csr, Graph, XTree};
 
     fn path_net(n: usize) -> Network {

@@ -57,5 +57,7 @@ pub use stats::{
     FaultSimReport, SimReport, StepReport,
 };
 pub use workload::HostMap;
+pub use xtree_host as host;
+pub use xtree_host::{AnyHost, Host, HypercubeHost, UniversalHost, XTreeHost};
 pub use xtree_telemetry as telemetry;
 pub use xtree_telemetry::{AtomicCounters, Event, MetricsSink, NopSink, Sink, Tee, TraceRecorder};

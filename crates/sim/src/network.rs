@@ -11,6 +11,7 @@
 
 use crate::error::SimError;
 use crate::router::{AnyRouter, CbtRouter, HypercubeRouter, Router, TableRouter, XTreeRouter};
+use xtree_host::Host;
 use xtree_topology::{CompleteBinaryTree, Csr, Graph, Hypercube, XTree};
 
 /// A host network with deterministic next-hop routing.
@@ -82,6 +83,38 @@ impl Network {
     #[inline]
     pub fn distance(&self, v: u32, dst: u32) -> u32 {
         self.router.distance(v, dst)
+    }
+}
+
+/// Every [`Network`] is a [`Host`]: the generic engine and stats layers
+/// accept it unchanged, so pre-trait call sites keep compiling while new
+/// code can pass any backend.
+impl Host for Network {
+    fn csr(&self) -> &Csr {
+        &self.graph
+    }
+
+    fn label(&self) -> &'static str {
+        match self.router {
+            AnyRouter::XTree(_) => "xtree",
+            AnyRouter::Hypercube(_) => "hypercube",
+            AnyRouter::Cbt(_) => "cbt",
+            AnyRouter::Table(_) => "table",
+        }
+    }
+
+    fn degree_bound(&self) -> u32 {
+        self.graph.max_degree() as u32
+    }
+
+    #[inline]
+    fn next_hop(&self, v: u32, dst: u32) -> u32 {
+        Network::next_hop(self, v, dst)
+    }
+
+    #[inline]
+    fn distance(&self, v: u32, dst: u32) -> u32 {
+        Network::distance(self, v, dst)
     }
 }
 

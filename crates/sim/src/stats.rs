@@ -5,9 +5,9 @@
 use crate::engine::{BatchOutcome, BatchStats, Engine};
 use crate::error::SimError;
 use crate::fault::{FaultPlan, FaultState};
-use crate::network::Network;
 use crate::workload;
 use rayon::prelude::*;
+use xtree_host::Host;
 use xtree_telemetry::{AtomicCounters, NopSink, Sink};
 use xtree_trees::BinaryTree;
 
@@ -46,27 +46,26 @@ fn summarise(workload: &'static str, stats: &[BatchStats]) -> SimReport {
 
 /// Edge congestion of an embedding on an arbitrary host: route every guest
 /// edge along the network's deterministic shortest path and count crossings
-/// per directed link, returning the maximum. Works for any [`Network`]
-/// (X-tree, hypercube, mesh, …), complementing the X-tree-specific
-/// `xtree_core::metrics::edge_congestion`.
+/// per directed link, returning the maximum. Works for any [`Host`]
+/// (X-tree, hypercube, universal graph, mesh, …), complementing the
+/// X-tree-specific `xtree_core::metrics::edge_congestion`.
 ///
 /// # Errors
 /// [`SimError::RouterInvariant`] if the network's router proposes a
 /// non-neighbour — a routing bug, reported instead of panicking.
-pub fn congestion<M: workload::HostMap>(
-    net: &Network,
+pub fn congestion<H: Host, M: workload::HostMap>(
+    net: &H,
     tree: &BinaryTree,
     emb: &M,
 ) -> Result<u32, SimError> {
     // Flat per-directed-link counters: links are dense indices (see
     // `Csr::directed_edge_index`), so no hashing in the walk.
-    let mut usage = vec![0u32; net.graph().directed_edge_count()];
+    let mut usage = vec![0u32; net.directed_edge_count()];
     for (u, v) in tree.edges() {
         let (mut at, dst) = (emb.host_of(u), emb.host_of(v));
         while at != dst {
             let next = net.next_hop(at, dst);
             let e = net
-                .graph()
                 .directed_edge_index(at, next)
                 .ok_or(SimError::RouterInvariant { at, to: next })?;
             usage[e as usize] += 1;
@@ -92,8 +91,8 @@ pub fn congestion<M: workload::HostMap>(
 /// # Errors
 /// [`SimError::RouterInvariant`] if the network's router proposes a
 /// non-neighbour — a routing bug, reported instead of panicking.
-pub fn weighted_congestion<M: workload::HostMap>(
-    net: &Network,
+pub fn weighted_congestion<H: Host, M: workload::HostMap>(
+    net: &H,
     tree: &BinaryTree,
     emb: &M,
     demand: &[u64],
@@ -103,14 +102,13 @@ pub fn weighted_congestion<M: workload::HostMap>(
         tree.len(),
         "demand must have one weight per guest node (edge = node → parent)"
     );
-    let mut usage = vec![0u64; net.graph().directed_edge_count()];
+    let mut usage = vec![0u64; net.directed_edge_count()];
     for (u, v) in tree.edges() {
         let w = demand[v.index()];
         let (mut at, dst) = (emb.host_of(u), emb.host_of(v));
         while at != dst {
             let next = net.next_hop(at, dst);
             let e = net
-                .graph()
                 .directed_edge_index(at, next)
                 .ok_or(SimError::RouterInvariant { at, to: next })?;
             usage[e as usize] += w;
@@ -123,8 +121,8 @@ pub fn weighted_congestion<M: workload::HostMap>(
 /// Maximum number of guest nodes mapped to one host processor — the
 /// paper's *load factor*, "the computation work which has to be done by a
 /// single processor of the X-tree network".
-pub fn compute_load<M: workload::HostMap>(net: &Network, tree: &BinaryTree, emb: &M) -> u32 {
-    let mut load = vec![0u32; net.len()];
+pub fn compute_load<H: Host, M: workload::HostMap>(net: &H, tree: &BinaryTree, emb: &M) -> u32 {
+    let mut load = vec![0u32; net.node_count()];
     for v in tree.nodes() {
         load[emb.host_of(v) as usize] += 1;
     }
@@ -155,8 +153,8 @@ impl StepReport {
 ///
 /// # Errors
 /// See [`crate::engine::run_batch`].
-pub fn simulate_step<M: workload::HostMap>(
-    net: &Network,
+pub fn simulate_step<H: Host, M: workload::HostMap>(
+    net: &H,
     tree: &BinaryTree,
     emb: &M,
 ) -> Result<StepReport, SimError> {
@@ -179,8 +177,8 @@ fn workload_rounds<M: workload::HostMap>(
 ///
 /// # Errors
 /// See [`crate::engine::run_batch`].
-pub fn simulate_all<M: workload::HostMap + Sync>(
-    net: &Network,
+pub fn simulate_all<H: Host, M: workload::HostMap + Sync>(
+    net: &H,
     tree: &BinaryTree,
     emb: &M,
 ) -> Result<Vec<SimReport>, SimError> {
@@ -193,8 +191,8 @@ pub fn simulate_all<M: workload::HostMap + Sync>(
 ///
 /// # Errors
 /// See [`crate::engine::run_batch`].
-pub fn simulate_all_with<M: workload::HostMap + Sync, S: Sink>(
-    net: &Network,
+pub fn simulate_all_with<H: Host, M: workload::HostMap + Sync, S: Sink>(
+    net: &H,
     tree: &BinaryTree,
     emb: &M,
     sink: &mut S,
@@ -224,8 +222,8 @@ pub fn simulate_all_with<M: workload::HostMap + Sync, S: Sink>(
 ///
 /// # Errors
 /// See [`crate::engine::run_batch`].
-pub fn simulate_one_with<M: workload::HostMap + Sync, S: Sink>(
-    net: &Network,
+pub fn simulate_one_with<H: Host, M: workload::HostMap + Sync, S: Sink>(
+    net: &H,
     tree: &BinaryTree,
     emb: &M,
     idx: usize,
@@ -281,8 +279,8 @@ impl FaultSimReport {
 /// # Errors
 /// [`SimError::InvalidFault`] when `plan` does not fit the host, plus the
 /// engine errors of [`Engine::run_batch_faulted`].
-pub fn simulate_all_faulted<M: workload::HostMap + Sync>(
-    net: &Network,
+pub fn simulate_all_faulted<H: Host, M: workload::HostMap + Sync>(
+    net: &H,
     tree: &BinaryTree,
     emb: &M,
     plan: &FaultPlan,
@@ -295,8 +293,8 @@ pub fn simulate_all_faulted<M: workload::HostMap + Sync>(
 ///
 /// # Errors
 /// See [`simulate_all_faulted`].
-pub fn simulate_all_faulted_with<M: workload::HostMap + Sync, S: Sink>(
-    net: &Network,
+pub fn simulate_all_faulted_with<H: Host, M: workload::HostMap + Sync, S: Sink>(
+    net: &H,
     tree: &BinaryTree,
     emb: &M,
     plan: &FaultPlan,
@@ -306,7 +304,7 @@ pub fn simulate_all_faulted_with<M: workload::HostMap + Sync, S: Sink>(
     workload_rounds(tree, emb)
         .iter()
         .map(|(name, rounds)| {
-            let mut faults = FaultState::new(net.graph(), plan.clone())?;
+            let mut faults = FaultState::new(net.csr(), plan.clone())?;
             let mut rep = FaultSimReport {
                 workload: name,
                 cycles: 0,
@@ -340,8 +338,8 @@ pub fn simulate_all_faulted_with<M: workload::HostMap + Sync, S: Sink>(
 ///
 /// # Errors
 /// The first engine error from any case (see [`crate::engine::run_batch`]).
-pub fn sweep<M: workload::HostMap + Sync>(
-    net: &Network,
+pub fn sweep<H: Host + Sync, M: workload::HostMap + Sync>(
+    net: &H,
     cases: &[(BinaryTree, M)],
 ) -> Result<Vec<Vec<SimReport>>, SimError> {
     let per_case: Vec<Result<Vec<SimReport>, SimError>> = cases
@@ -357,8 +355,8 @@ pub fn sweep<M: workload::HostMap + Sync>(
 ///
 /// # Errors
 /// See [`sweep`].
-pub fn sweep_counted<M: workload::HostMap + Sync>(
-    net: &Network,
+pub fn sweep_counted<H: Host + Sync, M: workload::HostMap + Sync>(
+    net: &H,
     cases: &[(BinaryTree, M)],
     counters: &AtomicCounters,
 ) -> Result<Vec<Vec<SimReport>>, SimError> {
@@ -375,6 +373,7 @@ pub fn sweep_counted<M: workload::HostMap + Sync>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::Network;
     use xtree_core::metrics::heap_order_embedding;
     use xtree_topology::{Graph, XTree};
     use xtree_trees::generate;

@@ -34,6 +34,14 @@ impl HostMap for QEmbedding {
     }
 }
 
+/// A flat per-node host-vertex map — the uniform guest map the host
+/// subsystem produces for every backend (`xtree_host::guest_map`).
+impl HostMap for Vec<u32> {
+    fn host_of(&self, v: NodeId) -> u32 {
+        self[v.index()]
+    }
+}
+
 fn depths(tree: &BinaryTree) -> (Vec<u32>, u32) {
     let mut depth = vec![0u32; tree.len()];
     let mut max = 0;

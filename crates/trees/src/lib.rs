@@ -17,4 +17,4 @@ pub use separator::{
     check_separation, find1, lemma1, lemma1_with, lemma2, lemma2_with, Orientation, Separation,
     SeparatorScratch,
 };
-pub use tree::{BinaryTree, NodeId};
+pub use tree::{Adjacency, BinaryTree, NodeId};

@@ -11,8 +11,7 @@
 //! Reusable buffers with epoch stamps keep a lemma call `O(|piece|)` without
 //! per-call allocation of tree-sized arrays.
 
-use crate::tree::{BinaryTree, NodeId};
-use smallvec::SmallVec;
+use crate::tree::{Adjacency, BinaryTree, NodeId};
 
 const NONE: u32 = u32::MAX;
 
@@ -125,12 +124,15 @@ impl Orientation {
     }
 
     /// Children of `v` in the oriented piece.
-    pub fn children(&self, tree: &BinaryTree, v: NodeId) -> SmallVec<[NodeId; 3]> {
+    pub fn children(&self, tree: &BinaryTree, v: NodeId) -> Adjacency<3> {
         debug_assert!(self.contains(v));
-        tree.neighbors(v)
-            .into_iter()
-            .filter(|&w| self.contains(w) && self.par[w.index()] == v.0)
-            .collect()
+        let mut out = Adjacency::default();
+        for w in tree.neighbors(v) {
+            if self.contains(w) && self.par[w.index()] == v.0 {
+                out.push(w);
+            }
+        }
+        out
     }
 
     /// All nodes of the oriented piece, in preorder.

@@ -6,7 +6,6 @@
 //! and the type of program structure found in common divide-and-conquer
 //! algorithms".
 
-use smallvec::SmallVec;
 use std::fmt;
 
 /// Index of a node within a [`BinaryTree`] arena.
@@ -28,6 +27,86 @@ impl fmt::Debug for NodeId {
 }
 
 pub(crate) const NONE: u32 = u32::MAX;
+
+/// A fixed-capacity inline adjacency list.
+///
+/// A binary-tree node has at most two children and three neighbours, so
+/// adjacency queries never need the heap: this is a plain array plus a
+/// length, `Copy`, and dereferences to a slice. (It replaced a vendored
+/// `SmallVec` stand-in that heap-allocated on every call.)
+#[derive(Clone, Copy)]
+pub struct Adjacency<const N: usize> {
+    buf: [NodeId; N],
+    len: u8,
+}
+
+impl<const N: usize> Default for Adjacency<N> {
+    fn default() -> Self {
+        Adjacency {
+            buf: [NodeId(0); N],
+            len: 0,
+        }
+    }
+}
+
+impl<const N: usize> Adjacency<N> {
+    #[inline]
+    fn new() -> Self {
+        Adjacency::default()
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, v: NodeId) {
+        self.buf[usize::from(self.len)] = v;
+        self.len += 1;
+    }
+
+    /// The entries as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.buf[..usize::from(self.len)]
+    }
+}
+
+impl<const N: usize> std::ops::Deref for Adjacency<N> {
+    type Target = [NodeId];
+    #[inline]
+    fn deref(&self) -> &[NodeId] {
+        self.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq for Adjacency<N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> Eq for Adjacency<N> {}
+
+impl<const N: usize> fmt::Debug for Adjacency<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<const N: usize> IntoIterator for Adjacency<N> {
+    type Item = NodeId;
+    type IntoIter = std::iter::Take<std::array::IntoIter<NodeId, N>>;
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.buf.into_iter().take(usize::from(self.len))
+    }
+}
+
+impl<'a, const N: usize> IntoIterator for &'a Adjacency<N> {
+    type Item = &'a NodeId;
+    type IntoIter = std::slice::Iter<'a, NodeId>;
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
 
 /// A rooted binary tree stored as an arena of parent / child links.
 #[derive(Clone)]
@@ -124,18 +203,20 @@ impl BinaryTree {
 
     /// The (up to two) children.
     #[inline]
-    pub fn children(&self, v: NodeId) -> SmallVec<[NodeId; 2]> {
-        self.children[v.index()]
-            .iter()
-            .filter(|&&c| c != NONE)
-            .map(|&c| NodeId(c))
-            .collect()
+    pub fn children(&self, v: NodeId) -> Adjacency<2> {
+        let mut out = Adjacency::new();
+        for c in self.children[v.index()] {
+            if c != NONE {
+                out.push(NodeId(c));
+            }
+        }
+        out
     }
 
     /// All tree neighbours (parent + children): at most 3.
     #[inline]
-    pub fn neighbors(&self, v: NodeId) -> SmallVec<[NodeId; 3]> {
-        let mut out = SmallVec::new();
+    pub fn neighbors(&self, v: NodeId) -> Adjacency<3> {
+        let mut out = Adjacency::new();
         if let Some(p) = self.parent(v) {
             out.push(p);
         }
@@ -150,7 +231,10 @@ impl BinaryTree {
     /// Degree of `v` in the (undirected) tree.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.neighbors(v).len()
+        let kids = &self.children[v.index()];
+        usize::from(self.parent[v.index()] != NONE)
+            + usize::from(kids[0] != NONE)
+            + usize::from(kids[1] != NONE)
     }
 
     /// True if `{u, v}` is a tree edge.
